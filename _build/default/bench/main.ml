@@ -1,0 +1,486 @@
+(* Benchmark harness regenerating the paper's evaluation artefacts.
+
+   Sections (select with an argument, default = all):
+     table2      — Table II: gate counts & runtime, SABRE vs BKA, 26 rows
+     figure8     — Figure 8: gate-count/depth trade-off under a δ sweep
+     scalability — Section V-B: BKA's exponential blow-up vs SABRE
+     ablation    — what each Section IV-C design decision buys
+     scaling     — SABRE runtime on devices of 20-400 qubits
+     micro       — Bechamel micro-benchmarks (one per table/figure)
+
+   Every routed circuit is verified with Sim.Tracker before its numbers
+   are printed; a verification failure aborts the run. *)
+
+module Circuit = Quantum.Circuit
+module Depth = Quantum.Depth
+module Decompose = Quantum.Decompose
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+module Suite = Workloads.Suite
+
+let device = Devices.ibm_q20_tokyo ()
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let verified ~logical ~initial ~final ~physical label =
+  match
+    Sim.Tracker.check ~coupling:device
+      ~initial:(Mapping.l2p_array initial)
+      ~final:(Mapping.l2p_array final)
+      ~logical ~physical ()
+  with
+  | Ok () -> ()
+  | Error e ->
+    Format.eprintf "FATAL: %s failed verification: %a@." label
+      Sim.Tracker.pp_error e;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type bka_outcome = Bka_done of { g_add : int; t : float } | Bka_oom of float
+
+let run_bka circuit name =
+  match time (fun () -> Baseline.Bka.run device circuit) with
+  | Ok r, t ->
+    verified ~logical:circuit ~initial:r.initial_mapping
+      ~final:r.final_mapping ~physical:r.physical (name ^ "/bka");
+    Bka_done { g_add = 3 * r.n_swaps; t }
+  | Error (Baseline.Bka.Node_budget_exhausted _), t -> Bka_oom t
+
+let run_sabre circuit name =
+  let r, t = time (fun () -> Sabre.Compiler.run device circuit) in
+  verified ~logical:circuit ~initial:r.initial_mapping
+    ~final:r.final_mapping ~physical:r.physical (name ^ "/sabre");
+  (r, t)
+
+let pp_opt_int = function Some v -> string_of_int v | None -> "OOM"
+let pp_opt_time = function Some t -> Printf.sprintf "%.2f" t | None -> "OOM"
+
+let table2 () =
+  Format.printf
+    "@.== Table II: number of additional gates and runtime, IBM Q20 Tokyo ==@.";
+  Format.printf
+    "   (g_add = 3 x SWAPs; g_la = SABRE first traversal; g_op = after \
+     reverse traversal; paper numbers in parentheses)@.@.";
+  Format.printf "%-5s %-15s %3s %6s | %9s %8s | %10s %10s %8s %8s | %7s %7s | %6s@."
+    "type" "name" "n" "g_ori" "BKA_gadd" "(paper)" "SABRE_gla" "SABRE_gop"
+    "(p_gla)" "(p_gop)" "t_bka" "t_sabre" "dg/bka";
+  let sum_ratio = ref 0.0 and n_ratio = ref 0 in
+  let optimal_small = ref 0 in
+  List.iter
+    (fun (row : Suite.row) ->
+      let circuit = Lazy.force row.circuit in
+      let g_ori = Decompose.elementary_gate_count circuit in
+      let bka = run_bka circuit row.name in
+      let sabre, t_sabre = run_sabre circuit row.name in
+      let g_la = 3 * sabre.stats.first_traversal_swaps in
+      let g_op = sabre.stats.added_gates in
+      let bka_g, bka_t =
+        match bka with
+        | Bka_done { g_add; t } -> (Some g_add, Some t)
+        | Bka_oom _ -> (None, None)
+      in
+      (match bka_g with
+      | Some b when b > 0 ->
+        sum_ratio := !sum_ratio +. (float_of_int (b - g_op) /. float_of_int b);
+        incr n_ratio
+      | _ -> ());
+      if row.cls = Suite.Small && g_op = 0 then incr optimal_small;
+      Format.printf
+        "%-5s %-15s %3d %6d | %9s %8s | %10d %10d %8d %8d | %7s %7.2f | %6s@."
+        (Suite.class_name row.cls) row.name row.n g_ori (pp_opt_int bka_g)
+        ("(" ^ pp_opt_int row.paper_bka_g_add ^ ")")
+        g_la g_op row.paper_g_la row.paper_g_op (pp_opt_time bka_t) t_sabre
+        (match bka_g with
+        | Some b when b > 0 ->
+          Printf.sprintf "%+.0f%%"
+            (100.0 *. float_of_int (b - g_op) /. float_of_int b)
+        | Some _ -> "-"
+        | None -> "-"))
+    Suite.all;
+  Format.printf
+    "@.summary: SABRE eliminates all additional gates on %d/5 small \
+     benchmarks; mean reduction vs BKA where BKA completes: %.0f%% \
+     (paper: ~10%% on large benchmarks, >=91%% on small).@."
+    !optimal_small
+    (100.0 *. !sum_ratio /. float_of_int (max 1 !n_ratio))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figure8 () =
+  Format.printf
+    "@.== Figure 8: trade-off between gate count and depth (delta sweep) ==@.";
+  Format.printf
+    "   (x = gates normalised to g_ori, y = depth normalised to original \
+     depth; one series per benchmark)@.@.";
+  let deltas = [ 0.0; 0.001; 0.002; 0.005; 0.01; 0.02; 0.05 ] in
+  Format.printf "%-15s" "benchmark";
+  List.iter (fun d -> Format.printf " | %-13s" (Printf.sprintf "d=%g" d)) deltas;
+  Format.printf "@.";
+  List.iter
+    (fun name ->
+      let row = Suite.find name in
+      let circuit = Lazy.force row.circuit in
+      let g_ori = float_of_int (Decompose.elementary_gate_count circuit) in
+      let d_ori = float_of_int (Depth.depth circuit) in
+      Format.printf "%-15s" name;
+      List.iter
+        (fun delta ->
+          let config = { Sabre.Config.default with decay_increment = delta } in
+          let r = Sabre.Compiler.run ~config device circuit in
+          verified ~logical:circuit ~initial:r.initial_mapping
+            ~final:r.final_mapping ~physical:r.physical
+            (Printf.sprintf "%s/delta=%g" name delta);
+          let lowered = Decompose.expand_swaps r.physical in
+          let g = float_of_int (Circuit.gate_count lowered) in
+          let d = float_of_int (Depth.depth lowered) in
+          Format.printf " | %-13s"
+            (Printf.sprintf "%.3f,%.3f" (g /. g_ori) (d /. d_ori)))
+        deltas;
+      Format.printf "@.%!")
+    Suite.figure8_names;
+  Format.printf
+    "@.Each cell is (normalised gates, normalised depth). Moving along a \
+     row trades extra gates for parallel SWAPs; the depth spread within \
+     a row is the paper's ~8%% controllability claim.@."
+
+(* ------------------------------------------------------------------ *)
+(* Scalability (Section V-B)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scalability () =
+  Format.printf
+    "@.== Section V-B: scalability — BKA search explodes, SABRE stays \
+     fast ==@.@.";
+  Format.printf "%-16s %3s %6s | %16s %8s | %9s %8s@." "benchmark" "n"
+    "g_ori" "BKA peak nodes" "t_bka" "t_sabre" "steps";
+  List.iter
+    (fun name ->
+      let row = Suite.find name in
+      let circuit = Lazy.force row.circuit in
+      let g_ori = Decompose.elementary_gate_count circuit in
+      let bka_cell, t_cell =
+        match time (fun () -> Baseline.Bka.run device circuit) with
+        | Ok r, t ->
+          (Printf.sprintf "%d" r.peak_layer_nodes, Printf.sprintf "%.2f" t)
+        | Error (Baseline.Bka.Node_budget_exhausted { nodes; _ }), t ->
+          (Printf.sprintf ">%d OOM" nodes, Printf.sprintf "%.2f" t)
+      in
+      let sabre, t_sabre = run_sabre circuit name in
+      Format.printf "%-16s %3d %6d | %16s %8s | %9.3f %8d@." name row.n g_ori
+        bka_cell t_cell t_sabre sabre.stats.search_steps)
+    [
+      "qft_10"; "qft_13"; "qft_16"; "qft_20"; "ising_model_10";
+      "ising_model_13"; "ising_model_16";
+    ];
+  Format.printf
+    "@.BKA's per-layer A* over whole mappings grows exponentially with \
+     device/circuit width (OOM = node budget, the paper's 378 GB \
+     analogue); SABRE's SWAP-based search space is O(N) per step and its \
+     runtime stays in fractions of a second.@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design decisions (DESIGN.md per-experiment index)   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  Format.printf
+    "@.== Ablations: what each SABRE design decision buys (Section IV-C) \
+     ==@.";
+  let workloads = [ "qft_13"; "rd84_142"; "adr4_197" ] in
+  let run_with config circuit name =
+    let r = Sabre.Compiler.run ~config device circuit in
+    if config.Sabre.Config.commutation_aware then begin
+      (* reordered commuting gates break per-qubit-sequence equality;
+         verify compliance + linearisation of the commuting DAG instead *)
+      (match Sim.Tracker.check_compliance ~coupling:device r.physical with
+      | Ok () -> ()
+      | Error e ->
+        Format.eprintf "FATAL: %s: %a@." name Sim.Tracker.pp_error e;
+        exit 2);
+      match
+        Sim.Tracker.unroute
+          ~initial:(Mapping.l2p_array r.initial_mapping)
+          ~n_logical:(Circuit.n_qubits circuit)
+          r.physical
+      with
+      | Ok (recovered, _) ->
+        if
+          not
+            (Quantum.Dag.matches_linearization
+               (Quantum.Dag.of_circuit_commuting circuit)
+               recovered)
+        then begin
+          Format.eprintf "FATAL: %s: not a commuting linearisation@." name;
+          exit 2
+        end
+      | Error e ->
+        Format.eprintf "FATAL: %s: %a@." name Sim.Tracker.pp_error e;
+        exit 2
+    end
+    else
+      verified ~logical:circuit ~initial:r.initial_mapping
+        ~final:r.final_mapping ~physical:r.physical name;
+    r
+  in
+
+  Format.printf "@.-- heuristic level (Eq. 1 vs look-ahead vs decay) --@.";
+  Format.printf "%-12s | %14s | %14s | %14s@." "benchmark" "basic g_add"
+    "lookahead" "decay";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      let cell h =
+        let r =
+          run_with { Sabre.Config.default with heuristic = h } circuit name
+        in
+        Printf.sprintf "%5d / d%5d" r.stats.added_gates r.stats.routed_depth
+      in
+      Format.printf "%-12s | %14s | %14s | %14s@." name
+        (cell Sabre.Config.Basic)
+        (cell Sabre.Config.Lookahead)
+        (cell Sabre.Config.Decay))
+    workloads;
+
+  Format.printf
+    "@.-- reverse traversal (1 = no initial-mapping optimisation) --@.";
+  Format.printf "%-12s | %10s %10s %10s@." "benchmark" "1 pass" "3 passes"
+    "5 passes";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      let cell k =
+        (run_with { Sabre.Config.default with traversals = k } circuit name)
+          .stats
+          .added_gates
+      in
+      Format.printf "%-12s | %10d %10d %10d@." name (cell 1) (cell 3) (cell 5))
+    workloads;
+
+  Format.printf "@.-- extended set size |E| (look-ahead horizon) --@.";
+  Format.printf "%-12s |" "benchmark";
+  let sizes = [ 0; 5; 10; 20; 50 ] in
+  List.iter (fun s -> Format.printf " %8s" (Printf.sprintf "|E|=%d" s)) sizes;
+  Format.printf "@.";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      Format.printf "%-12s |" name;
+      List.iter
+        (fun s ->
+          let r =
+            run_with
+              { Sabre.Config.default with extended_set_size = s }
+              circuit name
+          in
+          Format.printf " %8d" r.stats.added_gates)
+        sizes;
+      Format.printf "@.")
+    workloads;
+
+  Format.printf "@.-- random-restart trials --@.";
+  Format.printf "%-12s | %10s %10s %10s@." "benchmark" "1 trial" "5 trials"
+    "10 trials";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      let cell k =
+        (run_with { Sabre.Config.default with trials = k } circuit name).stats
+          .added_gates
+      in
+      Format.printf "%-12s | %10d %10d %10d@." name (cell 1) (cell 5)
+        (cell 10))
+    workloads;
+  Format.printf
+    "@.-- commutation-aware DAG (extension; strict = paper's Algorithm 1) --@.";
+  Format.printf "%-14s | %10s %12s@." "benchmark" "strict" "commuting";
+  let fanout =
+    (* two shuffled rounds of CNOT fan-out: the workload shape gate-level
+       commutation provably helps on *)
+    let n = 12 in
+    let rng = Random.State.make [| 7 |] in
+    let round =
+      List.init (n - 1) (fun i -> i + 1)
+      |> List.map (fun t -> (Random.State.bits rng, t))
+      |> List.sort compare
+      |> List.map (fun (_, t) -> Quantum.Gate.Cnot (0, t))
+    in
+    Circuit.create ~n_qubits:n (round @ round)
+  in
+  List.iter
+    (fun (name, circuit) ->
+      let swaps cfg = (run_with cfg circuit name).stats.added_gates in
+      Format.printf "%-14s | %10d %12d@." name
+        (swaps Sabre.Config.default)
+        (swaps { Sabre.Config.default with commutation_aware = true }))
+    (("cnot_fanout12", fanout)
+    :: List.map
+         (fun name -> (name, Lazy.force (Suite.find name).circuit))
+         workloads);
+
+  Format.printf
+    "@.-- initial mapping strategy (single forward pass from each seed) --@.";
+  Format.printf "%-12s | %9s %9s %9s %9s | %12s@." "benchmark" "trivial"
+    "degree" "greedy" "random" "sabre(full)";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      let seeded m label =
+        let r = Sabre.Compiler.route_with_initial device circuit m in
+        verified ~logical:circuit ~initial:r.initial_mapping
+          ~final:r.final_mapping ~physical:r.physical (name ^ "/" ^ label);
+        r.stats.added_gates
+      in
+      let full = run_with Sabre.Config.default circuit name in
+      Format.printf "%-12s | %9d %9d %9d %9d | %12d@." name
+        (seeded (Sabre.Initial_mapping.trivial device circuit) "trivial")
+        (seeded (Sabre.Initial_mapping.degree_matching device circuit) "degree")
+        (seeded (Sabre.Initial_mapping.interaction_greedy device circuit) "greedy")
+        (seeded
+           (Sabre.Initial_mapping.random
+              ~state:(Random.State.make [| 1 |])
+              device circuit)
+           "random")
+        full.stats.added_gates)
+    workloads;
+  Format.printf
+    "@.Expected shape: each ingredient (look-ahead, decay, reverse \
+     traversal, restarts, a moderate |E|) independently reduces the \
+     added-gate count, and the reverse-traversal initial mapping beats \
+     every static seeding strategy — the paper's motivation for each \
+     design decision.@."
+
+(* ------------------------------------------------------------------ *)
+(* Device-size scaling (objective 4, Section III-B)                     *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  Format.printf
+    "@.== Device-size scaling: SABRE on NISQ devices of growing size ==@.@.";
+  Format.printf "%-10s %8s %8s %8s | %10s %12s@." "device" "qubits" "n_log"
+    "gates" "t_sabre" "us/2q-gate";
+  List.iter
+    (fun n_physical ->
+      let rows = int_of_float (Float.sqrt (float_of_int n_physical)) in
+      let cols = (n_physical + rows - 1) / rows in
+      let dev = Devices.grid ~rows ~cols in
+      let n = Coupling.n_qubits dev / 2 in
+      let gates = 20 * n in
+      let circuit =
+        Workloads.Random_reversible.circuit ~seed:n_physical ~hot_bias:0.0 ~n
+          ~gates ()
+      in
+      let config = { Sabre.Config.default with trials = 1 } in
+      let r, t = time (fun () -> Sabre.Compiler.run ~config dev circuit) in
+      (match
+         Sim.Tracker.check ~coupling:dev
+           ~initial:(Mapping.l2p_array r.initial_mapping)
+           ~final:(Mapping.l2p_array r.final_mapping)
+           ~logical:circuit ~physical:r.physical ()
+       with
+      | Ok () -> ()
+      | Error e ->
+        Format.eprintf "FATAL: scaling: %a@." Sim.Tracker.pp_error e;
+        exit 2);
+      let two_q = Circuit.two_qubit_count circuit in
+      Format.printf "%-10s %8d %8d %8d | %9.2fs %12.1f@."
+        (Printf.sprintf "grid%dx%d" rows cols)
+        (Coupling.n_qubits dev) n gates t
+        (1e6 *. t /. float_of_int two_q))
+    [ 20; 50; 100; 200; 400 ];
+  Format.printf
+    "@.Time per routed two-qubit gate grows polynomially (the O(N) \
+     candidate set times the O(N) heuristic evaluation), not \
+     exponentially — the scalability objective of Section III-B; devices \
+     with hundreds of qubits remain in seconds.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf "@.== Bechamel micro-benchmarks (one per experiment) ==@.@.";
+  let qft10 = Workloads.Qft.circuit 10 in
+  let qft10_dag = Quantum.Dag.of_circuit qft10 in
+  let ising10 = Workloads.Ising.circuit 10 in
+  let m0 = Mapping.identity ~n_logical:10 ~n_physical:20 in
+  let single_pass = { Sabre.Config.default with trials = 1; traversals = 1 } in
+  let tests =
+    Test.make_grouped ~name:"sabre_repro"
+      [
+        (* Table II inner loop: one SABRE traversal of qft_10 on Tokyo *)
+        Test.make ~name:"table2/sabre_pass_qft10"
+          (Staged.stage (fun () ->
+               ignore (Sabre.Routing_pass.run single_pass device qft10_dag m0)));
+        (* Table II baseline: full BKA on ising_10 *)
+        Test.make ~name:"table2/bka_ising10"
+          (Staged.stage (fun () -> ignore (Baseline.Bka.run device ising10)));
+        (* Figure 8 inner loop: full bidirectional SABRE with decay *)
+        Test.make ~name:"figure8/sabre_full_qft10"
+          (Staged.stage (fun () -> ignore (Sabre.Compiler.run device qft10)));
+        (* Scalability substrates: the Section IV-A preprocessing steps *)
+        Test.make ~name:"scalability/floyd_warshall_tokyo"
+          (Staged.stage (fun () ->
+               (* rebuild the graph so the distance cache is cold *)
+               let g = Coupling.create ~n_qubits:20 (Coupling.edges device) in
+               ignore (Coupling.distance_matrix g)));
+        Test.make ~name:"scalability/dag_generation_qft10"
+          (Staged.stage (fun () -> ignore (Quantum.Dag.of_circuit qft10)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | _ -> Float.nan
+      in
+      Format.printf "%-45s %14.1f ns/run  (%.3f ms)@." name ns (ns /. 1e6))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let sections =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> [ "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "micro" ]
+  in
+  List.iter
+    (fun section ->
+      match section with
+      | "table2" -> table2 ()
+      | "figure8" -> figure8 ()
+      | "scalability" -> scalability ()
+      | "ablation" -> ablation ()
+      | "scaling" -> scaling ()
+      | "micro" -> micro ()
+      | other ->
+        Format.eprintf
+          "unknown section %S (expected \
+           table2|figure8|scalability|ablation|scaling|micro)@."
+          other;
+        exit 1)
+    sections

@@ -1,0 +1,398 @@
+(* sabre_compile: command-line qubit mapper.
+
+   Reads an OpenQASM 2.0 circuit (file or a built-in workload), routes it
+   for a chosen device with SABRE (or a baseline router), verifies the
+   result, and writes routed QASM plus a statistics report. *)
+
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Input acquisition                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let load_circuit input workload size =
+  match (input, workload) with
+  | Some path, None -> (
+    try Ok (Quantum.Qasm.of_file path) with
+    | Quantum.Qasm.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+    | Sys_error msg -> Error msg)
+  | None, Some name -> (
+    let n = Option.value size ~default:8 in
+    match String.lowercase_ascii name with
+    | "qft" -> Ok (Workloads.Qft.circuit n)
+    | "ising" -> Ok (Workloads.Ising.circuit n)
+    | "ghz" -> Ok (Workloads.Ghz.circuit n)
+    | "bv" -> Ok (Workloads.Bv.circuit ~hidden:((1 lsl (n - 1)) + 1) (n - 1))
+    | "adder" -> Ok (Workloads.Adder.circuit (max 1 ((n - 2) / 2)))
+    | "random" ->
+      Ok (Workloads.Random_reversible.circuit ~n ~gates:(20 * n) ())
+    | other -> (
+      match Workloads.Suite.find other with
+      | row -> Ok (Lazy.force row.circuit)
+      | exception Not_found ->
+        Error
+          (Printf.sprintf
+             "unknown workload %S (try qft/ising/ghz/bv/adder/random or a \
+              Table II benchmark name)"
+             other)))
+  | Some _, Some _ -> Error "give either an input file or --workload, not both"
+  | None, None -> Error "no input: pass a QASM file or --workload NAME"
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type router = Sabre | Bka | Greedy
+
+type routed = {
+  physical : Circuit.t;
+  initial : int array;
+  final : int array;
+  n_swaps : int;
+}
+
+let route router config device circuit =
+  match router with
+  | Sabre ->
+    let r = Sabre.Compiler.run ~config device circuit in
+    Ok
+      ( {
+          physical = r.physical;
+          initial = Mapping.l2p_array r.initial_mapping;
+          final = Mapping.l2p_array r.final_mapping;
+          n_swaps = r.stats.n_swaps;
+        },
+        Some r.stats )
+  | Bka -> (
+    match Baseline.Bka.run device circuit with
+    | Ok r ->
+      Ok
+        ( {
+            physical = r.physical;
+            initial = Mapping.l2p_array r.initial_mapping;
+            final = Mapping.l2p_array r.final_mapping;
+            n_swaps = r.n_swaps;
+          },
+          None )
+    | Error f -> Error (Format.asprintf "BKA: %a" Baseline.Bka.pp_failure f))
+  | Greedy ->
+    let r = Baseline.Greedy_router.run device circuit in
+    Ok
+      ( {
+          physical = r.physical;
+          initial = Mapping.l2p_array r.initial_mapping;
+          final = Mapping.l2p_array r.final_mapping;
+          n_swaps = r.n_swaps;
+        },
+        None )
+
+let verify ~commutation device circuit (r : routed) =
+  if commutation then
+    (* reordering of commuting gates is allowed: check compliance plus
+       linearisation of the commuting DAG *)
+    let ( let* ) = Result.bind in
+    let* () =
+      Result.map_error
+        (fun e -> Format.asprintf "verification failed: %a" Sim.Tracker.pp_error e)
+        (Sim.Tracker.check_compliance ~coupling:device r.physical)
+    in
+    let* recovered, _ =
+      Result.map_error
+        (fun e -> Format.asprintf "verification failed: %a" Sim.Tracker.pp_error e)
+        (Sim.Tracker.unroute ~initial:r.initial
+           ~n_logical:(Circuit.n_qubits circuit) r.physical)
+    in
+    if
+      Quantum.Dag.matches_linearization
+        (Quantum.Dag.of_circuit_commuting circuit)
+        recovered
+    then Ok ()
+    else Error "verification failed: not a commuting linearisation"
+  else
+    match
+      Sim.Tracker.check ~coupling:device ~initial:r.initial ~final:r.final
+        ~logical:circuit ~physical:r.physical ()
+    with
+    | Ok () -> Ok ()
+    | Error e ->
+      Error (Format.asprintf "verification failed: %a" Sim.Tracker.pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON emission: enough for machine-readable reports without an
+   external dependency. Strings we emit are identifiers and need no
+   escaping beyond the standard set. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_json device circuit (r : routed) stats router_name =
+  let mapping_json arr =
+    String.concat ","
+      (Array.to_list (Array.map string_of_int arr))
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"router\": \"%s\",\n" (json_escape router_name));
+  Buffer.add_string b
+    (Printf.sprintf "  \"device\": {\"qubits\": %d, \"couplers\": %d},\n"
+       (Coupling.n_qubits device) (Coupling.n_edges device));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"logical\": {\"qubits\": %d, \"gates\": %d, \"depth\": %d},\n"
+       (Circuit.n_qubits circuit)
+       (Quantum.Decompose.elementary_gate_count circuit)
+       (Quantum.Depth.depth circuit));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"routed\": {\"gates\": %d, \"depth\": %d, \"swaps\": %d, \"added_gates\": %d},\n"
+       (Quantum.Decompose.elementary_gate_count r.physical)
+       (Quantum.Depth.depth_swap3 r.physical)
+       r.n_swaps (3 * r.n_swaps));
+  (match stats with
+  | Some (s : Sabre.Stats.t) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"sabre\": {\"first_traversal_swaps\": %d, \"search_steps\": %d, \"time_s\": %.6f},\n"
+         s.first_traversal_swaps s.search_steps s.time_s)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "  \"initial_mapping\": [%s],\n" (mapping_json r.initial));
+  Buffer.add_string b
+    (Printf.sprintf "  \"final_mapping\": [%s],\n" (mapping_json r.final));
+  Buffer.add_string b "  \"verified\": true\n}";
+  print_endline (Buffer.contents b)
+
+let report device circuit (r : routed) stats expand =
+  let out = if expand then Quantum.Decompose.expand_swaps r.physical else r.physical in
+  Format.printf "device          : %d qubits, %d couplers@." (Coupling.n_qubits device)
+    (Coupling.n_edges device);
+  Format.printf "logical circuit : %d qubits, %d gates, depth %d@."
+    (Circuit.n_qubits circuit)
+    (Quantum.Decompose.elementary_gate_count circuit)
+    (Quantum.Depth.depth circuit);
+  Format.printf "routed circuit  : %d gates, depth %d (+%d SWAPs = +%d gates)@."
+    (Quantum.Decompose.elementary_gate_count out)
+    (Quantum.Depth.depth_swap3 out)
+    r.n_swaps (3 * r.n_swaps);
+  (match stats with
+  | Some s -> Format.printf "sabre           : @[<v>%a@]@." Sabre.Stats.pp s
+  | None -> ());
+  Format.printf "initial mapping : %s@."
+    (String.concat ", "
+       (Array.to_list (Array.mapi (fun q p -> Printf.sprintf "q%d>Q%d" q p) r.initial)));
+  Format.printf "verification    : OK@."
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let router_name = function Sabre -> "sabre" | Bka -> "bka" | Greedy -> "greedy"
+
+let directed_of_name = function
+  | "qx2" -> Hardware.Directed.ibm_qx2 ()
+  | "qx4" -> Hardware.Directed.ibm_qx4 ()
+  | other -> invalid_arg (Printf.sprintf "unknown directed device %S" other)
+
+let run_main input workload size device_name device_size directed router trials
+    traversals delta weight extended_size seed commutation output expand quiet
+    json =
+  let result =
+    let* circuit = load_circuit input workload size in
+    let* directed_device =
+      match directed with
+      | None -> Ok None
+      | Some name -> (
+        try Ok (Some (directed_of_name name))
+        with Invalid_argument msg -> Error msg)
+    in
+    let* device =
+      match directed_device with
+      | Some d -> Ok (Hardware.Directed.underlying d)
+      | None -> (
+        try Ok (Devices.by_name device_name device_size)
+        with Invalid_argument msg -> Error msg)
+    in
+    let config =
+      {
+        Sabre.Config.default with
+        trials;
+        traversals;
+        decay_increment = delta;
+        extended_set_weight = weight;
+        extended_set_size = extended_size;
+        seed;
+        commutation_aware = commutation;
+      }
+    in
+    let* () =
+      Result.map_error (fun m -> "config: " ^ m) (Sabre.Config.validate config)
+    in
+    let* () =
+      if Circuit.n_qubits circuit > Coupling.n_qubits device then
+        Error
+          (Printf.sprintf "circuit needs %d qubits but device has %d"
+             (Circuit.n_qubits circuit) (Coupling.n_qubits device))
+      else Ok ()
+    in
+    let* r, stats = route router config device circuit in
+    let* () = verify ~commutation device circuit r in
+    let* r =
+      match directed_device with
+      | None -> Ok r
+      | Some d -> (
+        (* lower SWAPs and conjugate wrong-way CNOTs; re-check *)
+        match Hardware.Directed.fix_directions d r.physical with
+        | fixed -> (
+          match Hardware.Directed.check_directions d fixed with
+          | Ok () -> Ok { r with physical = fixed }
+          | Error g ->
+            Error
+              (Format.asprintf "direction fixing left an illegal gate: %a"
+                 Quantum.Gate.pp g))
+        | exception Invalid_argument msg -> Error msg)
+    in
+    if json then report_json device circuit r stats (router_name router)
+    else if not quiet then report device circuit r stats expand;
+    (match output with
+    | Some path ->
+      let out =
+        if expand then Quantum.Decompose.expand_swaps r.physical else r.physical
+      in
+      Quantum.Qasm.to_file path out;
+      if not quiet then Format.printf "wrote            : %s@." path
+    | None -> ());
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Format.eprintf "sabre_compile: %s@." msg;
+    1
+
+open Cmdliner
+
+let input =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"CIRCUIT.qasm"
+         ~doc:"OpenQASM 2.0 input file.")
+
+let workload =
+  Arg.(value & opt (some string) None
+       & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Built-in workload instead of a file: qft, ising, ghz, bv, \
+                 adder, random, or any Table II benchmark name (e.g. \
+                 qft_16, ising_model_10, rd84_142).")
+
+let size =
+  Arg.(value & opt (some int) None
+       & info [ "n"; "size" ] ~docv:"N" ~doc:"Workload size (qubits).")
+
+let device_name =
+  Arg.(value & opt string "tokyo"
+       & info [ "d"; "device" ] ~docv:"DEVICE"
+           ~doc:"Target device: tokyo, yorktown, qx5, linear, ring, grid, \
+                 star, complete, heavy_hex.")
+
+let directed =
+  Arg.(value & opt (some string) None
+       & info [ "directed" ] ~docv:"DEVICE"
+           ~doc:"Target a directed device (qx2, qx4): route on its \
+                 symmetric collapse, then lower SWAPs and conjugate \
+                 wrong-way CNOTs with Hadamards. Overrides --device.")
+
+let device_size =
+  Arg.(value & opt (some int) None
+       & info [ "device-size" ] ~docv:"N"
+           ~doc:"Size parameter for parametric devices (linear, ring, ...).")
+
+let router =
+  let router_conv =
+    Arg.enum [ ("sabre", Sabre); ("bka", Bka); ("greedy", Greedy) ]
+  in
+  Arg.(value & opt router_conv Sabre
+       & info [ "r"; "router" ] ~docv:"ROUTER"
+           ~doc:"Routing algorithm: sabre (default), bka (Zulehner-style \
+                 A*), greedy (shortest-path).")
+
+let trials =
+  Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Random initial mappings tried.")
+
+let traversals =
+  Arg.(value & opt int 3
+       & info [ "traversals" ]
+           ~doc:"Routing passes per trial (odd; 3 = forward-backward-forward).")
+
+let delta =
+  Arg.(value & opt float 0.001
+       & info [ "delta" ] ~doc:"Decay increment (depth/gate-count trade-off knob).")
+
+let weight =
+  Arg.(value & opt float 0.5 & info [ "weight" ] ~doc:"Extended-set weight W.")
+
+let extended_size =
+  Arg.(value & opt int 20 & info [ "extended-set" ] ~doc:"Extended-set size |E|.")
+
+let seed = Arg.(value & opt int 2019 & info [ "seed" ] ~doc:"RNG seed.")
+
+let commutation =
+  Arg.(value & flag
+       & info [ "commutation" ]
+           ~doc:"Use the commutation-aware dependency DAG (commuting gates \
+                 may execute in any order; extension beyond the paper).")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"OUT.qasm" ~doc:"Write the routed circuit here.")
+
+let expand =
+  Arg.(value & flag
+       & info [ "expand-swaps" ]
+           ~doc:"Lower inserted SWAPs to their 3-CNOT decomposition in the output.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the report.")
+
+let json =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit a machine-readable JSON report instead.")
+
+let cmd =
+  let doc = "map a quantum circuit onto a NISQ device with SABRE" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Reproduction of Li, Ding & Xie, 'Tackling the Qubit Mapping \
+          Problem for NISQ-Era Quantum Devices' (ASPLOS 2019). Routes an \
+          input circuit for a device coupling graph by inserting SWAPs, \
+          with SABRE's bidirectional heuristic search or one of the \
+          paper's baselines, then verifies the result semantically.";
+      `S Manpage.s_examples;
+      `P "Route a 16-qubit QFT onto IBM Q20 Tokyo:";
+      `Pre "  sabre_compile -w qft -n 16 -d tokyo -o routed.qasm";
+      `P "Compare with the BKA baseline on a ring:";
+      `Pre "  sabre_compile -w qft -n 8 -d ring --device-size 12 -r bka";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sabre_compile" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run_main $ input $ workload $ size $ device_name $ device_size
+      $ directed $ router $ trials $ traversals $ delta $ weight
+      $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json)
+
+let () = exit (Cmd.eval' cmd)

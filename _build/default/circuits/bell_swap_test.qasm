@@ -1,0 +1,11 @@
+// Bell pair between the two ends of a 5-qubit register: a router must
+// insert SWAPs on any device where q[0] and q[4] are not coupled.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0],q[4];
+barrier q;
+measure q[0] -> c[0];
+measure q[4] -> c[4];

@@ -1,0 +1,19 @@
+// 2-bit Cuccaro ripple-carry adder, written with MAJ/UMA macros.
+// Computes b := a + b; qubit layout cin | a0 b0 a1 b1 | cout.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority x,y,z { cx z,y; cx z,x; ccx x,y,z; }
+gate unmaj x,y,z { ccx x,y,z; cx z,x; cx x,y; }
+qreg cin[1];
+qreg a[2];
+qreg b[2];
+qreg cout[1];
+creg c[3];
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+cx a[1],cout[0];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+measure b[0] -> c[0];
+measure b[1] -> c[1];
+measure cout[0] -> c[2];

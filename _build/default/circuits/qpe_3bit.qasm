@@ -1,0 +1,26 @@
+// 3-bit quantum phase estimation of a T gate (phase 1/8), using a
+// user-defined controlled-phase macro and an inverse-QFT readout.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate cphase(theta) a,b { rz(theta/2) a; rz(theta/2) b; cx a,b; rz(-theta/2) b; cx a,b; }
+qreg q[3];
+qreg eigen[1];
+creg c[3];
+x eigen[0];
+h q[0];
+h q[1];
+h q[2];
+// controlled-U^{2^k}: U = T = phase pi/4
+cphase(pi/4) q[0],eigen[0];
+cphase(pi/2) q[1],eigen[0];
+cphase(pi) q[2],eigen[0];
+// inverse QFT on the counting register
+h q[2];
+cphase(-pi/2) q[1],q[2];
+h q[1];
+cphase(-pi/4) q[0],q[2];
+cphase(-pi/2) q[0],q[1];
+h q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];

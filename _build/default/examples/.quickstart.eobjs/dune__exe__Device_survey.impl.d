@@ -1,0 +1,1 @@
+examples/device_survey.ml: Format Hardware List Printf Quantum Sabre Sim Workloads

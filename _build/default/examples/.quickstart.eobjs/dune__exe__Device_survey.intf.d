@@ -1,0 +1,1 @@
+examples/device_survey.mli:

@@ -1,0 +1,1 @@
+examples/noise_aware.ml: Format Hardware List Sabre Sim Workloads

@@ -1,0 +1,1 @@
+examples/noise_aware.mli:

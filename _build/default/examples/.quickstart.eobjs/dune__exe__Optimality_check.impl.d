@@ -1,0 +1,1 @@
+examples/optimality_check.ml: Baseline Format Hardware List Quantum Sabre Workloads

@@ -1,0 +1,1 @@
+examples/qft_on_tokyo.ml: Baseline Format Hardware List Printf Quantum Sabre Sim Workloads

@@ -1,0 +1,1 @@
+examples/qft_on_tokyo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hardware Quantum Sabre Sim

@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: Format Hardware List Quantum Sabre Workloads

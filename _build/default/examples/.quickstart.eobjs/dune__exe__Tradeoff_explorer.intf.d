@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.mli:

@@ -1,0 +1,1 @@
+lib/baseline/bka.ml: Array Bytes Char Format Hardware Hashtbl Heap Layering List Quantum Sabre

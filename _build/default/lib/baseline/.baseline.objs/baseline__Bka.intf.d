@@ -1,0 +1,1 @@
+lib/baseline/bka.mli: Format Hardware Quantum Sabre Stdlib

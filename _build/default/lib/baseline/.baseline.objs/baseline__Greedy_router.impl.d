@@ -1,0 +1,1 @@
+lib/baseline/greedy_router.ml: Hardware List Quantum Sabre

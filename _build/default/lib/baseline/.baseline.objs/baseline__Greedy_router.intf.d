@@ -1,0 +1,1 @@
+lib/baseline/greedy_router.mli: Hardware Quantum Sabre

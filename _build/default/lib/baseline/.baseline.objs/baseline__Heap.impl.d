@@ -1,0 +1,1 @@
+lib/baseline/heap.ml: Array

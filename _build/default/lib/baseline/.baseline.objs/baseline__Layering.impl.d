@@ -1,0 +1,1 @@
+lib/baseline/layering.ml: Array Hashtbl List Quantum

@@ -1,0 +1,1 @@
+lib/baseline/optimal.ml: Array Bytes Char Hardware Hashtbl List Printf Quantum Queue Sabre String

@@ -1,0 +1,1 @@
+lib/baseline/optimal.mli: Hardware Quantum Sabre Stdlib

@@ -1,0 +1,258 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Mapping = Sabre.Mapping
+
+type config = {
+  node_budget : int;
+  lookahead : bool;
+  lookahead_weight : float;
+}
+
+let default_config =
+  { node_budget = 2_000_000; lookahead = true; lookahead_weight = 0.5 }
+
+type result = {
+  physical : Circuit.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+  nodes_generated : int;
+  peak_layer_nodes : int;
+}
+
+type failure = Node_budget_exhausted of { layer : int; nodes : int }
+
+let pp_failure ppf (Node_budget_exhausted { layer; nodes }) =
+  Format.fprintf ppf "out of memory: %d search nodes generated at layer %d"
+    nodes layer
+
+exception Budget of int  (* nodes generated when the budget tripped *)
+
+exception Unsatisfiable
+(* Raised when a layer's pairs cannot all be adjacent simultaneously on
+   this topology (e.g. two concurrent gates on a star device, whose only
+   hub can serve one pair at a time). The driver splits such layers. *)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy beginning-of-circuit initial placement                        *)
+(* ------------------------------------------------------------------ *)
+
+let initial_mapping = Sabre.Initial_mapping.interaction_greedy
+
+(* ------------------------------------------------------------------ *)
+(* Per-layer A* search over mappings                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_key l2p =
+  let b = Bytes.create (Array.length l2p) in
+  Array.iteri (fun i p -> Bytes.set b i (Char.chr p)) l2p;
+  Bytes.to_string b
+
+type node = {
+  l2p : int array;
+  swaps_rev : (int * int) list;  (* physical swaps, latest first *)
+  g : int;
+}
+
+let layer_cost dist l2p pairs =
+  List.fold_left
+    (fun acc (q1, q2) -> acc + dist.(l2p.(q1)).(l2p.(q2)) - 1)
+    0 pairs
+
+(* Candidate SWAP edges for a node: coupling edges incident to a physical
+   position holding a layer qubit, deduplicated and sorted. *)
+let candidate_edges coupling l2p pairs =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun p' ->
+              let e = (min p p', max p p') in
+              if not (Hashtbl.mem seen e) then Hashtbl.add seen e ())
+            (Coupling.neighbors coupling p))
+        [ l2p.(a); l2p.(b) ])
+    pairs;
+  Hashtbl.fold (fun e () acc -> e :: acc) seen [] |> List.sort compare
+
+(* Enumerate every non-empty matching (set of pairwise-disjoint edges) of
+   [edges], calling [yield] on each. This is the original algorithm's
+   expansion — "all possible combinations of SWAP operations that can be
+   applied concurrently" — and the source of its exponential search
+   space. *)
+let iter_matchings edges ~n_physical yield =
+  let used = Array.make n_physical false in
+  let edges = Array.of_list edges in
+  let m = Array.length edges in
+  let chosen = ref [] in
+  let rec enum idx =
+    if idx = m then begin
+      match !chosen with [] -> () | matching -> yield matching
+    end
+    else begin
+      enum (idx + 1);
+      let a, b = edges.(idx) in
+      if (not used.(a)) && not used.(b) then begin
+        used.(a) <- true;
+        used.(b) <- true;
+        chosen := edges.(idx) :: !chosen;
+        enum (idx + 1);
+        chosen := List.tl !chosen;
+        used.(a) <- false;
+        used.(b) <- false
+      end
+    end
+  in
+  enum 0
+
+(* Solve one layer: find a swap sequence making all [pairs] adjacent.
+   [next_pairs] feeds the look-ahead term. Returns the swaps in execution
+   order. Raises [Budget] when a single layer's search generates more
+   nodes than the budget — the peak-memory proxy for the paper's
+   Out-of-Memory behaviour (the open/closed sets of one A* search are
+   what filled the 378 GB server; memory is reclaimed between layers). *)
+let solve_layer config coupling dist ~pairs ~next_pairs l2p0 =
+  match pairs with
+  | [] -> ([], 0)
+  | _ ->
+    let n_physical = Array.length dist in
+    let h node_l2p =
+      let base = float_of_int (layer_cost dist node_l2p pairs) in
+      if config.lookahead && next_pairs <> [] then
+        base
+        +. (config.lookahead_weight
+           *. float_of_int (max 0 (layer_cost dist node_l2p next_pairs)))
+      else base
+    in
+    let open_set = Heap.create () in
+    let closed = Hashtbl.create 4096 in
+    let generated = ref 0 in
+    let gen () =
+      incr generated;
+      if !generated > config.node_budget then raise (Budget !generated)
+    in
+    let root = { l2p = Array.copy l2p0; swaps_rev = []; g = 0 } in
+    gen ();
+    Heap.push open_set (h root.l2p) root;
+    let result = ref None in
+    while !result = None do
+      match Heap.pop open_set with
+      | None ->
+        (* the whole reachable mapping space was closed without finding a
+           goal: the layer is unsatisfiable on this topology *)
+        raise Unsatisfiable
+      | Some (_, node) ->
+        if layer_cost dist node.l2p pairs = 0 then result := Some node
+        else begin
+          let key = mapping_key node.l2p in
+          if not (Hashtbl.mem closed key) then begin
+            Hashtbl.add closed key node.g;
+            let p2l = Array.make n_physical (-1) in
+            Array.iteri (fun q p -> p2l.(p) <- q) node.l2p;
+            let candidates = candidate_edges coupling node.l2p pairs in
+            iter_matchings candidates ~n_physical (fun matching ->
+                let l2p' = Array.copy node.l2p in
+                List.iter
+                  (fun (a, b) ->
+                    let la = p2l.(a) and lb = p2l.(b) in
+                    (* note: p2l is the parent's view; correct because the
+                       matching's edges are pairwise disjoint *)
+                    if la >= 0 then l2p'.(la) <- b;
+                    if lb >= 0 then l2p'.(lb) <- a)
+                  matching;
+                let child =
+                  {
+                    l2p = l2p';
+                    swaps_rev = matching @ node.swaps_rev;
+                    g = node.g + List.length matching;
+                  }
+                in
+                gen ();
+                Heap.push open_set (float_of_int child.g +. h child.l2p) child)
+          end
+        end
+    done;
+    (match !result with
+    | Some node -> (List.rev node.swaps_rev, !generated)
+    | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-circuit driver                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) coupling circuit =
+  let n_physical = Coupling.n_qubits coupling in
+  if Circuit.n_qubits circuit > n_physical then
+    invalid_arg "Bka.run: circuit wider than device";
+  if Circuit.n_qubits circuit > 1 && not (Coupling.is_connected_graph coupling)
+  then invalid_arg "Bka.run: disconnected coupling graph";
+  if n_physical > 255 then
+    invalid_arg "Bka.run: devices beyond 255 qubits unsupported (state keys)";
+  let dist = Coupling.distance_matrix coupling in
+  let initial = initial_mapping coupling circuit in
+  let mapping = Mapping.copy initial in
+  let layers = Layering.partition_asap circuit in
+  let out = ref [] in
+  let n_swaps = ref 0 in
+  let nodes_total = ref 0 in
+  let peak = ref 0 in
+  let current_layer = ref 0 in
+  let emit g = out := g :: !out in
+  let rec route_layer layer next_pairs =
+    let pairs = Layering.two_qubit_pairs layer in
+    match
+      solve_layer config coupling dist ~pairs ~next_pairs
+        (Mapping.l2p_array mapping)
+    with
+    | swaps, generated ->
+      nodes_total := !nodes_total + generated;
+      if generated > !peak then peak := generated;
+      List.iter
+        (fun (p1, p2) ->
+          emit (Gate.Swap (p1, p2));
+          Mapping.swap_physical_inplace mapping p1 p2;
+          incr n_swaps)
+        swaps;
+      List.iter
+        (fun g -> emit (Gate.remap (Mapping.to_physical mapping) g))
+        layer.Layering.gates
+    | exception Unsatisfiable ->
+      (* no mapping satisfies all pairs at once on this topology: split
+         the layer and satisfy the halves in sequence (a single pair is
+         always satisfiable on a connected graph, so this terminates) *)
+      let gates = layer.Layering.gates in
+      let k = List.length gates in
+      assert (k > 1);
+      let first = List.filteri (fun i _ -> i < k / 2) gates in
+      let second = List.filteri (fun i _ -> i >= k / 2) gates in
+      route_layer { Layering.gates = first } next_pairs;
+      route_layer { Layering.gates = second } next_pairs
+  in
+  let rec drive = function
+    | [] -> ()
+    | layer :: rest ->
+      let next_pairs =
+        match rest with [] -> [] | l :: _ -> Layering.two_qubit_pairs l
+      in
+      route_layer layer next_pairs;
+      incr current_layer;
+      drive rest
+  in
+  match drive layers with
+  | () ->
+    Ok
+      {
+        physical =
+          Circuit.create ~n_qubits:n_physical
+            ~n_clbits:(Circuit.n_clbits circuit)
+            (List.rev !out);
+        initial_mapping = initial;
+        final_mapping = mapping;
+        n_swaps = !n_swaps;
+        nodes_generated = !nodes_total;
+        peak_layer_nodes = !peak;
+      }
+  | exception Budget nodes ->
+    Error (Node_budget_exhausted { layer = !current_layer; nodes })

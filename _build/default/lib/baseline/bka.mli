@@ -1,0 +1,56 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Mapping = Sabre.Mapping
+
+(** Re-implementation of the paper's Best Known Algorithm (BKA):
+    Zulehner, Paler and Wille, "Efficient mapping of quantum circuits to
+    the IBM QX architectures", DATE 2018 (paper Section VII).
+
+    The circuit is split into layers of concurrent gates ({!Layering});
+    for each layer an A* search over *mappings* finds a SWAP sequence
+    making every gate of the layer executable. Search nodes are whole
+    mappings; children apply one SWAP incident to a layer qubit; the cost
+    function is [g = #swaps] plus the non-admissible distance heuristic
+    [h = Σ (D-1)] over the layer's pairs (optionally plus a discounted
+    look-ahead term over the next layer, as in the original). The
+    per-layer search space grows exponentially with the device size —
+    the behaviour Section V-B measures.
+
+    Memory exhaustion is modelled by a node budget: when the total number
+    of generated search nodes exceeds it, the run aborts like the paper's
+    378 GB server does, reporting the count as a memory proxy. *)
+
+type config = {
+  node_budget : int;  (** abort threshold on nodes generated within one layer's search (peak-memory proxy) *)
+  lookahead : bool;  (** include the next layer in h (default true) *)
+  lookahead_weight : float;  (** discount for the look-ahead term (0.5) *)
+}
+
+val default_config : config
+(** 2,000,000-node budget (scaled to this container the way the
+    paper's 378 GB server bounds the original), look-ahead weight 0.5. *)
+
+type result = {
+  physical : Circuit.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+  nodes_generated : int;  (** total A* nodes created (memory proxy) *)
+  peak_layer_nodes : int;  (** largest single-layer search *)
+}
+
+type failure =
+  | Node_budget_exhausted of { layer : int; nodes : int }
+      (** the paper's "Out of Memory" row *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  ?config:config -> Coupling.t -> Circuit.t -> (result, failure) Stdlib.result
+(** Compile a circuit. The initial mapping is chosen greedily from the
+    first gates of the circuit (no global optimisation — the weakness the
+    paper's reverse traversal addresses). *)
+
+val initial_mapping : Coupling.t -> Circuit.t -> Mapping.t
+(** The greedy beginning-of-circuit placement used by [run]
+    (= {!Sabre.Initial_mapping.interaction_greedy}). *)

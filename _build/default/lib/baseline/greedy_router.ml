@@ -1,0 +1,63 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Mapping = Sabre.Mapping
+
+type result = {
+  physical : Circuit.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+}
+
+let run ?initial coupling circuit =
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  if n_logical > n_physical then
+    invalid_arg "Greedy_router.run: circuit wider than device";
+  if n_logical > 1 && not (Coupling.is_connected_graph coupling) then
+    invalid_arg "Greedy_router.run: disconnected coupling graph";
+  let initial =
+    match initial with
+    | Some m -> Mapping.copy m
+    | None -> Mapping.identity ~n_logical ~n_physical
+  in
+  let mapping = Mapping.copy initial in
+  let out = ref [] in
+  let n_swaps = ref 0 in
+  let emit g = out := g :: !out in
+  let swap p1 p2 =
+    emit (Gate.Swap (p1, p2));
+    Mapping.swap_physical_inplace mapping p1 p2;
+    incr n_swaps
+  in
+  let make_adjacent q1 q2 =
+    let p1 = Mapping.to_physical mapping q1
+    and p2 = Mapping.to_physical mapping q2 in
+    if not (Coupling.connected coupling p1 p2) then begin
+      let path = Coupling.shortest_path coupling p1 p2 in
+      (* move the first operand down the path, stopping one hop short *)
+      let rec walk = function
+        | a :: (b :: (_ :: _ as rest)) ->
+          swap a b;
+          walk (b :: rest)
+        | _ -> ()
+      in
+      walk path
+    end
+  in
+  List.iter
+    (fun g ->
+      (match Gate.two_qubit_pair g with
+      | Some (q1, q2) -> make_adjacent q1 q2
+      | None -> ());
+      emit (Gate.remap (Mapping.to_physical mapping) g))
+    (Circuit.gates circuit);
+  {
+    physical =
+      Circuit.create ~n_qubits:n_physical ~n_clbits:(Circuit.n_clbits circuit)
+        (List.rev !out);
+    initial_mapping = initial;
+    final_mapping = mapping;
+    n_swaps = !n_swaps;
+  }

@@ -1,0 +1,22 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Mapping = Sabre.Mapping
+
+(** Greedy shortest-path router in the spirit of Siraichi et al.'s
+    heuristic (paper Section VII): gates are routed one at a time in
+    program order; when a two-qubit gate is blocked, one operand is
+    swapped along a shortest path towards the other until they are
+    adjacent. No look-ahead, no initial-mapping optimisation — the fast
+    but low-quality baseline. *)
+
+type result = {
+  physical : Circuit.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+}
+
+val run : ?initial:Mapping.t -> Coupling.t -> Circuit.t -> result
+(** [run coupling circuit] routes with the identity initial mapping
+    unless [initial] is given. Raises [Invalid_argument] on a circuit
+    wider than the device or a disconnected graph. *)

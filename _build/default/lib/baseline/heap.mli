@@ -1,0 +1,10 @@
+(** Minimal binary min-heap keyed by float priority. Ties pop in
+    insertion order (FIFO), which keeps the A* search deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

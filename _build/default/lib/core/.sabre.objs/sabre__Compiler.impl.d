@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Config Hardware List Mapping Option Quantum Random Routing_pass Stats Sys

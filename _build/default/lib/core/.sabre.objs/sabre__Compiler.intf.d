@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Config Hardware Mapping Quantum Stats

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Config Float List Quantum

@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Config Quantum

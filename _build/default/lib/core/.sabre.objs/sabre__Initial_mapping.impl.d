@@ -1,0 +1,1 @@
+lib/core/initial_mapping.ml: Array Fun Hardware List Mapping Quantum

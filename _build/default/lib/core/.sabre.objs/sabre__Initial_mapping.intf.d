@@ -1,0 +1,1 @@
+lib/core/initial_mapping.mli: Hardware Mapping Quantum Random

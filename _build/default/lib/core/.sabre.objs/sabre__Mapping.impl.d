@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Format Fun Random

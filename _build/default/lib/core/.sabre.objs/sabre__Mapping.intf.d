@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Format Random

@@ -1,0 +1,1 @@
+lib/core/routing_pass.ml: Array Config Hardware Hashtbl Heuristic List Mapping Quantum Queue

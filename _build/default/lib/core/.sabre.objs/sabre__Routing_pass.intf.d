@@ -1,0 +1,1 @@
+lib/core/routing_pass.mli: Config Hardware Mapping Quantum

@@ -1,0 +1,136 @@
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Coupling = Hardware.Coupling
+
+type result = {
+  physical : Circuit.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  stats : Stats.t;
+}
+
+type trial = {
+  routed : Routing_pass.result;  (* last forward pass *)
+  trial_initial : Mapping.t;  (* mapping that seeded the last pass *)
+  first_swaps : int;  (* swaps of the first forward pass *)
+  steps : int;  (* search steps over all passes of this trial *)
+  fallbacks : int;
+}
+
+let check_device coupling circuit =
+  if Circuit.n_qubits circuit > Coupling.n_qubits coupling then
+    invalid_arg "Sabre.Compiler: circuit wider than device";
+  if
+    Circuit.n_qubits circuit > 1
+    && not (Coupling.is_connected_graph coupling)
+  then invalid_arg "Sabre.Compiler: disconnected coupling graph"
+
+(* Pass i (1-based) routes forward when i is odd, backward when even;
+   the final mapping of each pass seeds the next. Because the traversal
+   count is odd, the last pass is forward and its input mapping is the
+   reverse-traversal-optimised initial mapping. *)
+let run_trial ?dist config coupling ~forward ~backward m0 =
+  let total = config.Config.traversals in
+  let rec go i mapping first steps fallbacks =
+    let oriented = if i mod 2 = 1 then forward else backward in
+    let r = Routing_pass.run ?dist config coupling oriented mapping in
+    let first =
+      match first with None -> Some r.Routing_pass.n_swaps | s -> s
+    in
+    let steps = steps + r.Routing_pass.search_steps in
+    let fallbacks = fallbacks + r.Routing_pass.fallback_swaps in
+    if i = total then
+      {
+        routed = r;
+        trial_initial = mapping;
+        first_swaps = Option.get first;
+        steps;
+        fallbacks;
+      }
+    else go (i + 1) r.Routing_pass.final_mapping first steps fallbacks
+  in
+  go 1 m0 None 0 0
+
+(* Default trial ranking: fewest SWAPs, then lowest depth. With a noise
+   model, rank by estimated success probability instead — equally cheap
+   routings then resolve toward reliable couplers (variability-aware
+   mapping, the Section VI extension). *)
+let better ?noise a b =
+  match noise with
+  | Some model ->
+    Hardware.Noise.circuit_success_probability model
+      a.routed.Routing_pass.physical
+    > Hardware.Noise.circuit_success_probability model
+        b.routed.Routing_pass.physical
+  | None ->
+    let swaps t = t.routed.Routing_pass.n_swaps in
+    if swaps a <> swaps b then swaps a < swaps b
+    else
+      Quantum.Depth.depth_swap3 a.routed.Routing_pass.physical
+      < Quantum.Depth.depth_swap3 b.routed.Routing_pass.physical
+
+let run ?(config = Config.default) ?dist ?noise coupling circuit =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sabre.Compiler: " ^ msg));
+  check_device coupling circuit;
+  let t0 = Sys.time () in
+  let build =
+    if config.commutation_aware then Dag.of_circuit_commuting
+    else Dag.of_circuit
+  in
+  let forward = build circuit in
+  let backward = build (Circuit.reverse circuit) in
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  let rng = Random.State.make [| config.seed |] in
+  let trials =
+    List.init config.trials (fun _ ->
+        let m0 = Mapping.random ~state:rng ~n_logical ~n_physical in
+        run_trial ?dist config coupling ~forward ~backward m0)
+  in
+  let best =
+    match trials with
+    | [] -> assert false
+    | t :: rest ->
+      List.fold_left (fun b t -> if better ?noise t b then t else b) t rest
+  in
+  let total_steps = List.fold_left (fun acc t -> acc + t.steps) 0 trials in
+  let total_fb = List.fold_left (fun acc t -> acc + t.fallbacks) 0 trials in
+  let time_s = Sys.time () -. t0 in
+  let routed = best.routed in
+  {
+    physical = routed.Routing_pass.physical;
+    initial_mapping = best.trial_initial;
+    final_mapping = routed.Routing_pass.final_mapping;
+    stats =
+      Stats.summary ~original:circuit ~routed:routed.Routing_pass.physical
+        ~n_swaps:routed.Routing_pass.n_swaps ~search_steps:total_steps
+        ~fallback_swaps:total_fb
+        ~traversals_run:(config.trials * config.traversals)
+        ~time_s ~first_traversal_swaps:best.first_swaps;
+  }
+
+let route_with_initial ?(config = Config.default) ?dist coupling circuit initial =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sabre.Compiler: " ^ msg));
+  check_device coupling circuit;
+  let t0 = Sys.time () in
+  let dag =
+    if config.commutation_aware then Dag.of_circuit_commuting circuit
+    else Dag.of_circuit circuit
+  in
+  let r = Routing_pass.run ?dist config coupling dag initial in
+  let time_s = Sys.time () -. t0 in
+  {
+    physical = r.Routing_pass.physical;
+    initial_mapping = Mapping.copy initial;
+    final_mapping = r.Routing_pass.final_mapping;
+    stats =
+      Stats.summary ~original:circuit ~routed:r.Routing_pass.physical
+        ~n_swaps:r.Routing_pass.n_swaps
+        ~search_steps:r.Routing_pass.search_steps
+        ~fallback_swaps:r.Routing_pass.fallback_swaps ~traversals_run:1
+        ~time_s ~first_traversal_swaps:r.Routing_pass.n_swaps;
+  }

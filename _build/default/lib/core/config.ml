@@ -1,0 +1,55 @@
+type heuristic = Basic | Lookahead | Decay
+
+type t = {
+  heuristic : heuristic;
+  extended_set_size : int;
+  extended_set_weight : float;
+  decay_increment : float;
+  decay_reset_interval : int;
+  trials : int;
+  traversals : int;
+  seed : int;
+  stall_limit : int option;
+  commutation_aware : bool;
+}
+
+let default =
+  {
+    heuristic = Decay;
+    extended_set_size = 20;
+    extended_set_weight = 0.5;
+    decay_increment = 0.001;
+    decay_reset_interval = 5;
+    trials = 5;
+    traversals = 3;
+    seed = 2019;
+    stall_limit = None;
+    commutation_aware = false;
+  }
+
+let validate c =
+  if c.extended_set_size < 0 then Error "extended_set_size must be >= 0"
+  else if not (c.extended_set_weight >= 0.0 && c.extended_set_weight < 1.0)
+  then Error "extended_set_weight must be in [0, 1)"
+  else if c.decay_increment < 0.0 then Error "decay_increment must be >= 0"
+  else if c.decay_reset_interval < 1 then
+    Error "decay_reset_interval must be >= 1"
+  else if c.trials < 1 then Error "trials must be >= 1"
+  else if c.traversals < 1 || c.traversals mod 2 = 0 then
+    Error "traversals must be odd and >= 1 (forward passes bracket the run)"
+  else if (match c.stall_limit with Some s -> s < 1 | None -> false) then
+    Error "stall_limit must be >= 1"
+  else Ok ()
+
+let heuristic_name = function
+  | Basic -> "basic"
+  | Lookahead -> "lookahead"
+  | Decay -> "decay"
+
+let pp ppf c =
+  Format.fprintf ppf
+    "{heuristic=%s; |E|=%d; W=%g; delta=%g; reset=%d; trials=%d; \
+     traversals=%d; seed=%d}"
+    (heuristic_name c.heuristic)
+    c.extended_set_size c.extended_set_weight c.decay_increment
+    c.decay_reset_interval c.trials c.traversals c.seed

@@ -1,0 +1,46 @@
+(** SABRE algorithm configuration (paper Section V, "Algorithm
+    Configuration"). *)
+
+(** The three heuristic cost functions of Section IV-D, in increasing
+    sophistication. Each level includes the previous one:
+    - [Basic] — Eq. (1): plain sum of front-layer distances;
+    - [Lookahead] — adds the normalised extended-set term with weight W;
+    - [Decay] — Eq. (2): multiplies by the per-qubit decay factor to
+      favour non-overlapping (parallel) SWAPs. *)
+type heuristic = Basic | Lookahead | Decay
+
+type t = {
+  heuristic : heuristic;  (** cost function; paper default [Decay] *)
+  extended_set_size : int;  (** |E|; paper fixes 20 *)
+  extended_set_weight : float;  (** W ∈ [0,1); paper fixes 0.5 *)
+  decay_increment : float;  (** δ; paper starts at 0.001 *)
+  decay_reset_interval : int;
+      (** reset decay every this many SWAP selections (paper: 5); it is
+          also reset whenever a CNOT is executed *)
+  trials : int;  (** random initial mappings tried; paper: 5 *)
+  traversals : int;
+      (** passes per trial; paper: 3 (forward–backward–forward). 1
+          disables the reverse-traversal initial-mapping optimisation *)
+  seed : int;  (** RNG seed for the random initial mappings *)
+  stall_limit : int option;
+      (** consecutive SWAP insertions without executing any gate before
+          the anti-livelock fallback reroutes greedily along a shortest
+          path; [None] selects [10 + 5 × diameter] *)
+  commutation_aware : bool;
+      (** build the dependency DAG with {!Quantum.Dag.of_circuit_commuting}
+          so that commuting gates (shared CNOT controls/targets, diagonal
+          runs) are unordered and the router may execute them in any
+          convenient order. Off by default — the paper's Algorithm 1 uses
+          the strict DAG *)
+}
+
+val default : t
+(** The paper's evaluation configuration: Decay heuristic, |E| = 20,
+    W = 0.5, δ = 0.001, reset every 5 steps, 5 trials, 3 traversals,
+    seed 2019, strict (non-commutation-aware) DAG. *)
+
+val validate : t -> (unit, string) result
+(** Check parameter ranges (sizes non-negative, weight in [0,1), odd
+    positive traversal count, positive trials). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+module Gate = Quantum.Gate
+
+let basic ~dist ~l2p pairs =
+  List.fold_left
+    (fun acc (q1, q2) -> acc +. dist.(l2p.(q1)).(l2p.(q2)))
+    0.0 pairs
+
+let average_distance ~dist ~l2p pairs =
+  match pairs with
+  | [] -> 0.0
+  | _ -> basic ~dist ~l2p pairs /. float_of_int (List.length pairs)
+
+let lookahead ~dist ~l2p ~front ~extended ~weight =
+  average_distance ~dist ~l2p front
+  +. (weight *. average_distance ~dist ~l2p extended)
+
+let with_decay ~decay ~p1 ~p2 value = Float.max decay.(p1) decay.(p2) *. value
+
+let score ~heuristic ~dist ~l2p ~front ~extended ~weight ~decay ~p1 ~p2 =
+  match (heuristic : Config.heuristic) with
+  | Basic -> basic ~dist ~l2p front
+  | Lookahead -> lookahead ~dist ~l2p ~front ~extended ~weight
+  | Decay ->
+    with_decay ~decay ~p1 ~p2 (lookahead ~dist ~l2p ~front ~extended ~weight)

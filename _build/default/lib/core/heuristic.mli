@@ -1,0 +1,44 @@
+module Gate = Quantum.Gate
+
+(** The heuristic cost functions of Section IV-D.
+
+    All functions score a *candidate SWAP already applied* to the mapping:
+    the caller tentatively updates π, evaluates, and reverts. Gate
+    operands are given as logical qubit pairs; [l2p] is the tentative π;
+    [dist] the device distance matrix. *)
+
+val basic :
+  dist:float array array -> l2p:int array -> (int * int) list -> float
+(** Eq. (1): Σ_{g ∈ F} D[π(g.q1)][π(g.q2)]. The matrix is float-valued so
+    that the same heuristic serves hop distances (plain reproduction) and
+    reliability-weighted distances ({!Hardware.Noise}). *)
+
+val lookahead :
+  dist:float array array ->
+  l2p:int array ->
+  front:(int * int) list ->
+  extended:(int * int) list ->
+  weight:float ->
+  float
+(** The look-ahead refinement: (1/|F|) Σ_F D + W · (1/|E|) Σ_E D.
+    An empty F or E contributes 0 (no division by zero). *)
+
+val with_decay :
+  decay:float array -> p1:int -> p2:int -> float -> float
+(** Eq. (2) outer factor: multiply a look-ahead score by
+    [max decay.(p1) decay.(p2)], where [p1]/[p2] are the physical qubits
+    of the candidate SWAP. *)
+
+val score :
+  heuristic:Config.heuristic ->
+  dist:float array array ->
+  l2p:int array ->
+  front:(int * int) list ->
+  extended:(int * int) list ->
+  weight:float ->
+  decay:float array ->
+  p1:int ->
+  p2:int ->
+  float
+(** Dispatch on the configured heuristic level. For [Basic] the extended
+    set and decay are ignored; for [Lookahead] decay is ignored. *)

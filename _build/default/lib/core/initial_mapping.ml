@@ -1,0 +1,107 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+
+let trivial coupling circuit =
+  Mapping.identity
+    ~n_logical:(Circuit.n_qubits circuit)
+    ~n_physical:(Coupling.n_qubits coupling)
+
+let random ~state coupling circuit =
+  Mapping.random ~state
+    ~n_logical:(Circuit.n_qubits circuit)
+    ~n_physical:(Coupling.n_qubits coupling)
+
+let degree_matching coupling circuit =
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  (* interaction degree: number of distinct partners of each logical qubit *)
+  let partners = Array.make n_logical [] in
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem b partners.(a)) then partners.(a) <- b :: partners.(a);
+      if not (List.mem a partners.(b)) then partners.(b) <- a :: partners.(b))
+    (Circuit.two_qubit_interactions circuit);
+  let by_rank degree count =
+    List.init count Fun.id
+    |> List.sort (fun a b ->
+           match compare (degree b) (degree a) with
+           | 0 -> compare a b
+           | c -> c)
+  in
+  let logical_ranked = by_rank (fun q -> List.length partners.(q)) n_logical in
+  let physical_ranked = by_rank (Coupling.degree coupling) n_physical in
+  let l2p = Array.make n_logical (-1) in
+  List.iteri
+    (fun rank q ->
+      l2p.(q) <- List.nth physical_ranked rank)
+    logical_ranked;
+  Mapping.of_array ~n_physical l2p
+
+let interaction_greedy coupling circuit =
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  if n_logical > n_physical then
+    invalid_arg "Initial_mapping.interaction_greedy: circuit wider than device";
+  let dist = Coupling.distance_matrix coupling in
+  let l2p = Array.make n_logical (-1) in
+  let taken = Array.make n_physical false in
+  let free_degree p =
+    List.length
+      (List.filter (fun p' -> not taken.(p')) (Coupling.neighbors coupling p))
+  in
+  let place q p =
+    l2p.(q) <- p;
+    taken.(p) <- true
+  in
+  let nearest_free_to p0 =
+    let best = ref (-1) and best_d = ref max_int in
+    for p = 0 to n_physical - 1 do
+      if (not taken.(p)) && dist.(p0).(p) < !best_d then begin
+        best := p;
+        best_d := dist.(p0).(p)
+      end
+    done;
+    !best
+  in
+  List.iter
+    (fun (q1, q2) ->
+      match (l2p.(q1) >= 0, l2p.(q2) >= 0) with
+      | true, true -> ()
+      | true, false ->
+        let p = nearest_free_to l2p.(q1) in
+        if p >= 0 then place q2 p
+      | false, true ->
+        let p = nearest_free_to l2p.(q2) in
+        if p >= 0 then place q1 p
+      | false, false ->
+        (* pick the free edge whose endpoints keep the most free
+           neighbours, so later gates still find room *)
+        let best = ref None and best_score = ref (-1) in
+        List.iter
+          (fun (a, b) ->
+            if (not taken.(a)) && not taken.(b) then begin
+              let score = free_degree a + free_degree b in
+              if score > !best_score then begin
+                best := Some (a, b);
+                best_score := score
+              end
+            end)
+          (Coupling.edges coupling);
+        (match !best with
+        | Some (a, b) ->
+          place q1 a;
+          place q2 b
+        | None -> ()))
+    (Circuit.two_qubit_interactions circuit);
+  (* leftovers: first free physical qubit *)
+  let next_free = ref 0 in
+  Array.iteri
+    (fun q p ->
+      if p < 0 then begin
+        while taken.(!next_free) do
+          incr next_free
+        done;
+        place q !next_free
+      end)
+    l2p;
+  Mapping.of_array ~n_physical l2p

@@ -1,0 +1,36 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+
+(** Initial-mapping strategies.
+
+    SABRE's own answer to the initial-mapping problem is the reverse
+    traversal (Section IV-C2), which needs no strategy beyond a random
+    start. This module collects the alternatives the paper compares
+    against, as seeds for {!Compiler.route_with_initial} and for the
+    ablation benchmarks:
+
+    - {!trivial} — logical qubit q on physical qubit q;
+    - {!random} — uniform injective placement (the paper's trial seed);
+    - {!degree_matching} — Siraichi et al.'s heuristic (Section VII):
+      rank logical qubits by how many distinct partners they interact
+      with, physical qubits by coupling degree, and match ranks;
+    - {!interaction_greedy} — the beginning-of-circuit greedy placement
+      our BKA re-implementation uses (Zulehner et al. determine their
+      initial mapping "by those two-qubit gates at the beginning of the
+      circuit"). *)
+
+val trivial : Coupling.t -> Circuit.t -> Mapping.t
+(** Identity placement. *)
+
+val random : state:Random.State.t -> Coupling.t -> Circuit.t -> Mapping.t
+(** Uniform random injective placement. *)
+
+val degree_matching : Coupling.t -> Circuit.t -> Mapping.t
+(** Match interaction-degree rank to coupling-degree rank (no temporal
+    information, as the paper notes when critiquing it). Deterministic:
+    ties break by index. *)
+
+val interaction_greedy : Coupling.t -> Circuit.t -> Mapping.t
+(** Greedy beginning-of-circuit placement: walk the two-qubit gates in
+    program order, placing unplaced operands adjacently when possible
+    and nearest-free otherwise. *)

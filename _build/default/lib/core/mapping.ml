@@ -1,0 +1,70 @@
+type t = { l2p : int array; p2l : int array }
+
+let identity ~n_logical ~n_physical =
+  if n_logical > n_physical then
+    invalid_arg "Mapping.identity: more logical than physical qubits";
+  {
+    l2p = Array.init n_logical Fun.id;
+    p2l = Array.init n_physical (fun p -> if p < n_logical then p else -1);
+  }
+
+let of_array ~n_physical l2p =
+  let n = Array.length l2p in
+  if n > n_physical then
+    invalid_arg "Mapping.of_array: more logical than physical qubits";
+  let p2l = Array.make n_physical (-1) in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= n_physical then
+        invalid_arg "Mapping.of_array: physical index out of range";
+      if p2l.(p) >= 0 then invalid_arg "Mapping.of_array: not injective";
+      p2l.(p) <- l)
+    l2p;
+  { l2p = Array.copy l2p; p2l }
+
+let random ~state ~n_logical ~n_physical =
+  if n_logical > n_physical then
+    invalid_arg "Mapping.random: more logical than physical qubits";
+  let places = Array.init n_physical Fun.id in
+  for i = n_physical - 1 downto 1 do
+    let j = Random.State.int state (i + 1) in
+    let tmp = places.(i) in
+    places.(i) <- places.(j);
+    places.(j) <- tmp
+  done;
+  of_array ~n_physical (Array.sub places 0 n_logical)
+
+let n_logical m = Array.length m.l2p
+let n_physical m = Array.length m.p2l
+let to_physical m q = m.l2p.(q)
+let to_logical m p = m.p2l.(p)
+let l2p_array m = Array.copy m.l2p
+let copy m = { l2p = Array.copy m.l2p; p2l = Array.copy m.p2l }
+
+let swap_physical_inplace m p1 p2 =
+  let l1 = m.p2l.(p1) and l2 = m.p2l.(p2) in
+  m.p2l.(p1) <- l2;
+  m.p2l.(p2) <- l1;
+  if l1 >= 0 then m.l2p.(l1) <- p2;
+  if l2 >= 0 then m.l2p.(l2) <- p1
+
+let swap_physical m p1 p2 =
+  let m' = copy m in
+  swap_physical_inplace m' p1 p2;
+  m'
+
+let equal a b = a.l2p = b.l2p && a.p2l = b.p2l
+
+let compose_permutation before after =
+  if n_logical before <> n_logical after then
+    invalid_arg "Mapping.compose_permutation: arity mismatch";
+  let d = Array.init (n_physical before) Fun.id in
+  Array.iteri (fun q p -> d.(p) <- after.l2p.(q)) before.l2p;
+  d
+
+let pp ppf m =
+  Format.fprintf ppf "@[<h>{";
+  Array.iteri
+    (fun q p -> Format.fprintf ppf "%sq%d↦Q%d" (if q > 0 then ", " else "") q p)
+    m.l2p;
+  Format.fprintf ppf "}@]"

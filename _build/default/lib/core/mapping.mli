@@ -1,0 +1,53 @@
+(** Logical→physical qubit mapping π (paper Table I).
+
+    A mapping places [n] logical qubits injectively onto [n_physical ≥ n]
+    physical qubits. Both directions are kept: π (logical→physical) and
+    π⁻¹ (physical→logical, −1 on free physical qubits). Values are
+    immutable from the outside; the update operations return new
+    mappings, while the routing pass uses the [_inplace] variants on its
+    private copy for speed. *)
+
+type t
+
+val identity : n_logical:int -> n_physical:int -> t
+(** Logical qubit [q] on physical qubit [q]. *)
+
+val of_array : n_physical:int -> int array -> t
+(** [of_array ~n_physical l2p] validates injectivity and range. The array
+    is copied. *)
+
+val random : state:Random.State.t -> n_logical:int -> n_physical:int -> t
+(** Uniformly random injective placement (Fisher–Yates over the physical
+    qubits), used as the temporary initial mapping of Section IV-A. *)
+
+val n_logical : t -> int
+val n_physical : t -> int
+
+val to_physical : t -> int -> int
+(** π: physical home of a logical qubit. *)
+
+val to_logical : t -> int -> int
+(** π⁻¹: logical occupant of a physical qubit, or −1 if free. *)
+
+val l2p_array : t -> int array
+(** Copy of the logical→physical array. *)
+
+val copy : t -> t
+
+val swap_physical : t -> int -> int -> t
+(** [swap_physical m p1 p2] exchanges the occupants of two physical
+    qubits (either may be free) — the mapping update caused by a SWAP
+    gate on [(p1, p2)]. *)
+
+val swap_physical_inplace : t -> int -> int -> unit
+(** In-place variant for the routing inner loop. *)
+
+val equal : t -> t -> bool
+
+val compose_permutation : t -> t -> int array
+(** [compose_permutation before after] gives, for each logical qubit, the
+    physical-to-physical displacement: the array [d] with
+    [d.(to_physical before q) = to_physical after q]. Useful to express a
+    routed circuit's net effect as a permutation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Coupling = Hardware.Coupling
+
+(** One traversal of SABRE's SWAP-based heuristic search (paper
+    Algorithm 1).
+
+    The pass consumes a circuit DAG and an initial mapping and produces
+    the physical circuit: original gates remapped through the evolving π,
+    interleaved with inserted SWAP gates on coupling-graph edges. The
+    bidirectional driver {!Compiler} calls this once per traversal. *)
+
+type result = {
+  physical : Circuit.t;  (** hardware-compliant output circuit *)
+  final_mapping : Mapping.t;  (** π after the last gate *)
+  n_swaps : int;  (** SWAPs inserted (each costs 3 CNOTs) *)
+  search_steps : int;  (** heuristic SWAP selections performed *)
+  fallback_swaps : int;
+      (** SWAPs inserted by the anti-livelock shortest-path fallback; 0
+          in normal operation *)
+}
+
+val run :
+  ?dist:float array array ->
+  Config.t -> Coupling.t -> Dag.t -> Mapping.t -> result
+(** [run config coupling dag initial] routes the DAG's circuit. [dist]
+    overrides the hop-count distance matrix with a custom routing metric
+    (e.g. {!Hardware.Noise.swap_reliability_distance} for fidelity-aware
+    mapping); it must be non-negative, symmetric, zero on the diagonal
+    and finite between connected qubits. The
+    initial mapping is not mutated. Raises [Invalid_argument] when the
+    circuit needs more logical qubits than the device has physical ones,
+    or when the coupling graph is disconnected while the circuit requires
+    interaction across components. *)

@@ -1,0 +1,44 @@
+module Circuit = Quantum.Circuit
+module Depth = Quantum.Depth
+module Decompose = Quantum.Decompose
+
+type t = {
+  n_swaps : int;
+  added_gates : int;
+  original_gates : int;
+  total_gates : int;
+  original_depth : int;
+  routed_depth : int;
+  search_steps : int;
+  fallback_swaps : int;
+  traversals_run : int;
+  time_s : float;
+  first_traversal_swaps : int;
+}
+
+let summary ~original ~routed ~n_swaps ~search_steps ~fallback_swaps
+    ~traversals_run ~time_s ~first_traversal_swaps =
+  let original_gates = Decompose.elementary_gate_count original in
+  {
+    n_swaps;
+    added_gates = 3 * n_swaps;
+    original_gates;
+    total_gates = original_gates + (3 * n_swaps);
+    original_depth = Depth.depth original;
+    routed_depth = Depth.depth_swap3 routed;
+    search_steps;
+    fallback_swaps;
+    traversals_run;
+    time_s;
+    first_traversal_swaps;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>swaps inserted : %d (gates +%d)@,\
+     gates          : %d -> %d@,\
+     depth          : %d -> %d@,\
+     search steps   : %d (fallback swaps %d)@,\
+     traversals     : %d in %.3fs@]"
+    s.n_swaps s.added_gates s.original_gates s.total_gates s.original_depth
+    s.routed_depth s.search_steps s.fallback_swaps s.traversals_run s.time_s

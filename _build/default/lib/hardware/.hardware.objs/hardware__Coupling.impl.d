@@ -1,0 +1,1 @@
+lib/hardware/coupling.ml: Array Buffer Format Fun Hashtbl Int List Printf Queue

@@ -1,0 +1,1 @@
+lib/hardware/coupling.mli: Format

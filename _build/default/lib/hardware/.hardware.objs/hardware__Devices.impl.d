@@ -1,0 +1,1 @@
+lib/hardware/devices.ml: Coupling Float List Printf String

@@ -1,0 +1,1 @@
+lib/hardware/devices.mli: Coupling

@@ -1,0 +1,1 @@
+lib/hardware/directed.ml: Coupling Hashtbl List Printf Quantum

@@ -1,0 +1,1 @@
+lib/hardware/directed.mli: Coupling Quantum

@@ -1,0 +1,1 @@
+lib/hardware/noise.ml: Array Coupling Float Format List Printf Quantum Random

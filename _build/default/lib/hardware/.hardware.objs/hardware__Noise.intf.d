@@ -1,0 +1,1 @@
+lib/hardware/noise.mli: Coupling Format Quantum

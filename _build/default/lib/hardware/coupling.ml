@@ -1,0 +1,143 @@
+type t = {
+  n : int;
+  adj : int list array;
+  edge_list : (int * int) list;  (* normalised (min,max), sorted *)
+  mutable dist : int array array option;  (* Floyd–Warshall cache *)
+}
+
+let infinity_dist = 1 lsl 29
+
+let create ~n_qubits edge_input =
+  if n_qubits <= 0 then invalid_arg "Coupling.create: need at least one qubit";
+  let seen = Hashtbl.create (List.length edge_input) in
+  let adj = Array.make n_qubits [] in
+  let normalised =
+    List.map
+      (fun (a, b) ->
+        if a < 0 || a >= n_qubits || b < 0 || b >= n_qubits then
+          invalid_arg
+            (Printf.sprintf "Coupling.create: edge (%d,%d) out of range" a b);
+        if a = b then
+          invalid_arg (Printf.sprintf "Coupling.create: self-loop on %d" a);
+        let e = (min a b, max a b) in
+        if Hashtbl.mem seen e then
+          invalid_arg
+            (Printf.sprintf "Coupling.create: duplicate edge (%d,%d)" a b);
+        Hashtbl.add seen e ();
+        e)
+      edge_input
+  in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    normalised;
+  Array.iteri (fun i l -> adj.(i) <- List.sort Int.compare l) adj;
+  {
+    n = n_qubits;
+    adj;
+    edge_list = List.sort compare normalised;
+    dist = None;
+  }
+
+let n_qubits g = g.n
+let edges g = g.edge_list
+let n_edges g = List.length g.edge_list
+let neighbors g i = g.adj.(i)
+let degree g i = List.length g.adj.(i)
+let connected g a b = List.mem b g.adj.(a)
+
+let is_connected_graph g =
+  if g.n = 0 then true
+  else begin
+    let seen = Array.make g.n false in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter visit g.adj.(i)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
+let compute_distances g =
+  let d = Array.make_matrix g.n g.n infinity_dist in
+  for i = 0 to g.n - 1 do
+    d.(i).(i) <- 0;
+    List.iter (fun j -> d.(i).(j) <- 1) g.adj.(i)
+  done;
+  for k = 0 to g.n - 1 do
+    for i = 0 to g.n - 1 do
+      let dik = d.(i).(k) in
+      if dik < infinity_dist then
+        for j = 0 to g.n - 1 do
+          let through = dik + d.(k).(j) in
+          if through < d.(i).(j) then d.(i).(j) <- through
+        done
+    done
+  done;
+  d
+
+let distance_matrix g =
+  match g.dist with
+  | Some d -> d
+  | None ->
+    let d = compute_distances g in
+    g.dist <- Some d;
+    d
+
+let distance g i j = (distance_matrix g).(i).(j)
+
+let diameter g =
+  let d = distance_matrix g in
+  let best = ref 0 in
+  for i = 0 to g.n - 1 do
+    for j = 0 to g.n - 1 do
+      if d.(i).(j) < infinity_dist && d.(i).(j) > !best then best := d.(i).(j)
+    done
+  done;
+  !best
+
+let shortest_path g src dst =
+  if src = dst then [ src ]
+  else begin
+    let parent = Array.make g.n (-1) in
+    let q = Queue.create () in
+    Queue.add src q;
+    parent.(src) <- src;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if parent.(v) < 0 then begin
+            parent.(v) <- u;
+            if v = dst then found := true else Queue.add v q
+          end)
+        g.adj.(u)
+    done;
+    if not !found then raise Not_found;
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    build dst []
+  end
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>coupling graph: %d qubits, %d edges@,%a@]" g.n
+    (n_edges g)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (a, b) -> Format.fprintf ppf "(%d,%d)" a b))
+    g.edge_list
+
+let to_dot g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph coupling {\n  node [shape=circle];\n";
+  for q = 0 to g.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  Q%d;\n" q)
+  done;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  Q%d -- Q%d;\n" a b))
+    g.edge_list;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

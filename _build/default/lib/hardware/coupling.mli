@@ -1,0 +1,56 @@
+(** Device coupling graphs G(V,E) (paper Table I / Section II-B).
+
+    Vertices are physical qubits [0 .. n-1]; edges are the symmetric qubit
+    pairs that support a direct two-qubit gate. Following the paper we
+    consider only symmetric coupling (CNOT allowed in both directions of
+    every edge, as on IBM Q20 Tokyo). *)
+
+type t
+
+val create : n_qubits:int -> (int * int) list -> t
+(** [create ~n_qubits edges] builds a coupling graph. Edges are
+    undirected; duplicates (in either orientation) and self-loops raise
+    [Invalid_argument], as do out-of-range endpoints. *)
+
+val n_qubits : t -> int
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, normalised as [(min, max)], sorted. *)
+
+val n_edges : t -> int
+
+val neighbors : t -> int -> int list
+(** Adjacent physical qubits, ascending. *)
+
+val degree : t -> int -> int
+
+val connected : t -> int -> int -> bool
+(** [connected g a b] is true when {a,b} is an edge — i.e. a CNOT between
+    them is directly executable. *)
+
+val is_connected_graph : t -> bool
+(** Whether the whole graph is one connected component (required for a
+    router to succeed on circuits touching all qubits). *)
+
+val distance_matrix : t -> int array array
+(** All-pairs shortest path distances computed with the Floyd–Warshall
+    algorithm (paper Section IV-A, O(N³)). [D.(i).(j)] is the minimum
+    number of edges between [Qi] and [Qj]; [max_int/2]-ish sentinel is
+    never visible for connected graphs, and unreachable pairs report a
+    value [>= n_qubits]. The matrix is computed once and cached. *)
+
+val distance : t -> int -> int -> int
+(** [distance g i j] is [ (distance_matrix g).(i).(j) ]. *)
+
+val diameter : t -> int
+(** Largest finite pairwise distance. *)
+
+val shortest_path : t -> int -> int -> int list
+(** One shortest path [i; ...; j] (BFS). Raises [Not_found] if
+    disconnected. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** Graphviz [graph] source for the coupling graph (undirected edges),
+    for rendering device diagrams like the paper's Fig. 2. *)

@@ -1,0 +1,121 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+
+type t = {
+  n : int;
+  arrow_set : (int * int, unit) Hashtbl.t;
+  arrow_list : (int * int) list;  (* sorted *)
+  base : Coupling.t;  (* symmetric collapse, built once *)
+}
+
+let create ~n_qubits arrow_input =
+  if n_qubits <= 0 then invalid_arg "Directed.create: need at least one qubit";
+  let arrow_set = Hashtbl.create (List.length arrow_input) in
+  List.iter
+    (fun (c, t) ->
+      if c < 0 || c >= n_qubits || t < 0 || t >= n_qubits then
+        invalid_arg
+          (Printf.sprintf "Directed.create: arrow (%d,%d) out of range" c t);
+      if c = t then
+        invalid_arg (Printf.sprintf "Directed.create: self-loop on %d" c);
+      if Hashtbl.mem arrow_set (c, t) then
+        invalid_arg
+          (Printf.sprintf "Directed.create: duplicate arrow (%d,%d)" c t);
+      Hashtbl.add arrow_set (c, t) ())
+    arrow_input;
+  let undirected =
+    List.map (fun (c, t) -> (min c t, max c t)) arrow_input
+    |> List.sort_uniq compare
+  in
+  {
+    n = n_qubits;
+    arrow_set;
+    arrow_list = List.sort compare arrow_input;
+    base = Coupling.create ~n_qubits undirected;
+  }
+
+let n_qubits d = d.n
+let arrows d = d.arrow_list
+let allows d ~control ~target = Hashtbl.mem d.arrow_set (control, target)
+let underlying d = d.base
+
+(* Published directions (control -> target). *)
+let ibm_qx2 () =
+  create ~n_qubits:5 [ (0, 1); (0, 2); (1, 2); (3, 2); (3, 4); (4, 2) ]
+
+let ibm_qx4 () =
+  create ~n_qubits:5 [ (1, 0); (2, 0); (2, 1); (2, 3); (2, 4); (4, 3) ]
+
+let coupled d a b =
+  allows d ~control:a ~target:b || allows d ~control:b ~target:a
+
+(* CNOT(a,b) through whatever arrow exists between a and b; reversed
+   arrows are fixed with the Hadamard-conjugation identity
+   CX(a,b) = (H a)(H b) CX(b,a) (H a)(H b). *)
+let cnot_via d a b =
+  if allows d ~control:a ~target:b then Some [ Gate.Cnot (a, b) ]
+  else if allows d ~control:b ~target:a then
+    Some
+      [
+        Gate.Single (H, a); Gate.Single (H, b); Gate.Cnot (b, a);
+        Gate.Single (H, a); Gate.Single (H, b);
+      ]
+  else None
+
+let fix_gate d gate =
+  match gate with
+  | Gate.Cnot (a, b) -> (
+    match cnot_via d a b with
+    | Some gs -> gs
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Directed.fix_directions: no coupler between %d and %d"
+           a b))
+  | Gate.Cz (a, b) -> (
+    (* CZ = (H t) CX (H t) through whichever arrow exists *)
+    if allows d ~control:a ~target:b then
+      [ Gate.Single (H, b); Gate.Cnot (a, b); Gate.Single (H, b) ]
+    else if allows d ~control:b ~target:a then
+      [ Gate.Single (H, a); Gate.Cnot (b, a); Gate.Single (H, a) ]
+    else
+      invalid_arg
+        (Printf.sprintf "Directed.fix_directions: no coupler between %d and %d"
+           a b))
+  | Gate.Swap _ ->
+    (* handled by lowering before this function is reached *)
+    assert false
+  | g -> [ g ]
+
+let fix_directions d circuit =
+  let lowered = Quantum.Decompose.expand_swaps circuit in
+  let gates = List.concat_map (fix_gate d) (Circuit.gates lowered) in
+  Circuit.create ~n_qubits:(Circuit.n_qubits lowered)
+    ~n_clbits:(Circuit.n_clbits lowered)
+    gates
+
+let check_directions d circuit =
+  let offending =
+    List.find_opt
+      (fun g ->
+        match g with
+        | Gate.Cnot (a, b) -> not (allows d ~control:a ~target:b)
+        | Gate.Cz _ | Gate.Swap _ -> true
+        | _ -> false)
+      (Circuit.gates circuit)
+  in
+  match offending with Some g -> Error g | None -> Ok ()
+
+let overhead d circuit =
+  let lowered = Quantum.Decompose.expand_swaps circuit in
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Gate.Cnot (a, b) when not (allows d ~control:a ~target:b) ->
+        if coupled d a b then acc + 4
+        else
+          invalid_arg
+            (Printf.sprintf "Directed.overhead: no coupler between %d and %d" a
+               b)
+      | Gate.Cz _ -> acc + 2
+      | _ -> acc)
+    0 (Circuit.gates lowered)

@@ -1,0 +1,53 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+
+(** Directed coupling: devices where CNOT is natively available in only
+    one direction per coupler (paper Section III-A — IBM's 5- and
+    16-qubit generations; the paper itself targets the symmetric Q20, and
+    notes the asymmetric case is "overcome by technology advance", so
+    this module is the backwards-compatibility extension).
+
+    The intended flow keeps SABRE unchanged: route against the
+    {!underlying} symmetric graph, then {!fix_directions} rewrites each
+    wrong-way CNOT as H⊗H · CNOT(reversed) · H⊗H (4 extra single-qubit
+    gates), after lowering SWAPs. *)
+
+type t
+
+val create : n_qubits:int -> (int * int) list -> t
+(** [create ~n_qubits arrows] where each arrow [(c, t)] permits a native
+    CNOT with control [c] and target [t]. Duplicate arrows and self-loops
+    are rejected; both directions of a pair may be listed (making that
+    coupler effectively symmetric). *)
+
+val n_qubits : t -> int
+
+val arrows : t -> (int * int) list
+(** The permitted (control, target) pairs, sorted. *)
+
+val allows : t -> control:int -> target:int -> bool
+
+val underlying : t -> Coupling.t
+(** The symmetric coupling graph obtained by forgetting directions —
+    what the router sees. *)
+
+val ibm_qx2 : unit -> t
+(** The 5-qubit IBM QX2 with its published CNOT directions. *)
+
+val ibm_qx4 : unit -> t
+(** The 5-qubit IBM QX4 (all arrows reversed w.r.t. QX2's layout). *)
+
+val fix_directions : t -> Circuit.t -> Circuit.t
+(** Rewrite a hardware-compliant circuit over {!underlying} into one
+    whose every CNOT obeys the device's directions: allowed CNOTs pass
+    through; disallowed ones are conjugated by Hadamards; SWAPs are first
+    lowered to 3 CNOTs; CZ (direction-free physically) is lowered through
+    an available CNOT. Raises [Invalid_argument] if a two-qubit gate
+    sits on a pair with no arrow at all. *)
+
+val check_directions : t -> Circuit.t -> (unit, Gate.t) result
+(** [Ok ()] when every CNOT runs along an arrow and no CZ/SWAP remains;
+    otherwise the first offending gate. *)
+
+val overhead : t -> Circuit.t -> int
+(** Number of extra single-qubit gates {!fix_directions} would add. *)

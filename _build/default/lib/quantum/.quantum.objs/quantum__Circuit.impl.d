@@ -1,0 +1,1 @@
+lib/quantum/circuit.ml: Array Buffer Digest Format Gate Hashtbl Int List Option Printf String

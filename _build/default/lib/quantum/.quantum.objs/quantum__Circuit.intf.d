@@ -1,0 +1,1 @@
+lib/quantum/circuit.mli: Format Gate

@@ -1,0 +1,1 @@
+lib/quantum/commutation.mli: Gate

@@ -1,0 +1,1 @@
+lib/quantum/dag.ml: Array Circuit Commutation Fun Gate Hashtbl Int List Option Queue

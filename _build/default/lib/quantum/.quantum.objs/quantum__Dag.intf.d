@@ -1,0 +1,1 @@
+lib/quantum/dag.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/quantum/decompose.ml: Circuit Gate List

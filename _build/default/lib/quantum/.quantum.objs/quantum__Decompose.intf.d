@@ -1,0 +1,1 @@
+lib/quantum/decompose.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/quantum/depth.ml: Array Circuit Gate List

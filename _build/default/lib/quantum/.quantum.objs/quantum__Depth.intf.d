@@ -1,0 +1,1 @@
+lib/quantum/depth.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/quantum/gate.ml: Float Format Int List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/quantum/gate.mli: Format

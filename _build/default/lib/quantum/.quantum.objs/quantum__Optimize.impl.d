@@ -1,0 +1,1 @@
+lib/quantum/optimize.ml: Array Circuit Float Gate List Option

@@ -1,0 +1,1 @@
+lib/quantum/optimize.mli: Circuit

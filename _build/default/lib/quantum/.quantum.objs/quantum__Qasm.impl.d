@@ -1,0 +1,1 @@
+lib/quantum/qasm.ml: Buffer Circuit Decompose Float Format Gate Hashtbl List Printf String

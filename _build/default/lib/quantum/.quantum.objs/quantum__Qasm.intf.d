@@ -1,0 +1,1 @@
+lib/quantum/qasm.mli: Circuit

@@ -1,0 +1,1 @@
+lib/quantum/render.ml: Array Buffer Circuit Dag Depth Gate List Printf String

@@ -1,0 +1,1 @@
+lib/quantum/render.mli: Circuit Dag

@@ -1,0 +1,124 @@
+type t = { n_qubits : int; n_clbits : int; gates : Gate.t array }
+
+let create ?n_clbits ~n_qubits gate_list =
+  if n_qubits < 0 then invalid_arg "Circuit.create: negative register size";
+  let n_clbits = Option.value n_clbits ~default:n_qubits in
+  List.iter
+    (fun g ->
+      match Gate.validate ~n_qubits g with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Circuit.create: " ^ msg))
+    gate_list;
+  { n_qubits; n_clbits; gates = Array.of_list gate_list }
+
+let empty n = create ~n_qubits:n []
+let n_qubits c = c.n_qubits
+let n_clbits c = c.n_clbits
+let gates c = Array.to_list c.gates
+let gate_array c = Array.copy c.gates
+let length c = Array.length c.gates
+
+let count p c =
+  Array.fold_left (fun acc g -> if p g then acc + 1 else acc) 0 c.gates
+
+let gate_count c =
+  count (function Gate.Barrier _ | Gate.Measure _ -> false | _ -> true) c
+
+let two_qubit_count c = count Gate.is_two_qubit c
+let single_qubit_count c = count (function Gate.Single _ -> true | _ -> false) c
+
+let count_by_name c =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      let n = Gate.name g in
+      Hashtbl.replace tbl n (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n)))
+    c.gates;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let append c g =
+  (match Gate.validate ~n_qubits:c.n_qubits g with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Circuit.append: " ^ msg));
+  { c with gates = Array.append c.gates [| g |] }
+
+let concat a b =
+  if a.n_qubits <> b.n_qubits then
+    invalid_arg "Circuit.concat: register size mismatch";
+  {
+    n_qubits = a.n_qubits;
+    n_clbits = max a.n_clbits b.n_clbits;
+    gates = Array.append a.gates b.gates;
+  }
+
+let map_qubits f c =
+  let image = Array.make c.n_qubits false in
+  for q = 0 to c.n_qubits - 1 do
+    let q' = f q in
+    if q' < 0 || q' >= c.n_qubits then
+      invalid_arg "Circuit.map_qubits: image out of range";
+    if image.(q') then invalid_arg "Circuit.map_qubits: not injective";
+    image.(q') <- true
+  done;
+  { c with gates = Array.map (Gate.remap f) c.gates }
+
+let reverse c =
+  let unitary =
+    Array.to_list c.gates
+    |> List.filter (function Gate.Measure _ -> false | _ -> true)
+  in
+  let reversed = List.rev_map Gate.dagger unitary in
+  { c with gates = Array.of_list reversed }
+
+let filter p c =
+  { c with gates = Array.of_list (List.filter p (Array.to_list c.gates)) }
+
+let two_qubit_interactions c =
+  Array.to_list c.gates |> List.filter_map Gate.two_qubit_pair
+
+let used_qubits c =
+  Array.to_list c.gates
+  |> List.concat_map Gate.qubits
+  |> List.sort_uniq Int.compare
+
+(* Per-qubit gate sequences determine the circuit as a labelled partial
+   order: the dependency DAG has an edge between consecutive gates on each
+   qubit, so equal sequences on every qubit imply the same DAG with the
+   same labels, and any two topological orders of one DAG yield the same
+   sequences. *)
+let canonical_key c =
+  let buffers = Array.init c.n_qubits (fun _ -> Buffer.create 64) in
+  Array.iter
+    (fun g ->
+      let s = Gate.to_string g in
+      List.iter
+        (fun q ->
+          Buffer.add_string buffers.(q) s;
+          Buffer.add_char buffers.(q) '\n')
+        (Gate.qubits g))
+    c.gates;
+  let whole = Buffer.create 256 in
+  Buffer.add_string whole (string_of_int c.n_qubits);
+  Array.iteri
+    (fun q b ->
+      Buffer.add_string whole (Printf.sprintf "#q%d:" q);
+      Buffer.add_buffer whole b)
+    buffers;
+  Digest.to_hex (Digest.string (Buffer.contents whole))
+
+let equal_up_to_reordering a b =
+  a.n_qubits = b.n_qubits && String.equal (canonical_key a) (canonical_key b)
+
+let equal a b =
+  a.n_qubits = b.n_qubits
+  && Array.length a.gates = Array.length b.gates
+  && Array.for_all2 Gate.equal a.gates b.gates
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit (%d qubits, %d gates)" c.n_qubits
+    (Array.length c.gates);
+  Array.iter (fun g -> Format.fprintf ppf "@,  %a" Gate.pp g) c.gates;
+  Format.fprintf ppf "@]"
+
+let to_string c = Format.asprintf "%a" pp c

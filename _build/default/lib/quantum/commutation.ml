@@ -1,0 +1,48 @@
+let diagonal_kind (k : Gate.single_kind) =
+  match k with
+  | I | Z | S | Sdg | T | Tdg | Rz _ | U1 _ -> true
+  | H | X | Y | Rx _ | Ry _ | U2 _ | U3 _ -> false
+
+let x_axis (k : Gate.single_kind) =
+  match k with
+  | I | X | Rx _ -> true
+  | H | Y | Z | S | Sdg | T | Tdg | Ry _ | Rz _ | U1 _ | U2 _ | U3 _ -> false
+
+let diagonal = function
+  | Gate.Single (k, _) -> diagonal_kind k
+  | Gate.Cz _ -> true
+  | Gate.Cnot _ | Gate.Swap _ | Gate.Barrier _ | Gate.Measure _ -> false
+
+let disjoint a b =
+  not (List.exists (fun q -> List.mem q (Gate.qubits b)) (Gate.qubits a))
+
+(* Commutation of two overlapping gates. The rules, all standard:
+   - two diagonal gates commute;
+   - a single-qubit diagonal commutes through a CNOT's control;
+   - a single-qubit X-axis gate commutes through a CNOT's target;
+   - CNOTs sharing (only) their control commute; likewise (only) their
+     target; a CNOT commutes with itself;
+   - a CZ commutes with a CNOT touching only the CNOT's control
+     (both diagonal there). *)
+let overlapping_commute a b =
+  match (a, b) with
+  | _ when diagonal a && diagonal b -> true
+  | Gate.Single (k, q), Gate.Cnot (c, t) | Gate.Cnot (c, t), Gate.Single (k, q)
+    ->
+    (q = c && diagonal_kind k) || (q = t && x_axis k)
+  | Gate.Cnot (c1, t1), Gate.Cnot (c2, t2) ->
+    if c1 = c2 && t1 = t2 then true
+    else if c1 = c2 then t1 <> t2
+    else if t1 = t2 then c1 <> c2
+    else (* overlap is control-of-one = target-of-other: no *)
+      false
+  | Gate.Cz (a1, a2), Gate.Cnot (c, t) | Gate.Cnot (c, t), Gate.Cz (a1, a2) ->
+    (* CZ is diagonal; safe iff the shared qubits avoid the CNOT target *)
+    t <> a1 && t <> a2 && (c = a1 || c = a2)
+  | _ -> false
+
+let commute a b =
+  match (a, b) with
+  | (Gate.Barrier _ | Gate.Measure _), _ | _, (Gate.Barrier _ | Gate.Measure _)
+    -> disjoint a b
+  | _ -> disjoint a b || overlapping_commute a b

@@ -1,0 +1,29 @@
+(** Gate commutation rules.
+
+    The paper's DAG (§IV-A) orders any two gates that share a qubit. That
+    is stricter than physics requires: CNOTs sharing a control commute,
+    CNOTs sharing a target commute, diagonal gates commute through CNOT
+    controls, X-axis gates through CNOT targets. A router that knows this
+    has more freedom in choosing what to execute next — the
+    commutation-aware mode of {!Dag.of_circuit_commuting} (an extension
+    in the spirit of the paper's §VI future work; later SABRE variants
+    adopted exactly this).
+
+    {!commute} is a sound under-approximation: [true] guarantees the two
+    gates commute as operators (verified exhaustively against the
+    state-vector simulator in the test suite); [false] merely means we
+    don't claim they do. *)
+
+val commute : Gate.t -> Gate.t -> bool
+(** [commute a b] — do [a·b] and [b·a] implement the same unitary?
+    Gates on disjoint qubits always commute. Barriers and measurements
+    never commute with anything sharing a qubit. *)
+
+val diagonal : Gate.t -> bool
+(** Gates represented by a diagonal matrix in the computational basis
+    (Z, S, S†, T, T†, Rz, U1, I, CZ). Diagonal gates all commute with
+    each other. *)
+
+val x_axis : Gate.single_kind -> bool
+(** Single-qubit kinds diagonal in the X basis (X, Rx, I): they commute
+    through a CNOT's target. *)

@@ -1,0 +1,160 @@
+type t = {
+  circuit : Circuit.t;
+  gates : Gate.t array;  (* cached copy of the circuit's gates *)
+  succ : int list array;  (* distinct successors, ascending *)
+  pred : int list array;  (* distinct predecessors, ascending *)
+}
+
+let of_circuit circuit =
+  let gates = Circuit.gate_array circuit in
+  let n = Array.length gates in
+  let succ = Array.make n [] and pred = Array.make n [] in
+  (* last.(q) is the most recent node touching qubit q *)
+  let last = Array.make (Circuit.n_qubits circuit) (-1) in
+  for i = 0 to n - 1 do
+    let deps =
+      Gate.qubits gates.(i)
+      |> List.filter_map (fun q ->
+             let p = last.(q) in
+             if p >= 0 then Some p else None)
+      |> List.sort_uniq Int.compare
+    in
+    pred.(i) <- deps;
+    List.iter (fun p -> succ.(p) <- i :: succ.(p)) deps;
+    List.iter (fun q -> last.(q) <- i) (Gate.qubits gates.(i))
+  done;
+  (* successor lists were built in reverse; deduplicate and sort *)
+  Array.iteri (fun i l -> succ.(i) <- List.sort_uniq Int.compare l) succ;
+  { circuit; gates; succ; pred }
+
+(* Commutation-aware construction. Per qubit we keep two gate groups:
+   [current] — the most recent gates that pairwise commute with each
+   other's successors on this qubit — and [previous], the group every
+   [current] member depends on. A new gate joins [current] when it
+   commutes with all its members; otherwise [current] becomes its
+   dependency set and starts over. *)
+let of_circuit_commuting circuit =
+  let gates = Circuit.gate_array circuit in
+  let n = Array.length gates in
+  let nq = Circuit.n_qubits circuit in
+  let previous = Array.make nq [] and current = Array.make nq [] in
+  let pred = Array.make n [] and succ = Array.make n [] in
+  for i = 0 to n - 1 do
+    let deps = ref [] in
+    List.iter
+      (fun q ->
+        let commutes_with_all =
+          List.for_all (fun j -> Commutation.commute gates.(i) gates.(j))
+            current.(q)
+        in
+        if commutes_with_all then begin
+          deps := previous.(q) @ !deps;
+          current.(q) <- i :: current.(q)
+        end
+        else begin
+          deps := current.(q) @ !deps;
+          previous.(q) <- current.(q);
+          current.(q) <- [ i ]
+        end)
+      (Gate.qubits gates.(i));
+    let deps = List.sort_uniq Int.compare !deps in
+    pred.(i) <- deps;
+    List.iter (fun p -> succ.(p) <- i :: succ.(p)) deps
+  done;
+  Array.iteri (fun i l -> succ.(i) <- List.sort_uniq Int.compare l) succ;
+  { circuit; gates; succ; pred }
+
+let matches_linearization d c =
+  let n = Array.length d.gates in
+  if Circuit.length c <> n then false
+  else begin
+    let remaining = Array.init n (fun i -> List.length d.pred.(i)) in
+    let consumed = Array.make n false in
+    (* ready nodes indexed by gate value for O(1)-ish matching *)
+    let ready : (Gate.t, int list) Hashtbl.t = Hashtbl.create 64 in
+    let add_ready i =
+      let g = d.gates.(i) in
+      Hashtbl.replace ready g
+        (i :: Option.value ~default:[] (Hashtbl.find_opt ready g))
+    in
+    for i = 0 to n - 1 do
+      if remaining.(i) = 0 then add_ready i
+    done;
+    let ok = ref true in
+    List.iter
+      (fun g ->
+        if !ok then
+          match Hashtbl.find_opt ready g with
+          | Some (i :: rest) ->
+            (if rest = [] then Hashtbl.remove ready g
+             else Hashtbl.replace ready g rest);
+            consumed.(i) <- true;
+            List.iter
+              (fun j ->
+                remaining.(j) <- remaining.(j) - 1;
+                if remaining.(j) = 0 then add_ready j)
+              d.succ.(i)
+          | Some [] | None -> ok := false)
+      (Circuit.gates c);
+    !ok && Array.for_all Fun.id consumed
+  end
+
+let circuit d = d.circuit
+let n_nodes d = Array.length d.succ
+let gate d i = d.gates.(i)
+let successors d i = d.succ.(i)
+let predecessors d i = d.pred.(i)
+let in_degree d i = List.length d.pred.(i)
+
+let initial_front d =
+  let acc = ref [] in
+  for i = n_nodes d - 1 downto 0 do
+    if d.pred.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let topological_order d =
+  let n = n_nodes d in
+  let indeg = Array.init n (fun i -> in_degree d i) in
+  let module Q = Queue in
+  let q = Q.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Q.add i q
+  done;
+  let order = ref [] in
+  while not (Q.is_empty q) do
+    let i = Q.pop q in
+    order := i :: !order;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Q.add j q)
+      d.succ.(i)
+  done;
+  let order = List.rev !order in
+  assert (List.length order = n);
+  order
+
+let two_qubit_nodes d =
+  let gates = Circuit.gate_array d.circuit in
+  let acc = ref [] in
+  for i = Array.length gates - 1 downto 0 do
+    if Gate.is_two_qubit gates.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let descendant_count d i =
+  let seen = Array.make (n_nodes d) false in
+  let count = ref 0 in
+  let rec visit j =
+    List.iter
+      (fun s ->
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          incr count;
+          visit s
+        end)
+      d.succ.(j)
+  in
+  visit i;
+  !count

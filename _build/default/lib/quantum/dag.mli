@@ -1,0 +1,60 @@
+(** Dependency DAG of a circuit (paper Section IV-A, "Circuit DAG
+    generation").
+
+    Nodes are gate indices into the source circuit's gate array. There is
+    an edge [i -> j] when gate [j] is the first gate after [i] acting on
+    one of [i]'s qubits; hence the DAG captures exactly the execution
+    constraints. Unlike the paper's exposition, single-qubit gates,
+    barriers and measurements are kept as nodes so that a routed circuit
+    can carry them along; the routing algorithms treat any non-two-qubit
+    node as always executable. Construction is O(g). *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+
+val of_circuit_commuting : Circuit.t -> t
+(** Commutation-aware construction: on each qubit a gate depends on the
+    most recent *group* of gates it does not commute with
+    ({!Commutation.commute}), rather than on the immediately preceding
+    gate. Every edge of this DAG is also an ordering of the plain DAG, so
+    any linearisation of the plain DAG is a linearisation of this one —
+    but not vice versa: routers get strictly more freedom (e.g. CNOTs
+    fanning out of one control may execute in any order). *)
+
+val matches_linearization : t -> Circuit.t -> bool
+(** [matches_linearization dag c] — is [c] a topological linearisation of
+    [dag] with exactly its gate multiset? Walks [c] greedily, consuming
+    at each step some ready DAG node carrying an identical gate. Used to
+    verify commutation-aware routing, where the per-qubit-sequence
+    equality of {!Circuit.canonical_key} is deliberately violated. *)
+
+val circuit : t -> Circuit.t
+(** The circuit this DAG was built from. *)
+
+val n_nodes : t -> int
+
+val gate : t -> int -> Gate.t
+(** [gate dag i] is the gate at node [i]. *)
+
+val successors : t -> int -> int list
+(** Direct successors of node [i], each listed once. *)
+
+val predecessors : t -> int -> int list
+(** Direct predecessors of node [i], each listed once. *)
+
+val in_degree : t -> int -> int
+(** Number of distinct predecessors. *)
+
+val initial_front : t -> int list
+(** Nodes with no predecessors, in program order: the initial front layer
+    F of Algorithm 1 (before filtering out non-two-qubit gates). *)
+
+val topological_order : t -> int list
+(** A topological order (Kahn's algorithm, stable w.r.t. program order). *)
+
+val two_qubit_nodes : t -> int list
+(** Nodes carrying a two-qubit gate, in program order. *)
+
+val descendant_count : t -> int -> int
+(** Number of nodes reachable from [i] (excluding [i]); O(V+E) per call. *)

@@ -1,0 +1,30 @@
+(** Gate decompositions into the {single-qubit, CNOT} elementary set
+    supported by the paper's IBM hardware model (Section II-A). *)
+
+val swap_to_cnots : int -> int -> Gate.t list
+(** [swap_to_cnots a b] is the 3-CNOT expansion of SWAP(a,b) shown in
+    Fig. 3(a): CX(a,b); CX(b,a); CX(a,b). *)
+
+val cz_to_cnot : int -> int -> Gate.t list
+(** CZ(a,b) = H(b); CX(a,b); H(b). *)
+
+val cphase : float -> int -> int -> Gate.t list
+(** [cphase theta a b] is the controlled-phase gate used by QFT,
+    decomposed as Rz/CNOT: Rz(θ/2) a; Rz(θ/2) b; CX(a,b); Rz(-θ/2) b;
+    CX(a,b) — 2 CNOTs and 3 single-qubit gates. *)
+
+val toffoli : int -> int -> int -> Gate.t list
+(** [toffoli c1 c2 t] is the standard 6-CNOT, 9-single-qubit-gate
+    decomposition of the Toffoli (CCX) gate (paper Fig. 1). *)
+
+val expand_swaps : Circuit.t -> Circuit.t
+(** Replace every SWAP in the circuit with its 3-CNOT expansion; all other
+    gates are kept verbatim. *)
+
+val expand_all : Circuit.t -> Circuit.t
+(** Expand SWAP and CZ gates so the result contains only single-qubit
+    gates, CNOTs, barriers and measurements. *)
+
+val elementary_gate_count : Circuit.t -> int
+(** Gate count after {!expand_all}, without building the expansion:
+    SWAP counts 3, CZ counts 3, barrier/measure count 0, others 1. *)

@@ -1,0 +1,71 @@
+type schedule = { levels : int array; depth : int }
+
+let default_weight = function Gate.Barrier _ -> 0 | _ -> 1
+
+let asap ?(weight = default_weight) c =
+  let gates = Circuit.gate_array c in
+  let n = Array.length gates in
+  let ready = Array.make (Circuit.n_qubits c) 0 in
+  let levels = Array.make n 0 in
+  let depth = ref 0 in
+  for i = 0 to n - 1 do
+    let qs = Gate.qubits gates.(i) in
+    let start = List.fold_left (fun acc q -> max acc ready.(q)) 0 qs in
+    let finish = start + weight gates.(i) in
+    levels.(i) <- start;
+    List.iter (fun q -> ready.(q) <- finish) qs;
+    if finish > !depth then depth := finish
+  done;
+  { levels; depth = !depth }
+
+let alap ?(weight = default_weight) c =
+  let { depth; _ } = asap ~weight c in
+  let gates = Circuit.gate_array c in
+  let n = Array.length gates in
+  (* deadline.(q): latest finish allowed for the next-earlier gate on q *)
+  let deadline = Array.make (Circuit.n_qubits c) depth in
+  let levels = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let qs = Gate.qubits gates.(i) in
+    let finish = List.fold_left (fun acc q -> min acc deadline.(q)) depth qs in
+    let start = finish - weight gates.(i) in
+    levels.(i) <- start;
+    List.iter (fun q -> deadline.(q) <- start) qs
+  done;
+  { levels; depth }
+
+let slack ?(weight = default_weight) c =
+  let early = (asap ~weight c).levels in
+  let late = (alap ~weight c).levels in
+  Array.init (Array.length early) (fun i -> late.(i) - early.(i))
+
+let depth c = (asap c).depth
+
+let depth_swap3 c =
+  let weight = function
+    | Gate.Swap _ -> 3
+    | Gate.Barrier _ -> 0
+    | _ -> 1
+  in
+  (asap ~weight c).depth
+
+let two_qubit_depth c =
+  let weight g = if Gate.is_two_qubit g then 1 else 0 in
+  (asap ~weight c).depth
+
+let parallelism c =
+  let d = depth c in
+  if d = 0 then 0.0 else float_of_int (Circuit.gate_count c) /. float_of_int d
+
+let layers c =
+  let { levels; depth } = asap c in
+  let buckets = Array.make (max depth 1) [] in
+  let gates = Circuit.gate_array c in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Gate.Barrier _ -> ()
+      | _ -> buckets.(levels.(i)) <- g :: buckets.(levels.(i)))
+    gates;
+  Array.to_list buckets |> List.map List.rev
+  |> List.filter (fun l -> l <> [])

@@ -1,0 +1,154 @@
+type single_kind =
+  | I
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U1 of float
+  | U2 of float * float
+  | U3 of float * float * float
+
+type t =
+  | Single of single_kind * int
+  | Cnot of int * int
+  | Cz of int * int
+  | Swap of int * int
+  | Barrier of int list
+  | Measure of int * int
+
+let qubits = function
+  | Single (_, q) -> [ q ]
+  | Cnot (a, b) | Cz (a, b) | Swap (a, b) -> [ a; b ]
+  | Barrier qs -> qs
+  | Measure (q, _) -> [ q ]
+
+let is_two_qubit = function
+  | Cnot _ | Cz _ | Swap _ -> true
+  | Single _ | Barrier _ | Measure _ -> false
+
+let two_qubit_pair = function
+  | Cnot (a, b) | Cz (a, b) | Swap (a, b) -> Some (a, b)
+  | Single _ | Barrier _ | Measure _ -> None
+
+let remap f = function
+  | Single (k, q) -> Single (k, f q)
+  | Cnot (a, b) -> Cnot (f a, f b)
+  | Cz (a, b) -> Cz (f a, f b)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Barrier qs -> Barrier (List.map f qs)
+  | Measure (q, c) -> Measure (f q, c)
+
+let single_kind_dagger = function
+  | I -> I
+  | H -> H
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Rx a -> Rx (-.a)
+  | Ry a -> Ry (-.a)
+  | Rz a -> Rz (-.a)
+  | U1 a -> U1 (-.a)
+  (* U2(φ,λ)† = U2(-λ-π, -φ+π): follows from U2 = U3(π/2, φ, λ). *)
+  | U2 (phi, lam) -> U2 (-.lam -. Float.pi, -.phi +. Float.pi)
+  | U3 (theta, phi, lam) -> U3 (-.theta, -.lam, -.phi)
+
+let dagger = function
+  | Single (k, q) -> Single (single_kind_dagger k, q)
+  | Cnot (a, b) -> Cnot (a, b)
+  | Cz (a, b) -> Cz (a, b)
+  | Swap (a, b) -> Swap (a, b)
+  | Barrier qs -> Barrier qs
+  | Measure _ -> invalid_arg "Gate.dagger: measurement is not unitary"
+
+let single_kind_name = function
+  | I -> "id"
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | U1 _ -> "u1"
+  | U2 _ -> "u2"
+  | U3 _ -> "u3"
+
+let name = function
+  | Single (k, _) -> single_kind_name k
+  | Cnot _ -> "cx"
+  | Cz _ -> "cz"
+  | Swap _ -> "swap"
+  | Barrier _ -> "barrier"
+  | Measure _ -> "measure"
+
+let single_kind_params = function
+  | I | H | X | Y | Z | S | Sdg | T | Tdg -> []
+  | Rx a | Ry a | Rz a | U1 a -> [ a ]
+  | U2 (a, b) -> [ a; b ]
+  | U3 (a, b, c) -> [ a; b; c ]
+
+let pp ppf g =
+  let pp_params ppf = function
+    | [] -> ()
+    | ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (fun ppf x -> Format.fprintf ppf "%g" x))
+        ps
+  in
+  match g with
+  | Single (k, q) ->
+    Format.fprintf ppf "%s%a q[%d]" (single_kind_name k) pp_params
+      (single_kind_params k) q
+  | Cnot (a, b) -> Format.fprintf ppf "cx q[%d], q[%d]" a b
+  | Cz (a, b) -> Format.fprintf ppf "cz q[%d], q[%d]" a b
+  | Swap (a, b) -> Format.fprintf ppf "swap q[%d], q[%d]" a b
+  | Barrier qs ->
+    Format.fprintf ppf "barrier %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf q -> Format.fprintf ppf "q[%d]" q))
+      qs
+  | Measure (q, c) -> Format.fprintf ppf "measure q[%d] -> c[%d]" q c
+
+let to_string g = Format.asprintf "%a" pp g
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let validate ~n_qubits g =
+  let in_range q = q >= 0 && q < n_qubits in
+  let check_range qs =
+    match List.find_opt (fun q -> not (in_range q)) qs with
+    | Some q ->
+      Error
+        (Printf.sprintf "gate %s: qubit %d out of range [0,%d)" (name g) q
+           n_qubits)
+    | None -> Ok ()
+  in
+  let qs = qubits g in
+  match check_range qs with
+  | Error _ as e -> e
+  | Ok () -> (
+    match g with
+    | Cnot (a, b) | Cz (a, b) | Swap (a, b) when a = b ->
+      Error
+        (Printf.sprintf "gate %s: identical operands q[%d]" (name g) a)
+    | Barrier qs when List.length (List.sort_uniq Int.compare qs) <> List.length qs
+      -> Error "barrier: duplicate qubit"
+    | _ -> Ok ())

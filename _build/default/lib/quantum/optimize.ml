@@ -1,0 +1,121 @@
+(* Stack-based peephole pass: the output is kept as a growable array of
+   gate slots plus, per qubit, a stack of indices of the live gates on
+   that qubit. Each incoming gate is matched against the top of its
+   qubit stack(s); cancellations pop the stacks, so cascades (A B B† A†)
+   resolve in a single sweep. *)
+
+let two_pi = 2.0 *. Float.pi
+let angle_is_zero a = Float.abs (Float.rem a two_pi) < 1e-12
+
+(* merge two single-qubit kinds applied in sequence (first [a], then [b]):
+   [Cancel] = identity, [Replace k] = single gate k, [Keep] = no rule *)
+type merge = Cancel | Replace of Gate.single_kind | Keep
+
+let merge_singles a b =
+  let open Gate in
+  match (a, b) with
+  | I, _ -> Replace b
+  | _, I -> Replace a
+  | H, H | X, X | Y, Y | Z, Z -> Cancel
+  | S, Sdg | Sdg, S | T, Tdg | Tdg, T -> Cancel
+  | Rz x, Rz y ->
+    if angle_is_zero (x +. y) then Cancel else Replace (Rz (x +. y))
+  | Rx x, Rx y ->
+    if angle_is_zero (x +. y) then Cancel else Replace (Rx (x +. y))
+  | Ry x, Ry y ->
+    if angle_is_zero (x +. y) then Cancel else Replace (Ry (x +. y))
+  | U1 x, U1 y ->
+    if angle_is_zero (x +. y) then Cancel else Replace (U1 (x +. y))
+  | _ -> Keep
+
+(* do g1 then g2 cancel exactly? (two-qubit gates) *)
+let two_qubit_cancels g1 g2 =
+  match (g1, g2) with
+  | Gate.Cnot (a, b), Gate.Cnot (a', b') -> a = a' && b = b'
+  | Gate.Cz (a, b), Gate.Cz (a', b') | Gate.Swap (a, b), Gate.Swap (a', b') ->
+    (* symmetric gates cancel in either orientation *)
+    (a = a' && b = b') || (a = b' && b = a')
+  | _ -> false
+
+type state = {
+  mutable slots : Gate.t option array;
+  mutable len : int;
+  stacks : int list array;  (* per qubit: indices of live gates, top first *)
+}
+
+let push_slot st gate =
+  if st.len = Array.length st.slots then begin
+    let bigger = Array.make (max 16 (2 * st.len)) None in
+    Array.blit st.slots 0 bigger 0 st.len;
+    st.slots <- bigger
+  end;
+  st.slots.(st.len) <- Some gate;
+  List.iter
+    (fun q -> st.stacks.(q) <- st.len :: st.stacks.(q))
+    (Gate.qubits gate);
+  st.len <- st.len + 1
+
+let pop_gate st idx =
+  match st.slots.(idx) with
+  | None -> ()
+  | Some gate ->
+    st.slots.(idx) <- None;
+    List.iter
+      (fun q ->
+        match st.stacks.(q) with
+        | top :: rest when top = idx -> st.stacks.(q) <- rest
+        | _ ->
+          (* only ever called on gates that are on top of all their
+             stacks; anything else is a pass bug *)
+          assert false)
+      (Gate.qubits gate)
+
+let top_gate st q =
+  match st.stacks.(q) with
+  | [] -> None
+  | idx :: _ -> Option.map (fun g -> (idx, g)) st.slots.(idx)
+
+let add_gate st gate =
+  match gate with
+  | Gate.Barrier _ | Gate.Measure _ -> push_slot st gate
+  | Gate.Single (kind, q) when kind = Gate.I ->
+    ignore q (* identity: drop on sight *)
+  | Gate.Single (kind, q) -> (
+    match top_gate st q with
+    | Some (idx, Gate.Single (prev, _)) -> (
+      match merge_singles prev kind with
+      | Cancel -> pop_gate st idx
+      | Replace merged ->
+        pop_gate st idx;
+        push_slot st (Gate.Single (merged, q))
+      | Keep -> push_slot st gate)
+    | _ -> push_slot st gate)
+  | Gate.Cnot (a, b) | Gate.Cz (a, b) | Gate.Swap (a, b) -> (
+    match (top_gate st a, top_gate st b) with
+    | Some (ia, prev), Some (ib, _) when ia = ib && two_qubit_cancels prev gate
+      -> pop_gate st ia
+    | _ -> push_slot st gate)
+
+let cancel_pairs_once c =
+  let st =
+    {
+      slots = Array.make (max 16 (Circuit.length c)) None;
+      len = 0;
+      stacks = Array.make (Circuit.n_qubits c) [];
+    }
+  in
+  List.iter (add_gate st) (Circuit.gates c);
+  let survivors = ref [] in
+  for i = st.len - 1 downto 0 do
+    match st.slots.(i) with
+    | Some g -> survivors := g :: !survivors
+    | None -> ()
+  done;
+  Circuit.create ~n_qubits:(Circuit.n_qubits c) ~n_clbits:(Circuit.n_clbits c)
+    !survivors
+
+let rec run c =
+  let c' = cancel_pairs_once c in
+  if Circuit.length c' = Circuit.length c then c' else run c'
+
+let removed_gate_count c = Circuit.length c - Circuit.length (run c)

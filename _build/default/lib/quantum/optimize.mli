@@ -1,0 +1,31 @@
+(** Peephole circuit optimisation.
+
+    Routing inserts SWAPs that, once decomposed, can cancel against
+    neighbouring CNOTs; compilers also accumulate adjacent self-inverse
+    gates and mergeable rotations. This pass cleans those up without
+    changing circuit semantics or qubit placement — it is safe to apply
+    after routing because it never moves a two-qubit gate to a different
+    qubit pair.
+
+    Rules applied (to a fixed point across commuting reorderings along
+    each qubit's gate sequence):
+    - adjacent identical CNOT/CZ/SWAP pairs cancel;
+    - adjacent self-inverse single-qubit pairs cancel (H·H, X·X, ...);
+    - adjacent inverse pairs cancel (S·S†, T·T†);
+    - adjacent rotations about the same axis merge (Rz(a)·Rz(b) = Rz(a+b),
+      likewise Rx/Ry/U1), and a merged zero rotation is dropped;
+    - identity gates are dropped.
+
+    "Adjacent" means consecutive in the per-qubit gate sequence with no
+    intervening gate on the same qubit(s) — exactly the dependency-DAG
+    notion, so the result is equal to the input as a unitary. *)
+
+val run : Circuit.t -> Circuit.t
+(** Optimise to a fixed point. Barriers are preserved and block
+    cancellation across them; measurements are preserved. *)
+
+val cancel_pairs_once : Circuit.t -> Circuit.t
+(** One sweep of the cancellation/merging rules; exposed for tests. *)
+
+val removed_gate_count : Circuit.t -> int
+(** [removed_gate_count c] = gates of [c] minus gates of [run c]. *)

@@ -1,0 +1,35 @@
+(** OpenQASM 2.0 reader and writer.
+
+    Supports the subset used by the paper's benchmark suites (QISKit,
+    RevLib exports, Quipper/ScaffCC compilations): [OPENQASM 2.0] header,
+    [include] (ignored), multiple [qreg]/[creg] declarations (flattened
+    into one index space in declaration order), gate applications from
+    qelib1 ([id x y z h s sdg t tdg rx ry rz u1 u2 u3 cx cz swap ccx]),
+    whole-register broadcast of single-qubit gates, [barrier] and
+    [measure]. Parameter expressions understand numbers, [pi], unary
+    minus, [+ - * /] and [^], with parentheses.
+
+    User-defined gates are supported: [gate name(params) qargs { body }]
+    bodies may call built-in gates and previously defined gates, with
+    parameter expressions over the formals; applications expand the body
+    inline (macro semantics, as the OpenQASM 2.0 spec prescribes).
+    [opaque] declarations parse, but applying an opaque gate is an error
+    since it has no circuit semantics.
+
+    [ccx] is expanded with {!Decompose.toffoli} at parse time so that the
+    resulting circuit lies in the paper's {single-qubit, CNOT} gate set
+    extended with CZ/SWAP. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> Circuit.t
+(** Parse a full OpenQASM 2.0 program. Raises {!Parse_error}. *)
+
+val of_file : string -> Circuit.t
+(** Parse from a file path. Raises {!Parse_error} or [Sys_error]. *)
+
+val to_string : Circuit.t -> string
+(** Print a circuit as an OpenQASM 2.0 program over one register [q]. *)
+
+val to_file : string -> Circuit.t -> unit
+(** Write {!to_string} output to the given path. *)

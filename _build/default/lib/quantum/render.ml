@@ -1,0 +1,101 @@
+let single_token kind =
+  match (kind : Gate.single_kind) with
+  | I -> "I"
+  | H -> "H"
+  | X -> "X"
+  | Y -> "Y"
+  | Z -> "Z"
+  | S -> "S"
+  | Sdg -> "S'"
+  | T -> "T"
+  | Tdg -> "T'"
+  | Rx _ -> "Rx"
+  | Ry _ -> "Ry"
+  | Rz _ -> "Rz"
+  | U1 _ -> "U1"
+  | U2 _ -> "U2"
+  | U3 _ -> "U3"
+
+let circuit_ascii ?(max_columns = 120) c =
+  let n = Circuit.n_qubits c in
+  if n = 0 then "(empty register)"
+  else begin
+    (* every gate (barriers included) occupies one rendering column *)
+    let { Depth.levels; depth } = Depth.asap ~weight:(fun _ -> 1) c in
+    let columns = min depth max_columns in
+    let truncated = depth > max_columns in
+    let tokens = Array.make_matrix n (max columns 1) "" in
+    let connector = Array.make_matrix n (max columns 1) false in
+    let place q l s = if l < columns then tokens.(q).(l) <- s in
+    let connect a b l =
+      if l < columns then
+        for q = min a b + 1 to max a b - 1 do
+          connector.(q).(l) <- true
+        done
+    in
+    Array.iteri
+      (fun i gate ->
+        let l = levels.(i) in
+        match (gate : Gate.t) with
+        | Single (k, q) -> place q l (single_token k)
+        | Cnot (a, b) ->
+          place a l "*";
+          place b l "X";
+          connect a b l
+        | Cz (a, b) ->
+          place a l "*";
+          place b l "Z";
+          connect a b l
+        | Swap (a, b) ->
+          place a l "x";
+          place b l "x";
+          connect a b l
+        | Measure (q, _) -> place q l "M"
+        | Barrier qs -> List.iter (fun q -> place q l "|") qs)
+      (Circuit.gate_array c);
+    let width col =
+      let w = ref 1 in
+      for q = 0 to n - 1 do
+        w := max !w (String.length tokens.(q).(col))
+      done;
+      !w
+    in
+    let buf = Buffer.create 1024 in
+    for q = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "q%-2d: -" q);
+      for col = 0 to columns - 1 do
+        let w = width col in
+        let cell =
+          match tokens.(q).(col) with
+          | "" -> if connector.(q).(col) then "|" else "-"
+          | s -> s
+        in
+        Buffer.add_string buf cell;
+        for _ = String.length cell + 1 to w + 1 do
+          Buffer.add_char buf '-'
+        done
+      done;
+      if truncated then Buffer.add_string buf "...";
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end
+
+let dag_dot dag =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph circuit_dag {\n  rankdir=LR;\n";
+  for i = 0 to Dag.n_nodes dag - 1 do
+    let gate = Dag.gate dag i in
+    let shape = if Gate.is_two_qubit gate then "box" else "ellipse" in
+    Buffer.add_string buf
+      (Printf.sprintf "  g%d [label=\"g%d: %s\", shape=%s];\n" i i
+         (String.escaped (Gate.to_string gate))
+         shape)
+  done;
+  for i = 0 to Dag.n_nodes dag - 1 do
+    List.iter
+      (fun j -> Buffer.add_string buf (Printf.sprintf "  g%d -> g%d;\n" i j))
+      (Dag.successors dag i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Human-readable renderings of circuits and graphs: an ASCII circuit
+    diagram in the style of the paper's figures, and Graphviz exports for
+    coupling graphs and dependency DAGs. Debugging and documentation
+    aids; nothing here affects compilation. *)
+
+val circuit_ascii : ?max_columns:int -> Circuit.t -> string
+(** Draw the circuit as one text line per qubit, gates placed at their
+    ASAP time step:
+
+    {v
+    q0 : -H--*-----x-
+    q1 : ----X--*--|-
+    q2 : -------Z--x-
+    v}
+
+    [*]/[X] mark CNOT control/target, [x...x] a SWAP, [*...Z] a CZ, [M]
+    a measurement, [|] a barrier or a crossing connector; single-qubit
+    gates print a short mnemonic. Circuits wider than [max_columns] time
+    steps (default 120) are truncated with an ellipsis. *)
+
+val dag_dot : Dag.t -> string
+(** Graphviz [digraph] source for a circuit's dependency DAG; node labels
+    are gate strings, two-qubit gates are highlighted. *)

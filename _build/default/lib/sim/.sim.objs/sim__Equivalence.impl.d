@@ -1,0 +1,1 @@
+lib/sim/equivalence.ml: Array Hardware List Quantum Random Statevector

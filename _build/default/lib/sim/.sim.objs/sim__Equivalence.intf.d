@@ -1,0 +1,1 @@
+lib/sim/equivalence.mli: Hardware Quantum

@@ -1,0 +1,1 @@
+lib/sim/statevector.ml: Array Complex Float Hardware List Quantum Random

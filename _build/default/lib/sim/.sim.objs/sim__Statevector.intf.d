@@ -1,0 +1,1 @@
+lib/sim/statevector.mli: Complex Hardware Quantum Random

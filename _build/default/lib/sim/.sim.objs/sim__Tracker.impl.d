@@ -1,0 +1,1 @@
+lib/sim/tracker.ml: Array Format Hardware List Quantum Result

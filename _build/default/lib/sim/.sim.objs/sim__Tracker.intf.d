@@ -1,0 +1,1 @@
+lib/sim/tracker.mli: Format Hardware Quantum

@@ -1,0 +1,33 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+
+(** Unitary-level equivalence of a routed circuit with its source, by
+    dense simulation. Exponential in qubit count — intended for tests with
+    up to ~12 physical qubits; use {!Tracker} for larger instances. *)
+
+val routed_equivalent :
+  ?states:int ->
+  ?seed:int ->
+  ?tol:float ->
+  initial:int array ->
+  final:int array ->
+  logical:Circuit.t ->
+  physical:Circuit.t ->
+  unit ->
+  bool
+(** [routed_equivalent ~initial ~final ~logical ~physical ()] checks that
+    for [states] (default 4) random input states |ψ⟩ on the logical
+    register:
+
+    embed |ψ⟩ into the physical register through the [initial] mapping
+    (unused physical qubits in |0⟩), run [physical], un-permute through
+    [final] — the result must match running [logical] on |ψ⟩ (tensored
+    with the idle qubits), up to global phase and [tol].
+
+    Measurements in either circuit are ignored. *)
+
+val circuits_equivalent :
+  ?states:int -> ?seed:int -> ?tol:float -> Circuit.t -> Circuit.t -> bool
+(** Plain unitary equivalence of two same-width circuits (up to global
+    phase), by random-state simulation. *)

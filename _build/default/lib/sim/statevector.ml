@@ -1,0 +1,199 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+
+type t = { n : int; amps : Complex.t array }
+
+let create n =
+  if n < 0 || n > 24 then invalid_arg "Statevector.create: unsupported size";
+  let amps = Array.make (1 lsl n) Complex.zero in
+  amps.(0) <- Complex.one;
+  { n; amps }
+
+let n_qubits s = s.n
+
+let of_basis n k =
+  let s = create n in
+  if k < 0 || k >= 1 lsl n then invalid_arg "Statevector.of_basis";
+  s.amps.(0) <- Complex.zero;
+  s.amps.(k) <- Complex.one;
+  s
+
+let norm s =
+  Float.sqrt
+    (Array.fold_left (fun acc a -> acc +. Complex.norm2 a) 0.0 s.amps)
+
+let random ?state n =
+  let rng = match state with Some r -> r | None -> Random.State.make [| 7 |] in
+  let gaussian () =
+    (* Box–Muller *)
+    let u1 = Random.State.float rng 1.0 +. 1e-12 in
+    let u2 = Random.State.float rng 1.0 in
+    Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+  in
+  let s = create n in
+  Array.iteri
+    (fun i _ -> s.amps.(i) <- { Complex.re = gaussian (); im = gaussian () })
+    s.amps;
+  let nrm = norm s in
+  Array.iteri
+    (fun i a ->
+      s.amps.(i) <-
+        { Complex.re = a.Complex.re /. nrm; im = a.Complex.im /. nrm })
+    s.amps;
+  s
+
+let copy s = { n = s.n; amps = Array.copy s.amps }
+let amplitude s k = s.amps.(k)
+
+let cx x = { Complex.re = x; im = 0.0 }
+let ci x = { Complex.re = 0.0; im = x }
+let cexp theta = { Complex.re = Float.cos theta; im = Float.sin theta }
+
+(* 2x2 matrix as (m00, m01, m10, m11) *)
+let single_matrix kind =
+  let open Gate in
+  let h = 1.0 /. Float.sqrt 2.0 in
+  match kind with
+  | I -> (Complex.one, Complex.zero, Complex.zero, Complex.one)
+  | H -> (cx h, cx h, cx h, cx (-.h))
+  | X -> (Complex.zero, Complex.one, Complex.one, Complex.zero)
+  | Y -> (Complex.zero, ci (-1.0), ci 1.0, Complex.zero)
+  | Z -> (Complex.one, Complex.zero, Complex.zero, cx (-1.0))
+  | S -> (Complex.one, Complex.zero, Complex.zero, ci 1.0)
+  | Sdg -> (Complex.one, Complex.zero, Complex.zero, ci (-1.0))
+  | T -> (Complex.one, Complex.zero, Complex.zero, cexp (Float.pi /. 4.0))
+  | Tdg -> (Complex.one, Complex.zero, Complex.zero, cexp (-.Float.pi /. 4.0))
+  | Rx a ->
+    let c = cx (Float.cos (a /. 2.0)) and s = ci (-.Float.sin (a /. 2.0)) in
+    (c, s, s, c)
+  | Ry a ->
+    let c = cx (Float.cos (a /. 2.0)) and s = Float.sin (a /. 2.0) in
+    (c, cx (-.s), cx s, c)
+  | Rz a ->
+    (cexp (-.a /. 2.0), Complex.zero, Complex.zero, cexp (a /. 2.0))
+  | U1 lam -> (Complex.one, Complex.zero, Complex.zero, cexp lam)
+  | U2 (phi, lam) ->
+    let h = cx (1.0 /. Float.sqrt 2.0) in
+    ( h,
+      Complex.neg (Complex.mul h (cexp lam)),
+      Complex.mul h (cexp phi),
+      Complex.mul h (cexp (phi +. lam)) )
+  | U3 (theta, phi, lam) ->
+    let c = Float.cos (theta /. 2.0) and s = Float.sin (theta /. 2.0) in
+    ( cx c,
+      Complex.neg (Complex.mul (cx s) (cexp lam)),
+      Complex.mul (cx s) (cexp phi),
+      Complex.mul (cx c) (cexp (phi +. lam)) )
+
+let apply_single s kind q =
+  let m00, m01, m10, m11 = single_matrix kind in
+  let bit = 1 lsl q in
+  let size = Array.length s.amps in
+  let a = s.amps in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let a0 = a.(!i) and a1 = a.(j) in
+      a.(!i) <- Complex.add (Complex.mul m00 a0) (Complex.mul m01 a1);
+      a.(j) <- Complex.add (Complex.mul m10 a0) (Complex.mul m11 a1)
+    end;
+    incr i
+  done
+
+let apply_cnot s control target =
+  let cb = 1 lsl control and tb = 1 lsl target in
+  let a = s.amps in
+  for k = 0 to Array.length a - 1 do
+    if k land cb <> 0 && k land tb = 0 then begin
+      let j = k lor tb in
+      let tmp = a.(k) in
+      a.(k) <- a.(j);
+      a.(j) <- tmp
+    end
+  done
+
+let apply_cz s q1 q2 =
+  let b1 = 1 lsl q1 and b2 = 1 lsl q2 in
+  let a = s.amps in
+  for k = 0 to Array.length a - 1 do
+    if k land b1 <> 0 && k land b2 <> 0 then a.(k) <- Complex.neg a.(k)
+  done
+
+let apply_swap s q1 q2 =
+  let b1 = 1 lsl q1 and b2 = 1 lsl q2 in
+  let a = s.amps in
+  for k = 0 to Array.length a - 1 do
+    if k land b1 <> 0 && k land b2 = 0 then begin
+      let j = k lxor b1 lxor b2 in
+      let tmp = a.(k) in
+      a.(k) <- a.(j);
+      a.(j) <- tmp
+    end
+  done
+
+let apply s g =
+  match g with
+  | Gate.Single (kind, q) -> apply_single s kind q
+  | Gate.Cnot (c, t) -> apply_cnot s c t
+  | Gate.Cz (a, b) -> apply_cz s a b
+  | Gate.Swap (a, b) -> apply_swap s a b
+  | Gate.Barrier _ -> ()
+  | Gate.Measure _ ->
+    invalid_arg "Statevector.apply: cannot apply a measurement unitarily"
+
+let apply_circuit ?(drop_measurements = false) s c =
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Measure _ when drop_measurements -> ()
+      | _ -> apply s g)
+    (Circuit.gates c)
+
+let probability s q =
+  let bit = 1 lsl q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k a -> if k land bit <> 0 then acc := !acc +. Complex.norm2 a)
+    s.amps;
+  !acc
+
+let inner_product a b =
+  if a.n <> b.n then invalid_arg "Statevector.inner_product: size mismatch";
+  let acc = ref Complex.zero in
+  for k = 0 to Array.length a.amps - 1 do
+    acc := Complex.add !acc (Complex.mul (Complex.conj a.amps.(k)) b.amps.(k))
+  done;
+  !acc
+
+let fidelity a b = Complex.norm2 (inner_product a b)
+let approx_equal ?(tol = 1e-9) a b = Float.abs (fidelity a b -. 1.0) <= tol
+
+let embed s m =
+  if m < s.n then invalid_arg "Statevector.embed: target smaller than source";
+  let out = create m in
+  out.amps.(0) <- Complex.zero;
+  Array.blit s.amps 0 out.amps 0 (Array.length s.amps);
+  out
+
+let permute s p =
+  if Array.length p <> s.n then invalid_arg "Statevector.permute: arity";
+  let seen = Array.make s.n false in
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= s.n || seen.(q) then
+        invalid_arg "Statevector.permute: not a permutation";
+      seen.(q) <- true)
+    p;
+  let out = create s.n in
+  let size = Array.length s.amps in
+  for k = 0 to size - 1 do
+    (* index j of the output: bit q of j = bit p.(q) of k *)
+    let j = ref 0 in
+    for q = 0 to s.n - 1 do
+      if k land (1 lsl p.(q)) <> 0 then j := !j lor (1 lsl q)
+    done;
+    out.amps.(!j) <- s.amps.(k)
+  done;
+  out

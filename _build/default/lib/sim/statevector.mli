@@ -1,0 +1,66 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+
+(** Dense state-vector simulator.
+
+    Stores the full 2{^n} complex amplitude vector; intended for
+    verification of circuit transformations at small n (the memory cost is
+    16·2{^n} bytes, so n ≤ ~20 is feasible and n ≤ ~12 is fast). Gates are
+    applied in place. Measurements are not sampled: {!apply} raises on
+    [Measure]; use {!apply_circuit} with [~drop_measurements:true] to
+    verify the unitary part of a circuit. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the n-qubit state |0...0⟩. *)
+
+val n_qubits : t -> int
+
+val of_basis : int -> int -> t
+(** [of_basis n k] is the computational basis state |k⟩ on [n] qubits
+    (qubit 0 is the least significant bit of [k]). *)
+
+val random : ?state:Random.State.t -> int -> t
+(** A Haar-ish random normalised state (Gaussian amplitudes). *)
+
+val copy : t -> t
+
+val amplitude : t -> int -> Complex.t
+(** [amplitude s k] is ⟨k|s⟩. *)
+
+val apply : t -> Gate.t -> unit
+(** Apply one gate in place. [Barrier] is a no-op. Raises
+    [Invalid_argument] on [Measure]. *)
+
+val apply_circuit : ?drop_measurements:bool -> t -> Circuit.t -> unit
+(** Apply all gates in order. When [drop_measurements] is false (default),
+    a [Measure] raises; when true, measurements are skipped. *)
+
+val probability : t -> int -> float
+(** [probability s q] is the probability that measuring qubit [q] yields
+    1. *)
+
+val inner_product : t -> t -> Complex.t
+(** ⟨a|b⟩. The states must have the same size. *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|² — 1.0 for equal states regardless of global phase. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** [approx_equal a b] holds when fidelity is within [tol] (default 1e-9)
+    of 1, i.e. the states agree up to a global phase. *)
+
+val embed : t -> int -> t
+(** [embed s m] tensors [s] with |0...0⟩ on [m - n_qubits s] fresh high
+    qubits, yielding an [m]-qubit state with [s] on the low qubits.
+    Raises [Invalid_argument] when [m < n_qubits s]. *)
+
+val permute : t -> int array -> t
+(** [permute s p] relabels qubits: qubit [q] of the result carries what
+    qubit [p.(q)] carried in [s]. [p] must be a permutation of
+    [0 .. n-1]. *)
+
+val norm : t -> float
+(** The 2-norm of the amplitude vector (should always be ~1). *)

@@ -1,0 +1,1 @@
+lib/workloads/bv.ml: List Quantum

@@ -1,0 +1,1 @@
+lib/workloads/bv.mli: Quantum

@@ -1,0 +1,1 @@
+lib/workloads/ghz.mli: Quantum

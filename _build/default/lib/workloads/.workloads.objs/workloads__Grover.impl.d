@@ -1,0 +1,1 @@
+lib/workloads/grover.ml: Complex Float List Quantum Sim

@@ -1,0 +1,1 @@
+lib/workloads/grover.mli: Quantum

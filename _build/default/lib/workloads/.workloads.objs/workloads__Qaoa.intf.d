@@ -1,0 +1,1 @@
+lib/workloads/qaoa.mli: Quantum

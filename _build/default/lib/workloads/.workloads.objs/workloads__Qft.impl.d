@@ -1,0 +1,1 @@
+lib/workloads/qft.ml: Float List Quantum

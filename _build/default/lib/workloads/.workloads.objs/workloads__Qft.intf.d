@@ -1,0 +1,1 @@
+lib/workloads/qft.mli: Quantum

@@ -1,0 +1,1 @@
+lib/workloads/random_reversible.ml: Array Char Float List Quantum Random String

@@ -1,0 +1,1 @@
+lib/workloads/random_reversible.mli: Quantum

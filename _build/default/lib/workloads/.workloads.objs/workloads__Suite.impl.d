@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Float Ising Lazy List Qft Quantum Random_reversible String

@@ -1,0 +1,34 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Decompose = Quantum.Decompose
+
+let n_qubits_for bits = (2 * bits) + 2
+
+(* Qubit roles: 0 = carry-in c0; a_i = 1 + 2i; b_i = 2 + 2i;
+   carry-out z = 2*bits + 1. MAJ/UMA blocks follow Cuccaro et al. 2004. *)
+let circuit bits =
+  if bits < 1 then invalid_arg "Adder.circuit: need at least one bit";
+  let a i = 1 + (2 * i) and b i = 2 + (2 * i) in
+  let z = (2 * bits) + 1 in
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  let maj c y x =
+    add (Gate.Cnot (x, y));
+    add (Gate.Cnot (x, c));
+    List.iter add (Decompose.toffoli c y x)
+  in
+  let uma c y x =
+    List.iter add (Decompose.toffoli c y x);
+    add (Gate.Cnot (x, c));
+    add (Gate.Cnot (c, y))
+  in
+  maj 0 (b 0) (a 0);
+  for i = 1 to bits - 1 do
+    maj (a (i - 1)) (b i) (a i)
+  done;
+  add (Gate.Cnot (a (bits - 1), z));
+  for i = bits - 1 downto 1 do
+    uma (a (i - 1)) (b i) (a i)
+  done;
+  uma 0 (b 0) (a 0);
+  Circuit.create ~n_qubits:(n_qubits_for bits) (List.rev !gates)

@@ -1,0 +1,15 @@
+module Circuit = Quantum.Circuit
+
+(** Cuccaro ripple-carry adder — a realistic reversible-arithmetic
+    workload of the kind the paper's "large" RevLib benchmarks contain.
+    Toffolis are expanded with {!Quantum.Decompose.toffoli}, so the
+    circuit is in the elementary gate set. *)
+
+val circuit : int -> Circuit.t
+(** [circuit bits] adds two [bits]-bit registers in place on
+    2·bits + 2 qubits (carry-in ancilla, a-register, b-register,
+    carry-out). Qubit layout: 0 = carry-in, then interleaved a_i, b_i
+    pairs, last = carry-out. *)
+
+val n_qubits_for : int -> int
+(** Qubits used by [circuit bits]. *)

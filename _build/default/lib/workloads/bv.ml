@@ -1,0 +1,25 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+
+let circuit ~hidden n =
+  if n < 1 then invalid_arg "Bv.circuit: need at least one data qubit";
+  if hidden < 0 || (n < 63 && hidden >= 1 lsl n) then
+    invalid_arg "Bv.circuit: hidden string out of range";
+  let ancilla = n in
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  for q = 0 to n - 1 do
+    add (Gate.Single (H, q))
+  done;
+  add (Gate.Single (X, ancilla));
+  add (Gate.Single (H, ancilla));
+  for q = 0 to n - 1 do
+    if hidden land (1 lsl q) <> 0 then add (Gate.Cnot (q, ancilla))
+  done;
+  for q = 0 to n - 1 do
+    add (Gate.Single (H, q))
+  done;
+  for q = 0 to n - 1 do
+    add (Gate.Measure (q, q))
+  done;
+  Circuit.create ~n_qubits:(n + 1) ~n_clbits:n (List.rev !gates)

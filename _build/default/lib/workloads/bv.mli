@@ -1,0 +1,11 @@
+module Circuit = Quantum.Circuit
+
+(** Bernstein–Vazirani circuits. The oracle's CNOT fan-in onto the
+    ancilla gives a star interaction graph whose hub must wander across
+    the device — a classic router stress test. *)
+
+val circuit : hidden:int -> int -> Circuit.t
+(** [circuit ~hidden n] builds the (n+1)-qubit Bernstein–Vazirani circuit
+    recovering the n-bit [hidden] string: Hadamards, X+H on the ancilla
+    (qubit n), a CNOT from every set bit of [hidden] into the ancilla,
+    closing Hadamards, and measurements of the data qubits. *)

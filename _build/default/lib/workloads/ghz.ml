@@ -1,0 +1,12 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+
+let circuit n =
+  if n < 1 then invalid_arg "Ghz.circuit: need at least one qubit";
+  let chain = List.init (max 0 (n - 1)) (fun i -> Gate.Cnot (i, i + 1)) in
+  Circuit.create ~n_qubits:n (Gate.Single (H, 0) :: chain)
+
+let star n =
+  if n < 1 then invalid_arg "Ghz.star: need at least one qubit";
+  let spokes = List.init (max 0 (n - 1)) (fun i -> Gate.Cnot (0, i + 1)) in
+  Circuit.create ~n_qubits:n (Gate.Single (H, 0) :: spokes)

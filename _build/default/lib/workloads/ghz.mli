@@ -1,0 +1,14 @@
+module Circuit = Quantum.Circuit
+
+(** GHZ-state preparation: H on qubit 0 followed by a CNOT chain.
+    Interaction graph is a path — routes with zero SWAPs whenever the
+    device contains a Hamiltonian-ish path, a handy optimality oracle for
+    tests. *)
+
+val circuit : int -> Circuit.t
+(** [circuit n]: H(0); CX(0,1); CX(1,2); …; CX(n−2,n−1). *)
+
+val star : int -> Circuit.t
+(** [star n]: H(0) then CX(0,i) for all i — the all-from-root variant
+    whose interaction graph is a star, stressing routers on low-degree
+    devices. *)

@@ -1,0 +1,92 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Decompose = Quantum.Decompose
+
+let n_qubits_for n = if n >= 3 then (2 * n) - 2 else n
+
+(* Multi-controlled Z across all n data qubits (symmetric). For n >= 3 a
+   clean-ancilla Toffoli cascade ANDs controls into ancillas, applies a
+   CZ against the last data qubit, and uncomputes. *)
+let mcz_all n add =
+  match n with
+  | 1 -> add (Gate.Single (Z, 0))
+  | 2 -> add (Gate.Cz (0, 1))
+  | _ ->
+    let ancilla i = n + i in
+    (* forward AND chain: anc0 = q0 & q1; anc_i = anc_{i-1} & q_{i+1} *)
+    let compute = ref [] in
+    let push_toffoli a b t =
+      List.iter (fun g -> compute := g :: !compute) (Decompose.toffoli a b t)
+    in
+    push_toffoli 0 1 (ancilla 0);
+    for i = 1 to n - 3 do
+      push_toffoli (ancilla (i - 1)) (i + 1) (ancilla i)
+    done;
+    let forward = List.rev !compute in
+    List.iter add forward;
+    add (Gate.Cz (ancilla (n - 3), n - 1));
+    (* uncompute: the Toffoli decomposition is its own inverse here only
+       gate-by-gate reversed with daggers *)
+    List.iter add (List.rev_map Gate.dagger forward)
+
+let apply_mask n marked add =
+  for q = 0 to n - 1 do
+    if marked land (1 lsl q) = 0 then add (Gate.Single (X, q))
+  done
+
+let default_iterations n =
+  (* floor(pi/4 * sqrt(N)): rounding up overshoots the rotation (e.g.
+     n = 2 is exact after a single iteration) *)
+  max 1
+    (int_of_float (Float.pi /. 4.0 *. Float.sqrt (float_of_int (1 lsl n))))
+
+let circuit ?iterations ~marked n =
+  if n < 1 || n > 12 then invalid_arg "Grover.circuit: need 1 <= n <= 12";
+  if marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.circuit: marked state out of range";
+  let iterations =
+    match iterations with Some k -> max 1 k | None -> default_iterations n
+  in
+  let width = n_qubits_for n in
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  for q = 0 to n - 1 do
+    add (Gate.Single (H, q))
+  done;
+  for _ = 1 to iterations do
+    (* oracle: phase-flip |marked> *)
+    apply_mask n marked add;
+    mcz_all n add;
+    apply_mask n marked add;
+    (* diffusion: reflect about the uniform state *)
+    for q = 0 to n - 1 do
+      add (Gate.Single (H, q))
+    done;
+    for q = 0 to n - 1 do
+      add (Gate.Single (X, q))
+    done;
+    mcz_all n add;
+    for q = 0 to n - 1 do
+      add (Gate.Single (X, q))
+    done;
+    for q = 0 to n - 1 do
+      add (Gate.Single (H, q))
+    done
+  done;
+  for q = 0 to n - 1 do
+    add (Gate.Measure (q, q))
+  done;
+  Circuit.create ~n_qubits:width ~n_clbits:n (List.rev !gates)
+
+let success_probability ~marked n =
+  let c =
+    Circuit.filter
+      (function Gate.Measure _ -> false | _ -> true)
+      (circuit ~marked n)
+  in
+  let width = Circuit.n_qubits c in
+  let s = Sim.Statevector.create width in
+  Sim.Statevector.apply_circuit s c;
+  (* ancillas are uncomputed to |0>, so the marked outcome is the single
+     basis state with data bits = marked and ancilla bits = 0 *)
+  Complex.norm2 (Sim.Statevector.amplitude s marked)

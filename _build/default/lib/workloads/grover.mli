@@ -1,0 +1,22 @@
+module Circuit = Quantum.Circuit
+
+(** Grover search — the database-search application cited in the paper's
+    first paragraph. Multi-controlled phase oracles are compiled to the
+    elementary gate set with a clean-ancilla Toffoli cascade, so the
+    circuit mixes a wide data register with an ancilla chain: a routing
+    pattern unlike QFT's all-to-all or Ising's line. *)
+
+val circuit : ?iterations:int -> marked:int -> int -> Circuit.t
+(** [circuit ~marked n] searches an n-qubit space for the basis state
+    [marked]: data qubits 0..n−1, ancillas n..2n−3 (for n ≥ 3). The
+    iteration count defaults to floor(π/4·√2ⁿ). Measurements of the data
+    qubits close the circuit. Requires [1 <= n <= 12] and [marked] in
+    range. *)
+
+val n_qubits_for : int -> int
+(** Total width (data + ancillas) used by [circuit] for an n-qubit
+    search space: [2n − 2] for n ≥ 3, [n] otherwise. *)
+
+val success_probability : marked:int -> int -> float
+(** Simulated probability of measuring [marked] after {!circuit} (small
+    n only; exercises the oracle+diffusion construction end to end). *)

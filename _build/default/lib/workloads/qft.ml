@@ -1,0 +1,24 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Decompose = Quantum.Decompose
+
+let build n ~keep =
+  if n < 1 then invalid_arg "Qft.circuit: need at least one qubit";
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  for i = 0 to n - 1 do
+    add (Gate.Single (H, i));
+    for j = i + 1 to n - 1 do
+      if keep (j - i) then begin
+        let theta = Float.pi /. Float.pow 2.0 (float_of_int (j - i)) in
+        List.iter add (Decompose.cphase theta j i)
+      end
+    done
+  done;
+  Circuit.create ~n_qubits:n (List.rev !gates)
+
+let circuit n = build n ~keep:(fun _ -> true)
+
+let approximate n ~degree =
+  if degree < 1 then invalid_arg "Qft.approximate: degree must be >= 1";
+  build n ~keep:(fun d -> d < degree)

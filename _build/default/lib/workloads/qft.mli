@@ -1,0 +1,19 @@
+module Circuit = Quantum.Circuit
+
+(** Quantum Fourier Transform circuits (the paper's "qft" benchmark
+    family). Controlled-phase gates are decomposed into the elementary
+    {Rz, CNOT} set (2 CNOTs + 3 Rz each, {!Quantum.Decompose.cphase}),
+    matching the paper's IBM gate-set assumption. The trailing qubit
+    reversal of the textbook QFT is omitted — it is pure relabelling and
+    contributes nothing to routing. *)
+
+val circuit : int -> Circuit.t
+(** [circuit n] is the n-qubit QFT: n Hadamards and n(n−1)/2 controlled
+    phases, i.e. n(n−1) CNOTs in elementary gates. Every qubit pair
+    interacts, which makes QFT the adversarial dense workload of
+    Section V. *)
+
+val approximate : int -> degree:int -> Circuit.t
+(** [approximate n ~degree] is the approximate QFT keeping only
+    controlled phases between qubits at distance < [degree] — the
+    standard AQFT; linear-depth interaction pattern for small degrees. *)

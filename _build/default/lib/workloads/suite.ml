@@ -1,0 +1,88 @@
+module Circuit = Quantum.Circuit
+
+type cls = Small | Sim | Qft | Large
+
+type row = {
+  name : string;
+  cls : cls;
+  n : int;
+  paper_g_ori : int;
+  paper_bka_g_add : int option;
+  paper_bka_time_s : float option;
+  paper_g_la : int;
+  paper_g_op : int;
+  circuit : Circuit.t Lazy.t;
+}
+
+let synthetic name n gates =
+  lazy (Random_reversible.of_name ~name ~n ~gates)
+
+(* Trotter step count chosen so the structural generator lands close to
+   the paper's gate count: gates = n + steps * (4n - 3). *)
+let ising_row n paper_g_ori =
+  let steps =
+    max 1 (int_of_float (Float.round (float_of_int (paper_g_ori - n) /. float_of_int ((4 * n) - 3))))
+  in
+  lazy (Ising.circuit ~steps n)
+
+let row name cls n paper_g_ori bka bka_t g_la g_op circuit =
+  {
+    name;
+    cls;
+    n;
+    paper_g_ori;
+    paper_bka_g_add = bka;
+    paper_bka_time_s = bka_t;
+    paper_g_la = g_la;
+    paper_g_op = g_op;
+    circuit;
+  }
+
+let all =
+  [
+    (* small quantum arithmetic *)
+    row "4mod5-v1_22" Small 5 21 (Some 15) (Some 0.) 6 0 (synthetic "4mod5-v1_22" 5 21);
+    row "mod5mils_65" Small 5 35 (Some 18) (Some 0.) 12 0 (synthetic "mod5mils_65" 5 35);
+    row "alu-v0_27" Small 5 36 (Some 33) (Some 0.) 30 3 (synthetic "alu-v0_27" 5 36);
+    row "decod24-v2_43" Small 4 52 (Some 27) (Some 0.) 9 0 (synthetic "decod24-v2_43" 4 52);
+    row "4gt13_92" Small 5 66 (Some 42) (Some 0.) 18 0 (synthetic "4gt13_92" 5 66);
+    (* quantum simulation *)
+    row "ising_model_10" Sim 10 480 (Some 18) (Some 1.37) 39 0 (ising_row 10 480);
+    row "ising_model_13" Sim 13 633 (Some 60) (Some 42.46) 66 0 (ising_row 13 633);
+    row "ising_model_16" Sim 16 786 None None 84 0 (ising_row 16 786);
+    (* quantum fourier transform *)
+    row "qft_10" Qft 10 200 (Some 66) (Some 0.22) 93 54 (lazy (Qft.circuit 10));
+    row "qft_13" Qft 13 403 (Some 177) (Some 266.27) 204 93 (lazy (Qft.circuit 13));
+    row "qft_16" Qft 16 512 (Some 267) (Some 474.81) 276 186 (lazy (Qft.circuit 16));
+    row "qft_20" Qft 20 970 None None 429 372 (lazy (Qft.circuit 20));
+    (* large quantum arithmetic *)
+    row "rd84_142" Large 15 343 (Some 138) (Some 1.97) 243 105 (synthetic "rd84_142" 15 343);
+    row "adr4_197" Large 13 3439 (Some 1722) (Some 4.53) 2112 1614 (synthetic "adr4_197" 13 3439);
+    row "radd_250" Large 13 3213 (Some 1434) (Some 2.23) 1488 1275 (synthetic "radd_250" 13 3213);
+    row "z4_268" Large 11 3073 (Some 1383) (Some 1.15) 1695 1365 (synthetic "z4_268" 11 3073);
+    row "sym6_145" Large 14 3888 (Some 1806) (Some 0.56) 1650 1272 (synthetic "sym6_145" 14 3888);
+    row "misex1_241" Large 15 4813 (Some 2097) (Some 0.3) 2904 1521 (synthetic "misex1_241" 15 4813);
+    row "rd73_252" Large 10 5321 (Some 2160) (Some 1.19) 2391 2133 (synthetic "rd73_252" 10 5321);
+    row "cycle10_2_110" Large 12 6050 (Some 2802) (Some 1.31) 2622 2622 (synthetic "cycle10_2_110" 12 6050);
+    row "square_root_7" Large 15 7630 (Some 3132) (Some 2.81) 5049 2598 (synthetic "square_root_7" 15 7630);
+    row "sqn_258" Large 10 10223 (Some 4737) (Some 16.92) 5934 4344 (synthetic "sqn_258" 10 10223);
+    row "rd84_253" Large 12 13658 (Some 6483) (Some 15.25) 7668 6147 (synthetic "rd84_253" 12 13658);
+    row "co14_215" Large 15 17936 (Some 9183) (Some 18.37) 10128 8982 (synthetic "co14_215" 15 17936);
+    row "sym9_193" Large 10 34881 (Some 17496) (Some 72.61) 26355 16653 (synthetic "sym9_193" 10 34881);
+    row "9symml_195" Large 11 34881 (Some 17496) (Some 81.73) 25368 17268 (synthetic "9symml_195" 11 34881);
+  ]
+
+let find name = List.find (fun r -> String.equal r.name name) all
+let by_class c = List.filter (fun r -> r.cls = c) all
+
+let class_name = function
+  | Small -> "small"
+  | Sim -> "sim"
+  | Qft -> "qft"
+  | Large -> "large"
+
+let figure8_names =
+  [
+    "qft_10"; "qft_13"; "qft_16"; "qft_20"; "rd84_142"; "radd_250";
+    "cycle10_2_110"; "co14_215"; "sym9_193";
+  ]

@@ -1,0 +1,41 @@
+module Circuit = Quantum.Circuit
+
+(** The 26-benchmark evaluation suite of paper Table II.
+
+    Each row carries the paper's reported numbers (original gates, BKA
+    added gates or OOM, SABRE's look-ahead-only and final added gates) so
+    the benchmark harness can print paper-vs-measured side by side.
+
+    Circuit provenance per class (see DESIGN.md §3):
+    - [Small] and [Large] rows are seeded synthetic reversible circuits
+      with the paper's exact width and gate count;
+    - [Sim] rows are real Ising-model simulations ({!Ising});
+    - [Qft] rows are real QFTs ({!Qft}); their elementary gate count
+      differs slightly from the paper's where the paper used truncated
+      variants. *)
+
+type cls = Small | Sim | Qft | Large
+
+type row = {
+  name : string;  (** benchmark name as printed in Table II *)
+  cls : cls;
+  n : int;  (** logical qubits *)
+  paper_g_ori : int;  (** paper's original gate count *)
+  paper_bka_g_add : int option;  (** BKA added gates; [None] = OOM *)
+  paper_bka_time_s : float option;  (** BKA runtime; [None] = OOM *)
+  paper_g_la : int;  (** SABRE after first (look-ahead) traversal *)
+  paper_g_op : int;  (** SABRE after reverse traversal (final) *)
+  circuit : Circuit.t Lazy.t;  (** our reproduction of the workload *)
+}
+
+val all : row list
+(** All 26 rows, in Table II order. *)
+
+val find : string -> row
+(** Look up a row by name. Raises [Not_found]. *)
+
+val by_class : cls -> row list
+val class_name : cls -> string
+
+val figure8_names : string list
+(** The 9 benchmarks swept in paper Figure 8. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Hardware Quantum Sabre Sim Workloads

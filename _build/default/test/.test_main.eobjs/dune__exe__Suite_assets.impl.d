@@ -1,0 +1,1 @@
+test/suite_assets.ml: Alcotest Complex Filename Hardware Helpers List Printf Quantum Sabre Sim

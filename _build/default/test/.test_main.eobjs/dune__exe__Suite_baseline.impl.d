@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest Baseline Hardware Helpers Int List Printf Quantum Sabre Workloads

@@ -1,0 +1,1 @@
+test/suite_circuit.ml: Alcotest List Quantum Workloads

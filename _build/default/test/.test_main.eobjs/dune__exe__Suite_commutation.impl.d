@@ -1,0 +1,1 @@
+test/suite_commutation.ml: Alcotest Hardware Helpers List Printf Quantum Random Sabre Sim Workloads

@@ -1,0 +1,1 @@
+test/suite_compiler.ml: Alcotest Hardware Helpers List Printf Quantum Sabre Sim Workloads

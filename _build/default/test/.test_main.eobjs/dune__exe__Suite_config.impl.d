@@ -1,0 +1,1 @@
+test/suite_config.ml: Alcotest Sabre

@@ -1,0 +1,1 @@
+test/suite_coupling.ml: Alcotest Array Hardware List

@@ -1,0 +1,1 @@
+test/suite_dag.ml: Alcotest Array List Quantum

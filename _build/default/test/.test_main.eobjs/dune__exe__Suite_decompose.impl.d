@@ -1,0 +1,1 @@
+test/suite_decompose.ml: Alcotest Complex Float List Quantum Sim

@@ -1,0 +1,1 @@
+test/suite_depth.ml: Alcotest Array List Quantum Workloads

@@ -1,0 +1,1 @@
+test/suite_devices.ml: Alcotest Hardware List

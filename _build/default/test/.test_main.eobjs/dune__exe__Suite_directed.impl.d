@@ -1,0 +1,1 @@
+test/suite_directed.ml: Alcotest Hardware List Quantum Sabre Sim Workloads

@@ -1,0 +1,1 @@
+test/suite_equivalence.ml: Alcotest Hardware Quantum Sabre Sim Workloads

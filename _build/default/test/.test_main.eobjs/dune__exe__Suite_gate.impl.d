@@ -1,0 +1,1 @@
+test/suite_gate.ml: Alcotest List Quantum

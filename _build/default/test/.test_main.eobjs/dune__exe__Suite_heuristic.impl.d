@@ -1,0 +1,1 @@
+test/suite_heuristic.ml: Alcotest Array Hardware Sabre

@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Array Baseline Complex Hardware List Printf Quantum Sabre Sim Workloads

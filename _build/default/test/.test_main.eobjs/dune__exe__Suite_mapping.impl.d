@@ -1,0 +1,1 @@
+test/suite_mapping.ml: Alcotest Array Random Sabre

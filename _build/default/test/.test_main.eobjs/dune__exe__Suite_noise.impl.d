@@ -1,0 +1,1 @@
+test/suite_noise.ml: Alcotest Array Hardware Helpers List Printf Quantum Sabre Workloads

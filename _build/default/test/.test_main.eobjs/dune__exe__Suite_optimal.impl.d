@@ -1,0 +1,1 @@
+test/suite_optimal.ml: Alcotest Baseline Hardware Helpers List Printf Quantum Sabre Workloads

@@ -1,0 +1,1 @@
+test/suite_optimize.ml: Alcotest Hardware Helpers List Printf Quantum Sabre Sim Workloads

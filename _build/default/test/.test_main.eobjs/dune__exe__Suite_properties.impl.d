@@ -1,0 +1,1 @@
+test/suite_properties.ml: Array Baseline Float Format Hardware Hashtbl List QCheck QCheck_alcotest Quantum Random Sabre Sim

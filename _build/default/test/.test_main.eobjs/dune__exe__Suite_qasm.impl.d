@@ -1,0 +1,1 @@
+test/suite_qasm.ml: Alcotest Complex Filename Float List Quantum Sim Sys Workloads

@@ -1,0 +1,1 @@
+test/suite_render.ml: Alcotest Array Hardware Helpers List Quantum String Workloads

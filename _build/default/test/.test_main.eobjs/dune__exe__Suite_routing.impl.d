@@ -1,0 +1,1 @@
+test/suite_routing.ml: Alcotest Array Hardware Helpers List Printf Quantum Random Sabre Workloads

@@ -1,0 +1,1 @@
+test/suite_statevector.ml: Alcotest Complex Float List Printf Quantum Random Sim Workloads

@@ -1,0 +1,1 @@
+test/suite_tracker.ml: Alcotest Hardware Quantum Sim

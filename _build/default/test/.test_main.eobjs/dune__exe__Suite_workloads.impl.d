@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Array Complex Float Lazy List Printf Quantum Sim Workloads

@@ -1,0 +1,86 @@
+(* Tests over the sample OpenQASM files shipped in circuits/. *)
+
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let load name = Quantum.Qasm.of_file (Filename.concat "../circuits" name)
+
+let test_adder_asset () =
+  let c = load "cuccaro_adder_2bit.qasm" in
+  check Alcotest.int "qubits" 6 (Circuit.n_qubits c);
+  (* layout: cin=0, a=1,2, b=3,4, cout=5; check 3 + 2 = 5 (b := a+b) *)
+  let a_val = 3 and b_val = 2 in
+  let input =
+    (if a_val land 1 <> 0 then 1 lsl 1 else 0)
+    lor (if a_val land 2 <> 0 then 1 lsl 2 else 0)
+    lor (if b_val land 1 <> 0 then 1 lsl 3 else 0)
+    lor if b_val land 2 <> 0 then 1 lsl 4 else 0
+  in
+  let s = Sim.Statevector.of_basis 6 input in
+  Sim.Statevector.apply_circuit ~drop_measurements:true s c;
+  let result = ref (-1) in
+  for k = 0 to 63 do
+    if Complex.norm (Sim.Statevector.amplitude s k) > 0.99 then result := k
+  done;
+  check Alcotest.bool "deterministic" true (!result >= 0);
+  let sum =
+    ((!result lsr 3) land 1)
+    lor (((!result lsr 4) land 1) lsl 1)
+    lor (((!result lsr 5) land 1) lsl 2)
+  in
+  check Alcotest.int "3+2=5" 5 sum
+
+let test_bell_asset_routes_everywhere () =
+  let c = load "bell_swap_test.qasm" in
+  List.iter
+    (fun (name, device) ->
+      if Hardware.Coupling.n_qubits device >= 5 then begin
+        let r = Sabre.Compiler.run device c in
+        Helpers.assert_compiler_result ~coupling:device ~logical:c r name
+      end)
+    Hardware.Devices.all_named
+
+let test_qpe_asset_reads_phase () =
+  (* T has eigenphase 1/8: a 3-bit QPE must read the counting register
+     deterministically as the integer 1 (in one of the two bit orders) *)
+  let c = load "qpe_3bit.qasm" in
+  check Alcotest.int "4 qubits" 4 (Circuit.n_qubits c);
+  let s = Sim.Statevector.create 4 in
+  Sim.Statevector.apply_circuit ~drop_measurements:true s c;
+  let outcome = ref (-1) in
+  for k = 0 to 15 do
+    if Complex.norm2 (Sim.Statevector.amplitude s k) > 0.98 then outcome := k
+  done;
+  check Alcotest.bool "deterministic" true (!outcome >= 0);
+  let counting = !outcome land 0b111 in
+  let lsb_first = counting in
+  let msb_first =
+    ((counting land 1) lsl 2) lor (counting land 2) lor ((counting lsr 2) land 1)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "reads 1/8 (counting=%d)" counting)
+    true
+    (lsb_first = 1 || msb_first = 1)
+
+let test_assets_route_and_roundtrip () =
+  let device = Hardware.Devices.ibm_q20_tokyo () in
+  List.iter
+    (fun name ->
+      let c = load name in
+      let r = Sabre.Compiler.run device c in
+      Helpers.assert_compiler_result ~coupling:device ~logical:c r name;
+      let back = Quantum.Qasm.of_string (Quantum.Qasm.to_string r.physical) in
+      check Alcotest.bool (name ^ " roundtrip") true
+        (Circuit.equal r.physical back))
+    [ "cuccaro_adder_2bit.qasm"; "bell_swap_test.qasm"; "qpe_3bit.qasm" ]
+
+let suite =
+  [
+    tc "cuccaro adder asset adds" `Quick test_adder_asset;
+    tc "bell asset routes everywhere" `Quick test_bell_asset_routes_everywhere;
+    tc "qpe asset reads the phase" `Quick test_qpe_asset_reads_phase;
+    tc "assets route and roundtrip" `Quick test_assets_route_and_roundtrip;
+  ]

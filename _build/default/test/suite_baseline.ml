@@ -1,0 +1,228 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+module Layering = Baseline.Layering
+module Greedy = Baseline.Greedy_router
+module Bka = Baseline.Bka
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Layering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_greedy () =
+  let c =
+    Circuit.create ~n_qubits:4
+      [ Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 2); Gate.Cnot (0, 3) ]
+  in
+  let layers = Layering.partition c in
+  check Alcotest.int "two layers" 2 (List.length layers);
+  check Alcotest.int "first layer" 2
+    (List.length (List.nth layers 0).Layering.gates);
+  check Alcotest.int "second layer" 2
+    (List.length (List.nth layers 1).Layering.gates)
+
+let test_partition_layers_disjoint () =
+  let c = Helpers.random_circuit ~seed:17 ~n:8 ~gates:60 in
+  List.iter
+    (fun layer ->
+      let qs = List.concat_map Gate.qubits layer.Layering.gates in
+      check Alcotest.int "no qubit reuse inside layer"
+        (List.length qs)
+        (List.length (List.sort_uniq Int.compare qs)))
+    (Layering.partition c)
+
+let test_partition_preserves_gates () =
+  let c = Helpers.random_circuit ~seed:18 ~n:6 ~gates:40 in
+  let flattened =
+    List.concat_map (fun l -> l.Layering.gates) (Layering.partition c)
+  in
+  check Alcotest.int "same count" (Circuit.length c) (List.length flattened)
+
+let test_partition_asap_wider () =
+  (* ASAP layering exposes at least as much concurrency as greedy *)
+  let c = Workloads.Ising.circuit ~steps:2 8 in
+  let greedy = List.length (Layering.partition c) in
+  let asap = List.length (Layering.partition_asap c) in
+  check Alcotest.bool
+    (Printf.sprintf "asap %d <= greedy %d" asap greedy)
+    true (asap <= greedy)
+
+let test_partition_asap_respects_dependencies () =
+  let c = Helpers.random_circuit ~seed:19 ~n:6 ~gates:50 in
+  let flattened =
+    List.concat_map (fun l -> l.Layering.gates) (Layering.partition_asap c)
+  in
+  let relinearised = Circuit.create ~n_qubits:6 flattened in
+  check Alcotest.bool "same partial order" true
+    (Circuit.equal_up_to_reordering c relinearised)
+
+let test_barrier_closes_layer () =
+  let c =
+    Circuit.create ~n_qubits:4
+      [ Gate.Cnot (0, 1); Gate.Barrier [ 0; 1; 2; 3 ]; Gate.Cnot (2, 3) ]
+  in
+  check Alcotest.int "two layers" 2 (List.length (Layering.partition c))
+
+(* ------------------------------------------------------------------ *)
+(* Greedy router                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let verify_greedy device c (r : Greedy.result) label =
+  Helpers.assert_routed ~coupling:device
+    ~initial:(Mapping.l2p_array r.initial_mapping)
+    ~final:(Mapping.l2p_array r.final_mapping)
+    ~logical:c ~physical:r.physical label
+
+let test_greedy_correct () =
+  let device = Devices.ibm_q5_yorktown () in
+  let c = Workloads.Qft.circuit 5 in
+  let r = Greedy.run device c in
+  verify_greedy device c r "greedy qft5";
+  check Alcotest.bool "swaps inserted" true (r.n_swaps > 0)
+
+let test_greedy_no_swaps_when_adjacent () =
+  let device = Devices.linear 4 in
+  let c = Workloads.Ghz.circuit 4 in
+  let r = Greedy.run device c in
+  check Alcotest.int "zero" 0 r.n_swaps
+
+let test_greedy_respects_given_initial () =
+  let device = Devices.linear 4 in
+  let c = Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1) ] in
+  let m = Mapping.of_array ~n_physical:4 [| 0; 3 |] in
+  let r = Greedy.run ~initial:m device c in
+  check Alcotest.int "distance-1 swaps" 2 r.n_swaps;
+  verify_greedy device c r "greedy initial"
+
+let test_greedy_on_tokyo_random () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:23 ~n:16 ~gates:200 in
+  let r = Greedy.run device c in
+  verify_greedy device c r "greedy tokyo"
+
+(* ------------------------------------------------------------------ *)
+(* BKA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let verify_bka device c (r : Bka.result) label =
+  Helpers.assert_routed ~coupling:device
+    ~initial:(Mapping.l2p_array r.initial_mapping)
+    ~final:(Mapping.l2p_array r.final_mapping)
+    ~logical:c ~physical:r.physical label
+
+let run_bka ?config device c =
+  match Bka.run ?config device c with
+  | Ok r -> r
+  | Error f -> Alcotest.failf "BKA failed: %a" Bka.pp_failure f
+
+let test_bka_correct_small () =
+  let device = Devices.ibm_q5_yorktown () in
+  let c = Workloads.Qft.circuit 5 in
+  let r = run_bka device c in
+  verify_bka device c r "bka qft5"
+
+let test_bka_correct_tokyo () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:29 ~n:10 ~gates:150 in
+  let r = run_bka device c in
+  verify_bka device c r "bka tokyo"
+
+let test_bka_no_swaps_when_adjacent () =
+  (* a 3-qubit chain is placed perfectly by BKA's greedy first-gates
+     heuristic; longer chains are not (its initial mapping lacks global
+     view — the weakness Section IV-C2 calls out) *)
+  let device = Devices.linear 3 in
+  let c = Workloads.Ghz.circuit 3 in
+  let r = run_bka device c in
+  check Alcotest.int "zero" 0 r.n_swaps
+
+let test_bka_initial_mapping_not_global () =
+  (* documents the paper's observation: on a 5-chain the beginning-of-
+     circuit placement paints itself into a corner and needs SWAPs,
+     while SABRE's reverse traversal finds the perfect embedding *)
+  let device = Devices.linear 5 in
+  let c = Workloads.Ghz.circuit 5 in
+  let bka = run_bka device c in
+  let sabre = Sabre.Compiler.run device c in
+  check Alcotest.bool "bka pays swaps" true (bka.n_swaps > 0);
+  check Alcotest.int "sabre finds the embedding" 0 sabre.stats.n_swaps
+
+let test_bka_initial_mapping_places_first_gates () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Circuit.create ~n_qubits:4 [ Gate.Cnot (0, 1); Gate.Cnot (2, 3) ] in
+  let m = Bka.initial_mapping device c in
+  check Alcotest.bool "first pair adjacent" true
+    (Coupling.connected device (Mapping.to_physical m 0)
+       (Mapping.to_physical m 1));
+  check Alcotest.bool "second pair adjacent" true
+    (Coupling.connected device (Mapping.to_physical m 2)
+       (Mapping.to_physical m 3))
+
+let test_bka_budget_exhaustion () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Ising.circuit ~steps:2 16 in
+  match
+    Bka.run ~config:{ Bka.default_config with node_budget = 1_000 } device c
+  with
+  | Error (Bka.Node_budget_exhausted { nodes; _ }) ->
+    check Alcotest.bool "reported nodes beyond budget" true (nodes > 1_000)
+  | Ok _ -> Alcotest.fail "expected OOM with tiny budget"
+
+let test_bka_beats_greedy_on_average () =
+  (* the paper's quality ordering: BKA < greedy in added swaps *)
+  let device = Devices.ibm_q20_tokyo () in
+  let total_bka = ref 0 and total_greedy = ref 0 in
+  for seed = 1 to 3 do
+    let c = Helpers.random_circuit ~seed ~n:12 ~gates:120 in
+    let b = run_bka device c in
+    let g = Greedy.run ~initial:b.initial_mapping device c in
+    total_bka := !total_bka + b.n_swaps;
+    total_greedy := !total_greedy + g.n_swaps
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "bka %d <= greedy %d" !total_bka !total_greedy)
+    true (!total_bka <= !total_greedy)
+
+let test_heap_order () =
+  let h = Baseline.Heap.create () in
+  check Alcotest.bool "empty" true (Baseline.Heap.is_empty h);
+  List.iter (fun (p, v) -> Baseline.Heap.push h p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (1.0, "a2") ];
+  check Alcotest.int "size" 4 (Baseline.Heap.size h);
+  let pop () =
+    match Baseline.Heap.pop h with Some (_, v) -> v | None -> "<empty>"
+  in
+  check Alcotest.string "min first" "a" (pop ());
+  check Alcotest.string "fifo tie" "a2" (pop ());
+  check Alcotest.string "then b" "b" (pop ());
+  check Alcotest.string "then c" "c" (pop ());
+  check Alcotest.bool "drained" true (Baseline.Heap.pop h = None)
+
+let suite =
+  [
+    tc "layering: greedy partition" `Quick test_partition_greedy;
+    tc "layering: layers disjoint" `Quick test_partition_layers_disjoint;
+    tc "layering: gates preserved" `Quick test_partition_preserves_gates;
+    tc "layering: asap not wider than greedy" `Quick test_partition_asap_wider;
+    tc "layering: asap respects dependencies" `Quick
+      test_partition_asap_respects_dependencies;
+    tc "layering: barrier closes layer" `Quick test_barrier_closes_layer;
+    tc "greedy: correct" `Quick test_greedy_correct;
+    tc "greedy: no swaps when adjacent" `Quick test_greedy_no_swaps_when_adjacent;
+    tc "greedy: respects given initial" `Quick test_greedy_respects_given_initial;
+    tc "greedy: tokyo random" `Quick test_greedy_on_tokyo_random;
+    tc "bka: correct small" `Quick test_bka_correct_small;
+    tc "bka: correct tokyo" `Quick test_bka_correct_tokyo;
+    tc "bka: no swaps when adjacent" `Quick test_bka_no_swaps_when_adjacent;
+    tc "bka: initial mapping not global" `Quick test_bka_initial_mapping_not_global;
+    tc "bka: initial mapping places first gates" `Quick
+      test_bka_initial_mapping_places_first_gates;
+    tc "bka: budget exhaustion" `Quick test_bka_budget_exhaustion;
+    tc "bka: beats greedy" `Slow test_bka_beats_greedy_on_average;
+    tc "heap: ordering" `Quick test_heap_order;
+  ]

@@ -1,0 +1,49 @@
+module Config = Sabre.Config
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let valid c = match Config.validate c with Ok () -> true | Error _ -> false
+
+let test_default_matches_paper () =
+  let d = Config.default in
+  check Alcotest.bool "validates" true (valid d);
+  check Alcotest.int "|E| = 20" 20 d.extended_set_size;
+  check (Alcotest.float 0.) "W = 0.5" 0.5 d.extended_set_weight;
+  check (Alcotest.float 0.) "delta = 0.001" 0.001 d.decay_increment;
+  check Alcotest.int "reset every 5" 5 d.decay_reset_interval;
+  check Alcotest.int "5 trials" 5 d.trials;
+  check Alcotest.int "3 traversals" 3 d.traversals;
+  check Alcotest.bool "decay heuristic" true (d.heuristic = Config.Decay)
+
+let test_validation_rejects () =
+  let d = Config.default in
+  check Alcotest.bool "negative E" false
+    (valid { d with extended_set_size = -1 });
+  check Alcotest.bool "weight 1.0" false
+    (valid { d with extended_set_weight = 1.0 });
+  check Alcotest.bool "negative weight" false
+    (valid { d with extended_set_weight = -0.1 });
+  check Alcotest.bool "negative delta" false
+    (valid { d with decay_increment = -0.001 });
+  check Alcotest.bool "zero reset" false
+    (valid { d with decay_reset_interval = 0 });
+  check Alcotest.bool "zero trials" false (valid { d with trials = 0 });
+  check Alcotest.bool "even traversals" false (valid { d with traversals = 2 });
+  check Alcotest.bool "zero traversals" false (valid { d with traversals = 0 });
+  check Alcotest.bool "bad stall limit" false
+    (valid { d with stall_limit = Some 0 })
+
+let test_validation_accepts_variants () =
+  let d = Config.default in
+  check Alcotest.bool "single traversal" true (valid { d with traversals = 1 });
+  check Alcotest.bool "five traversals" true (valid { d with traversals = 5 });
+  check Alcotest.bool "zero E with basic" true
+    (valid { d with extended_set_size = 0; heuristic = Config.Basic });
+  check Alcotest.bool "zero delta" true (valid { d with decay_increment = 0.0 })
+
+let suite =
+  [
+    tc "default matches paper Section V" `Quick test_default_matches_paper;
+    tc "validation rejects bad params" `Quick test_validation_rejects;
+    tc "validation accepts variants" `Quick test_validation_accepts_variants;
+  ]

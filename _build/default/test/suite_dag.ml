@@ -1,0 +1,104 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let ints = Alcotest.list Alcotest.int
+
+(* The paper's Fig. 4 example shape: g1(q2,q3) g2(q6,q4) g3(q2,q4)
+   g4(q1,q4) ... reduced to its two-qubit skeleton. *)
+let fig4 () =
+  Circuit.create ~n_qubits:7
+    [
+      Gate.Cnot (2, 3);  (* 0: g1 *)
+      Gate.Cnot (6, 4);  (* 1: g2 *)
+      Gate.Cnot (2, 4);  (* 2: g3, depends on g1 (q2) and g2 (q4) *)
+      Gate.Cnot (1, 4);  (* 3: g4, depends on g3 (q4) *)
+      Gate.Cnot (4, 5);  (* 4: g5, depends on g4 (q4) *)
+    ]
+
+let test_initial_front () =
+  let d = Dag.of_circuit (fig4 ()) in
+  check ints "front = g1 g2" [ 0; 1 ] (Dag.initial_front d)
+
+let test_dependencies () =
+  let d = Dag.of_circuit (fig4 ()) in
+  check ints "g3 preds" [ 0; 1 ] (Dag.predecessors d 2);
+  check ints "g3 succs" [ 3 ] (Dag.successors d 2);
+  check ints "g4 preds" [ 2 ] (Dag.predecessors d 3);
+  check ints "g5 preds" [ 3 ] (Dag.predecessors d 4);
+  check Alcotest.int "g1 indegree" 0 (Dag.in_degree d 0);
+  check Alcotest.int "g3 indegree" 2 (Dag.in_degree d 2)
+
+let test_single_qubit_gates_chain () =
+  let c =
+    Circuit.create ~n_qubits:2
+      [ Gate.Single (H, 0); Gate.Single (T, 0); Gate.Cnot (0, 1) ]
+  in
+  let d = Dag.of_circuit c in
+  check ints "H first" [ 0 ] (Dag.initial_front d);
+  check ints "T after H" [ 1 ] (Dag.successors d 0);
+  check ints "CX after T" [ 2 ] (Dag.successors d 1)
+
+let test_duplicate_edge_collapsed () =
+  (* two gates sharing BOTH qubits create one dependency, not two *)
+  let c = Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1); Gate.Cnot (1, 0) ] in
+  let d = Dag.of_circuit c in
+  check ints "single pred" [ 0 ] (Dag.predecessors d 1);
+  check Alcotest.int "indegree 1" 1 (Dag.in_degree d 1)
+
+let test_topological_order () =
+  let d = Dag.of_circuit (fig4 ()) in
+  let order = Dag.topological_order d in
+  check Alcotest.int "all nodes" 5 (List.length order);
+  let pos = Array.make 5 0 in
+  List.iteri (fun i node -> pos.(node) <- i) order;
+  List.iter
+    (fun node ->
+      List.iter
+        (fun succ ->
+          check Alcotest.bool "edge respected" true (pos.(node) < pos.(succ)))
+        (Dag.successors d node))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_two_qubit_nodes () =
+  let c =
+    Circuit.create ~n_qubits:2
+      [ Gate.Single (H, 0); Gate.Cnot (0, 1); Gate.Measure (0, 0) ]
+  in
+  let d = Dag.of_circuit c in
+  check ints "only cnot" [ 1 ] (Dag.two_qubit_nodes d)
+
+let test_descendant_count () =
+  let d = Dag.of_circuit (fig4 ()) in
+  check Alcotest.int "g1 reaches g3 g4 g5" 3 (Dag.descendant_count d 0);
+  check Alcotest.int "g5 reaches none" 0 (Dag.descendant_count d 4)
+
+let test_empty_circuit () =
+  let d = Dag.of_circuit (Circuit.empty 3) in
+  check Alcotest.int "no nodes" 0 (Dag.n_nodes d);
+  check ints "no front" [] (Dag.initial_front d)
+
+let test_barrier_orders () =
+  let c =
+    Circuit.create ~n_qubits:2
+      [ Gate.Single (H, 0); Gate.Barrier [ 0; 1 ]; Gate.Single (T, 1) ]
+  in
+  let d = Dag.of_circuit c in
+  (* T(q1) must wait for the barrier, which waits for H(q0) *)
+  check ints "barrier preds" [ 0 ] (Dag.predecessors d 1);
+  check ints "t preds" [ 1 ] (Dag.predecessors d 2)
+
+let suite =
+  [
+    tc "initial front (Fig. 4)" `Quick test_initial_front;
+    tc "dependencies (Fig. 4)" `Quick test_dependencies;
+    tc "single-qubit chain" `Quick test_single_qubit_gates_chain;
+    tc "duplicate edges collapsed" `Quick test_duplicate_edge_collapsed;
+    tc "topological order" `Quick test_topological_order;
+    tc "two_qubit_nodes" `Quick test_two_qubit_nodes;
+    tc "descendant_count" `Quick test_descendant_count;
+    tc "empty circuit" `Quick test_empty_circuit;
+    tc "barrier orders" `Quick test_barrier_orders;
+  ]

@@ -1,0 +1,111 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Decompose = Quantum.Decompose
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let equiv a b = Sim.Equivalence.circuits_equivalent a b
+
+let test_swap_is_three_cnots () =
+  let g = Decompose.swap_to_cnots 0 1 in
+  check Alcotest.int "three gates" 3 (List.length g);
+  List.iter
+    (fun gate -> check Alcotest.bool "cnot" true (Gate.name gate = "cx"))
+    g
+
+let test_swap_unitary () =
+  let direct = Circuit.create ~n_qubits:2 [ Gate.Swap (0, 1) ] in
+  let expanded = Circuit.create ~n_qubits:2 (Decompose.swap_to_cnots 0 1) in
+  check Alcotest.bool "equivalent" true (equiv direct expanded)
+
+let test_cz_unitary () =
+  let direct = Circuit.create ~n_qubits:2 [ Gate.Cz (0, 1) ] in
+  let expanded = Circuit.create ~n_qubits:2 (Decompose.cz_to_cnot 0 1) in
+  check Alcotest.bool "equivalent" true (equiv direct expanded)
+
+let test_cz_symmetric () =
+  let ab = Circuit.create ~n_qubits:2 [ Gate.Cz (0, 1) ] in
+  let ba = Circuit.create ~n_qubits:2 [ Gate.Cz (1, 0) ] in
+  check Alcotest.bool "cz direction-free" true (equiv ab ba)
+
+let test_cphase_unitary () =
+  (* cphase(pi) = CZ *)
+  let cz = Circuit.create ~n_qubits:2 [ Gate.Cz (0, 1) ] in
+  let cp = Circuit.create ~n_qubits:2 (Decompose.cphase Float.pi 0 1) in
+  check Alcotest.bool "cphase(pi) = cz" true (equiv cz cp)
+
+let test_cphase_symmetric () =
+  let a = Circuit.create ~n_qubits:2 (Decompose.cphase 0.7 0 1) in
+  let b = Circuit.create ~n_qubits:2 (Decompose.cphase 0.7 1 0) in
+  check Alcotest.bool "symmetric" true (equiv a b)
+
+let toffoli_truth c1 c2 t n =
+  (* check on all basis states that target flips iff both controls set *)
+  let circuit = Circuit.create ~n_qubits:n (Decompose.toffoli c1 c2 t) in
+  let ok = ref true in
+  for k = 0 to (1 lsl n) - 1 do
+    let s = Sim.Statevector.of_basis n k in
+    Sim.Statevector.apply_circuit s circuit;
+    let expected =
+      if k land (1 lsl c1) <> 0 && k land (1 lsl c2) <> 0 then
+        k lxor (1 lsl t)
+      else k
+    in
+    let amp = Sim.Statevector.amplitude s expected in
+    if Complex.norm amp < 0.999 then ok := false
+  done;
+  !ok
+
+let test_toffoli_truth_table () =
+  check Alcotest.bool "toffoli(0,1,2)" true (toffoli_truth 0 1 2 3);
+  check Alcotest.bool "toffoli(2,0,1)" true (toffoli_truth 2 0 1 3)
+
+let test_expand_swaps () =
+  let c =
+    Circuit.create ~n_qubits:3
+      [ Gate.Single (H, 0); Gate.Swap (0, 2); Gate.Cnot (0, 1) ]
+  in
+  let e = Decompose.expand_swaps c in
+  check Alcotest.int "5 gates" 5 (Circuit.length e);
+  check Alcotest.bool "no swap left" true
+    (List.for_all (fun g -> Gate.name g <> "swap") (Circuit.gates e));
+  check Alcotest.bool "unitary preserved" true (equiv c e)
+
+let test_expand_all () =
+  let c =
+    Circuit.create ~n_qubits:3 [ Gate.Cz (0, 1); Gate.Swap (1, 2) ]
+  in
+  let e = Decompose.expand_all c in
+  check Alcotest.bool "only elementary" true
+    (List.for_all
+       (fun g -> match g with Gate.Single _ | Gate.Cnot _ -> true | _ -> false)
+       (Circuit.gates e));
+  check Alcotest.bool "unitary preserved" true (equiv c e)
+
+let test_elementary_gate_count () =
+  let c =
+    Circuit.create ~n_qubits:3
+      [
+        Gate.Single (H, 0); Gate.Cnot (0, 1); Gate.Swap (1, 2); Gate.Cz (0, 1);
+        Gate.Barrier [ 0; 1 ]; Gate.Measure (0, 0);
+      ]
+  in
+  (* 1 + 1 + 3 + 3 + 0 + 0 *)
+  check Alcotest.int "count" 8 (Decompose.elementary_gate_count c);
+  check Alcotest.int "consistent with expansion" 8
+    (Circuit.gate_count (Decompose.expand_all c))
+
+let suite =
+  [
+    tc "swap = 3 cnots" `Quick test_swap_is_three_cnots;
+    tc "swap unitary" `Quick test_swap_unitary;
+    tc "cz unitary" `Quick test_cz_unitary;
+    tc "cz symmetric" `Quick test_cz_symmetric;
+    tc "cphase(pi) = cz" `Quick test_cphase_unitary;
+    tc "cphase symmetric" `Quick test_cphase_symmetric;
+    tc "toffoli truth table" `Quick test_toffoli_truth_table;
+    tc "expand_swaps" `Quick test_expand_swaps;
+    tc "expand_all" `Quick test_expand_all;
+    tc "elementary_gate_count" `Quick test_elementary_gate_count;
+  ]

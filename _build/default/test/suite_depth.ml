@@ -1,0 +1,105 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Depth = Quantum.Depth
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_empty () = check Alcotest.int "empty" 0 (Depth.depth (Circuit.empty 3))
+
+let test_parallel_gates_share_level () =
+  let c =
+    Circuit.create ~n_qubits:4 [ Gate.Cnot (0, 1); Gate.Cnot (2, 3) ]
+  in
+  check Alcotest.int "depth 1" 1 (Depth.depth c)
+
+let test_serial_gates_stack () =
+  let c =
+    Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 1); Gate.Cnot (1, 2) ]
+  in
+  check Alcotest.int "depth 2" 2 (Depth.depth c)
+
+let test_paper_example_fig3 () =
+  (* Fig. 3(c): 6 CNOTs on 4 qubits, depth 5 *)
+  let original =
+    Circuit.create ~n_qubits:4
+      [
+        Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+        Gate.Cnot (1, 2); Gate.Cnot (2, 3); Gate.Cnot (0, 3);
+      ]
+  in
+  check Alcotest.int "original depth" 5 (Depth.depth original);
+  (* Fig. 3(d): SWAP inserted after the third CNOT; depth 8 when the
+     SWAP is charged its 3-CNOT expansion *)
+  let updated =
+    Circuit.create ~n_qubits:4
+      [
+        Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+        Gate.Swap (0, 1);
+        Gate.Cnot (1, 2); Gate.Cnot (2, 3); Gate.Cnot (0, 3);
+      ]
+  in
+  check Alcotest.int "updated gates" 9
+    (Quantum.Decompose.elementary_gate_count updated);
+  check Alcotest.int "updated depth" 8 (Depth.depth_swap3 updated)
+
+let test_barrier_forces_level () =
+  let free =
+    Circuit.create ~n_qubits:2 [ Gate.Single (H, 0); Gate.Single (H, 1) ]
+  in
+  check Alcotest.int "parallel" 1 (Depth.depth free);
+  let fenced =
+    Circuit.create ~n_qubits:2
+      [ Gate.Single (H, 0); Gate.Barrier [ 0; 1 ]; Gate.Single (H, 1) ]
+  in
+  (* barrier takes no time but serialises across it *)
+  check Alcotest.int "serialised" 2 (Depth.depth fenced)
+
+let test_two_qubit_depth () =
+  let c =
+    Circuit.create ~n_qubits:2
+      [ Gate.Single (H, 0); Gate.Cnot (0, 1); Gate.Single (T, 1); Gate.Cnot (0, 1) ]
+  in
+  check Alcotest.int "cnot layers" 2 (Depth.two_qubit_depth c);
+  check Alcotest.int "full depth" 4 (Depth.depth c)
+
+let test_levels_monotone () =
+  let c = Workloads.Qft.circuit 5 in
+  let { Depth.levels; depth } = Depth.asap c in
+  Array.iter (fun l -> check Alcotest.bool "level in range" true (l >= 0 && l < depth)) levels
+
+let test_parallelism () =
+  let c =
+    Circuit.create ~n_qubits:4 [ Gate.Cnot (0, 1); Gate.Cnot (2, 3) ]
+  in
+  check (Alcotest.float 1e-9) "2 gates / 1 level" 2.0 (Depth.parallelism c);
+  check (Alcotest.float 1e-9) "empty" 0.0 (Depth.parallelism (Circuit.empty 2))
+
+let test_layers () =
+  let c =
+    Circuit.create ~n_qubits:3
+      [ Gate.Single (H, 0); Gate.Single (H, 1); Gate.Cnot (0, 1); Gate.Single (T, 2) ]
+  in
+  let layers = Depth.layers c in
+  check Alcotest.int "two layers" 2 (List.length layers);
+  check Alcotest.int "first layer size" 3 (List.length (List.nth layers 0));
+  check Alcotest.int "second layer size" 1 (List.length (List.nth layers 1))
+
+let test_layers_cover_all_gates () =
+  let c = Workloads.Ising.circuit ~steps:3 6 in
+  let total = List.fold_left (fun acc l -> acc + List.length l) 0 (Depth.layers c) in
+  check Alcotest.int "all gates in layers" (Circuit.length c) total
+
+let suite =
+  [
+    tc "empty" `Quick test_empty;
+    tc "parallel gates share level" `Quick test_parallel_gates_share_level;
+    tc "serial gates stack" `Quick test_serial_gates_stack;
+    tc "paper Fig. 3 depths" `Quick test_paper_example_fig3;
+    tc "barrier forces level" `Quick test_barrier_forces_level;
+    tc "two-qubit depth" `Quick test_two_qubit_depth;
+    tc "levels monotone" `Quick test_levels_monotone;
+    tc "parallelism" `Quick test_parallelism;
+    tc "layers" `Quick test_layers;
+    tc "layers cover all gates" `Quick test_layers_cover_all_gates;
+  ]

@@ -1,0 +1,123 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Directed = Hardware.Directed
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_create_and_queries () =
+  let d = Directed.create ~n_qubits:3 [ (0, 1); (2, 1) ] in
+  check Alcotest.int "qubits" 3 (Directed.n_qubits d);
+  check Alcotest.bool "0->1" true (Directed.allows d ~control:0 ~target:1);
+  check Alcotest.bool "1->0 blocked" false
+    (Directed.allows d ~control:1 ~target:0);
+  check Alcotest.bool "2->1" true (Directed.allows d ~control:2 ~target:1);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "arrows" [ (0, 1); (2, 1) ] (Directed.arrows d)
+
+let test_create_rejects () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "self loop" true
+    (raises (fun () -> Directed.create ~n_qubits:2 [ (1, 1) ]));
+  check Alcotest.bool "duplicate" true
+    (raises (fun () -> Directed.create ~n_qubits:2 [ (0, 1); (0, 1) ]));
+  check Alcotest.bool "out of range" true
+    (raises (fun () -> Directed.create ~n_qubits:2 [ (0, 5) ]))
+
+let test_underlying_collapse () =
+  (* both directions of a pair collapse to one undirected edge *)
+  let d = Directed.create ~n_qubits:3 [ (0, 1); (1, 0); (1, 2) ] in
+  let u = Directed.underlying d in
+  check Alcotest.int "two edges" 2 (Coupling.n_edges u);
+  check Alcotest.bool "0-1" true (Coupling.connected u 0 1);
+  check Alcotest.bool "1-2" true (Coupling.connected u 1 2)
+
+let test_qx_models () =
+  let qx2 = Directed.ibm_qx2 () in
+  check Alcotest.int "qx2 arrows" 6 (List.length (Directed.arrows qx2));
+  check Alcotest.bool "qx2 connected" true
+    (Coupling.is_connected_graph (Directed.underlying qx2));
+  let qx4 = Directed.ibm_qx4 () in
+  check Alcotest.int "qx4 arrows" 6 (List.length (Directed.arrows qx4));
+  check Alcotest.bool "qx4 connected" true
+    (Coupling.is_connected_graph (Directed.underlying qx4))
+
+let test_fix_allowed_passthrough () =
+  let d = Directed.create ~n_qubits:2 [ (0, 1) ] in
+  let c = Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1) ] in
+  let fixed = Directed.fix_directions d c in
+  check Alcotest.bool "unchanged" true (Circuit.equal c fixed);
+  check Alcotest.int "no overhead" 0 (Directed.overhead d c)
+
+let test_fix_reversed_cnot () =
+  let d = Directed.create ~n_qubits:2 [ (0, 1) ] in
+  let c = Circuit.create ~n_qubits:2 [ Gate.Cnot (1, 0) ] in
+  let fixed = Directed.fix_directions d c in
+  check Alcotest.int "4 extra gates" 5 (Circuit.length fixed);
+  check Alcotest.int "overhead" 4 (Directed.overhead d c);
+  (* semantics preserved *)
+  check Alcotest.bool "unitary" true (Sim.Equivalence.circuits_equivalent c fixed);
+  (* directions now legal *)
+  check Alcotest.bool "legal" true
+    (match Directed.check_directions d fixed with Ok () -> true | Error _ -> false)
+
+let test_fix_swap_and_cz () =
+  let d = Directed.create ~n_qubits:2 [ (0, 1) ] in
+  let c = Circuit.create ~n_qubits:2 [ Gate.Swap (0, 1); Gate.Cz (1, 0) ] in
+  let fixed = Directed.fix_directions d c in
+  check Alcotest.bool "unitary" true (Sim.Equivalence.circuits_equivalent c fixed);
+  check Alcotest.bool "legal" true
+    (match Directed.check_directions d fixed with Ok () -> true | Error _ -> false)
+
+let test_fix_uncoupled_raises () =
+  let d = Directed.create ~n_qubits:3 [ (0, 1) ] in
+  let c = Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 2) ] in
+  check Alcotest.bool "raises" true
+    (match Directed.fix_directions d c with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_check_directions_errors () =
+  let d = Directed.create ~n_qubits:2 [ (0, 1) ] in
+  let bad = Circuit.create ~n_qubits:2 [ Gate.Cnot (1, 0) ] in
+  (match Directed.check_directions d bad with
+  | Error g -> check Alcotest.bool "offender is cnot" true (Gate.name g = "cx")
+  | Ok () -> Alcotest.fail "should flag reversed cnot");
+  let swap = Circuit.create ~n_qubits:2 [ Gate.Swap (0, 1) ] in
+  check Alcotest.bool "swap flagged" true
+    (match Directed.check_directions d swap with Error _ -> true | Ok () -> false)
+
+let test_route_then_fix_end_to_end () =
+  (* full pipeline on QX2: SABRE on the symmetric collapse, then fix *)
+  let d = Directed.ibm_qx2 () in
+  let device = Directed.underlying d in
+  let circuit = Workloads.Qft.circuit 5 in
+  let r = Sabre.Compiler.run device circuit in
+  let fixed = Directed.fix_directions d r.physical in
+  check Alcotest.bool "directions legal" true
+    (match Directed.check_directions d fixed with Ok () -> true | Error _ -> false);
+  (* still semantically the routed circuit *)
+  check Alcotest.bool "unitary preserved" true
+    (Sim.Equivalence.circuits_equivalent
+       (Quantum.Decompose.expand_all r.physical)
+       fixed);
+  (* and still on real couplers *)
+  (match Sim.Tracker.check_compliance ~coupling:device fixed with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%a" Sim.Tracker.pp_error e)
+
+let suite =
+  [
+    tc "create and queries" `Quick test_create_and_queries;
+    tc "create rejects invalid" `Quick test_create_rejects;
+    tc "underlying collapse" `Quick test_underlying_collapse;
+    tc "qx2/qx4 models" `Quick test_qx_models;
+    tc "allowed cnot passes through" `Quick test_fix_allowed_passthrough;
+    tc "reversed cnot fixed" `Quick test_fix_reversed_cnot;
+    tc "swap and cz lowered" `Quick test_fix_swap_and_cz;
+    tc "uncoupled pair raises" `Quick test_fix_uncoupled_raises;
+    tc "check_directions errors" `Quick test_check_directions_errors;
+    tc "route then fix end-to-end" `Quick test_route_then_fix_end_to_end;
+  ]

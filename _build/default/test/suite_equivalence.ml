@@ -1,0 +1,127 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Equivalence = Sim.Equivalence
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_circuits_equivalent_reflexive () =
+  let c = Workloads.Qft.circuit 4 in
+  check Alcotest.bool "self" true (Equivalence.circuits_equivalent c c)
+
+let test_circuits_equivalent_detects_difference () =
+  let a = Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1) ] in
+  let b = Circuit.create ~n_qubits:2 [ Gate.Cnot (1, 0) ] in
+  check Alcotest.bool "different" false (Equivalence.circuits_equivalent a b);
+  let widths = Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 1) ] in
+  check Alcotest.bool "width mismatch" false
+    (Equivalence.circuits_equivalent a widths)
+
+let test_commuted_gates_equivalent () =
+  let a =
+    Circuit.create ~n_qubits:2 [ Gate.Single (H, 0); Gate.Single (T, 1) ]
+  in
+  let b =
+    Circuit.create ~n_qubits:2 [ Gate.Single (T, 1); Gate.Single (H, 0) ]
+  in
+  check Alcotest.bool "commuted" true (Equivalence.circuits_equivalent a b)
+
+let test_routed_identity () =
+  (* physical = logical, identity mappings *)
+  let c = Workloads.Ghz.circuit 3 in
+  check Alcotest.bool "trivial routing" true
+    (Equivalence.routed_equivalent ~initial:[| 0; 1; 2 |] ~final:[| 0; 1; 2 |]
+       ~logical:c ~physical:c ())
+
+let test_routed_fig3 () =
+  let logical =
+    Circuit.create ~n_qubits:4
+      [
+        Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+        Gate.Cnot (1, 2); Gate.Cnot (2, 3); Gate.Cnot (0, 3);
+      ]
+  in
+  let physical =
+    Circuit.create ~n_qubits:4
+      [
+        Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+        Gate.Swap (0, 1);
+        Gate.Cnot (0, 2); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+      ]
+  in
+  check Alcotest.bool "fig3" true
+    (Equivalence.routed_equivalent ~initial:[| 0; 1; 2; 3 |]
+       ~final:[| 1; 0; 2; 3 |] ~logical ~physical ())
+
+let test_routed_wrong_final_detected () =
+  let logical = Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1) ] in
+  let physical =
+    Circuit.create ~n_qubits:2 [ Gate.Swap (0, 1); Gate.Cnot (1, 0) ]
+  in
+  (* correct final mapping is swapped *)
+  check Alcotest.bool "correct accepted" true
+    (Equivalence.routed_equivalent ~initial:[| 0; 1 |] ~final:[| 1; 0 |]
+       ~logical ~physical ());
+  check Alcotest.bool "wrong rejected" false
+    (Equivalence.routed_equivalent ~initial:[| 0; 1 |] ~final:[| 0; 1 |]
+       ~logical ~physical ())
+
+let test_routed_wider_device () =
+  (* 2 logical qubits on a 4-qubit device, non-trivial placement *)
+  let logical =
+    Circuit.create ~n_qubits:2 [ Gate.Single (H, 0); Gate.Cnot (0, 1) ]
+  in
+  let physical =
+    Circuit.create ~n_qubits:4 [ Gate.Single (H, 3); Gate.Cnot (3, 1) ]
+  in
+  check Alcotest.bool "embedded" true
+    (Equivalence.routed_equivalent ~initial:[| 3; 1 |] ~final:[| 3; 1 |]
+       ~logical ~physical ())
+
+let test_routed_measurements_ignored () =
+  let logical =
+    Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1); Gate.Measure (0, 0) ]
+  in
+  let physical =
+    Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1); Gate.Measure (0, 0) ]
+  in
+  check Alcotest.bool "measures dropped" true
+    (Equivalence.routed_equivalent ~initial:[| 0; 1 |] ~final:[| 0; 1 |]
+       ~logical ~physical ())
+
+let test_agrees_with_tracker_on_sabre_output () =
+  (* end-to-end: SABRE route on a 5-qubit device; both verifiers agree *)
+  let device = Hardware.Devices.ibm_q5_yorktown () in
+  let c = Workloads.Qft.circuit 5 in
+  let r = Sabre.Compiler.run device c in
+  let initial = Sabre.Mapping.l2p_array r.initial_mapping in
+  let final = Sabre.Mapping.l2p_array r.final_mapping in
+  let tracker_ok =
+    match
+      Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
+        ~physical:r.physical ()
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let sim_ok =
+    Equivalence.routed_equivalent ~initial ~final ~logical:c
+      ~physical:r.physical ()
+  in
+  check Alcotest.bool "tracker" true tracker_ok;
+  check Alcotest.bool "statevector" true sim_ok
+
+let suite =
+  [
+    tc "circuits_equivalent reflexive" `Quick test_circuits_equivalent_reflexive;
+    tc "circuits_equivalent detects difference" `Quick
+      test_circuits_equivalent_detects_difference;
+    tc "commuted gates equivalent" `Quick test_commuted_gates_equivalent;
+    tc "routed identity" `Quick test_routed_identity;
+    tc "routed Fig. 3" `Quick test_routed_fig3;
+    tc "routed wrong final detected" `Quick test_routed_wrong_final_detected;
+    tc "routed on wider device" `Quick test_routed_wider_device;
+    tc "measurements ignored" `Quick test_routed_measurements_ignored;
+    tc "agrees with tracker on SABRE output" `Quick
+      test_agrees_with_tracker_on_sabre_output;
+  ]

@@ -1,0 +1,110 @@
+module Gate = Quantum.Gate
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_qubits () =
+  check (Alcotest.list Alcotest.int) "single" [ 3 ] (Gate.qubits (Single (H, 3)));
+  check (Alcotest.list Alcotest.int) "cnot" [ 0; 4 ] (Gate.qubits (Cnot (0, 4)));
+  check (Alcotest.list Alcotest.int) "cz" [ 2; 1 ] (Gate.qubits (Cz (2, 1)));
+  check (Alcotest.list Alcotest.int) "swap" [ 5; 6 ] (Gate.qubits (Swap (5, 6)));
+  check (Alcotest.list Alcotest.int) "barrier" [ 0; 1; 2 ]
+    (Gate.qubits (Barrier [ 0; 1; 2 ]));
+  check (Alcotest.list Alcotest.int) "measure" [ 7 ] (Gate.qubits (Measure (7, 0)))
+
+let test_is_two_qubit () =
+  check Alcotest.bool "cnot" true (Gate.is_two_qubit (Cnot (0, 1)));
+  check Alcotest.bool "cz" true (Gate.is_two_qubit (Cz (0, 1)));
+  check Alcotest.bool "swap" true (Gate.is_two_qubit (Swap (0, 1)));
+  check Alcotest.bool "single" false (Gate.is_two_qubit (Single (X, 0)));
+  check Alcotest.bool "barrier" false (Gate.is_two_qubit (Barrier [ 0; 1 ]));
+  check Alcotest.bool "measure" false (Gate.is_two_qubit (Measure (0, 0)))
+
+let test_two_qubit_pair () =
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "cnot"
+    (Some (3, 1))
+    (Gate.two_qubit_pair (Cnot (3, 1)));
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "single"
+    None
+    (Gate.two_qubit_pair (Single (T, 0)))
+
+let test_remap () =
+  let f q = q + 10 in
+  check Alcotest.bool "cnot" true
+    (Gate.equal (Cnot (10, 11)) (Gate.remap f (Cnot (0, 1))));
+  check Alcotest.bool "barrier" true
+    (Gate.equal (Barrier [ 10; 12 ]) (Gate.remap f (Barrier [ 0; 2 ])));
+  (* classical bit must not move *)
+  check Alcotest.bool "measure" true
+    (Gate.equal (Measure (15, 5)) (Gate.remap f (Measure (5, 5))))
+
+let test_dagger_involutive () =
+  let gates =
+    [
+      Gate.Single (H, 0); Single (X, 0); Single (Y, 0); Single (Z, 0);
+      Single (S, 0); Single (Sdg, 0); Single (T, 0); Single (Tdg, 0);
+      Single (Rx 0.3, 0); Single (Ry 0.7, 0); Single (Rz 1.1, 0);
+      Single (U1 0.2, 0); Single (U3 (0.1, 0.2, 0.3), 0);
+      Cnot (0, 1); Cz (0, 1); Swap (0, 1); Barrier [ 0; 1 ];
+    ]
+  in
+  List.iter
+    (fun g ->
+      check Alcotest.bool (Gate.to_string g) true
+        (Gate.equal g (Gate.dagger (Gate.dagger g))))
+    gates
+
+let test_dagger_pairs () =
+  check Alcotest.bool "s" true (Gate.equal (Single (Sdg, 0)) (Gate.dagger (Single (S, 0))));
+  check Alcotest.bool "t" true (Gate.equal (Single (Tdg, 0)) (Gate.dagger (Single (T, 0))));
+  check Alcotest.bool "rz" true
+    (Gate.equal (Single (Rz (-0.5), 2)) (Gate.dagger (Single (Rz 0.5, 2))))
+
+let test_dagger_measure_raises () =
+  Alcotest.check_raises "measure"
+    (Invalid_argument "Gate.dagger: measurement is not unitary") (fun () ->
+      ignore (Gate.dagger (Measure (0, 0))))
+
+let test_names () =
+  check Alcotest.string "h" "h" (Gate.name (Single (H, 0)));
+  check Alcotest.string "cx" "cx" (Gate.name (Cnot (0, 1)));
+  check Alcotest.string "swap" "swap" (Gate.name (Swap (0, 1)));
+  check Alcotest.string "rz" "rz" (Gate.name (Single (Rz 0.1, 0)));
+  check Alcotest.string "u3" "u3" (Gate.name (Single (U3 (1., 2., 3.), 0)))
+
+let test_to_string () =
+  check Alcotest.string "cx" "cx q[0], q[3]" (Gate.to_string (Cnot (0, 3)));
+  check Alcotest.string "h" "h q[2]" (Gate.to_string (Single (H, 2)));
+  check Alcotest.string "measure" "measure q[1] -> c[4]"
+    (Gate.to_string (Measure (1, 4)))
+
+let ok = function Ok () -> true | Error _ -> false
+
+let test_validate () =
+  check Alcotest.bool "good cnot" true (ok (Gate.validate ~n_qubits:3 (Cnot (0, 2))));
+  check Alcotest.bool "out of range" false
+    (ok (Gate.validate ~n_qubits:3 (Cnot (0, 3))));
+  check Alcotest.bool "negative" false
+    (ok (Gate.validate ~n_qubits:3 (Single (H, -1))));
+  check Alcotest.bool "same operand" false
+    (ok (Gate.validate ~n_qubits:3 (Cnot (1, 1))));
+  check Alcotest.bool "swap same" false
+    (ok (Gate.validate ~n_qubits:3 (Swap (2, 2))));
+  check Alcotest.bool "duplicate barrier" false
+    (ok (Gate.validate ~n_qubits:3 (Barrier [ 0; 0 ])));
+  check Alcotest.bool "good barrier" true
+    (ok (Gate.validate ~n_qubits:3 (Barrier [ 0; 1; 2 ])))
+
+let suite =
+  [
+    tc "qubits" `Quick test_qubits;
+    tc "is_two_qubit" `Quick test_is_two_qubit;
+    tc "two_qubit_pair" `Quick test_two_qubit_pair;
+    tc "remap" `Quick test_remap;
+    tc "dagger involutive" `Quick test_dagger_involutive;
+    tc "dagger pairs" `Quick test_dagger_pairs;
+    tc "dagger of measure raises" `Quick test_dagger_measure_raises;
+    tc "names" `Quick test_names;
+    tc "to_string" `Quick test_to_string;
+    tc "validate" `Quick test_validate;
+  ]

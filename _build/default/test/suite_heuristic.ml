@@ -1,0 +1,89 @@
+module Config = Sabre.Config
+module Heuristic = Sabre.Heuristic
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* Line device 0-1-2-3-4: distances are |i-j|. *)
+let dist =
+  Hardware.Coupling.distance_matrix (Hardware.Devices.linear 5)
+  |> Array.map (Array.map float_of_int)
+
+let checkf msg expected actual = check (Alcotest.float 1e-9) msg expected actual
+
+let identity = [| 0; 1; 2; 3; 4 |]
+
+let test_basic_sums_distances () =
+  checkf "one pair" 3.0 (Heuristic.basic ~dist ~l2p:identity [ (0, 3) ]);
+  checkf "two pairs" 5.0
+    (Heuristic.basic ~dist ~l2p:identity [ (0, 3); (1, 3) ]);
+  checkf "empty front" 0.0 (Heuristic.basic ~dist ~l2p:identity [])
+
+let test_basic_uses_mapping () =
+  (* logical 0 placed on P4: distance to logical 1 on P1 is 3 *)
+  let l2p = [| 4; 1; 2; 3; 0 |] in
+  checkf "remapped" 3.0 (Heuristic.basic ~dist ~l2p [ (0, 1) ])
+
+let test_lookahead_normalises () =
+  (* F = {(0,3)} dist 3; E = {(0,1),(1,2)} dist 1 each, avg 1; W = 0.5 *)
+  let v =
+    Heuristic.lookahead ~dist ~l2p:identity ~front:[ (0, 3) ]
+      ~extended:[ (0, 1); (1, 2) ] ~weight:0.5
+  in
+  check (Alcotest.float 1e-9) "3/1 + 0.5*1" 3.5 v
+
+let test_lookahead_empty_extended () =
+  let v =
+    Heuristic.lookahead ~dist ~l2p:identity ~front:[ (0, 2) ] ~extended:[]
+      ~weight:0.5
+  in
+  check (Alcotest.float 1e-9) "front only" 2.0 v
+
+let test_lookahead_zero_weight_ignores_extended () =
+  let v =
+    Heuristic.lookahead ~dist ~l2p:identity ~front:[ (0, 2) ]
+      ~extended:[ (0, 4) ] ~weight:0.0
+  in
+  check (Alcotest.float 1e-9) "W=0" 2.0 v
+
+let test_decay_scales () =
+  let decay = [| 1.0; 1.0; 1.2; 1.0; 1.0 |] in
+  check (Alcotest.float 1e-9) "max decay" (1.2 *. 10.0)
+    (Heuristic.with_decay ~decay ~p1:1 ~p2:2 10.0);
+  check (Alcotest.float 1e-9) "no decay" 10.0
+    (Heuristic.with_decay ~decay ~p1:0 ~p2:3 10.0)
+
+let test_score_dispatch () =
+  let decay = [| 1.0; 1.0; 1.0; 1.0; 2.0 |] in
+  let front = [ (0, 3) ] and extended = [ (0, 1) ] in
+  let score h p1 =
+    Heuristic.score ~heuristic:h ~dist ~l2p:identity ~front ~extended
+      ~weight:0.5 ~decay ~p1 ~p2:1
+  in
+  check (Alcotest.float 1e-9) "basic ignores E and decay" 3.0
+    (score Config.Basic 4);
+  check (Alcotest.float 1e-9) "lookahead ignores decay" 3.5
+    (score Config.Lookahead 4);
+  check (Alcotest.float 1e-9) "decay multiplies" 7.0 (score Config.Decay 4);
+  check (Alcotest.float 1e-9) "decay neutral at rest" 3.5
+    (score Config.Decay 0)
+
+let test_swap_that_helps_scores_lower () =
+  (* F = {(0,4)} on a line. A SWAP moving q0 from P0 to P1 reduces the
+     distance; evaluate the heuristic under both tentative mappings. *)
+  let before = Heuristic.basic ~dist ~l2p:identity [ (0, 4) ] in
+  let moved = [| 1; 0; 2; 3; 4 |] in
+  let after = Heuristic.basic ~dist ~l2p:moved [ (0, 4) ] in
+  check Alcotest.bool "improvement visible" true (after < before)
+
+let suite =
+  [
+    tc "basic sums distances (Eq. 1)" `Quick test_basic_sums_distances;
+    tc "basic uses mapping" `Quick test_basic_uses_mapping;
+    tc "lookahead normalises (Eq. 2)" `Quick test_lookahead_normalises;
+    tc "lookahead with empty E" `Quick test_lookahead_empty_extended;
+    tc "lookahead W=0" `Quick test_lookahead_zero_weight_ignores_extended;
+    tc "decay scales by max" `Quick test_decay_scales;
+    tc "score dispatch" `Quick test_score_dispatch;
+    tc "helpful swap scores lower" `Quick test_swap_that_helps_scores_lower;
+  ]

@@ -1,0 +1,96 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+module Im = Sabre.Initial_mapping
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let assert_valid coupling circuit m label =
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  check Alcotest.int (label ^ " arity") n_logical (Mapping.n_logical m);
+  let seen = Array.make n_physical false in
+  for q = 0 to n_logical - 1 do
+    let p = Mapping.to_physical m q in
+    check Alcotest.bool (label ^ " in range") true (p >= 0 && p < n_physical);
+    check Alcotest.bool (label ^ " injective") false seen.(p);
+    seen.(p) <- true
+  done
+
+let test_trivial () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Qft.circuit 6 in
+  let m = Im.trivial device c in
+  for q = 0 to 5 do
+    check Alcotest.int "identity" q (Mapping.to_physical m q)
+  done
+
+let test_all_strategies_valid () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:77 ~n:10 ~gates:80 in
+  let state = Random.State.make [| 1 |] in
+  List.iter
+    (fun (label, m) -> assert_valid device c m label)
+    [
+      ("trivial", Im.trivial device c);
+      ("random", Im.random ~state device c);
+      ("degree", Im.degree_matching device c);
+      ("greedy", Im.interaction_greedy device c);
+    ]
+
+let test_degree_matching_puts_hub_on_hub () =
+  (* star interaction graph onto a star device: the hub must land on the
+     centre *)
+  let device = Devices.star 6 in
+  let c = Workloads.Ghz.star 6 in
+  let m = Im.degree_matching device c in
+  check Alcotest.int "hub on centre" 0 (Mapping.to_physical m 0)
+
+let test_interaction_greedy_places_first_gate_adjacent () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Circuit.create ~n_qubits:4 [ Gate.Cnot (2, 3); Gate.Cnot (0, 1) ] in
+  let m = Im.interaction_greedy device c in
+  check Alcotest.bool "first pair adjacent" true
+    (Coupling.connected device (Mapping.to_physical m 2)
+       (Mapping.to_physical m 3))
+
+let test_strategies_as_router_seeds () =
+  (* every strategy must yield a correct routing through
+     route_with_initial; quality ordering is workload-dependent, but a
+     structured seed should do no worse than 3x the best *)
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Qft.circuit 10 in
+  let results =
+    List.map
+      (fun (label, m) ->
+        let r = Sabre.Compiler.route_with_initial device c m in
+        Helpers.assert_compiler_result ~coupling:device ~logical:c r label;
+        (label, r.stats.n_swaps))
+      [
+        ("trivial", Im.trivial device c);
+        ("degree", Im.degree_matching device c);
+        ("greedy", Im.interaction_greedy device c);
+      ]
+  in
+  let swaps = List.map snd results in
+  let best = List.fold_left min (List.hd swaps) swaps in
+  List.iter
+    (fun (label, s) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: %d within 3x best %d" label s best)
+        true
+        (s <= (3 * best) + 3))
+    results
+
+let suite =
+  [
+    tc "trivial" `Quick test_trivial;
+    tc "all strategies valid" `Quick test_all_strategies_valid;
+    tc "degree matching: hub on hub" `Quick test_degree_matching_puts_hub_on_hub;
+    tc "greedy places first gate adjacent" `Quick
+      test_interaction_greedy_places_first_gate_adjacent;
+    tc "strategies as router seeds" `Quick test_strategies_as_router_seeds;
+  ]

@@ -1,0 +1,148 @@
+(* End-to-end pipeline tests: OpenQASM in → route → lower → optimise →
+   OpenQASM out → reparse → verify, across routers and devices. *)
+
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let bell_qasm =
+  {|OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0],q[4];
+cx q[4],q[2];
+cx q[2],q[1];
+cx q[1],q[3];
+measure q -> c;
+|}
+
+let test_qasm_route_qasm_roundtrip () =
+  let logical = Quantum.Qasm.of_string bell_qasm in
+  let device = Devices.ibm_q5_yorktown () in
+  let r = Sabre.Compiler.run device logical in
+  (* export and re-import the routed circuit *)
+  let exported = Quantum.Qasm.to_string r.physical in
+  let reimported = Quantum.Qasm.of_string exported in
+  check Alcotest.bool "round trip" true (Circuit.equal r.physical reimported);
+  (* the re-imported circuit still verifies against the source *)
+  match
+    Sim.Tracker.check ~coupling:device
+      ~initial:(Mapping.l2p_array r.initial_mapping)
+      ~final:(Mapping.l2p_array r.final_mapping)
+      ~logical ~physical:reimported ()
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%a" Sim.Tracker.pp_error e
+
+let test_route_lower_optimize_verify () =
+  (* SWAP lowering then peephole optimisation must keep the circuit
+     compliant and unitarily equal to the un-optimised lowering *)
+  let device = Devices.ibm_q20_tokyo () in
+  let logical = Workloads.Qaoa.maxcut_instance ~seed:4 ~n:9 ~edge_prob:0.5 () in
+  let r = Sabre.Compiler.run device logical in
+  let lowered = Quantum.Decompose.expand_swaps r.physical in
+  let optimised = Quantum.Optimize.run lowered in
+  (match Sim.Tracker.check_compliance ~coupling:device optimised with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compliance: %a" Sim.Tracker.pp_error e);
+  check Alcotest.bool "no growth" true
+    (Circuit.length optimised <= Circuit.length lowered)
+
+let test_all_routers_agree_semantically () =
+  let device = Devices.ibm_q20_tokyo () in
+  let logical = Workloads.Adder.circuit 4 in
+  (* 10 qubits *)
+  let check_routed ~initial ~final ~physical label =
+    match
+      Sim.Tracker.check ~coupling:device ~initial ~final ~logical ~physical ()
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: %a" label Sim.Tracker.pp_error e
+  in
+  let sabre = Sabre.Compiler.run device logical in
+  check_routed
+    ~initial:(Mapping.l2p_array sabre.initial_mapping)
+    ~final:(Mapping.l2p_array sabre.final_mapping)
+    ~physical:sabre.physical "sabre";
+  (match Baseline.Bka.run device logical with
+  | Ok bka ->
+    check_routed
+      ~initial:(Mapping.l2p_array bka.initial_mapping)
+      ~final:(Mapping.l2p_array bka.final_mapping)
+      ~physical:bka.physical "bka"
+  | Error f -> Alcotest.failf "bka: %a" Baseline.Bka.pp_failure f);
+  let greedy = Baseline.Greedy_router.run device logical in
+  check_routed
+    ~initial:(Mapping.l2p_array greedy.initial_mapping)
+    ~final:(Mapping.l2p_array greedy.final_mapping)
+    ~physical:greedy.physical "greedy"
+
+let test_grover_survives_routing () =
+  (* route Grover onto a line and confirm the algorithm still finds the
+     marked element by simulating the *physical* circuit *)
+  let n = 3 in
+  let marked = 5 in
+  let logical =
+    Circuit.filter
+      (function Gate.Measure _ -> false | _ -> true)
+      (Workloads.Grover.circuit ~marked n)
+  in
+  let device = Devices.linear (Circuit.n_qubits logical) in
+  let r = Sabre.Compiler.run device logical in
+  let s = Sim.Statevector.create (Coupling.n_qubits device) in
+  Sim.Statevector.apply_circuit s r.physical;
+  (* locate logical data qubits through the final mapping *)
+  let final = Mapping.l2p_array r.final_mapping in
+  let prob = ref 0.0 in
+  let width = Coupling.n_qubits device in
+  for k = 0 to (1 lsl width) - 1 do
+    let matches =
+      List.for_all
+        (fun q ->
+          let bit = (k lsr final.(q)) land 1 in
+          bit = (marked lsr q) land 1)
+        [ 0; 1; 2 ]
+    in
+    if matches then
+      prob := !prob +. Complex.norm2 (Sim.Statevector.amplitude s k)
+  done;
+  check Alcotest.bool (Printf.sprintf "p=%.3f > 0.9" !prob) true (!prob > 0.9)
+
+let test_ising_zero_overhead_pipeline () =
+  (* the headline sim-benchmark property end to end, with QASM io *)
+  let logical = Workloads.Ising.circuit ~steps:5 10 in
+  let qasm = Quantum.Qasm.to_string logical in
+  let reloaded = Quantum.Qasm.of_string qasm in
+  let device = Devices.ibm_q20_tokyo () in
+  let r = Sabre.Compiler.run device reloaded in
+  check Alcotest.int "zero swaps through qasm io" 0 r.stats.n_swaps
+
+let test_directed_full_pipeline () =
+  (* QASM -> SABRE on QX4's symmetric collapse -> direction fix ->
+     export -> reparse -> direction check *)
+  let d = Hardware.Directed.ibm_qx4 () in
+  let logical = Quantum.Qasm.of_string bell_qasm in
+  let r = Sabre.Compiler.run (Hardware.Directed.underlying d) logical in
+  let fixed = Hardware.Directed.fix_directions d r.physical in
+  let reloaded = Quantum.Qasm.of_string (Quantum.Qasm.to_string fixed) in
+  check Alcotest.bool "directions hold after io" true
+    (match Hardware.Directed.check_directions d reloaded with
+    | Ok () -> true
+    | Error _ -> false)
+
+let suite =
+  [
+    tc "qasm -> route -> qasm" `Quick test_qasm_route_qasm_roundtrip;
+    tc "route -> lower -> optimise" `Quick test_route_lower_optimize_verify;
+    tc "all routers semantically agree" `Quick test_all_routers_agree_semantically;
+    tc "grover survives routing" `Quick test_grover_survives_routing;
+    tc "ising zero-overhead pipeline" `Quick test_ising_zero_overhead_pipeline;
+    tc "directed full pipeline" `Quick test_directed_full_pipeline;
+  ]

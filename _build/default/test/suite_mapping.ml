@@ -1,0 +1,110 @@
+module Mapping = Sabre.Mapping
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_identity () =
+  let m = Mapping.identity ~n_logical:3 ~n_physical:5 in
+  check Alcotest.int "n_logical" 3 (Mapping.n_logical m);
+  check Alcotest.int "n_physical" 5 (Mapping.n_physical m);
+  for q = 0 to 2 do
+    check Alcotest.int "l2p" q (Mapping.to_physical m q);
+    check Alcotest.int "p2l" q (Mapping.to_logical m q)
+  done;
+  check Alcotest.int "free physical" (-1) (Mapping.to_logical m 4)
+
+let test_identity_rejects_overflow () =
+  Alcotest.check_raises "too many logical"
+    (Invalid_argument "Mapping.identity: more logical than physical qubits")
+    (fun () -> ignore (Mapping.identity ~n_logical:5 ~n_physical:3))
+
+let test_of_array () =
+  let m = Mapping.of_array ~n_physical:4 [| 2; 0 |] in
+  check Alcotest.int "q0" 2 (Mapping.to_physical m 0);
+  check Alcotest.int "q1" 0 (Mapping.to_physical m 1);
+  check Alcotest.int "P2" 0 (Mapping.to_logical m 2);
+  check Alcotest.int "P1 free" (-1) (Mapping.to_logical m 1);
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "duplicate" true
+    (raises (fun () -> Mapping.of_array ~n_physical:4 [| 1; 1 |]));
+  check Alcotest.bool "out of range" true
+    (raises (fun () -> Mapping.of_array ~n_physical:4 [| 0; 9 |]))
+
+let test_of_array_copies () =
+  let arr = [| 0; 1 |] in
+  let m = Mapping.of_array ~n_physical:2 arr in
+  arr.(0) <- 1;
+  check Alcotest.int "unaffected" 0 (Mapping.to_physical m 0)
+
+let test_random_is_valid_and_deterministic () =
+  let mk seed =
+    Mapping.random
+      ~state:(Random.State.make [| seed |])
+      ~n_logical:10 ~n_physical:20
+  in
+  let m = mk 7 in
+  (* injective into range *)
+  let seen = Array.make 20 false in
+  for q = 0 to 9 do
+    let p = Mapping.to_physical m q in
+    check Alcotest.bool "range" true (p >= 0 && p < 20);
+    check Alcotest.bool "injective" false seen.(p);
+    seen.(p) <- true;
+    check Alcotest.int "inverse consistent" q (Mapping.to_logical m p)
+  done;
+  check Alcotest.bool "same seed same mapping" true (Mapping.equal (mk 7) (mk 7));
+  check Alcotest.bool "diff seed diff mapping (overwhelmingly)" false
+    (Mapping.equal (mk 7) (mk 8))
+
+let test_swap_physical () =
+  let m = Mapping.identity ~n_logical:2 ~n_physical:3 in
+  let m' = Mapping.swap_physical m 0 2 in
+  (* immutable: original unchanged *)
+  check Alcotest.int "orig q0" 0 (Mapping.to_physical m 0);
+  check Alcotest.int "q0 moved" 2 (Mapping.to_physical m' 0);
+  check Alcotest.int "P0 now free" (-1) (Mapping.to_logical m' 0);
+  check Alcotest.int "P2 holds q0" 0 (Mapping.to_logical m' 2);
+  (* swap with a free qubit then back *)
+  let m'' = Mapping.swap_physical m' 2 0 in
+  check Alcotest.bool "round trip" true (Mapping.equal m m'')
+
+let test_swap_inplace () =
+  let m = Mapping.identity ~n_logical:3 ~n_physical:3 in
+  Mapping.swap_physical_inplace m 0 1;
+  check Alcotest.int "q0" 1 (Mapping.to_physical m 0);
+  check Alcotest.int "q1" 0 (Mapping.to_physical m 1);
+  check Alcotest.int "q2" 2 (Mapping.to_physical m 2)
+
+let test_copy_isolated () =
+  let m = Mapping.identity ~n_logical:2 ~n_physical:2 in
+  let c = Mapping.copy m in
+  Mapping.swap_physical_inplace c 0 1;
+  check Alcotest.int "original untouched" 0 (Mapping.to_physical m 0)
+
+let test_l2p_array_is_copy () =
+  let m = Mapping.identity ~n_logical:2 ~n_physical:2 in
+  let a = Mapping.l2p_array m in
+  a.(0) <- 99;
+  check Alcotest.int "unaffected" 0 (Mapping.to_physical m 0)
+
+let test_compose_permutation () =
+  let before = Mapping.of_array ~n_physical:3 [| 0; 1 |] in
+  let after = Mapping.of_array ~n_physical:3 [| 1; 0 |] in
+  let d = Mapping.compose_permutation before after in
+  check Alcotest.int "P0 -> P1" 1 d.(0);
+  check Alcotest.int "P1 -> P0" 0 d.(1);
+  check Alcotest.int "P2 fixed" 2 d.(2)
+
+let suite =
+  [
+    tc "identity" `Quick test_identity;
+    tc "identity rejects overflow" `Quick test_identity_rejects_overflow;
+    tc "of_array" `Quick test_of_array;
+    tc "of_array copies input" `Quick test_of_array_copies;
+    tc "random valid & deterministic" `Quick test_random_is_valid_and_deterministic;
+    tc "swap_physical" `Quick test_swap_physical;
+    tc "swap inplace" `Quick test_swap_inplace;
+    tc "copy isolated" `Quick test_copy_isolated;
+    tc "l2p_array is a copy" `Quick test_l2p_array_is_copy;
+    tc "compose_permutation" `Quick test_compose_permutation;
+  ]

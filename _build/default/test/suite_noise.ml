@@ -1,0 +1,167 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Noise = Hardware.Noise
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_uniform_defaults_match_fig2 () =
+  let m = Noise.uniform (Devices.ibm_q20_tokyo ()) in
+  check (Alcotest.float 1e-12) "1q" 4.43e-3 m.single_qubit_error.(0);
+  check (Alcotest.float 1e-12) "2q" 3.00e-2 (Noise.edge_error m 0 1);
+  check (Alcotest.float 1e-12) "readout" 8.74e-2 m.readout_error.(7);
+  check (Alcotest.float 1e-12) "t1" 87.29 m.t1_us.(3);
+  check (Alcotest.float 1e-12) "t2" 54.43 m.t2_us.(19)
+
+let test_edge_error_symmetric_and_guarded () =
+  let m = Noise.uniform (Devices.ibm_q20_tokyo ()) in
+  check (Alcotest.float 1e-12) "symmetric" (Noise.edge_error m 0 1)
+    (Noise.edge_error m 1 0);
+  check Alcotest.bool "non-edge raises" true
+    (match Noise.edge_error m 0 6 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_randomized_deterministic_and_varied () =
+  let device = Devices.ibm_q20_tokyo () in
+  let a = Noise.randomized ~seed:3 device in
+  let b = Noise.randomized ~seed:3 device in
+  let c = Noise.randomized ~seed:4 device in
+  check Alcotest.bool "same seed same model" true
+    (a.single_qubit_error = b.single_qubit_error
+    && a.two_qubit_error = b.two_qubit_error);
+  check Alcotest.bool "different seed differs" false
+    (a.two_qubit_error = c.two_qubit_error);
+  (* variability exists between edges *)
+  let errors =
+    List.map (fun (x, y) -> Noise.edge_error a x y) (Coupling.edges device)
+  in
+  check Alcotest.bool "not all equal" true
+    (List.length (List.sort_uniq compare errors) > 1);
+  (* all rates remain probabilities *)
+  List.iter
+    (fun e -> check Alcotest.bool "in (0, 0.5]" true (e > 0.0 && e <= 0.5))
+    errors
+
+let test_reliability_distance_metric () =
+  let device = Devices.ibm_q20_tokyo () in
+  let m = Noise.randomized ~seed:5 device in
+  let d = Noise.swap_reliability_distance m in
+  let n = Coupling.n_qubits device in
+  for i = 0 to n - 1 do
+    check (Alcotest.float 1e-12) "diag" 0.0 d.(i).(i);
+    for j = 0 to n - 1 do
+      check (Alcotest.float 1e-9) "symmetric" d.(i).(j) d.(j).(i);
+      check Alcotest.bool "non-negative" true (d.(i).(j) >= 0.0);
+      for k = 0 to n - 1 do
+        check Alcotest.bool "triangle" true
+          (d.(i).(j) <= d.(i).(k) +. d.(k).(j) +. 1e-9)
+      done
+    done
+  done
+
+let test_reliability_distance_prefers_good_edges () =
+  (* triangle-free 4-line with one terrible middle edge: the weighted
+     distance through it must exceed the hop-equivalent alternative *)
+  let device = Devices.linear 4 in
+  let m = Noise.uniform device in
+  m.two_qubit_error.(1).(2) <- 0.4;
+  m.two_qubit_error.(2).(1) <- 0.4;
+  let d = Noise.swap_reliability_distance m in
+  check Alcotest.bool "bad edge costlier" true (d.(1).(2) > 10.0 *. d.(0).(1))
+
+let test_success_probability_monotone_in_gates () =
+  let device = Devices.ibm_q20_tokyo () in
+  let m = Noise.uniform device in
+  let small = Circuit.create ~n_qubits:20 [ Gate.Cnot (0, 1) ] in
+  let big =
+    Circuit.create ~n_qubits:20
+      [ Gate.Cnot (0, 1); Gate.Cnot (0, 1); Gate.Cnot (0, 1) ]
+  in
+  let ps = Noise.circuit_success_probability m small in
+  let pb = Noise.circuit_success_probability m big in
+  check Alcotest.bool "probabilities" true (ps > 0.0 && ps <= 1.0);
+  check Alcotest.bool "more gates, less success" true (pb < ps)
+
+let test_success_probability_counts_swap_as_three () =
+  let device = Devices.ibm_q20_tokyo () in
+  let m = Noise.uniform device in
+  let swap = Circuit.create ~n_qubits:20 [ Gate.Swap (0, 1) ] in
+  let cnots =
+    Circuit.create ~n_qubits:20 (Quantum.Decompose.swap_to_cnots 0 1)
+  in
+  check (Alcotest.float 1e-9) "swap = 3 cnots"
+    (Noise.circuit_success_probability m cnots)
+    (Noise.circuit_success_probability m swap)
+
+let test_duration () =
+  let m = Noise.uniform (Devices.ibm_q20_tokyo ()) in
+  (* serial: 1q (50) then 2q (300) on overlapping qubits *)
+  let c =
+    Circuit.create ~n_qubits:20 [ Gate.Single (H, 0); Gate.Cnot (0, 1) ]
+  in
+  check (Alcotest.float 1e-9) "350ns" 350.0 (Noise.expected_duration_ns m c);
+  (* parallel gates share the wall clock *)
+  let p =
+    Circuit.create ~n_qubits:20 [ Gate.Cnot (0, 1); Gate.Cnot (2, 3) ]
+  in
+  check (Alcotest.float 1e-9) "300ns" 300.0 (Noise.expected_duration_ns m p)
+
+let test_mixed_metric_bounds () =
+  let device = Devices.ibm_q20_tokyo () in
+  let m = Noise.randomized ~seed:11 device in
+  (* lambda = 0 must reproduce plain hop distances exactly *)
+  let hops = Coupling.distance_matrix device in
+  let mixed0 = Noise.mixed_routing_distance ~lambda:0.0 m in
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      check (Alcotest.float 1e-9) "lambda=0 is hops"
+        (float_of_int hops.(i).(j))
+        mixed0.(i).(j)
+    done
+  done;
+  check Alcotest.bool "lambda out of range" true
+    (match Noise.mixed_routing_distance ~lambda:1.5 m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_noise_aware_trial_selection () =
+  (* With a noise model, the compiler ranks its random trials by
+     estimated success probability, so it can never do worse than the
+     same trials ranked by (swaps, depth) — and on variability-heavy
+     devices it finds strictly better placements. All outputs must stay
+     semantically correct. *)
+  let device = Devices.ibm_q20_tokyo () in
+  let wins = ref 0 in
+  let trials = 5 in
+  for seed = 1 to trials do
+    let m = Noise.randomized ~seed ~spread:1.0 device in
+    let circuit = Workloads.Ising.circuit ~steps:3 10 in
+    let hop = Sabre.Compiler.run device circuit in
+    let fid = Sabre.Compiler.run ~noise:m device circuit in
+    Helpers.assert_compiler_result ~coupling:device ~logical:circuit fid
+      "noise-aware";
+    let p c = Noise.circuit_success_probability m c in
+    if p fid.physical >= p hop.physical then incr wins
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "noise-aware wins or ties %d/%d" !wins trials)
+    true (!wins = trials)
+
+let suite =
+  [
+    tc "uniform defaults = Fig. 2" `Quick test_uniform_defaults_match_fig2;
+    tc "edge error symmetric, guarded" `Quick test_edge_error_symmetric_and_guarded;
+    tc "randomized deterministic & varied" `Quick
+      test_randomized_deterministic_and_varied;
+    tc "reliability distance is a metric" `Quick test_reliability_distance_metric;
+    tc "reliability distance avoids bad edges" `Quick
+      test_reliability_distance_prefers_good_edges;
+    tc "success prob monotone" `Quick test_success_probability_monotone_in_gates;
+    tc "swap counted as 3 cnots" `Quick test_success_probability_counts_swap_as_three;
+    tc "durations" `Quick test_duration;
+    tc "mixed metric bounds" `Quick test_mixed_metric_bounds;
+    tc "noise-aware trial selection" `Slow test_noise_aware_trial_selection;
+  ]

@@ -1,0 +1,123 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+module Optimal = Baseline.Optimal
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let run_ok ?initial device c =
+  match Optimal.run ?initial device c with
+  | Ok r -> r
+  | Error (Optimal.Too_large m) -> Alcotest.failf "too large: %s" m
+  | Error (Optimal.Budget_exhausted n) -> Alcotest.failf "budget: %d" n
+
+let verify device c (r : Optimal.result) label =
+  Helpers.assert_routed ~coupling:device
+    ~initial:(Mapping.l2p_array r.initial_mapping)
+    ~final:(Mapping.l2p_array r.final_mapping)
+    ~logical:c ~physical:r.physical label
+
+let test_zero_when_embeddable () =
+  let device = Devices.ibm_q5_yorktown () in
+  let c = Workloads.Ghz.circuit 5 in
+  let r = run_ok device c in
+  check Alcotest.int "zero swaps" 0 r.n_swaps;
+  verify device c r "ghz"
+
+let test_known_one_swap () =
+  (* paper Fig. 3: with identity initial mapping the optimum is 1 SWAP *)
+  let device = Coupling.create ~n_qubits:4 [ (0, 1); (1, 3); (3, 2); (2, 0) ] in
+  let c =
+    Circuit.create ~n_qubits:4
+      [
+        Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+        Gate.Cnot (1, 2); Gate.Cnot (2, 3); Gate.Cnot (0, 3);
+      ]
+  in
+  let identity = Mapping.identity ~n_logical:4 ~n_physical:4 in
+  let fixed = run_ok ~initial:identity device c in
+  check Alcotest.int "one swap from identity" 1 fixed.n_swaps;
+  verify device c fixed "fig3 fixed";
+  (* free initial mapping can do no worse *)
+  let free = run_ok device c in
+  check Alcotest.bool "free <= fixed" true (free.n_swaps <= fixed.n_swaps);
+  verify device c free "fig3 free"
+
+let test_line_distance_lower_bound () =
+  (* single CNOT across a 5-line at distance d needs exactly d-1 swaps *)
+  let device = Devices.linear 5 in
+  List.iter
+    (fun (target, expected) ->
+      let c = Circuit.create ~n_qubits:5 [ Gate.Cnot (0, target) ] in
+      let identity = Mapping.identity ~n_logical:5 ~n_physical:5 in
+      let r = run_ok ~initial:identity device c in
+      check Alcotest.int
+        (Printf.sprintf "cx 0,%d" target)
+        expected r.n_swaps)
+    [ (1, 0); (2, 1); (3, 2); (4, 3) ]
+
+let test_sabre_matches_optimal_small () =
+  (* the paper's Section V-A claim, against a true optimality oracle *)
+  let device = Devices.ibm_q5_yorktown () in
+  List.iter
+    (fun (name, c) ->
+      let opt = run_ok device c in
+      let sabre = Sabre.Compiler.run device c in
+      check Alcotest.bool
+        (Printf.sprintf "%s: sabre %d within optimal %d + 1" name
+           sabre.stats.n_swaps opt.n_swaps)
+        true
+        (sabre.stats.n_swaps <= opt.n_swaps + 1))
+    [
+      ("qft_4", Workloads.Qft.circuit 4);
+      ("qft_5", Workloads.Qft.circuit 5);
+      ("ghz_5", Workloads.Ghz.circuit 5);
+      ("toffnet_5", Workloads.Random_reversible.toffoli_network ~seed:3 ~n:5 ~gates:40 ());
+      ("toffnet_5b", Workloads.Random_reversible.toffoli_network ~seed:8 ~n:5 ~gates:30 ());
+    ]
+
+let test_heuristics_never_beat_optimal () =
+  (* sanity: no router reports fewer swaps than the oracle when starting
+     from the same fixed initial mapping *)
+  let device = Devices.linear 5 in
+  for seed = 1 to 5 do
+    let c = Helpers.random_circuit ~seed ~n:5 ~gates:25 in
+    let identity = Mapping.identity ~n_logical:5 ~n_physical:5 in
+    let opt = run_ok ~initial:identity device c in
+    let greedy = Baseline.Greedy_router.run ~initial:identity device c in
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: greedy %d >= optimal %d" seed greedy.n_swaps
+         opt.n_swaps)
+      true
+      (greedy.n_swaps >= opt.n_swaps)
+  done
+
+let test_rejects_large_device () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Ghz.circuit 5 in
+  match Optimal.run device c with
+  | Error (Optimal.Too_large _) -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+let test_min_swaps () =
+  let device = Devices.linear 3 in
+  let c = Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 2) ] in
+  check (Alcotest.option Alcotest.int) "free placement avoids the swap"
+    (Some 0) (Optimal.min_swaps device c);
+  let identity = Mapping.identity ~n_logical:3 ~n_physical:3 in
+  check (Alcotest.option Alcotest.int) "fixed identity needs one" (Some 1)
+    (Optimal.min_swaps ~initial:identity device c)
+
+let suite =
+  [
+    tc "zero when embeddable" `Quick test_zero_when_embeddable;
+    tc "paper Fig. 3 optimum" `Quick test_known_one_swap;
+    tc "line distance lower bound" `Quick test_line_distance_lower_bound;
+    tc "sabre matches optimal (small)" `Slow test_sabre_matches_optimal_small;
+    tc "heuristics never beat optimal" `Quick test_heuristics_never_beat_optimal;
+    tc "rejects large device" `Quick test_rejects_large_device;
+    tc "min_swaps" `Quick test_min_swaps;
+  ]

@@ -1,0 +1,149 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Optimize = Quantum.Optimize
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let circ gates = Circuit.create ~n_qubits:4 gates
+let lengths_after c = Circuit.length (Optimize.run c)
+
+let test_hh_cancels () =
+  check Alcotest.int "hh" 0
+    (lengths_after (circ [ Gate.Single (H, 0); Gate.Single (H, 0) ]));
+  check Alcotest.int "xx" 0
+    (lengths_after (circ [ Gate.Single (X, 1); Gate.Single (X, 1) ]))
+
+let test_s_sdg_cancels () =
+  check Alcotest.int "s sdg" 0
+    (lengths_after (circ [ Gate.Single (S, 0); Gate.Single (Sdg, 0) ]));
+  check Alcotest.int "tdg t" 0
+    (lengths_after (circ [ Gate.Single (Tdg, 0); Gate.Single (T, 0) ]))
+
+let test_different_qubits_kept () =
+  check Alcotest.int "h on 0 and 1" 2
+    (lengths_after (circ [ Gate.Single (H, 0); Gate.Single (H, 1) ]))
+
+let test_cnot_pair_cancels () =
+  check Alcotest.int "cx cx" 0
+    (lengths_after (circ [ Gate.Cnot (0, 1); Gate.Cnot (0, 1) ]));
+  (* opposite orientation does NOT cancel *)
+  check Alcotest.int "cx reversed" 2
+    (lengths_after (circ [ Gate.Cnot (0, 1); Gate.Cnot (1, 0) ]))
+
+let test_symmetric_gates_cancel_any_orientation () =
+  check Alcotest.int "cz" 0
+    (lengths_after (circ [ Gate.Cz (0, 1); Gate.Cz (1, 0) ]));
+  check Alcotest.int "swap" 0
+    (lengths_after (circ [ Gate.Swap (2, 3); Gate.Swap (3, 2) ]))
+
+let test_interleaved_gate_blocks_cancellation () =
+  (* a gate on qubit 1 sits between the two CNOTs: they are not adjacent
+     in the dependency order, no cancellation *)
+  check Alcotest.int "blocked" 3
+    (lengths_after
+       (circ [ Gate.Cnot (0, 1); Gate.Single (H, 1); Gate.Cnot (0, 1) ]));
+  (* a spectator on another qubit does not block *)
+  check Alcotest.int "spectator" 1
+    (lengths_after
+       (circ [ Gate.Cnot (0, 1); Gate.Single (H, 2); Gate.Cnot (0, 1) ]))
+
+let test_rotation_merging () =
+  let out =
+    Optimize.run (circ [ Gate.Single (Rz 0.3, 0); Gate.Single (Rz 0.4, 0) ])
+  in
+  (match Circuit.gates out with
+  | [ Gate.Single (Rz a, 0) ] -> check (Alcotest.float 1e-12) "sum" 0.7 a
+  | _ -> Alcotest.fail "expected one merged rz");
+  check Alcotest.int "rz cancels to zero" 0
+    (lengths_after (circ [ Gate.Single (Rz 0.3, 0); Gate.Single (Rz (-0.3), 0) ]))
+
+let test_identity_dropped () =
+  check Alcotest.int "id" 0 (lengths_after (circ [ Gate.Single (I, 0) ]))
+
+let test_cascade () =
+  (* A B B† A† collapses fully in one run *)
+  check Alcotest.int "nested" 0
+    (lengths_after
+       (circ
+          [
+            Gate.Single (H, 0); Gate.Cnot (0, 1); Gate.Cnot (0, 1);
+            Gate.Single (H, 0);
+          ]))
+
+let test_barrier_blocks () =
+  check Alcotest.int "barrier" 3
+    (lengths_after
+       (circ [ Gate.Single (H, 0); Gate.Barrier [ 0; 1 ]; Gate.Single (H, 0) ]))
+
+let test_measure_blocks () =
+  check Alcotest.int "measure" 3
+    (lengths_after
+       (circ [ Gate.Single (X, 0); Gate.Measure (0, 0); Gate.Single (X, 0) ]))
+
+let test_swap_cnot_pattern () =
+  (* SWAP(a,b) expanded then re-cancelling against an adjacent CX(a,b):
+     cx ab; cx ba; cx ab; cx ab -> cx ab; cx ba *)
+  let c =
+    circ (Quantum.Decompose.swap_to_cnots 0 1 @ [ Gate.Cnot (0, 1) ])
+  in
+  check Alcotest.int "one pair cancels" 2 (lengths_after c)
+
+let test_preserves_unitary () =
+  List.iter
+    (fun seed ->
+      let c =
+        Quantum.Decompose.expand_swaps
+          (Helpers.random_circuit ~seed ~n:5 ~gates:60)
+      in
+      let o = Optimize.run c in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d unitary preserved" seed)
+        true
+        (Sim.Equivalence.circuits_equivalent c o);
+      check Alcotest.bool "no growth" true (Circuit.length o <= Circuit.length c))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_idempotent () =
+  let c = Helpers.random_circuit ~seed:6 ~n:5 ~gates:80 in
+  let once = Optimize.run c in
+  let twice = Optimize.run once in
+  check Alcotest.bool "fixed point" true (Circuit.equal once twice)
+
+let test_removed_count () =
+  let c = circ [ Gate.Single (H, 0); Gate.Single (H, 0); Gate.Cnot (0, 1) ] in
+  check Alcotest.int "2 removed" 2 (Optimize.removed_gate_count c)
+
+let test_compliance_preserved_after_routing () =
+  (* optimising a routed circuit must not break hardware compliance *)
+  let device = Hardware.Devices.ibm_q5_yorktown () in
+  let c = Workloads.Qft.circuit 5 in
+  let r = Sabre.Compiler.run device c in
+  let optimised = Optimize.run (Quantum.Decompose.expand_swaps r.physical) in
+  (match Sim.Tracker.check_compliance ~coupling:device optimised with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%a" Sim.Tracker.pp_error e);
+  check Alcotest.bool "unitary preserved" true
+    (Sim.Equivalence.circuits_equivalent
+       (Quantum.Decompose.expand_swaps r.physical)
+       optimised)
+
+let suite =
+  [
+    tc "self-inverse singles cancel" `Quick test_hh_cancels;
+    tc "inverse pairs cancel" `Quick test_s_sdg_cancels;
+    tc "different qubits kept" `Quick test_different_qubits_kept;
+    tc "cnot pair cancels" `Quick test_cnot_pair_cancels;
+    tc "symmetric 2q cancel both ways" `Quick test_symmetric_gates_cancel_any_orientation;
+    tc "interleaved gate blocks" `Quick test_interleaved_gate_blocks_cancellation;
+    tc "rotation merging" `Quick test_rotation_merging;
+    tc "identity dropped" `Quick test_identity_dropped;
+    tc "cascading cancellation" `Quick test_cascade;
+    tc "barrier blocks" `Quick test_barrier_blocks;
+    tc "measure blocks" `Quick test_measure_blocks;
+    tc "swap/cnot pattern" `Quick test_swap_cnot_pattern;
+    tc "preserves unitary (random)" `Quick test_preserves_unitary;
+    tc "idempotent" `Quick test_idempotent;
+    tc "removed count" `Quick test_removed_count;
+    tc "post-routing compliance" `Quick test_compliance_preserved_after_routing;
+  ]

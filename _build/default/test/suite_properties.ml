@@ -1,0 +1,352 @@
+(* Property-based tests (qcheck) over random circuits and devices. *)
+
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gate_gen n =
+  let open QCheck.Gen in
+  let qubit = int_range 0 (n - 1) in
+  let distinct_pair =
+    qubit >>= fun a ->
+    int_range 0 (n - 2) >>= fun k ->
+    let b = if k >= a then k + 1 else k in
+    return (a, b)
+  in
+  frequency
+    [
+      (4, distinct_pair >|= fun (a, b) -> Gate.Cnot (a, b));
+      (1, distinct_pair >|= fun (a, b) -> Gate.Cz (a, b));
+      (1, distinct_pair >|= fun (a, b) -> Gate.Swap (a, b));
+      (1, qubit >|= fun q -> Gate.Single (H, q));
+      (1, qubit >|= fun q -> Gate.Single (T, q));
+      ( 1,
+        qubit >>= fun q ->
+        float_range (-3.0) 3.0 >|= fun a -> Gate.Single (Rz a, q) );
+    ]
+
+(* Routed-equivalence checks identify Swap gates in the *output* as
+   routing-inserted, so input circuits must be in the SWAP-free elementary
+   set (as the paper's are) — generated SWAPs are expanded to 3 CNOTs. *)
+let circuit_gen =
+  let open QCheck.Gen in
+  int_range 2 6 >>= fun n ->
+  list_size (int_range 0 40) (gate_gen n) >|= fun gates ->
+  Quantum.Decompose.expand_swaps (Circuit.create ~n_qubits:n gates)
+
+let circuit_arb =
+  QCheck.make circuit_gen ~print:(fun c -> Circuit.to_string c)
+
+(* Random connected device with at least as many qubits as the circuit:
+   a random spanning tree plus random extra edges. *)
+let device_gen ~min_qubits =
+  let open QCheck.Gen in
+  int_range min_qubits (min_qubits + 4) >>= fun n ->
+  if n = 1 then return (Coupling.create ~n_qubits:1 [])
+  else
+    (* spanning tree: each node i>0 attaches to a random previous node *)
+    let attach i = int_range 0 (i - 1) >|= fun p -> (p, i) in
+    let rec tree i acc =
+      if i >= n then return acc
+      else attach i >>= fun e -> tree (i + 1) (e :: acc)
+    in
+    tree 1 [] >>= fun tree_edges ->
+    (* a few random extra edges *)
+    list_size (int_range 0 n)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >|= fun extras ->
+    let have = Hashtbl.create 16 in
+    List.iter
+      (fun (a, b) -> Hashtbl.replace have (min a b, max a b) ())
+      tree_edges;
+    let extra_edges =
+      List.filter_map
+        (fun (a, b) ->
+          if a = b then None
+          else begin
+            let e = (min a b, max a b) in
+            if Hashtbl.mem have e then None
+            else begin
+              Hashtbl.replace have e ();
+              Some e
+            end
+          end)
+        extras
+    in
+    Coupling.create ~n_qubits:n (tree_edges @ extra_edges)
+
+let routed_instance_gen =
+  let open QCheck.Gen in
+  circuit_gen >>= fun c ->
+  device_gen ~min_qubits:(Circuit.n_qubits c) >>= fun device ->
+  int_range 0 1_000_000 >|= fun seed -> (c, device, seed)
+
+let routed_instance_arb =
+  QCheck.make routed_instance_gen ~print:(fun (c, device, seed) ->
+      Format.asprintf "seed=%d@.%a@.%a" seed Coupling.pp device Circuit.pp c)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sabre_output_valid =
+  QCheck.Test.make ~count:60 ~name:"SABRE output compliant and equivalent"
+    routed_instance_arb (fun (c, device, seed) ->
+      let config = { Sabre.Config.default with trials = 1; seed } in
+      let r = Sabre.Compiler.run ~config device c in
+      let initial = Mapping.l2p_array r.initial_mapping in
+      let final = Mapping.l2p_array r.final_mapping in
+      (match
+         Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
+           ~physical:r.physical ()
+       with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%a" Sim.Tracker.pp_error e)
+      && Sim.Equivalence.routed_equivalent ~states:1 ~initial ~final
+           ~logical:c ~physical:r.physical ())
+
+let prop_greedy_output_valid =
+  QCheck.Test.make ~count:60 ~name:"greedy output compliant and equivalent"
+    routed_instance_arb (fun (c, device, _) ->
+      let r = Baseline.Greedy_router.run device c in
+      let initial = Mapping.l2p_array r.initial_mapping in
+      let final = Mapping.l2p_array r.final_mapping in
+      match
+        Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
+          ~physical:r.physical ()
+      with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%a" Sim.Tracker.pp_error e)
+
+let prop_bka_output_valid =
+  QCheck.Test.make ~count:40 ~name:"BKA output compliant and equivalent"
+    routed_instance_arb (fun (c, device, _) ->
+      match Baseline.Bka.run device c with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r -> (
+        let initial = Mapping.l2p_array r.initial_mapping in
+        let final = Mapping.l2p_array r.final_mapping in
+        match
+          Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
+            ~physical:r.physical ()
+        with
+        | Ok () -> true
+        | Error e -> QCheck.Test.fail_reportf "%a" Sim.Tracker.pp_error e))
+
+let prop_reverse_involutive =
+  QCheck.Test.make ~count:100 ~name:"reverse . reverse = id (unitary part)"
+    circuit_arb (fun c ->
+      let unitary =
+        Circuit.filter (function Gate.Measure _ -> false | _ -> true) c
+      in
+      Circuit.equal unitary (Circuit.reverse (Circuit.reverse unitary)))
+
+let prop_reverse_is_inverse_unitary =
+  QCheck.Test.make ~count:40 ~name:"circuit . reverse = identity unitary"
+    circuit_arb (fun c ->
+      let n = Circuit.n_qubits c in
+      let unitary =
+        Circuit.filter (function Gate.Measure _ -> false | _ -> true) c
+      in
+      let rng = Random.State.make [| 123 |] in
+      let s = Sim.Statevector.random ~state:rng n in
+      let expected = Sim.Statevector.copy s in
+      Sim.Statevector.apply_circuit s unitary;
+      Sim.Statevector.apply_circuit s (Circuit.reverse unitary);
+      Sim.Statevector.approx_equal s expected)
+
+let prop_qasm_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"qasm print/parse roundtrip" circuit_arb
+    (fun c ->
+      let back = Quantum.Qasm.of_string (Quantum.Qasm.to_string c) in
+      Circuit.equal c back)
+
+let prop_depth_bounds =
+  QCheck.Test.make ~count:100 ~name:"depth bounds" circuit_arb (fun c ->
+      let d = Quantum.Depth.depth c in
+      let g = Circuit.gate_count c + List.length (List.filter (function Gate.Measure _ -> true | _ -> false) (Circuit.gates c)) in
+      d <= g
+      &&
+      (* depth at least the busiest qubit's load *)
+      let loads = Array.make (Circuit.n_qubits c) 0 in
+      List.iter
+        (fun gate ->
+          match gate with
+          | Gate.Barrier _ -> ()
+          | _ -> List.iter (fun q -> loads.(q) <- loads.(q) + 1) (Gate.qubits gate))
+        (Circuit.gates c);
+      Array.for_all (fun l -> d >= l) loads)
+
+let prop_distance_matrix_metric =
+  QCheck.Test.make ~count:60 ~name:"distance matrix is a metric"
+    (QCheck.make (device_gen ~min_qubits:2))
+    (fun device ->
+      let n = Coupling.n_qubits device in
+      let d = Coupling.distance_matrix device in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if d.(i).(i) <> 0 then ok := false;
+        for j = 0 to n - 1 do
+          if d.(i).(j) <> d.(j).(i) then ok := false;
+          if i <> j && Coupling.connected device i j && d.(i).(j) <> 1 then
+            ok := false;
+          for k = 0 to n - 1 do
+            if d.(i).(j) > d.(i).(k) + d.(k).(j) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_mapping_swap_involutive =
+  QCheck.Test.make ~count:100 ~name:"mapping swap twice = identity"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 8 >>= fun n ->
+         int_range n 12 >>= fun np ->
+         int_range 0 (np - 1) >>= fun p1 ->
+         int_range 0 (np - 1) >>= fun p2 ->
+         int >|= fun seed -> (n, np, p1, p2, seed)))
+    (fun (n, np, p1, p2, seed) ->
+      let m =
+        Mapping.random
+          ~state:(Random.State.make [| seed |])
+          ~n_logical:n ~n_physical:np
+      in
+      let m' = Mapping.swap_physical (Mapping.swap_physical m p1 p2) p1 p2 in
+      Mapping.equal m m')
+
+let prop_canonical_key_stable_under_dag_relinearisation =
+  QCheck.Test.make ~count:60
+    ~name:"canonical key invariant under topological relinearisation"
+    circuit_arb (fun c ->
+      let dag = Quantum.Dag.of_circuit c in
+      let order = Quantum.Dag.topological_order dag in
+      let gates = Circuit.gate_array c in
+      let relinearised =
+        Circuit.create ~n_qubits:(Circuit.n_qubits c)
+          ~n_clbits:(Circuit.n_clbits c)
+          (List.map (fun i -> gates.(i)) order)
+      in
+      Circuit.equal_up_to_reordering c relinearised)
+
+let prop_sabre_no_swaps_on_complete_graph =
+  QCheck.Test.make ~count:60 ~name:"no swaps needed on complete coupling"
+    circuit_arb (fun c ->
+      let n = max 2 (Circuit.n_qubits c) in
+      let device = Devices.complete n in
+      let r =
+        Sabre.Compiler.run
+          ~config:{ Sabre.Config.default with trials = 1 }
+          device c
+      in
+      r.stats.n_swaps = 0)
+
+let prop_optimizer_preserves_unitary =
+  QCheck.Test.make ~count:40 ~name:"peephole optimiser preserves unitary"
+    circuit_arb (fun c ->
+      let unitary =
+        Circuit.filter (function Gate.Measure _ -> false | _ -> true) c
+      in
+      let optimised = Quantum.Optimize.run unitary in
+      Circuit.length optimised <= Circuit.length unitary
+      && Sim.Equivalence.circuits_equivalent ~states:2 unitary optimised)
+
+let prop_optimizer_idempotent =
+  QCheck.Test.make ~count:60 ~name:"peephole optimiser idempotent" circuit_arb
+    (fun c ->
+      let once = Quantum.Optimize.run c in
+      Circuit.equal once (Quantum.Optimize.run once))
+
+let prop_alap_slack_nonnegative =
+  QCheck.Test.make ~count:80 ~name:"slack >= 0 and alap depth = asap depth"
+    circuit_arb (fun c ->
+      let s = Quantum.Depth.slack c in
+      Array.for_all (fun x -> x >= 0) s
+      && (Quantum.Depth.alap c).Quantum.Depth.depth
+         = (Quantum.Depth.asap c).Quantum.Depth.depth)
+
+let prop_directed_fix_sound =
+  (* random direction assignment over a random connected device: the fix
+     pass always yields direction-legal, unitarily equal circuits *)
+  QCheck.Test.make ~count:40 ~name:"directed fix sound"
+    (QCheck.make
+       QCheck.Gen.(
+         circuit_gen >>= fun c ->
+         device_gen ~min_qubits:(Circuit.n_qubits c) >>= fun device ->
+         int_bound 1_000_000 >|= fun seed -> (c, device, seed)))
+    (fun (c, device, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let arrows =
+        List.map
+          (fun (a, b) -> if Random.State.bool rng then (a, b) else (b, a))
+          (Coupling.edges device)
+      in
+      let d =
+        Hardware.Directed.create ~n_qubits:(Coupling.n_qubits device) arrows
+      in
+      let r =
+        Sabre.Compiler.run
+          ~config:{ Sabre.Config.default with trials = 1 }
+          device c
+      in
+      let fixed = Hardware.Directed.fix_directions d r.physical in
+      (match Hardware.Directed.check_directions d fixed with
+      | Ok () -> true
+      | Error g ->
+        QCheck.Test.fail_reportf "illegal gate %s" (Quantum.Gate.to_string g))
+      && Sim.Equivalence.circuits_equivalent ~states:1
+           (Quantum.Decompose.expand_all r.physical)
+           fixed)
+
+let prop_noise_metric_consistent =
+  QCheck.Test.make ~count:30 ~name:"noise routing metrics are metrics"
+    (QCheck.make
+       QCheck.Gen.(
+         device_gen ~min_qubits:3 >>= fun device ->
+         int_bound 10_000 >|= fun seed -> (device, seed)))
+    (fun (device, seed) ->
+      QCheck.assume (Coupling.is_connected_graph device);
+      let m = Hardware.Noise.randomized ~seed device in
+      let check_matrix d =
+        let n = Coupling.n_qubits device in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if Float.abs d.(i).(i) > 1e-12 then ok := false;
+          for j = 0 to n - 1 do
+            if Float.abs (d.(i).(j) -. d.(j).(i)) > 1e-9 then ok := false;
+            for k = 0 to n - 1 do
+              if d.(i).(j) > d.(i).(k) +. d.(k).(j) +. 1e-9 then ok := false
+            done
+          done
+        done;
+        !ok
+      in
+      check_matrix (Hardware.Noise.swap_reliability_distance m)
+      && check_matrix (Hardware.Noise.mixed_routing_distance m))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sabre_output_valid;
+      prop_greedy_output_valid;
+      prop_bka_output_valid;
+      prop_reverse_involutive;
+      prop_reverse_is_inverse_unitary;
+      prop_qasm_roundtrip;
+      prop_depth_bounds;
+      prop_distance_matrix_metric;
+      prop_mapping_swap_involutive;
+      prop_canonical_key_stable_under_dag_relinearisation;
+      prop_sabre_no_swaps_on_complete_graph;
+      prop_optimizer_preserves_unitary;
+      prop_optimizer_idempotent;
+      prop_alap_slack_nonnegative;
+      prop_directed_fix_sound;
+      prop_noise_metric_consistent;
+    ]

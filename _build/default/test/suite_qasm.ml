@@ -1,0 +1,215 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Qasm = Quantum.Qasm
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let program =
+  {|OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+t q[1];
+tdg q[2];
+barrier q[0],q[1],q[2];
+swap q[1],q[2];
+measure q[0] -> c[0];
+|}
+
+let test_parse_basic () =
+  let c = Qasm.of_string program in
+  check Alcotest.int "qubits" 3 (Circuit.n_qubits c);
+  check Alcotest.int "gates" 8 (Circuit.length c);
+  match Circuit.gates c with
+  | [ g1; g2; g3; g4; g5; g6; g7; g8 ] ->
+    check Alcotest.bool "h" true (Gate.equal g1 (Single (H, 0)));
+    check Alcotest.bool "cx" true (Gate.equal g2 (Cnot (0, 1)));
+    (match g3 with
+    | Gate.Single (Rz a, 2) ->
+      check (Alcotest.float 1e-12) "pi/4" (Float.pi /. 4.0) a
+    | _ -> Alcotest.fail "expected rz");
+    check Alcotest.bool "t" true (Gate.equal g4 (Single (T, 1)));
+    check Alcotest.bool "tdg" true (Gate.equal g5 (Single (Tdg, 2)));
+    check Alcotest.bool "barrier" true (Gate.equal g6 (Barrier [ 0; 1; 2 ]));
+    check Alcotest.bool "swap" true (Gate.equal g7 (Swap (1, 2)));
+    check Alcotest.bool "measure" true (Gate.equal g8 (Measure (0, 0)))
+  | _ -> Alcotest.fail "wrong gate count"
+
+let test_parameter_expressions () =
+  let c =
+    Qasm.of_string
+      "qreg q[1]; rz(-pi/2) q[0]; rz(2*pi) q[0]; rz(pi+1) q[0]; rz(3^2) q[0]; \
+       u3(0.1,-0.2,0.3e1) q[0];"
+  in
+  match Circuit.gates c with
+  | [ Gate.Single (Rz a, _); Single (Rz b, _); Single (Rz d, _);
+      Single (Rz e, _); Single (U3 (x, y, z), _) ] ->
+    check (Alcotest.float 1e-12) "-pi/2" (-.Float.pi /. 2.0) a;
+    check (Alcotest.float 1e-12) "2pi" (2.0 *. Float.pi) b;
+    check (Alcotest.float 1e-12) "pi+1" (Float.pi +. 1.0) d;
+    check (Alcotest.float 1e-12) "3^2" 9.0 e;
+    check (Alcotest.float 1e-12) "u3 theta" 0.1 x;
+    check (Alcotest.float 1e-12) "u3 phi" (-0.2) y;
+    check (Alcotest.float 1e-12) "u3 lam" 3.0 z
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_broadcast () =
+  let c = Qasm.of_string "qreg q[4]; h q;" in
+  check Alcotest.int "4 hadamards" 4 (Circuit.length c);
+  List.iteri
+    (fun i g -> check Alcotest.bool "h qi" true (Gate.equal g (Single (H, i))))
+    (Circuit.gates c)
+
+let test_multiple_registers_flattened () =
+  let c = Qasm.of_string "qreg a[2]; qreg b[2]; cx a[1],b[0];" in
+  check Alcotest.int "4 qubits" 4 (Circuit.n_qubits c);
+  check Alcotest.bool "flattened index" true
+    (Circuit.equal c (Circuit.create ~n_qubits:4 [ Gate.Cnot (1, 2) ]))
+
+let test_ccx_expanded () =
+  let c = Qasm.of_string "qreg q[3]; ccx q[0],q[1],q[2];" in
+  check Alcotest.int "toffoli expansion size" 15 (Circuit.length c);
+  check Alcotest.bool "no 3q gate left" true
+    (List.for_all (fun g -> List.length (Gate.qubits g) <= 2) (Circuit.gates c))
+
+let test_measure_register () =
+  let c = Qasm.of_string "qreg q[3]; creg c[3]; measure q -> c;" in
+  check Alcotest.int "3 measures" 3 (Circuit.length c)
+
+let test_errors () =
+  let fails s =
+    match Qasm.of_string s with
+    | exception Qasm.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "unknown register" true (fails "qreg q[2]; h r[0];");
+  check Alcotest.bool "index out of bounds" true (fails "qreg q[2]; h q[5];");
+  check Alcotest.bool "unknown gate" true (fails "qreg q[2]; foo q[0];");
+  check Alcotest.bool "missing semicolon" true (fails "qreg q[2]; h q[0]");
+  check Alcotest.bool "duplicate register" true (fails "qreg q[2]; qreg q[3];");
+  check Alcotest.bool "bad arity" true (fails "qreg q[3]; cx q[0];");
+  check Alcotest.bool "unterminated string" true (fails "include \"x;")
+
+let test_error_reports_line () =
+  match Qasm.of_string "qreg q[2];\nh q[0];\nfoo q[1];" with
+  | exception Qasm.Parse_error { line; _ } ->
+    check Alcotest.int "line 3" 3 line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_round_trip () =
+  let original = Qasm.of_string program in
+  let reparsed = Qasm.of_string (Qasm.to_string original) in
+  check Alcotest.bool "round trip" true (Circuit.equal original reparsed)
+
+let test_round_trip_generated () =
+  List.iter
+    (fun c ->
+      let reparsed = Qasm.of_string (Qasm.to_string c) in
+      check Alcotest.bool "round trip" true (Circuit.equal c reparsed))
+    [
+      Workloads.Qft.circuit 5;
+      Workloads.Ising.circuit ~steps:2 4;
+      Workloads.Bv.circuit ~hidden:0b1011 4;
+      Workloads.Adder.circuit 2;
+    ]
+
+let test_gate_definitions () =
+  let src =
+    {|qreg q[3];
+gate my_entangle a,b { h a; cx a,b; }
+gate my_phase(theta) a { rz(theta*2) a; }
+my_entangle q[0],q[1];
+my_phase(pi/4) q[2];|}
+  in
+  let c = Qasm.of_string src in
+  match Circuit.gates c with
+  | [ Gate.Single (H, 0); Gate.Cnot (0, 1); Gate.Single (Rz a, 2) ] ->
+    check (Alcotest.float 1e-12) "theta*2" (Float.pi /. 2.0) a
+  | _ -> Alcotest.failf "unexpected expansion: %s" (Circuit.to_string c)
+
+let test_gate_definitions_nested () =
+  (* a definition may call an earlier definition *)
+  let src =
+    {|qreg q[2];
+gate base a { h a; }
+gate outer a,b { base a; cx a,b; base b; }
+outer q[0],q[1];|}
+  in
+  let c = Qasm.of_string src in
+  check Alcotest.int "3 gates" 3 (Circuit.length c)
+
+let test_cuccaro_qasm_adds () =
+  (* the canonical RevLib-style adder in QASM with MAJ/UMA macros must
+     compute 1 + 1 = 2 *)
+  let src =
+    {|OPENQASM 2.0;
+qreg cin[1]; qreg a[2]; qreg b[2]; qreg cout[1];
+gate majority x,y,z { cx z,y; cx z,x; ccx x,y,z; }
+gate unmaj x,y,z { ccx x,y,z; cx z,x; cx x,y; }
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+cx a[1],cout[0];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];|}
+  in
+  let c = Qasm.of_string src in
+  (* registers flattened: cin=0, a=1,2, b=3,4, cout=5; set a=1, b=1 *)
+  let n = Circuit.n_qubits c in
+  check Alcotest.int "6 qubits" 6 n;
+  let s = Sim.Statevector.of_basis n ((1 lsl 1) lor (1 lsl 3)) in
+  Sim.Statevector.apply_circuit s c;
+  (* b should now hold 2: bit b1 (index 4) set, b0 (index 3) clear *)
+  let expect = 1 lsl 1 lor (1 lsl 4) in
+  check Alcotest.bool "1+1=2" true
+    (Complex.norm (Sim.Statevector.amplitude s expect) > 0.99)
+
+let test_gate_definition_errors () =
+  let fails s =
+    match Qasm.of_string s with
+    | exception Qasm.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "duplicate definition" true
+    (fails "qreg q[1]; gate f a { h a; } gate f a { x a; } f q[0];");
+  check Alcotest.bool "wrong arity" true
+    (fails "qreg q[2]; gate f a { h a; } f q[0],q[1];");
+  check Alcotest.bool "unknown formal" true
+    (fails "qreg q[1]; gate f a { h b; } f q[0];");
+  check Alcotest.bool "unknown parameter" true
+    (fails "qreg q[1]; gate f a { rz(theta) a; } f q[0];");
+  check Alcotest.bool "unterminated body" true
+    (fails "qreg q[1]; gate f a { h a;");
+  check Alcotest.bool "opaque cannot be applied" true
+    (fails "qreg q[1]; opaque magic a; magic q[0];")
+
+let test_file_io () =
+  let path = Filename.temp_file "qasm_test" ".qasm" in
+  let c = Workloads.Ghz.circuit 4 in
+  Qasm.to_file path c;
+  let back = Qasm.of_file path in
+  Sys.remove path;
+  check Alcotest.bool "file round trip" true (Circuit.equal c back)
+
+let suite =
+  [
+    tc "parse basic program" `Quick test_parse_basic;
+    tc "parameter expressions" `Quick test_parameter_expressions;
+    tc "register broadcast" `Quick test_broadcast;
+    tc "multiple registers flattened" `Quick test_multiple_registers_flattened;
+    tc "ccx expanded" `Quick test_ccx_expanded;
+    tc "measure whole register" `Quick test_measure_register;
+    tc "errors rejected" `Quick test_errors;
+    tc "error reports line" `Quick test_error_reports_line;
+    tc "round trip" `Quick test_round_trip;
+    tc "round trip generated circuits" `Quick test_round_trip_generated;
+    tc "gate definitions" `Quick test_gate_definitions;
+    tc "nested gate definitions" `Quick test_gate_definitions_nested;
+    tc "cuccaro adder via macros" `Quick test_cuccaro_qasm_adds;
+    tc "gate definition errors" `Quick test_gate_definition_errors;
+    tc "file io" `Quick test_file_io;
+  ]

@@ -1,0 +1,134 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Depth = Quantum.Depth
+module Render = Quantum.Render
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* --- ALAP / slack (scheduling extensions) ------------------------- *)
+
+let test_alap_same_depth () =
+  let c = Workloads.Qft.circuit 5 in
+  check Alcotest.int "same makespan" (Depth.asap c).Depth.depth
+    (Depth.alap c).Depth.depth
+
+let test_alap_never_earlier () =
+  let c = Helpers.random_circuit ~seed:3 ~n:6 ~gates:50 in
+  let early = (Depth.asap c).Depth.levels in
+  let late = (Depth.alap c).Depth.levels in
+  Array.iteri
+    (fun i e -> check Alcotest.bool "alap >= asap" true (late.(i) >= e))
+    early
+
+let test_slack_values () =
+  (* q0 has a 3-gate chain (critical), q1 a single gate: slack 2 *)
+  let c =
+    Circuit.create ~n_qubits:2
+      [
+        Gate.Single (H, 0); Gate.Single (T, 0); Gate.Single (H, 0);
+        Gate.Single (X, 1);
+      ]
+  in
+  let s = Depth.slack c in
+  check Alcotest.int "critical H" 0 s.(0);
+  check Alcotest.int "critical T" 0 s.(1);
+  check Alcotest.int "critical H2" 0 s.(2);
+  check Alcotest.int "idle X slack" 2 s.(3)
+
+let test_alap_respects_dependencies () =
+  let c = Helpers.random_circuit ~seed:4 ~n:5 ~gates:40 in
+  let { Depth.levels; _ } = Depth.alap c in
+  let gates = Circuit.gate_array c in
+  let dag = Quantum.Dag.of_circuit c in
+  Array.iteri
+    (fun i _ ->
+      List.iter
+        (fun j ->
+          check Alcotest.bool "edge order" true (levels.(i) < levels.(j)))
+        (Quantum.Dag.successors dag i))
+    gates
+
+(* --- ASCII rendering ---------------------------------------------- *)
+
+let test_ascii_smoke () =
+  let c =
+    Circuit.create ~n_qubits:3
+      [
+        Gate.Single (H, 0); Gate.Cnot (0, 1); Gate.Cz (1, 2);
+        Gate.Swap (0, 2); Gate.Measure (2, 0);
+      ]
+  in
+  let art = Render.circuit_ascii c in
+  let lines = String.split_on_char '\n' art |> List.filter (fun l -> l <> "") in
+  check Alcotest.int "one line per qubit" 3 (List.length lines);
+  check Alcotest.bool "control marker" true (String.contains art '*');
+  check Alcotest.bool "target marker" true (String.contains art 'X');
+  check Alcotest.bool "swap marker" true (String.contains art 'x');
+  check Alcotest.bool "measure marker" true (String.contains art 'M');
+  check Alcotest.bool "hadamard" true (String.contains art 'H')
+
+let test_ascii_connector_crosses_middle_qubit () =
+  let c = Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 2) ] in
+  let art = Render.circuit_ascii c in
+  (match String.split_on_char '\n' art with
+  | [ _; q1; _; "" ] | [ _; q1; _ ] ->
+    check Alcotest.bool "middle row carries |" true (String.contains q1 '|')
+  | _ -> Alcotest.failf "unexpected layout:\n%s" art)
+
+let test_ascii_truncation () =
+  let c =
+    Circuit.create ~n_qubits:1
+      (List.init 50 (fun _ -> Gate.Single (Gate.H, 0)))
+  in
+  let art = Render.circuit_ascii ~max_columns:10 c in
+  check Alcotest.bool "ellipsis" true
+    (String.length art > 3
+    && String.sub art (String.length art - 4) 3 = "...")
+
+let test_ascii_empty () =
+  check Alcotest.string "empty" "(empty register)"
+    (Render.circuit_ascii (Circuit.create ~n_qubits:0 []))
+
+(* --- dot exports --------------------------------------------------- *)
+
+let test_coupling_dot () =
+  let dot = Hardware.Coupling.to_dot (Hardware.Devices.ibm_q5_yorktown ()) in
+  check Alcotest.bool "graph header" true
+    (String.length dot > 5 && String.sub dot 0 5 = "graph");
+  (* 6 undirected edges *)
+  let count_sub sub s =
+    let n = ref 0 in
+    let sl = String.length sub in
+    for i = 0 to String.length s - sl do
+      if String.sub s i sl = sub then incr n
+    done;
+    !n
+  in
+  check Alcotest.int "6 edges" 6 (count_sub " -- " dot)
+
+let test_dag_dot () =
+  let c = Circuit.create ~n_qubits:2 [ Gate.Single (H, 0); Gate.Cnot (0, 1) ] in
+  let dot = Render.dag_dot (Quantum.Dag.of_circuit c) in
+  check Alcotest.bool "digraph" true
+    (String.length dot > 7 && String.sub dot 0 7 = "digraph");
+  check Alcotest.bool "edge" true
+    (let has_edge = ref false in
+     String.split_on_char '\n' dot
+     |> List.iter (fun l ->
+            if l = "  g0 -> g1;" then has_edge := true);
+     !has_edge)
+
+let suite =
+  [
+    tc "alap same depth" `Quick test_alap_same_depth;
+    tc "alap never earlier" `Quick test_alap_never_earlier;
+    tc "slack values" `Quick test_slack_values;
+    tc "alap respects dependencies" `Quick test_alap_respects_dependencies;
+    tc "ascii smoke" `Quick test_ascii_smoke;
+    tc "ascii connector" `Quick test_ascii_connector_crosses_middle_qubit;
+    tc "ascii truncation" `Quick test_ascii_truncation;
+    tc "ascii empty" `Quick test_ascii_empty;
+    tc "coupling dot" `Quick test_coupling_dot;
+    tc "dag dot" `Quick test_dag_dot;
+  ]

@@ -1,0 +1,316 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+module Config = Sabre.Config
+module Routing_pass = Sabre.Routing_pass
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let single_pass = { Config.default with trials = 1; traversals = 1 }
+
+let route ?(config = single_pass) coupling circuit mapping =
+  Routing_pass.run config coupling (Dag.of_circuit circuit) mapping
+
+let verify coupling logical mapping (r : Routing_pass.result) label =
+  Helpers.assert_routed ~coupling
+    ~initial:(Mapping.l2p_array mapping)
+    ~final:(Mapping.l2p_array r.final_mapping)
+    ~logical ~physical:r.physical label
+
+let test_executable_circuit_untouched () =
+  (* GHZ chain on a line device with identity mapping: zero swaps *)
+  let device = Devices.linear 5 in
+  let c = Workloads.Ghz.circuit 5 in
+  let m = Mapping.identity ~n_logical:5 ~n_physical:5 in
+  let r = route device c m in
+  check Alcotest.int "no swaps" 0 r.n_swaps;
+  check Alcotest.int "same gate count" (Circuit.length c)
+    (Circuit.length r.physical);
+  verify device c m r "untouched"
+
+let test_single_blocked_gate () =
+  (* CNOT between the two ends of a 3-qubit line: exactly 1 swap *)
+  let device = Devices.linear 3 in
+  let c = Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 2) ] in
+  let m = Mapping.identity ~n_logical:3 ~n_physical:3 in
+  let r = route device c m in
+  check Alcotest.int "one swap" 1 r.n_swaps;
+  verify device c m r "single blocked"
+
+let test_paper_fig3_example () =
+  (* the paper's worked example: 1 SWAP suffices *)
+  let device = Coupling.create ~n_qubits:4 [ (0, 1); (1, 3); (3, 2); (2, 0) ] in
+  let c =
+    Circuit.create ~n_qubits:4
+      [
+        Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+        Gate.Cnot (1, 2); Gate.Cnot (2, 3); Gate.Cnot (0, 3);
+      ]
+  in
+  let m = Mapping.identity ~n_logical:4 ~n_physical:4 in
+  let r = route device c m in
+  check Alcotest.int "exactly one swap (Fig. 3d)" 1 r.n_swaps;
+  verify device c m r "fig3"
+
+let test_single_qubit_gates_pass_through () =
+  let device = Devices.linear 2 in
+  let c =
+    Circuit.create ~n_qubits:2
+      [ Gate.Single (H, 0); Gate.Single (T, 1); Gate.Measure (0, 0) ]
+  in
+  let m = Mapping.identity ~n_logical:2 ~n_physical:2 in
+  let r = route device c m in
+  check Alcotest.int "all emitted" 3 (Circuit.length r.physical);
+  check Alcotest.int "no swaps" 0 r.n_swaps
+
+let test_remapping_respects_initial_mapping () =
+  let device = Devices.linear 3 in
+  let c = Circuit.create ~n_qubits:2 [ Gate.Single (H, 0); Gate.Cnot (0, 1) ] in
+  (* q0 on P2, q1 on P1 — adjacent, no swap; gates must be remapped *)
+  let m = Mapping.of_array ~n_physical:3 [| 2; 1 |] in
+  let r = route device c m in
+  check Alcotest.int "no swaps" 0 r.n_swaps;
+  check Alcotest.bool "gates remapped" true
+    (Circuit.equal r.physical
+       (Circuit.create ~n_qubits:3 [ Gate.Single (H, 2); Gate.Cnot (2, 1) ]));
+  verify device c m r "remapped"
+
+let test_all_heuristics_correct () =
+  let device = Devices.ibm_q5_yorktown () in
+  let c = Workloads.Qft.circuit 5 in
+  let m = Mapping.identity ~n_logical:5 ~n_physical:5 in
+  List.iter
+    (fun h ->
+      let r = route ~config:{ single_pass with heuristic = h } device c m in
+      verify device c m r "heuristic variant";
+      check Alcotest.bool "made progress" true (r.n_swaps >= 1))
+    [ Config.Basic; Config.Lookahead; Config.Decay ]
+
+let test_final_mapping_consistent () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:21 ~n:8 ~gates:80 in
+  let m =
+    Mapping.random ~state:(Random.State.make [| 3 |]) ~n_logical:8
+      ~n_physical:20
+  in
+  let r = route device c m in
+  (* every logical qubit still placed injectively *)
+  let seen = Array.make 20 false in
+  for q = 0 to 7 do
+    let p = Mapping.to_physical r.final_mapping q in
+    check Alcotest.bool "in range" true (p >= 0 && p < 20);
+    check Alcotest.bool "injective" false seen.(p);
+    seen.(p) <- true
+  done;
+  verify device c m r "final mapping"
+
+let test_swap_count_matches_emitted () =
+  let device = Devices.linear 6 in
+  let c = Helpers.random_circuit ~seed:5 ~n:6 ~gates:60 in
+  let m = Mapping.identity ~n_logical:6 ~n_physical:6 in
+  let r = route device c m in
+  let swaps_in_circuit =
+    List.length
+      (List.filter
+         (function Gate.Swap _ -> true | _ -> false)
+         (Circuit.gates r.physical))
+  in
+  check Alcotest.int "n_swaps accurate" r.n_swaps swaps_in_circuit;
+  check Alcotest.int "output length" (Circuit.length c + r.n_swaps)
+    (Circuit.length r.physical)
+
+let test_star_device () =
+  (* on a star all routes go through the hub *)
+  let device = Devices.star 6 in
+  let c = Workloads.Ghz.circuit 6 in
+  let m = Mapping.identity ~n_logical:6 ~n_physical:6 in
+  let r = route device c m in
+  verify device c m r "star"
+
+let test_ring_device () =
+  let device = Devices.ring 8 in
+  let c = Helpers.random_circuit ~seed:13 ~n:8 ~gates:100 in
+  let m = Mapping.identity ~n_logical:8 ~n_physical:8 in
+  let r = route device c m in
+  verify device c m r "ring"
+
+let test_wider_device_than_circuit () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Qft.circuit 6 in
+  let m =
+    Mapping.random ~state:(Random.State.make [| 77 |]) ~n_logical:6
+      ~n_physical:20
+  in
+  let r = route device c m in
+  verify device c m r "wide device"
+
+let test_rejects_too_wide_circuit () =
+  let device = Devices.linear 3 in
+  let c = Workloads.Qft.circuit 5 in
+  let m = Mapping.identity ~n_logical:5 ~n_physical:5 in
+  check Alcotest.bool "raises" true
+    (match route device c m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_rejects_mapping_arity_mismatch () =
+  let device = Devices.linear 4 in
+  let c = Workloads.Qft.circuit 3 in
+  let m = Mapping.identity ~n_logical:4 ~n_physical:4 in
+  check Alcotest.bool "raises" true
+    (match route device c m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_decay_zero_equals_lookahead () =
+  (* with δ = 0 every decay factor stays 1.0, so the Decay heuristic must
+     reproduce the Lookahead heuristic exactly *)
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:41 ~n:12 ~gates:150 in
+  let m = Mapping.identity ~n_logical:12 ~n_physical:20 in
+  let lookahead =
+    route ~config:{ single_pass with heuristic = Config.Lookahead } device c m
+  in
+  let decay0 =
+    route
+      ~config:
+        { single_pass with heuristic = Config.Decay; decay_increment = 0.0 }
+      device c m
+  in
+  check Alcotest.bool "identical outputs" true
+    (Circuit.equal lookahead.physical decay0.physical)
+
+let test_decay_knob_has_effect () =
+  (* Section IV-C3: δ is a real knob — across a δ sweep the generated
+     circuits differ in the (gates, depth) plane *)
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Qft.circuit 12 in
+  let m = Mapping.identity ~n_logical:12 ~n_physical:20 in
+  let outcomes =
+    List.map
+      (fun delta ->
+        let r =
+          route
+            ~config:
+              { single_pass with heuristic = Config.Decay; decay_increment = delta }
+            device c m
+        in
+        verify device c m r (Printf.sprintf "delta %g" delta);
+        (r.n_swaps, Quantum.Depth.depth_swap3 r.physical))
+      [ 0.0; 0.001; 0.01; 0.1 ]
+  in
+  check Alcotest.bool "sweep produces distinct circuits" true
+    (List.length (List.sort_uniq compare outcomes) > 1)
+
+let test_stall_fallback_terminates () =
+  (* an adversarial stall limit of 1 forces the fallback path; routing
+     must still terminate and be correct *)
+  let device = Devices.linear 8 in
+  let c = Helpers.random_circuit ~seed:9 ~n:8 ~gates:120 in
+  let m = Mapping.identity ~n_logical:8 ~n_physical:8 in
+  let r = route ~config:{ single_pass with stall_limit = Some 1 } device c m in
+  verify device c m r "fallback";
+  check Alcotest.bool "fallback used" true (r.fallback_swaps > 0)
+
+let test_one_swap_serves_two_front_gates () =
+  (* the situation of paper Fig. 6: two blocked front-layer gates share a
+     profitable SWAP; the heuristic must find the single SWAP that makes
+     both executable rather than fixing them one by one.
+
+     3x3 grid     0 1 2      front: CX(0,4), CX(2,4)
+                  3 4 5      swapping P1<->P4 moves q4 between q0 and q2
+                  6 7 8 *)
+  let device = Devices.grid ~rows:3 ~cols:3 in
+  let c =
+    Circuit.create ~n_qubits:9 [ Gate.Cnot (0, 4); Gate.Cnot (2, 4) ]
+  in
+  let m = Mapping.identity ~n_logical:9 ~n_physical:9 in
+  let r = route device c m in
+  check Alcotest.int "single shared swap" 1 r.n_swaps;
+  (match Circuit.gates r.physical with
+  | [ Gate.Swap (a, b); _; _ ] ->
+    check Alcotest.bool "swap on (1,4)" true
+      ((a, b) = (1, 4) || (a, b) = (4, 1))
+  | _ -> Alcotest.fail "expected swap then two cnots");
+  verify device c m r "fig6"
+
+let test_candidates_restricted_to_front () =
+  (* Section IV-C1: an inserted SWAP always touches a physical qubit
+     occupied by a front-layer operand *)
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:61 ~n:10 ~gates:120 in
+  let m = Mapping.identity ~n_logical:10 ~n_physical:20 in
+  let r = route device c m in
+  (* replay the output: before each SWAP, compute the physical homes of
+     the *next* blocked logical two-qubit gates; the SWAP must touch one *)
+  let p2l = Array.make 20 (-1) in
+  Array.iteri (fun l p -> p2l.(p) <- l) (Mapping.l2p_array m);
+  let rec upcoming_gate = function
+    | Gate.Swap _ :: rest -> upcoming_gate rest
+    | g :: rest -> (
+      match Gate.two_qubit_pair g with Some _ -> Some g | None -> upcoming_gate rest)
+    | [] -> None
+  in
+  let rec walk gates =
+    match gates with
+    | [] -> ()
+    | Gate.Swap (a, b) :: rest ->
+      (* some logical qubit of some not-yet-executed two-qubit gate must
+         sit on a or b — weaker but checkable proxy: the physical circuit
+         still contains a two-qubit gate later, and the swap moves an
+         occupied qubit *)
+      check Alcotest.bool "swap moves an occupied qubit" true
+        (p2l.(a) >= 0 || p2l.(b) >= 0);
+      check Alcotest.bool "work remains after a swap" true
+        (upcoming_gate rest <> None);
+      let tmp = p2l.(a) in
+      p2l.(a) <- p2l.(b);
+      p2l.(b) <- tmp;
+      walk rest
+    | _ :: rest -> walk rest
+  in
+  walk (Circuit.gates r.physical)
+
+let test_empty_circuit () =
+  let device = Devices.linear 3 in
+  let c = Circuit.empty 3 in
+  let m = Mapping.identity ~n_logical:3 ~n_physical:3 in
+  let r = route device c m in
+  check Alcotest.int "empty output" 0 (Circuit.length r.physical);
+  check Alcotest.int "no swaps" 0 r.n_swaps
+
+let test_search_steps_counted () =
+  let device = Devices.linear 3 in
+  let c = Circuit.create ~n_qubits:3 [ Gate.Cnot (0, 2) ] in
+  let m = Mapping.identity ~n_logical:3 ~n_physical:3 in
+  let r = route device c m in
+  check Alcotest.int "one step" 1 r.search_steps
+
+let suite =
+  [
+    tc "executable circuit untouched" `Quick test_executable_circuit_untouched;
+    tc "single blocked gate" `Quick test_single_blocked_gate;
+    tc "paper Fig. 3 example" `Quick test_paper_fig3_example;
+    tc "single-qubit gates pass through" `Quick test_single_qubit_gates_pass_through;
+    tc "initial mapping respected" `Quick test_remapping_respects_initial_mapping;
+    tc "all heuristics correct" `Quick test_all_heuristics_correct;
+    tc "final mapping consistent" `Quick test_final_mapping_consistent;
+    tc "swap count matches emitted" `Quick test_swap_count_matches_emitted;
+    tc "star device" `Quick test_star_device;
+    tc "ring device" `Quick test_ring_device;
+    tc "wider device than circuit" `Quick test_wider_device_than_circuit;
+    tc "rejects too-wide circuit" `Quick test_rejects_too_wide_circuit;
+    tc "rejects mapping arity mismatch" `Quick test_rejects_mapping_arity_mismatch;
+    tc "decay(0) = lookahead" `Quick test_decay_zero_equals_lookahead;
+    tc "decay knob has effect" `Quick test_decay_knob_has_effect;
+    tc "stall fallback terminates" `Quick test_stall_fallback_terminates;
+    tc "one swap serves two front gates (Fig. 6)" `Quick
+      test_one_swap_serves_two_front_gates;
+    tc "swaps touch occupied qubits" `Quick test_candidates_restricted_to_front;
+    tc "empty circuit" `Quick test_empty_circuit;
+    tc "search steps counted" `Quick test_search_steps_counted;
+  ]

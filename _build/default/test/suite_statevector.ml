@@ -1,0 +1,190 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Sv = Sim.Statevector
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let amp_close msg expected actual =
+  check (Alcotest.float 1e-9) (msg ^ " re") expected.Complex.re actual.Complex.re;
+  check (Alcotest.float 1e-9) (msg ^ " im") expected.Complex.im actual.Complex.im
+
+let test_initial_state () =
+  let s = Sv.create 2 in
+  amp_close "amp 00" Complex.one (Sv.amplitude s 0);
+  amp_close "amp 01" Complex.zero (Sv.amplitude s 1);
+  check (Alcotest.float 1e-9) "normalised" 1.0 (Sv.norm s)
+
+let test_x_flips () =
+  let s = Sv.create 2 in
+  Sv.apply s (Gate.Single (X, 1));
+  amp_close "amp 10" Complex.one (Sv.amplitude s 2)
+
+let test_h_superposition () =
+  let s = Sv.create 1 in
+  Sv.apply s (Gate.Single (H, 0));
+  let r = 1.0 /. Float.sqrt 2.0 in
+  amp_close "amp 0" { Complex.re = r; im = 0. } (Sv.amplitude s 0);
+  amp_close "amp 1" { Complex.re = r; im = 0. } (Sv.amplitude s 1);
+  (* H is self-inverse *)
+  Sv.apply s (Gate.Single (H, 0));
+  amp_close "back to |0>" Complex.one (Sv.amplitude s 0)
+
+let test_bell_state () =
+  let s = Sv.create 2 in
+  Sv.apply s (Gate.Single (H, 0));
+  Sv.apply s (Gate.Cnot (0, 1));
+  let r = 1.0 /. Float.sqrt 2.0 in
+  amp_close "amp 00" { Complex.re = r; im = 0. } (Sv.amplitude s 0);
+  amp_close "amp 11" { Complex.re = r; im = 0. } (Sv.amplitude s 3);
+  amp_close "amp 01" Complex.zero (Sv.amplitude s 1);
+  check (Alcotest.float 1e-9) "p(q1=1)" 0.5 (Sv.probability s 1)
+
+let test_cnot_truth_table () =
+  List.iter
+    (fun (input, expected) ->
+      let s = Sv.of_basis 2 input in
+      Sv.apply s (Gate.Cnot (0, 1));
+      amp_close
+        (Printf.sprintf "cx |%d> -> |%d>" input expected)
+        Complex.one (Sv.amplitude s expected))
+    (* qubit 0 = control = LSB *)
+    [ (0, 0); (1, 3); (2, 2); (3, 1) ]
+
+let test_swap_exchanges () =
+  let s = Sv.of_basis 2 1 in
+  (* |01>, i.e. qubit0 = 1 *)
+  Sv.apply s (Gate.Swap (0, 1));
+  amp_close "swapped to |10>" Complex.one (Sv.amplitude s 2)
+
+let test_swap_equals_three_cnots () =
+  let rng = Random.State.make [| 11 |] in
+  let a = Sv.random ~state:rng 3 in
+  let b = Sv.copy a in
+  Sv.apply a (Gate.Swap (0, 2));
+  List.iter (Sv.apply b) (Quantum.Decompose.swap_to_cnots 0 2);
+  check Alcotest.bool "equal" true (Sv.approx_equal a b)
+
+let test_cz_phase () =
+  let s = Sv.of_basis 2 3 in
+  Sv.apply s (Gate.Cz (0, 1));
+  amp_close "phase flipped" { Complex.re = -1.; im = 0. } (Sv.amplitude s 3);
+  let s0 = Sv.of_basis 2 1 in
+  Sv.apply s0 (Gate.Cz (0, 1));
+  amp_close "untouched" Complex.one (Sv.amplitude s0 1)
+
+let test_rotations_compose () =
+  (* Rz(a) Rz(b) = Rz(a+b) up to nothing (exactly) *)
+  let rng = Random.State.make [| 3 |] in
+  let a = Sv.random ~state:rng 1 in
+  let b = Sv.copy a in
+  Sv.apply a (Gate.Single (Rz 0.4, 0));
+  Sv.apply a (Gate.Single (Rz 0.9, 0));
+  Sv.apply b (Gate.Single (Rz 1.3, 0));
+  check Alcotest.bool "rz additive" true (Sv.approx_equal a b)
+
+let test_s_squared_is_z () =
+  let rng = Random.State.make [| 4 |] in
+  let a = Sv.random ~state:rng 1 in
+  let b = Sv.copy a in
+  Sv.apply a (Gate.Single (S, 0));
+  Sv.apply a (Gate.Single (S, 0));
+  Sv.apply b (Gate.Single (Z, 0));
+  check Alcotest.bool "S^2 = Z" true (Sv.approx_equal a b);
+  let c = Sv.copy b in
+  Sv.apply c (Gate.Single (T, 0));
+  Sv.apply c (Gate.Single (T, 0));
+  Sv.apply b (Gate.Single (S, 0));
+  check Alcotest.bool "T^2 = S" true (Sv.approx_equal b c)
+
+let test_unitarity_preserves_norm () =
+  let rng = Random.State.make [| 5 |] in
+  let s = Sv.random ~state:rng 4 in
+  Sv.apply_circuit s (Workloads.Qft.circuit 4);
+  check (Alcotest.float 1e-9) "norm 1" 1.0 (Sv.norm s)
+
+let test_gate_daggers_invert () =
+  let kinds =
+    [
+      Gate.H; X; Y; Z; S; Sdg; T; Tdg; Rx 0.31; Ry 0.77; Rz 1.23; U1 0.5;
+      U2 (0.3, 0.8); U3 (0.4, 1.1, 2.2);
+    ]
+  in
+  let rng = Random.State.make [| 6 |] in
+  List.iter
+    (fun k ->
+      let s = Sv.random ~state:rng 1 in
+      let original = Sv.copy s in
+      Sv.apply s (Gate.Single (k, 0));
+      Sv.apply s (Gate.dagger (Gate.Single (k, 0)));
+      check Alcotest.bool
+        (Gate.single_kind_name k ^ " dagger inverts")
+        true
+        (Sv.approx_equal s original))
+    kinds
+
+let test_measure_raises () =
+  let s = Sv.create 1 in
+  Alcotest.check_raises "measure"
+    (Invalid_argument "Statevector.apply: cannot apply a measurement unitarily")
+    (fun () -> Sv.apply s (Gate.Measure (0, 0)))
+
+let test_embed () =
+  let s = Sv.of_basis 2 3 in
+  let e = Sv.embed s 4 in
+  check Alcotest.int "width" 4 (Sv.n_qubits e);
+  amp_close "amp |0011>" Complex.one (Sv.amplitude e 3)
+
+let test_permute () =
+  let s = Sv.of_basis 3 0b001 in
+  (* qubit 0 holds 1; rotate qubits: result qubit q carries p.(q) *)
+  let p = [| 2; 0; 1 |] in
+  let out = Sv.permute s p in
+  (* result qubit 1 carries source qubit 0 = 1 -> basis index 0b010 *)
+  amp_close "permuted" Complex.one (Sv.amplitude out 0b010)
+
+let test_permute_identity () =
+  let rng = Random.State.make [| 8 |] in
+  let s = Sv.random ~state:rng 4 in
+  let out = Sv.permute s [| 0; 1; 2; 3 |] in
+  check Alcotest.bool "identity" true (Sv.approx_equal s out)
+
+let test_permute_swap_matches_swap_gate () =
+  let rng = Random.State.make [| 9 |] in
+  let s = Sv.random ~state:rng 2 in
+  let via_gate = Sv.copy s in
+  Sv.apply via_gate (Gate.Swap (0, 1));
+  let via_perm = Sv.permute s [| 1; 0 |] in
+  check Alcotest.bool "same" true (Sv.approx_equal via_gate via_perm)
+
+let test_fidelity_global_phase () =
+  let rng = Random.State.make [| 10 |] in
+  let s = Sv.random ~state:rng 2 in
+  let t = Sv.copy s in
+  (* global phase via Rz on both arms... simpler: U1 adds phase only to |1>
+     component, so use a whole-register phase: apply Rz twice *)
+  Sv.apply t (Gate.Single (Rz 0.7, 0));
+  Sv.apply t (Gate.Single (Rz (-0.7), 0));
+  check Alcotest.bool "identical" true (Sv.approx_equal s t)
+
+let suite =
+  [
+    tc "initial state" `Quick test_initial_state;
+    tc "x flips" `Quick test_x_flips;
+    tc "h superposition" `Quick test_h_superposition;
+    tc "bell state" `Quick test_bell_state;
+    tc "cnot truth table" `Quick test_cnot_truth_table;
+    tc "swap exchanges" `Quick test_swap_exchanges;
+    tc "swap = 3 cnots" `Quick test_swap_equals_three_cnots;
+    tc "cz phase" `Quick test_cz_phase;
+    tc "rz additive" `Quick test_rotations_compose;
+    tc "S^2 = Z, T^2 = S" `Quick test_s_squared_is_z;
+    tc "unitarity preserves norm" `Quick test_unitarity_preserves_norm;
+    tc "daggers invert" `Quick test_gate_daggers_invert;
+    tc "measure raises" `Quick test_measure_raises;
+    tc "embed" `Quick test_embed;
+    tc "permute" `Quick test_permute;
+    tc "permute identity" `Quick test_permute_identity;
+    tc "permute matches swap gate" `Quick test_permute_swap_matches_swap_gate;
+    tc "approx_equal ignores global phase" `Quick test_fidelity_global_phase;
+  ]

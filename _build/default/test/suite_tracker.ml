@@ -1,0 +1,123 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Tracker = Sim.Tracker
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* the paper's Fig. 3 setting: 4-qubit square device, 6-CNOT circuit *)
+let square = Coupling.create ~n_qubits:4 [ (0, 1); (1, 3); (3, 2); (2, 0) ]
+
+let fig3_original =
+  Circuit.create ~n_qubits:4
+    [
+      Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+      Gate.Cnot (1, 2); Gate.Cnot (2, 3); Gate.Cnot (0, 3);
+    ]
+
+(* Fig. 3(d): one SWAP between q1 and q2 (physical Q1, Q2 = indices 0, 1)
+   after the third CNOT makes the rest executable. *)
+let fig3_updated =
+  Circuit.create ~n_qubits:4
+    [
+      Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+      Gate.Swap (0, 1);
+      Gate.Cnot (0, 2); Gate.Cnot (2, 3); Gate.Cnot (1, 3);
+    ]
+
+let identity4 = [| 0; 1; 2; 3 |]
+
+let test_fig3_roundtrip () =
+  match
+    Tracker.check ~coupling:square ~initial:identity4
+      ~final:[| 1; 0; 2; 3 |] ~logical:fig3_original ~physical:fig3_updated ()
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Tracker.pp_error e
+
+let test_compliance_catches_bad_edge () =
+  (* CNOT on the square's diagonal (0,3) is not an edge *)
+  let bad = Circuit.create ~n_qubits:4 [ Gate.Cnot (0, 3) ] in
+  match Tracker.check_compliance ~coupling:square bad with
+  | Error (Tracker.Not_on_edge _) -> ()
+  | Ok () -> Alcotest.fail "should have failed"
+  | Error e -> Alcotest.failf "wrong error: %a" Tracker.pp_error e
+
+let test_semantics_mismatch_detected () =
+  (* drop a gate from the physical circuit *)
+  let truncated =
+    Circuit.create ~n_qubits:4
+      [ Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 3) ]
+  in
+  match
+    Tracker.check ~coupling:square ~initial:identity4 ~logical:fig3_original
+      ~physical:truncated ()
+  with
+  | Error Tracker.Semantics_mismatch -> ()
+  | Ok () -> Alcotest.fail "should have failed"
+  | Error e -> Alcotest.failf "wrong error: %a" Tracker.pp_error e
+
+let test_wrong_final_mapping_detected () =
+  match
+    Tracker.check ~coupling:square ~initial:identity4 ~final:identity4
+      ~logical:fig3_original ~physical:fig3_updated ()
+  with
+  | Error (Tracker.Final_mapping_mismatch _) -> ()
+  | Ok () -> Alcotest.fail "should have failed"
+  | Error e -> Alcotest.failf "wrong error: %a" Tracker.pp_error e
+
+let test_unroute_returns_final_mapping () =
+  match Tracker.unroute ~initial:identity4 ~n_logical:4 fig3_updated with
+  | Ok (recovered, final) ->
+    check Alcotest.bool "semantics" true
+      (Circuit.equal_up_to_reordering recovered fig3_original);
+    check (Alcotest.array Alcotest.int) "final" [| 1; 0; 2; 3 |] final
+  | Error e -> Alcotest.failf "unexpected: %a" Tracker.pp_error e
+
+let test_unmapped_qubit_detected () =
+  (* 2 logical qubits on 4 physical; a gate touches an unmapped qubit *)
+  let logicalless =
+    Circuit.create ~n_qubits:4 [ Gate.Single (H, 3) ]
+  in
+  match Tracker.unroute ~initial:[| 0; 1 |] ~n_logical:2 logicalless with
+  | Error (Tracker.Unmapped_qubit (_, 3)) -> ()
+  | Ok _ -> Alcotest.fail "should have failed"
+  | Error e -> Alcotest.failf "wrong error: %a" Tracker.pp_error e
+
+let test_swap_through_unmapped_ok () =
+  (* moving a logical qubit through a free physical qubit is legal *)
+  let line = Coupling.create ~n_qubits:3 [ (0, 1); (1, 2) ] in
+  let logical = Circuit.create ~n_qubits:2 [ Gate.Cnot (0, 1) ] in
+  (* q0 at P0, q1 at P2: swap q1 to P1 then interact *)
+  let physical =
+    Circuit.create ~n_qubits:3 [ Gate.Swap (2, 1); Gate.Cnot (0, 1) ]
+  in
+  match
+    Tracker.check ~coupling:line ~initial:[| 0; 2 |] ~final:[| 0; 1 |]
+      ~logical ~physical ()
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Tracker.pp_error e
+
+let test_invalid_initial_mapping_rejected () =
+  let c = Circuit.empty 2 in
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check Alcotest.bool "duplicate" true
+    (raises (fun () -> Tracker.unroute ~initial:[| 0; 0 |] ~n_logical:2 c));
+  check Alcotest.bool "out of range" true
+    (raises (fun () -> Tracker.unroute ~initial:[| 0; 7 |] ~n_logical:2 c))
+
+let suite =
+  [
+    tc "Fig. 3 roundtrip" `Quick test_fig3_roundtrip;
+    tc "compliance catches bad edge" `Quick test_compliance_catches_bad_edge;
+    tc "semantics mismatch detected" `Quick test_semantics_mismatch_detected;
+    tc "wrong final mapping detected" `Quick test_wrong_final_mapping_detected;
+    tc "unroute returns final mapping" `Quick test_unroute_returns_final_mapping;
+    tc "unmapped qubit detected" `Quick test_unmapped_qubit_detected;
+    tc "swap through unmapped qubit ok" `Quick test_swap_through_unmapped_ok;
+    tc "invalid initial mapping rejected" `Quick test_invalid_initial_mapping_rejected;
+  ]

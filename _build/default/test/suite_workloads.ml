@@ -1,0 +1,358 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Sv = Sim.Statevector
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* QFT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_qft_sizes () =
+  (* n Hadamards + 5 elementary gates per controlled phase *)
+  List.iter
+    (fun n ->
+      let expected = n + (5 * n * (n - 1) / 2) in
+      check Alcotest.int
+        (Printf.sprintf "qft %d" n)
+        expected
+        (Circuit.length (Workloads.Qft.circuit n)))
+    [ 2; 5; 10; 13; 20 ]
+
+let test_qft_unitary_small () =
+  (* QFT maps |0...0> to the uniform superposition *)
+  let n = 3 in
+  let c = Workloads.Qft.circuit n in
+  let s = Sv.create n in
+  Sv.apply_circuit s c;
+  let amp = 1.0 /. Float.sqrt (float_of_int (1 lsl n)) in
+  for k = 0 to (1 lsl n) - 1 do
+    check (Alcotest.float 1e-9) "uniform magnitude" amp
+      (Complex.norm (Sv.amplitude s k))
+  done
+
+let test_qft_dense_interactions () =
+  let n = 6 in
+  let pairs =
+    Circuit.two_qubit_interactions (Workloads.Qft.circuit n)
+    |> List.map (fun (a, b) -> (min a b, max a b))
+    |> List.sort_uniq compare
+  in
+  check Alcotest.int "all pairs interact" (n * (n - 1) / 2) (List.length pairs)
+
+let test_qft_approximate_smaller () =
+  let full = Workloads.Qft.circuit 8 in
+  let approx = Workloads.Qft.approximate 8 ~degree:3 in
+  check Alcotest.bool "fewer gates" true
+    (Circuit.length approx < Circuit.length full)
+
+(* ------------------------------------------------------------------ *)
+(* Ising                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ising_size_formula () =
+  List.iter
+    (fun (n, steps) ->
+      let expected = n + (steps * ((3 * (n - 1)) + n)) in
+      check Alcotest.int
+        (Printf.sprintf "ising n=%d steps=%d" n steps)
+        expected
+        (Circuit.length (Workloads.Ising.circuit ~steps n)))
+    [ (4, 1); (10, 13); (16, 13) ]
+
+let test_ising_nearest_neighbor_only () =
+  let c = Workloads.Ising.circuit ~steps:3 8 in
+  List.iter
+    (fun (a, b) ->
+      check Alcotest.int "adjacent spins" 1 (abs (a - b)))
+    (Circuit.two_qubit_interactions c)
+
+let test_ising_interaction_pairs () =
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "bonds"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (Workloads.Ising.interaction_pairs 4)
+
+(* ------------------------------------------------------------------ *)
+(* GHZ / BV / Adder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ghz_state () =
+  let n = 4 in
+  let s = Sv.create n in
+  Sv.apply_circuit s (Workloads.Ghz.circuit n);
+  let r = 1.0 /. Float.sqrt 2.0 in
+  check (Alcotest.float 1e-9) "|0000>" r (Complex.norm (Sv.amplitude s 0));
+  check (Alcotest.float 1e-9) "|1111>" r
+    (Complex.norm (Sv.amplitude s ((1 lsl n) - 1)));
+  check (Alcotest.float 1e-9) "nothing else" 0.0
+    (Complex.norm (Sv.amplitude s 1))
+
+let test_ghz_star_equivalent_state () =
+  let n = 4 in
+  let a = Sv.create n and b = Sv.create n in
+  Sv.apply_circuit a (Workloads.Ghz.circuit n);
+  Sv.apply_circuit b (Workloads.Ghz.star n);
+  check Alcotest.bool "same state" true (Sv.approx_equal a b)
+
+let test_bv_recovers_hidden_string () =
+  let n = 5 and hidden = 0b10110 in
+  let c = Workloads.Bv.circuit ~hidden n in
+  let unitary = Circuit.filter (function Gate.Measure _ -> false | _ -> true) c in
+  let s = Sv.create (n + 1) in
+  Sv.apply_circuit s unitary;
+  (* data qubits must hold exactly the hidden string *)
+  for q = 0 to n - 1 do
+    let expected = if hidden land (1 lsl q) <> 0 then 1.0 else 0.0 in
+    check (Alcotest.float 1e-9)
+      (Printf.sprintf "bit %d" q)
+      expected (Sv.probability s q)
+  done
+
+let test_adder_adds () =
+  let bits = 2 in
+  let c = Workloads.Adder.circuit bits in
+  let n = Workloads.Adder.n_qubits_for bits in
+  check Alcotest.int "qubits" 6 n;
+  (* exhaustive: for all a, b in [0,3], prepare |a>|b>, run, read b+a *)
+  let a_bit i = 1 + (2 * i) and b_bit i = 2 + (2 * i) in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let input = ref 0 in
+      for i = 0 to bits - 1 do
+        if a land (1 lsl i) <> 0 then input := !input lor (1 lsl a_bit i);
+        if b land (1 lsl i) <> 0 then input := !input lor (1 lsl b_bit i)
+      done;
+      let s = Sv.of_basis n !input in
+      Sv.apply_circuit s c;
+      (* find the basis state with amplitude ~1 *)
+      let result = ref (-1) in
+      for k = 0 to (1 lsl n) - 1 do
+        if Complex.norm (Sv.amplitude s k) > 0.99 then result := k
+      done;
+      check Alcotest.bool "classical output" true (!result >= 0);
+      let sum = ref 0 in
+      for i = 0 to bits - 1 do
+        if !result land (1 lsl b_bit i) <> 0 then sum := !sum lor (1 lsl i)
+      done;
+      if !result land (1 lsl ((2 * bits) + 1)) <> 0 then
+        sum := !sum lor (1 lsl bits);
+      check Alcotest.int (Printf.sprintf "%d + %d" a b) (a + b) !sum;
+      (* a register preserved *)
+      let a_out = ref 0 in
+      for i = 0 to bits - 1 do
+        if !result land (1 lsl a_bit i) <> 0 then a_out := !a_out lor (1 lsl i)
+      done;
+      check Alcotest.int "a preserved" a !a_out
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* QAOA / Grover                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_qaoa_shape () =
+  let edges = Workloads.Qaoa.random_graph ~seed:5 ~n:8 ~edge_prob:0.5 () in
+  check Alcotest.bool "some edges" true (List.length edges > 0);
+  List.iter
+    (fun (a, b) ->
+      check Alcotest.bool "valid edge" true (a >= 0 && b < 8 && a < b))
+    edges;
+  let c = Workloads.Qaoa.circuit ~rounds:3 ~n:8 ~edges () in
+  (* per round: 2 CNOTs per edge; plus H layer, mixers, measures *)
+  check Alcotest.int "cnot count" (3 * 2 * List.length edges)
+    (Circuit.two_qubit_count c);
+  (* interaction pairs are exactly the problem edges *)
+  let pairs =
+    Circuit.two_qubit_interactions c
+    |> List.map (fun (a, b) -> (min a b, max a b))
+    |> List.sort_uniq compare
+  in
+  check Alcotest.bool "interactions = problem graph" true (pairs = edges)
+
+let test_qaoa_deterministic () =
+  let a = Workloads.Qaoa.maxcut_instance ~seed:9 ~n:6 ~edge_prob:0.4 () in
+  let b = Workloads.Qaoa.maxcut_instance ~seed:9 ~n:6 ~edge_prob:0.4 () in
+  check Alcotest.bool "same" true (Circuit.equal a b)
+
+let test_qaoa_edge_prob_extremes () =
+  check Alcotest.int "p=0 no edges" 0
+    (List.length (Workloads.Qaoa.random_graph ~n:6 ~edge_prob:0.0 ()));
+  check Alcotest.int "p=1 complete" 15
+    (List.length (Workloads.Qaoa.random_graph ~n:6 ~edge_prob:1.0 ()))
+
+let test_grover_finds_marked () =
+  List.iter
+    (fun (n, marked) ->
+      let p = Workloads.Grover.success_probability ~marked n in
+      check Alcotest.bool
+        (Printf.sprintf "n=%d marked=%d p=%.3f" n marked p)
+        true (p > 0.9))
+    [ (2, 3); (2, 0); (3, 5); (4, 9); (5, 17) ]
+
+let test_grover_uniform_without_iterations () =
+  (* sanity on the amplification: one iteration beats the uniform prior *)
+  let n = 4 in
+  let uniform = 1.0 /. 16.0 in
+  let p =
+    Complex.norm2
+      (let c =
+         Circuit.filter
+           (function Gate.Measure _ -> false | _ -> true)
+           (Workloads.Grover.circuit ~iterations:1 ~marked:7 n)
+       in
+       let s = Sim.Statevector.create (Circuit.n_qubits c) in
+       Sim.Statevector.apply_circuit s c;
+       Sim.Statevector.amplitude s 7)
+  in
+  check Alcotest.bool "amplified" true (p > 2.0 *. uniform)
+
+let test_grover_elementary_only () =
+  let c = Workloads.Grover.circuit ~marked:3 4 in
+  check Alcotest.bool "two-qubit gates only cx/cz" true
+    (List.for_all
+       (fun g -> List.length (Gate.qubits g) <= 2)
+       (Circuit.gates c))
+
+let test_grover_rejects_bad_args () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "marked too big" true
+    (raises (fun () -> Workloads.Grover.circuit ~marked:8 3));
+  check Alcotest.bool "n too big" true
+    (raises (fun () -> Workloads.Grover.circuit ~marked:0 13))
+
+(* ------------------------------------------------------------------ *)
+(* Random reversible + suite                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_reversible_exact_size () =
+  let c = Workloads.Random_reversible.circuit ~n:7 ~gates:123 () in
+  check Alcotest.int "width" 7 (Circuit.n_qubits c);
+  check Alcotest.int "count" 123 (Circuit.length c)
+
+let test_toffoli_network_exact_size () =
+  let c = Workloads.Random_reversible.toffoli_network ~seed:2 ~n:6 ~gates:200 () in
+  check Alcotest.int "width" 6 (Circuit.n_qubits c);
+  check Alcotest.int "count" 200 (Circuit.length c);
+  check Alcotest.bool "elementary only" true
+    (List.for_all
+       (fun g ->
+         match g with Gate.Single _ | Gate.Cnot _ -> true | _ -> false)
+       (Circuit.gates c))
+
+let test_random_reversible_deterministic () =
+  let a = Workloads.Random_reversible.of_name ~name:"x" ~n:5 ~gates:50 in
+  let b = Workloads.Random_reversible.of_name ~name:"x" ~n:5 ~gates:50 in
+  let d = Workloads.Random_reversible.of_name ~name:"y" ~n:5 ~gates:50 in
+  check Alcotest.bool "same name same circuit" true (Circuit.equal a b);
+  check Alcotest.bool "different name different circuit" false
+    (Circuit.equal a d)
+
+let test_random_reversible_two_qubit_ratio () =
+  let c =
+    Workloads.Random_reversible.circuit ~seed:3 ~two_qubit_ratio:0.7 ~n:10
+      ~gates:2000 ()
+  in
+  let ratio =
+    float_of_int (Circuit.two_qubit_count c) /. float_of_int (Circuit.length c)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "ratio %.2f near 0.7" ratio)
+    true
+    (ratio > 0.6 && ratio < 0.8)
+
+let test_random_reversible_hot_bias () =
+  (* hot qubits attract more than their uniform share of CNOT endpoints *)
+  let n = 10 in
+  let c =
+    Workloads.Random_reversible.circuit ~seed:4 ~hot_fraction:0.3 ~hot_bias:0.6
+      ~n ~gates:3000 ()
+  in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      counts.(a) <- counts.(a) + 1;
+      counts.(b) <- counts.(b) + 1)
+    (Circuit.two_qubit_interactions c);
+  let hot = counts.(0) + counts.(1) + counts.(2) in
+  let total = Array.fold_left ( + ) 0 counts in
+  let share = float_of_int hot /. float_of_int total in
+  check Alcotest.bool
+    (Printf.sprintf "hot share %.2f > uniform 0.3" share)
+    true (share > 0.4)
+
+let test_suite_shape () =
+  check Alcotest.int "26 rows" 26 (List.length Workloads.Suite.all);
+  check Alcotest.int "5 small" 5
+    (List.length (Workloads.Suite.by_class Workloads.Suite.Small));
+  check Alcotest.int "3 sim" 3
+    (List.length (Workloads.Suite.by_class Workloads.Suite.Sim));
+  check Alcotest.int "4 qft" 4
+    (List.length (Workloads.Suite.by_class Workloads.Suite.Qft));
+  check Alcotest.int "14 large" 14
+    (List.length (Workloads.Suite.by_class Workloads.Suite.Large));
+  check Alcotest.int "9 figure-8 rows" 9
+    (List.length Workloads.Suite.figure8_names)
+
+let test_suite_widths_match_paper () =
+  List.iter
+    (fun r ->
+      let c = Lazy.force r.Workloads.Suite.circuit in
+      check Alcotest.int
+        (r.Workloads.Suite.name ^ " width")
+        r.Workloads.Suite.n (Circuit.n_qubits c))
+    Workloads.Suite.all
+
+let test_suite_synthetic_sizes_exact () =
+  List.iter
+    (fun r ->
+      match r.Workloads.Suite.cls with
+      | Workloads.Suite.Small | Workloads.Suite.Large ->
+        let c = Lazy.force r.Workloads.Suite.circuit in
+        check Alcotest.int
+          (r.Workloads.Suite.name ^ " gates")
+          r.Workloads.Suite.paper_g_ori
+          (Quantum.Decompose.elementary_gate_count c)
+      | Workloads.Suite.Sim | Workloads.Suite.Qft -> ())
+    Workloads.Suite.all
+
+let test_suite_find () =
+  let r = Workloads.Suite.find "qft_16" in
+  check Alcotest.int "n" 16 r.Workloads.Suite.n;
+  check Alcotest.bool "not found raises" true
+    (match Workloads.Suite.find "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let suite =
+  [
+    tc "qft sizes" `Quick test_qft_sizes;
+    tc "qft unitary on |0..0>" `Quick test_qft_unitary_small;
+    tc "qft dense interactions" `Quick test_qft_dense_interactions;
+    tc "approximate qft smaller" `Quick test_qft_approximate_smaller;
+    tc "ising size formula" `Quick test_ising_size_formula;
+    tc "ising nearest-neighbour only" `Quick test_ising_nearest_neighbor_only;
+    tc "ising interaction pairs" `Quick test_ising_interaction_pairs;
+    tc "ghz state" `Quick test_ghz_state;
+    tc "ghz star same state" `Quick test_ghz_star_equivalent_state;
+    tc "bv recovers hidden string" `Quick test_bv_recovers_hidden_string;
+    tc "adder adds (exhaustive 2-bit)" `Slow test_adder_adds;
+    tc "qaoa shape" `Quick test_qaoa_shape;
+    tc "qaoa deterministic" `Quick test_qaoa_deterministic;
+    tc "qaoa edge-prob extremes" `Quick test_qaoa_edge_prob_extremes;
+    tc "grover finds marked" `Slow test_grover_finds_marked;
+    tc "grover amplifies" `Quick test_grover_uniform_without_iterations;
+    tc "grover elementary gates" `Quick test_grover_elementary_only;
+    tc "grover rejects bad args" `Quick test_grover_rejects_bad_args;
+    tc "random reversible exact size" `Quick test_random_reversible_exact_size;
+    tc "toffoli network exact size" `Quick test_toffoli_network_exact_size;
+    tc "random reversible deterministic" `Quick test_random_reversible_deterministic;
+    tc "random reversible 2q ratio" `Quick test_random_reversible_two_qubit_ratio;
+    tc "random reversible hot bias" `Quick test_random_reversible_hot_bias;
+    tc "suite shape" `Quick test_suite_shape;
+    tc "suite widths match paper" `Quick test_suite_widths_match_paper;
+    tc "suite synthetic sizes exact" `Quick test_suite_synthetic_sizes_exact;
+    tc "suite find" `Quick test_suite_find;
+  ]

@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "sabre_repro"
+    [
+      ("gate", Suite_gate.suite);
+      ("circuit", Suite_circuit.suite);
+      ("dag", Suite_dag.suite);
+      ("commutation", Suite_commutation.suite);
+      ("depth", Suite_depth.suite);
+      ("render", Suite_render.suite);
+      ("decompose", Suite_decompose.suite);
+      ("qasm", Suite_qasm.suite);
+      ("optimize", Suite_optimize.suite);
+      ("coupling", Suite_coupling.suite);
+      ("devices", Suite_devices.suite);
+      ("noise", Suite_noise.suite);
+      ("directed", Suite_directed.suite);
+      ("statevector", Suite_statevector.suite);
+      ("tracker", Suite_tracker.suite);
+      ("equivalence", Suite_equivalence.suite);
+      ("mapping", Suite_mapping.suite);
+      ("initial_mapping", Suite_initial_mapping.suite);
+      ("config", Suite_config.suite);
+      ("heuristic", Suite_heuristic.suite);
+      ("routing", Suite_routing.suite);
+      ("compiler", Suite_compiler.suite);
+      ("baseline", Suite_baseline.suite);
+      ("optimal", Suite_optimal.suite);
+      ("workloads", Suite_workloads.suite);
+      ("integration", Suite_integration.suite);
+      ("assets", Suite_assets.suite);
+      ("properties", Suite_properties.suite);
+    ]
