@@ -6,6 +6,7 @@
      scalability — Section V-B: BKA's exponential blow-up vs SABRE
      ablation    — what each Section IV-C design decision buys
      scaling     — SABRE runtime on devices of 20-400 qubits
+     pipeline    — engine per-stage wall times + dist-matrix sharing
      micro       — Bechamel micro-benchmarks (one per table/figure)
 
    Every routed circuit is verified with Sim.Tracker before its numbers
@@ -403,6 +404,71 @@ let scaling () =
      with hundreds of qubits remain in seconds.@."
 
 (* ------------------------------------------------------------------ *)
+(* Engine pipeline: per-stage timing + distance-matrix sharing          *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Sabre.Engine
+
+let pipeline () =
+  Format.printf
+    "@.== Engine pipeline: per-stage wall time (IBM Q20 Tokyo) ==@.@.";
+  let stages = [ "decompose"; "dag"; "initial_mapping"; "routing"; "verify" ] in
+  Format.printf "%-16s" "benchmark";
+  List.iter (fun s -> Format.printf " | %13s" s) stages;
+  Format.printf " | %11s@." "total";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      let ctx = Engine.Context.create device circuit in
+      let ctx =
+        Engine.Pipeline.run (Engine.Pipeline.default ~verify:true ()) ctx
+      in
+      let metrics = Engine.Context.metrics ctx in
+      Format.printf "%-16s" name;
+      List.iter
+        (fun s ->
+          let t = try List.assoc s metrics with Not_found -> 0.0 in
+          Format.printf " | %11.3fms" (1e3 *. t))
+        stages;
+      Format.printf " | %9.3fms@.%!"
+        (1e3 *. List.fold_left (fun acc (_, t) -> acc +. t) 0.0 metrics))
+    [ "qft_10"; "qft_16"; "ising_model_13"; "rd84_142" ];
+  Format.printf
+    "@.-- distance matrix: shared in Context.t vs converted per routing \
+     pass --@.";
+  (* Before the engine refactor every routing pass re-derived the float
+     distance matrix from the coupling graph (trials x traversals
+     conversions per compilation); [Engine.Context.create] now does it
+     once and every pass and trial domain shares the same array. *)
+  let c = Sabre.Config.default in
+  let conversions = c.Sabre.Config.trials * c.Sabre.Config.traversals in
+  let reps = 500 in
+  let time_n f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let convert () =
+    ignore
+      (Array.map (Array.map float_of_int) (Coupling.distance_matrix device))
+  in
+  let t_old =
+    time_n (fun () ->
+        for _ = 1 to conversions do
+          convert ()
+        done)
+  in
+  let t_new = time_n convert in
+  Format.printf "per routing pass (x%d) : %8.2f us of conversion/compile@."
+    conversions (1e6 *. t_old);
+  Format.printf
+    "shared in Context (x1) : %8.2f us of conversion/compile (%.1fx less)@."
+    (1e6 *. t_new)
+    (t_old /. t_new)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -466,7 +532,11 @@ let () =
   let sections =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> [ "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "micro" ]
+    | _ ->
+      [
+        "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "pipeline";
+        "micro";
+      ]
   in
   List.iter
     (fun section ->
@@ -476,11 +546,12 @@ let () =
       | "scalability" -> scalability ()
       | "ablation" -> ablation ()
       | "scaling" -> scaling ()
+      | "pipeline" -> pipeline ()
       | "micro" -> micro ()
       | other ->
         Format.eprintf
           "unknown section %S (expected \
-           table2|figure8|scalability|ablation|scaling|micro)@."
+           table2|figure8|scalability|ablation|scaling|pipeline|micro)@."
           other;
         exit 1)
     sections

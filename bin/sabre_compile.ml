@@ -45,10 +45,10 @@ let load_circuit input workload size =
   | None, None -> Error "no input: pass a QASM file or --workload NAME"
 
 (* ------------------------------------------------------------------ *)
-(* Routing                                                              *)
+(* Routing through the engine pipeline                                  *)
 (* ------------------------------------------------------------------ *)
 
-type router = Sabre | Bka | Greedy
+module Engine = Sabre.Engine
 
 type routed = {
   physical : Circuit.t;
@@ -57,71 +57,38 @@ type routed = {
   n_swaps : int;
 }
 
-let route router config device circuit =
-  match router with
-  | Sabre ->
-    let r = Sabre.Compiler.run ~config device circuit in
-    Ok
-      ( {
-          physical = r.physical;
-          initial = Mapping.l2p_array r.initial_mapping;
-          final = Mapping.l2p_array r.final_mapping;
-          n_swaps = r.stats.n_swaps;
-        },
-        Some r.stats )
-  | Bka -> (
-    match Baseline.Bka.run device circuit with
-    | Ok r ->
+(* Route and verify with the pass pipeline: every router — SABRE or a
+   baseline — runs behind the same [Engine.Router] interface, and the
+   [Verify_pass] replaces the hand-rolled verification this binary used
+   to carry. Returns the per-pass wall times for [--stats-json]. *)
+let route router_name config device circuit ~trial_mode ~instrument =
+  Baseline.Routers.register ();
+  match Engine.Router.find router_name with
+  | None ->
+    Error
+      (Printf.sprintf "unknown router %S (available: %s)" router_name
+         (String.concat ", " (Engine.Router.names ())))
+  | Some router -> (
+    let t0 = Sys.time () in
+    match
+      Engine.Context.create ~config ~trial_mode device circuit
+      |> Engine.Pipeline.run ~instrument
+           (Engine.Pipeline.default ~router ~verify:true ())
+    with
+    | ctx ->
+      let r = Engine.Context.routed_exn ctx in
+      let stats = Engine.Context.stats ctx ~time_s:(Sys.time () -. t0) in
       Ok
         ( {
-            physical = r.physical;
-            initial = Mapping.l2p_array r.initial_mapping;
-            final = Mapping.l2p_array r.final_mapping;
-            n_swaps = r.n_swaps;
+            physical = r.Engine.Context.physical;
+            initial = Mapping.l2p_array r.Engine.Context.trial_initial;
+            final = Mapping.l2p_array r.Engine.Context.final_mapping;
+            n_swaps = r.Engine.Context.n_swaps;
           },
-          None )
-    | Error f -> Error (Format.asprintf "BKA: %a" Baseline.Bka.pp_failure f))
-  | Greedy ->
-    let r = Baseline.Greedy_router.run device circuit in
-    Ok
-      ( {
-          physical = r.physical;
-          initial = Mapping.l2p_array r.initial_mapping;
-          final = Mapping.l2p_array r.final_mapping;
-          n_swaps = r.n_swaps;
-        },
-        None )
-
-let verify ~commutation device circuit (r : routed) =
-  if commutation then
-    (* reordering of commuting gates is allowed: check compliance plus
-       linearisation of the commuting DAG *)
-    let ( let* ) = Result.bind in
-    let* () =
-      Result.map_error
-        (fun e -> Format.asprintf "verification failed: %a" Sim.Tracker.pp_error e)
-        (Sim.Tracker.check_compliance ~coupling:device r.physical)
-    in
-    let* recovered, _ =
-      Result.map_error
-        (fun e -> Format.asprintf "verification failed: %a" Sim.Tracker.pp_error e)
-        (Sim.Tracker.unroute ~initial:r.initial
-           ~n_logical:(Circuit.n_qubits circuit) r.physical)
-    in
-    if
-      Quantum.Dag.matches_linearization
-        (Quantum.Dag.of_circuit_commuting circuit)
-        recovered
-    then Ok ()
-    else Error "verification failed: not a commuting linearisation"
-  else
-    match
-      Sim.Tracker.check ~coupling:device ~initial:r.initial ~final:r.final
-        ~logical:circuit ~physical:r.physical ()
-    with
-    | Ok () -> Ok ()
-    | Error e ->
-      Error (Format.asprintf "verification failed: %a" Sim.Tracker.pp_error e)
+          (if router_name = "sabre" then Some stats else None),
+          Engine.Context.metrics ctx )
+    | exception Engine.Router.Route_failed msg -> Error msg
+    | exception Engine.Verify_pass.Verify_failed msg -> Error msg)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
@@ -142,7 +109,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let report_json device circuit (r : routed) stats router_name =
+let report_json ?passes device circuit (r : routed) stats router_name =
   let mapping_json arr =
     String.concat ","
       (Array.to_list (Array.map string_of_int arr))
@@ -171,6 +138,19 @@ let report_json device circuit (r : routed) stats router_name =
       (Printf.sprintf
          "  \"sabre\": {\"first_traversal_swaps\": %d, \"search_steps\": %d, \"time_s\": %.6f},\n"
          s.first_traversal_swaps s.search_steps s.time_s)
+  | None -> ());
+  (match passes with
+  | Some metrics ->
+    (* per-pass wall time for every pipeline stage, in pipeline order *)
+    Buffer.add_string b "  \"passes\": [\n";
+    List.iteri
+      (fun i (name, wall_s) ->
+        Buffer.add_string b
+          (Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.6f}%s\n"
+             (json_escape name) wall_s
+             (if i = List.length metrics - 1 then "" else ",")))
+      metrics;
+    Buffer.add_string b "  ],\n"
   | None -> ());
   Buffer.add_string b
     (Printf.sprintf "  \"initial_mapping\": [%s],\n" (mapping_json r.initial));
@@ -203,8 +183,6 @@ let report device circuit (r : routed) stats expand =
 (* Command line                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let router_name = function Sabre -> "sabre" | Bka -> "bka" | Greedy -> "greedy"
-
 let directed_of_name = function
   | "qx2" -> Hardware.Directed.ibm_qx2 ()
   | "qx4" -> Hardware.Directed.ibm_qx4 ()
@@ -212,7 +190,7 @@ let directed_of_name = function
 
 let run_main input workload size device_name device_size directed router trials
     traversals delta weight extended_size seed commutation output expand quiet
-    json =
+    json trace stats_json parallel =
   let result =
     let* circuit = load_circuit input workload size in
     let* directed_device =
@@ -251,8 +229,17 @@ let run_main input workload size device_name device_size directed router trials
              (Circuit.n_qubits circuit) (Coupling.n_qubits device))
       else Ok ()
     in
-    let* r, stats = route router config device circuit in
-    let* () = verify ~commutation device circuit r in
+    let trial_mode =
+      match parallel with
+      | None -> Engine.Trial_runner.Sequential
+      | Some n -> Engine.Trial_runner.Domains (max 1 n)
+    in
+    let instrument =
+      if trace then Engine.Instrument.stderr_trace else Engine.Instrument.null
+    in
+    let* r, stats, passes =
+      route router config device circuit ~trial_mode ~instrument
+    in
     let* r =
       match directed_device with
       | None -> Ok r
@@ -268,7 +255,8 @@ let run_main input workload size device_name device_size directed router trials
                  Quantum.Gate.pp g))
         | exception Invalid_argument msg -> Error msg)
     in
-    if json then report_json device circuit r stats (router_name router)
+    if stats_json then report_json ~passes device circuit r stats router
+    else if json then report_json device circuit r stats router
     else if not quiet then report device circuit r stats expand;
     (match output with
     | Some path ->
@@ -323,12 +311,13 @@ let device_size =
 
 let router =
   let router_conv =
-    Arg.enum [ ("sabre", Sabre); ("bka", Bka); ("greedy", Greedy) ]
+    Arg.enum [ ("sabre", "sabre"); ("bka", "bka"); ("greedy", "greedy") ]
   in
-  Arg.(value & opt router_conv Sabre
+  Arg.(value & opt router_conv "sabre"
        & info [ "r"; "router" ] ~docv:"ROUTER"
            ~doc:"Routing algorithm: sabre (default), bka (Zulehner-style \
-                 A*), greedy (shortest-path).")
+                 A*), greedy (shortest-path). All run behind the same \
+                 engine Router interface.")
 
 let trials =
   Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Random initial mappings tried.")
@@ -371,6 +360,24 @@ let json =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit a machine-readable JSON report instead.")
 
+let trace =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Trace every pipeline pass (timing and counters) on stderr.")
+
+let stats_json =
+  Arg.(value & flag
+       & info [ "stats-json" ]
+           ~doc:"Like --json, plus per-pass wall times for every pipeline \
+                 stage.")
+
+let parallel =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "parallel-trials" ] ~docv:"N"
+           ~doc:"Run the trial loop across N OCaml domains. Deterministic: \
+                 the winner is identical to a sequential run at the same \
+                 seed.")
+
 let cmd =
   let doc = "map a quantum circuit onto a NISQ device with SABRE" in
   let man =
@@ -393,6 +400,7 @@ let cmd =
     Term.(
       const run_main $ input $ workload $ size $ device_name $ device_size
       $ directed $ router $ trials $ traversals $ delta $ weight
-      $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json)
+      $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json
+      $ trace $ stats_json $ parallel)
 
 let () = exit (Cmd.eval' cmd)

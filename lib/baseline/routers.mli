@@ -1,0 +1,16 @@
+(** The paper's Section VII baselines as engine {!Engine.Router.S}
+    implementations, so the CLI and custom pipelines can swap them in
+    for SABRE behind the same interface.
+
+    Both are deterministic: they ignore the random trial seeds (greedy
+    starts from the context's fixed initial mapping when one is given,
+    the identity otherwise; BKA derives its own greedy
+    beginning-of-circuit placement), so the routing pass runs a single
+    trial. BKA raises {!Engine.Router.Route_failed} when its node
+    budget is exhausted — the paper's out-of-memory row. *)
+
+val greedy : Engine.Router.t
+val bka : Engine.Router.t
+
+val register : unit -> unit
+(** Add both to the {!Engine.Router} registry (["greedy"], ["bka"]). *)

@@ -29,11 +29,15 @@ let default =
 
 let validate c =
   if c.extended_set_size < 0 then Error "extended_set_size must be >= 0"
+  else if Float.is_nan c.extended_set_weight then
+    Error "extended_set_weight must not be NaN"
   else if not (c.extended_set_weight >= 0.0 && c.extended_set_weight < 1.0)
   then Error "extended_set_weight must be in [0, 1)"
+  else if Float.is_nan c.decay_increment then
+    Error "decay_increment must not be NaN"
   else if c.decay_increment < 0.0 then Error "decay_increment must be >= 0"
   else if c.decay_reset_interval < 1 then
-    Error "decay_reset_interval must be >= 1"
+    Error "decay_reset_interval must be >= 1 (got <= 0)"
   else if c.trials < 1 then Error "trials must be >= 1"
   else if c.traversals < 1 || c.traversals mod 2 = 0 then
     Error "traversals must be odd and >= 1 (forward passes bracket the run)"

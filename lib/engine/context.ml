@@ -1,0 +1,87 @@
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Coupling = Hardware.Coupling
+module Noise = Hardware.Noise
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+
+type routed = {
+  physical : Circuit.t;
+  trial_initial : Mapping.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+  first_swaps : int;
+  search_steps : int;
+  fallback_swaps : int;
+  traversals_run : int;
+}
+
+type t = {
+  config : Config.t;
+  coupling : Coupling.t;
+  circuit : Circuit.t;
+  noise : Noise.t option;
+  dist : float array array;
+  trial_mode : Trial_runner.mode;
+  fixed_initial : Mapping.t option;
+  dag_forward : Dag.t option;
+  dag_backward : Dag.t option;
+  trial_mappings : Mapping.t array option;
+  routed : routed option;
+  verified : bool option;
+  metrics : (string * float) list;
+  counters : (string * int) list;
+}
+
+let check_device coupling circuit =
+  if Circuit.n_qubits circuit > Coupling.n_qubits coupling then
+    invalid_arg "Engine.Context: circuit wider than device";
+  if Circuit.n_qubits circuit > 1 && not (Coupling.is_connected_graph coupling)
+  then invalid_arg "Engine.Context: disconnected coupling graph"
+
+let hop_distances coupling =
+  Array.map (Array.map float_of_int) (Coupling.distance_matrix coupling)
+
+let create ?(config = Config.default) ?dist ?noise
+    ?(trial_mode = Trial_runner.Sequential) ?initial coupling circuit =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.Context: " ^ msg));
+  check_device coupling circuit;
+  {
+    config;
+    coupling;
+    circuit;
+    noise;
+    dist = (match dist with Some d -> d | None -> hop_distances coupling);
+    trial_mode;
+    fixed_initial = Option.map Mapping.copy initial;
+    dag_forward = None;
+    dag_backward = None;
+    trial_mappings = None;
+    routed = None;
+    verified = None;
+    metrics = [];
+    counters = [];
+  }
+
+let add_metric ctx name v = { ctx with metrics = (name, v) :: ctx.metrics }
+
+let add_counter ctx ~pass name v =
+  { ctx with counters = (pass ^ "." ^ name, v) :: ctx.counters }
+
+let metrics ctx = List.rev ctx.metrics
+let counters ctx = List.rev ctx.counters
+
+let routed_exn ctx =
+  match ctx.routed with
+  | Some r -> r
+  | None -> invalid_arg "Engine.Context: no routing pass has run"
+
+let stats ctx ~time_s =
+  let r = routed_exn ctx in
+  Stats.summary ~original:ctx.circuit ~routed:r.physical ~n_swaps:r.n_swaps
+    ~search_steps:r.search_steps ~fallback_swaps:r.fallback_swaps
+    ~traversals_run:r.traversals_run ~time_s
+    ~first_traversal_swaps:r.first_swaps

@@ -1,0 +1,88 @@
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Coupling = Hardware.Coupling
+module Noise = Hardware.Noise
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+
+(** The shared compilation context threaded through every pass.
+
+    A context is created once per compilation from the inputs (circuit,
+    coupling graph, config) and flows through the pipeline; each pass
+    reads the fields it needs and returns an updated copy. Expensive
+    derived data — notably the all-pairs distance matrix — is computed
+    {e once} here and reused by every traversal of every trial instead
+    of being rebuilt per routing pass. *)
+
+type routed = {
+  physical : Circuit.t;  (** hardware-compliant output circuit *)
+  trial_initial : Mapping.t;
+      (** mapping that seeded the winning trial's last forward pass
+          (the reverse-traversal-optimised initial mapping) *)
+  final_mapping : Mapping.t;  (** π after the last gate *)
+  n_swaps : int;  (** SWAPs of the winning trial *)
+  first_swaps : int;  (** SWAPs of the winning trial's first traversal *)
+  search_steps : int;  (** heuristic steps summed over all trials *)
+  fallback_swaps : int;  (** anti-livelock SWAPs summed over all trials *)
+  traversals_run : int;  (** traversals executed across all trials *)
+}
+
+type t = {
+  config : Config.t;
+  coupling : Coupling.t;
+  circuit : Circuit.t;
+      (** current logical circuit; {!Decompose_pass} may rewrite it *)
+  noise : Noise.t option;
+      (** when present, trial ranking prefers estimated success
+          probability (Section VI variability-aware mapping) *)
+  dist : float array array;
+      (** routing metric; all-pairs hop distances unless the caller
+          substituted a custom matrix — computed once per compilation *)
+  trial_mode : Trial_runner.mode;
+  fixed_initial : Mapping.t option;
+      (** caller-supplied initial mapping; suppresses random trials *)
+  dag_forward : Dag.t option;  (** set by {!Dag_pass} *)
+  dag_backward : Dag.t option;
+      (** set by {!Dag_pass} when the config runs reverse traversals *)
+  trial_mappings : Mapping.t array option;
+      (** set by {!Initial_mapping_pass}: one seed mapping per trial *)
+  routed : routed option;  (** set by {!Routing_pass} *)
+  verified : bool option;  (** set by {!Verify_pass} *)
+  metrics : (string * float) list;
+      (** per-pass wall seconds, newest first (see {!metrics}) *)
+  counters : (string * int) list;  (** per-pass counters, newest first *)
+}
+
+val create :
+  ?config:Config.t ->
+  ?dist:float array array ->
+  ?noise:Noise.t ->
+  ?trial_mode:Trial_runner.mode ->
+  ?initial:Mapping.t ->
+  Coupling.t ->
+  Circuit.t ->
+  t
+(** Validate the inputs and build a fresh context. [dist] overrides the
+    hop-count metric (e.g. {!Hardware.Noise.swap_reliability_distance});
+    when absent the coupling graph's Floyd–Warshall matrix is converted
+    to floats here, once. [initial] is copied. Raises [Invalid_argument]
+    on an invalid config, a circuit wider than the device, or a
+    disconnected coupling graph. *)
+
+val add_metric : t -> string -> float -> t
+val add_counter : t -> pass:string -> string -> int -> t
+
+val metrics : t -> (string * float) list
+(** Per-pass wall seconds in pipeline order. *)
+
+val counters : t -> (string * int) list
+(** Counters in emission order, keys ["pass.counter"]. *)
+
+val routed_exn : t -> routed
+(** The routing result; raises [Invalid_argument] if no routing pass has
+    run. *)
+
+val stats : t -> time_s:float -> Stats.t
+(** Assemble the classic {!Sabre_core.Stats.t} summary from the routed
+    result. *)

@@ -1,0 +1,9 @@
+(** Dependency-DAG construction (paper Section IV-A).
+
+    Builds the forward DAG of the current circuit — strict program
+    order, or the commutation-aware DAG when
+    [config.commutation_aware] — and, when the config runs reverse
+    traversals ([traversals > 1]), the DAG of the reversed circuit for
+    the backward passes. *)
+
+val pass : Pass.t

@@ -1,0 +1,19 @@
+module Decompose = Quantum.Decompose
+
+type level = Keep | Swaps | All
+
+let name = "decompose"
+
+let pass ?(level = Keep) () =
+  Pass.make name (fun ~instrument (ctx : Context.t) ->
+      let before = Decompose.elementary_gate_count ctx.circuit in
+      let circuit =
+        match level with
+        | Keep -> ctx.circuit
+        | Swaps -> Decompose.expand_swaps ctx.circuit
+        | All -> Decompose.expand_all ctx.circuit
+      in
+      let ctx = { ctx with circuit } in
+      let ctx = Pass.count instrument ~pass:name ctx "gates_in" before in
+      Pass.count instrument ~pass:name ctx "gates_out"
+        (Decompose.elementary_gate_count circuit))

@@ -1,0 +1,21 @@
+module Mapping = Sabre_core.Mapping
+
+(** Trial seeding (paper Section IV-A initial mapping).
+
+    Populates [trial_mappings], one seed mapping per trial. When the
+    context carries a caller-fixed initial mapping it is the single
+    trial regardless of strategy. Otherwise [Random_trials] (the
+    paper's flow) draws [config.trials] injective placements from a
+    deterministic stream seeded with [config.seed] — trial [i] always
+    receives the [i]-th mapping of that stream, so sequential and
+    Domain-parallel runs see identical seeds. The static strategies
+    from the paper's Section VII comparison produce one deterministic
+    trial each. *)
+
+type strategy =
+  | Random_trials
+  | Trivial  (** logical qubit q on physical qubit q *)
+  | Degree  (** Siraichi-style degree matching *)
+  | Interaction  (** greedy beginning-of-circuit placement *)
+
+val pass : ?strategy:strategy -> unit -> Pass.t

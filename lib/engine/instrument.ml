@@ -1,0 +1,31 @@
+type event =
+  | Pass_start of { pass : string }
+  | Pass_end of { pass : string; wall_s : float }
+  | Counter of { pass : string; name : string; value : int }
+
+type t = { emit : event -> unit }
+
+let null = { emit = ignore }
+
+let pp_event ppf = function
+  | Pass_start { pass } -> Format.fprintf ppf "pass %s: start" pass
+  | Pass_end { pass; wall_s } ->
+    Format.fprintf ppf "pass %s: done in %.3f ms" pass (1000.0 *. wall_s)
+  | Counter { pass; name; value } ->
+    Format.fprintf ppf "pass %s: %s = %d" pass name value
+
+let stderr_trace =
+  { emit = (fun e -> Format.eprintf "[engine] %a@." pp_event e) }
+
+let collector () =
+  let events = ref [] in
+  ( { emit = (fun e -> events := e :: !events) },
+    fun () -> List.rev !events )
+
+let tee a b =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+  }

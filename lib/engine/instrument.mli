@@ -1,0 +1,34 @@
+(** Per-pass instrumentation sink.
+
+    Every pipeline pass emits timing and counter events into a sink.
+    Sinks are first-class values so callers can choose where the events
+    go: nowhere ({!null}), a human-readable stderr trace
+    ({!stderr_trace}), or an in-memory collector ({!collector}) that the
+    CLI turns into the [--stats-json] report and the benchmark harness
+    into per-stage timing columns. *)
+
+type event =
+  | Pass_start of { pass : string }
+  | Pass_end of { pass : string; wall_s : float }
+      (** emitted by {!Pipeline.run} after each pass, with the pass's
+          wall-clock duration in seconds *)
+  | Counter of { pass : string; name : string; value : int }
+      (** emitted by passes themselves: gate counts, trial counts,
+          inserted SWAPs, search steps, ... *)
+
+type t = { emit : event -> unit }
+
+val null : t
+(** Drops every event (the default sink). *)
+
+val stderr_trace : t
+(** One line per event on stderr, prefixed with [[engine]]. *)
+
+val collector : unit -> t * (unit -> event list)
+(** [collector ()] returns a sink and a function producing the events
+    emitted so far, oldest first. *)
+
+val tee : t -> t -> t
+(** Duplicates every event into both sinks. *)
+
+val pp_event : Format.formatter -> event -> unit

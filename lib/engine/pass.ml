@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  run : instrument:Instrument.t -> Context.t -> Context.t;
+}
+
+let make name run = { name; run }
+
+let count instrument ~pass ctx name value =
+  instrument.Instrument.emit (Instrument.Counter { pass; name; value });
+  Context.add_counter ctx ~pass name value

@@ -1,0 +1,20 @@
+let run ?(instrument = Instrument.null) passes ctx =
+  List.fold_left
+    (fun ctx (p : Pass.t) ->
+      instrument.Instrument.emit (Instrument.Pass_start { pass = p.name });
+      let t0 = Unix.gettimeofday () in
+      let ctx = p.run ~instrument ctx in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      instrument.Instrument.emit (Instrument.Pass_end { pass = p.name; wall_s });
+      Context.add_metric ctx p.name wall_s)
+    ctx passes
+
+let default ?router ?(decompose = Decompose_pass.Keep) ?initial_strategy
+    ?(verify = false) () =
+  [
+    Decompose_pass.pass ~level:decompose ();
+    Dag_pass.pass;
+    Initial_mapping_pass.pass ?strategy:initial_strategy ();
+    Routing_pass.pass ?router ();
+  ]
+  @ if verify then [ Verify_pass.pass ] else []

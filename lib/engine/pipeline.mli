@@ -1,0 +1,19 @@
+(** Pass-pipeline driver.
+
+    [run passes ctx] threads the context through every pass in order,
+    timing each one: the pass's wall-clock duration is appended to the
+    context's metrics and emitted as [Pass_start] / [Pass_end] events on
+    the instrument sink, so frontends get per-stage timing for free. *)
+
+val run : ?instrument:Instrument.t -> Pass.t list -> Context.t -> Context.t
+
+val default :
+  ?router:Router.t ->
+  ?decompose:Decompose_pass.level ->
+  ?initial_strategy:Initial_mapping_pass.strategy ->
+  ?verify:bool ->
+  unit ->
+  Pass.t list
+(** The paper's flow: decompose (identity by default) → DAG → initial
+    mapping → routing — plus the verify pass when [verify] is set.
+    [router] defaults to SABRE. *)

@@ -1,0 +1,32 @@
+module Circuit = Quantum.Circuit
+module Mapping = Sabre_core.Mapping
+
+type outcome = {
+  physical : Circuit.t;
+  trial_initial : Mapping.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+  first_swaps : int;
+  search_steps : int;
+  fallback_swaps : int;
+  traversals : int;
+}
+
+exception Route_failed of string
+
+module type S = sig
+  val name : string
+  val deterministic : bool
+  val route : Context.t -> initial:Mapping.t -> outcome
+end
+
+type t = (module S)
+
+let name (module R : S) = R.name
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let register (module R : S) = Hashtbl.replace registry R.name (module R : S)
+let find n = Hashtbl.find_opt registry n
+
+let names () =
+  Hashtbl.fold (fun n _ acc -> n :: acc) registry [] |> List.sort compare

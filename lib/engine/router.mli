@@ -1,0 +1,51 @@
+module Circuit = Quantum.Circuit
+module Mapping = Sabre_core.Mapping
+
+(** First-class routing algorithms.
+
+    A router turns one initial mapping into one complete routing attempt
+    ("trial"). The engine's {!Routing_pass} drives the multi-trial loop
+    over any router; SABRE, the greedy shortest-path baseline and the
+    BKA A* baseline all implement this interface, so they are
+    interchangeable from the CLI and from custom pipelines. *)
+
+type outcome = {
+  physical : Circuit.t;
+  trial_initial : Mapping.t;
+      (** the mapping that seeded the final forward traversal *)
+  final_mapping : Mapping.t;
+  n_swaps : int;
+  first_swaps : int;  (** SWAPs of the first forward traversal *)
+  search_steps : int;
+  fallback_swaps : int;
+  traversals : int;  (** traversals this trial actually ran *)
+}
+
+exception Route_failed of string
+(** Raised by a router that cannot complete (e.g. BKA exhausting its
+    node budget, the paper's out-of-memory row). *)
+
+module type S = sig
+  val name : string
+
+  val deterministic : bool
+  (** A deterministic router ignores the trial's random initial mapping
+      (or derives its own); the routing pass then runs a single trial. *)
+
+  val route : Context.t -> initial:Mapping.t -> outcome
+  (** May raise {!Route_failed}. *)
+end
+
+type t = (module S)
+
+val name : t -> string
+
+(** {2 Registry}
+
+    Routers register under their name so frontends can look them up
+    from a command-line string. The engine registers ["sabre"] itself;
+    baselines register theirs via [Baseline.Routers.register]. *)
+
+val register : t -> unit
+val find : string -> t option
+val names : unit -> string list

@@ -1,0 +1,60 @@
+module Depth = Quantum.Depth
+module Noise = Hardware.Noise
+
+let name = "routing"
+
+(* Default trial ranking: fewest SWAPs, then lowest depth. With a noise
+   model, rank by estimated success probability instead — equally cheap
+   routings then resolve toward reliable couplers (variability-aware
+   mapping, the Section VI extension). *)
+let better ~noise (a : Router.outcome) (b : Router.outcome) =
+  match noise with
+  | Some model ->
+    Noise.circuit_success_probability model a.Router.physical
+    > Noise.circuit_success_probability model b.Router.physical
+  | None ->
+    if a.Router.n_swaps <> b.Router.n_swaps then
+      a.Router.n_swaps < b.Router.n_swaps
+    else
+      Depth.depth_swap3 a.Router.physical < Depth.depth_swap3 b.Router.physical
+
+let pass ?(router = Sabre_router.router) () =
+  Pass.make name (fun ~instrument (ctx : Context.t) ->
+      let (module R : Router.S) = router in
+      let mappings =
+        match ctx.trial_mappings with
+        | Some ms when Array.length ms > 0 -> ms
+        | _ ->
+          raise
+            (Router.Route_failed
+               "routing pass: Initial_mapping_pass must run first")
+      in
+      let mappings =
+        if R.deterministic then [| mappings.(0) |] else mappings
+      in
+      let jobs =
+        Array.map (fun m () -> R.route ctx ~initial:m) mappings
+      in
+      let outcomes = Trial_runner.map ~mode:ctx.trial_mode jobs in
+      let best = Trial_runner.best ~better:(better ~noise:ctx.noise) outcomes in
+      let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outcomes in
+      let routed =
+        {
+          Context.physical = best.Router.physical;
+          trial_initial = best.Router.trial_initial;
+          final_mapping = best.Router.final_mapping;
+          n_swaps = best.Router.n_swaps;
+          first_swaps = best.Router.first_swaps;
+          search_steps = sum (fun o -> o.Router.search_steps);
+          fallback_swaps = sum (fun o -> o.Router.fallback_swaps);
+          traversals_run = sum (fun o -> o.Router.traversals);
+        }
+      in
+      let ctx = { ctx with routed = Some routed } in
+      let ctx = Pass.count instrument ~pass:name ctx "trials" (Array.length outcomes) in
+      let ctx = Pass.count instrument ~pass:name ctx "swaps" routed.n_swaps in
+      let ctx =
+        Pass.count instrument ~pass:name ctx "search_steps" routed.search_steps
+      in
+      Pass.count instrument ~pass:name ctx "fallback_swaps"
+        routed.fallback_swaps)

@@ -1,0 +1,17 @@
+(** The routing stage: drive a {!Router} over every trial seed and keep
+    the best attempt.
+
+    Trials are evaluated by {!Trial_runner} in the context's trial mode
+    (sequentially or across Domains) and reduced in trial order by the
+    paper's ranking: fewest inserted SWAPs, ties broken by routed depth
+    — or, when the context carries a noise model, highest estimated
+    success probability (Section VI). Deterministic routers (greedy,
+    BKA) run a single trial. *)
+
+val pass : ?router:Router.t -> unit -> Pass.t
+(** Defaults to the SABRE router. *)
+
+val better :
+  noise:Hardware.Noise.t option -> Router.outcome -> Router.outcome -> bool
+(** [better ~noise a b] — is trial [a] strictly better than [b]? Exposed
+    for tests. *)

@@ -1,0 +1,48 @@
+module Config = Sabre_core.Config
+module Routing = Sabre_core.Routing_pass
+
+let name = "sabre"
+let deterministic = false
+
+let dag_exn = function
+  | Some d -> d
+  | None -> raise (Router.Route_failed "sabre router: Dag_pass must run first")
+
+(* Traversal i (1-based) routes forward when i is odd, backward when
+   even; the traversal count is odd so the last one is forward and its
+   input mapping is the reverse-traversal-optimised initial mapping. *)
+let route (ctx : Context.t) ~initial =
+  let forward = dag_exn ctx.dag_forward in
+  let total = ctx.config.Config.traversals in
+  let backward = if total > 1 then dag_exn ctx.dag_backward else forward in
+  let rec go i mapping first steps fallbacks =
+    let oriented = if i mod 2 = 1 then forward else backward in
+    let r =
+      Routing.run ~dist:ctx.dist ctx.config ctx.coupling oriented mapping
+    in
+    let first = match first with None -> Some r.Routing.n_swaps | s -> s in
+    let steps = steps + r.Routing.search_steps in
+    let fallbacks = fallbacks + r.Routing.fallback_swaps in
+    if i = total then
+      {
+        Router.physical = r.Routing.physical;
+        trial_initial = mapping;
+        final_mapping = r.Routing.final_mapping;
+        n_swaps = r.Routing.n_swaps;
+        first_swaps = Option.get first;
+        search_steps = steps;
+        fallback_swaps = fallbacks;
+        traversals = total;
+      }
+    else go (i + 1) r.Routing.final_mapping first steps fallbacks
+  in
+  go 1 initial None 0 0
+
+let router : Router.t =
+  (module struct
+    let name = name
+    let deterministic = deterministic
+    let route = route
+  end)
+
+let () = Router.register router

@@ -1,0 +1,10 @@
+(** The SABRE bidirectional router as a {!Router.S}.
+
+    One trial = [config.traversals] alternating forward/backward
+    traversals of {!Sabre_core.Routing_pass} (paper Section IV-C2); the
+    final mapping of each traversal seeds the next, and the last
+    traversal is always forward. Requires {!Dag_pass} to have run. *)
+
+include Router.S
+
+val router : Router.t

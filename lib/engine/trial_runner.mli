@@ -1,0 +1,28 @@
+(** Multi-trial execution strategy.
+
+    The SABRE trial loop is embarrassingly parallel: each trial routes
+    independently from its own initial mapping and the routing search
+    itself draws no random numbers. The runner evaluates an array of
+    trial thunks either sequentially or across OCaml 5 [Domain]s and
+    returns the results {e in trial order}, so the winner reduction is
+    identical in both modes (deterministic given the seed). *)
+
+type mode =
+  | Sequential
+  | Domains of int
+      (** evaluate across [n] domains; trial [i] runs on domain
+          [i mod n], results are still delivered in trial order *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val map : mode:mode -> (unit -> 'a) array -> 'a array
+(** Evaluate every thunk, returning results in input order. In
+    [Domains] mode an exception raised by any thunk is re-raised after
+    all domains have been joined. *)
+
+val best : better:('a -> 'a -> bool) -> 'a array -> 'a
+(** Left fold keeping the first element when [better] ties — the same
+    reduction order as a sequential loop, so sequential and parallel
+    runs pick the same winner. [better a b] must mean "[a] is strictly
+    better than [b]". Raises [Invalid_argument] on an empty array. *)

@@ -1,0 +1,52 @@
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Tracker = Sim.Tracker
+
+exception Verify_failed of string
+
+let name = "verify"
+
+let fail fmt = Format.kasprintf (fun s -> raise (Verify_failed s)) fmt
+
+let check_strict (ctx : Context.t) (r : Context.routed) =
+  match
+    Tracker.check ~coupling:ctx.coupling
+      ~initial:(Mapping.l2p_array r.trial_initial)
+      ~final:(Mapping.l2p_array r.final_mapping)
+      ~logical:ctx.circuit ~physical:r.physical ()
+  with
+  | Ok () -> ()
+  | Error e -> fail "verification failed: %a" Tracker.pp_error e
+
+(* Commutation-aware routing may reorder commuting gates, breaking the
+   per-qubit-sequence equality the tracker checks; verify compliance
+   plus linearisation of the commuting DAG instead. *)
+let check_commuting (ctx : Context.t) (r : Context.routed) =
+  (match Tracker.check_compliance ~coupling:ctx.coupling r.physical with
+  | Ok () -> ()
+  | Error e -> fail "verification failed: %a" Tracker.pp_error e);
+  match
+    Tracker.unroute
+      ~initial:(Mapping.l2p_array r.trial_initial)
+      ~n_logical:(Circuit.n_qubits ctx.circuit)
+      r.physical
+  with
+  | Error e -> fail "verification failed: %a" Tracker.pp_error e
+  | Ok (recovered, _) ->
+    let dag =
+      match ctx.dag_forward with
+      | Some d when ctx.config.Config.commutation_aware -> d
+      | _ -> Dag.of_circuit_commuting ctx.circuit
+    in
+    if not (Dag.matches_linearization dag recovered) then
+      fail "verification failed: not a commuting linearisation"
+
+let pass =
+  Pass.make name (fun ~instrument (ctx : Context.t) ->
+      let r = Context.routed_exn ctx in
+      if ctx.config.Config.commutation_aware then check_commuting ctx r
+      else check_strict ctx r;
+      let ctx = { ctx with verified = Some true } in
+      Pass.count instrument ~pass:name ctx "ok" 1)

@@ -1,0 +1,14 @@
+(** Semantic verification of the routed circuit.
+
+    Strict mode (the default) uses the permutation tracker: the physical
+    circuit must be coupling-compliant and, gate for gate, a remapping
+    of the logical circuit under the evolving π. When the config is
+    commutation-aware, reordering of commuting gates is legal, so the
+    pass instead checks compliance plus that the unrouted circuit is a
+    linearisation of the commuting DAG.
+
+    Sets [verified = Some true] on success. *)
+
+exception Verify_failed of string
+
+val pass : Pass.t

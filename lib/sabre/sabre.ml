@@ -1,0 +1,17 @@
+(* The public SABRE namespace.
+
+   The algorithmic substrate lives in [Sabre_core] (mapping, config,
+   heuristics, the single-traversal routing pass) and the staged
+   compilation driver in [Engine] (pass pipeline, routers, trial
+   runner); this module stitches them together so users keep the
+   historical [Sabre.X] paths and gain [Sabre.Engine] for custom
+   pipelines. *)
+
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+module Heuristic = Sabre_core.Heuristic
+module Routing_pass = Sabre_core.Routing_pass
+module Initial_mapping = Sabre_core.Initial_mapping
+module Engine = Engine
+module Compiler = Compiler

@@ -27,6 +27,12 @@ let test_validation_rejects () =
     (valid { d with decay_increment = -0.001 });
   check Alcotest.bool "zero reset" false
     (valid { d with decay_reset_interval = 0 });
+  check Alcotest.bool "negative reset" false
+    (valid { d with decay_reset_interval = -3 });
+  check Alcotest.bool "NaN weight" false
+    (valid { d with extended_set_weight = Float.nan });
+  check Alcotest.bool "NaN delta" false
+    (valid { d with decay_increment = Float.nan });
   check Alcotest.bool "zero trials" false (valid { d with trials = 0 });
   check Alcotest.bool "even traversals" false (valid { d with traversals = 2 });
   check Alcotest.bool "zero traversals" false (valid { d with traversals = 0 });

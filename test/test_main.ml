@@ -23,6 +23,7 @@ let () =
       ("heuristic", Suite_heuristic.suite);
       ("routing", Suite_routing.suite);
       ("compiler", Suite_compiler.suite);
+      ("engine", Suite_engine.suite);
       ("baseline", Suite_baseline.suite);
       ("optimal", Suite_optimal.suite);
       ("workloads", Suite_workloads.suite);
