@@ -1,0 +1,237 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Config = Sabre_core.Config
+
+type repro = {
+  router : string;
+  property : string;
+  seed : int;
+  failure : string;
+  config : Config.t;
+  coupling : Coupling.t;
+  circuit : Circuit.t;
+}
+
+let header = "sabre-fuzz repro v1"
+
+let heuristic_to_string = function
+  | Config.Basic -> "basic"
+  | Config.Lookahead -> "lookahead"
+  | Config.Decay -> "decay"
+
+let heuristic_of_string = function
+  | "basic" -> Ok Config.Basic
+  | "lookahead" -> Ok Config.Lookahead
+  | "decay" -> Ok Config.Decay
+  | s -> Error (Printf.sprintf "unknown heuristic %S" s)
+
+(* Floats are written in hex notation (%h) so a round-trip is bit-exact. *)
+let config_to_string (c : Config.t) =
+  Printf.sprintf
+    "heuristic:%s extended_set_size:%d extended_set_weight:%h \
+     decay_increment:%h decay_reset_interval:%d trials:%d traversals:%d \
+     seed:%d stall_limit:%s commutation_aware:%b"
+    (heuristic_to_string c.heuristic)
+    c.extended_set_size c.extended_set_weight c.decay_increment
+    c.decay_reset_interval c.trials c.traversals c.seed
+    (match c.stall_limit with None -> "none" | Some s -> string_of_int s)
+    c.commutation_aware
+
+let config_of_string s =
+  let ( let* ) = Result.bind in
+  let fields =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun f -> f <> "")
+    |> List.filter_map (fun f ->
+           match String.index_opt f ':' with
+           | None -> None
+           | Some i ->
+             Some
+               ( String.sub f 0 i,
+                 String.sub f (i + 1) (String.length f - i - 1) ))
+  in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "config: missing field %S" k)
+  in
+  let int_field k =
+    let* v = get k in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "config: bad int %S for %s" v k)
+  in
+  let float_field k =
+    let* v = get k in
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "config: bad float %S for %s" v k)
+  in
+  let* h = get "heuristic" in
+  let* heuristic = heuristic_of_string h in
+  let* extended_set_size = int_field "extended_set_size" in
+  let* extended_set_weight = float_field "extended_set_weight" in
+  let* decay_increment = float_field "decay_increment" in
+  let* decay_reset_interval = int_field "decay_reset_interval" in
+  let* trials = int_field "trials" in
+  let* traversals = int_field "traversals" in
+  let* seed = int_field "seed" in
+  let* stall = get "stall_limit" in
+  let* stall_limit =
+    if stall = "none" then Ok None
+    else
+      match int_of_string_opt stall with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "config: bad stall_limit %S" stall)
+  in
+  let* commut = get "commutation_aware" in
+  let* commutation_aware =
+    match bool_of_string_opt commut with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "config: bad bool %S" commut)
+  in
+  Ok
+    {
+      Config.heuristic;
+      extended_set_size;
+      extended_set_weight;
+      decay_increment;
+      decay_reset_interval;
+      trials;
+      traversals;
+      seed;
+      stall_limit;
+      commutation_aware;
+    }
+
+let coupling_to_string c =
+  Printf.sprintf "n:%d edges:%s" (Coupling.n_qubits c)
+    (String.concat ","
+       (List.map
+          (fun (a, b) -> Printf.sprintf "%d-%d" a b)
+          (Coupling.edges c)))
+
+let coupling_of_string s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ n_field; e_field ]
+    when String.length n_field > 2
+         && String.sub n_field 0 2 = "n:"
+         && String.length e_field >= 6
+         && String.sub e_field 0 6 = "edges:" -> (
+    let* n =
+      match
+        int_of_string_opt (String.sub n_field 2 (String.length n_field - 2))
+      with
+      | Some n -> Ok n
+      | None -> Error "device: bad qubit count"
+    in
+    let edges_s = String.sub e_field 6 (String.length e_field - 6) in
+    let* edges =
+      if edges_s = "" then Ok []
+      else
+        String.split_on_char ',' edges_s
+        |> List.fold_left
+             (fun acc e ->
+               let* acc = acc in
+               match String.split_on_char '-' e with
+               | [ a; b ] -> (
+                 match (int_of_string_opt a, int_of_string_opt b) with
+                 | Some a, Some b -> Ok ((a, b) :: acc)
+                 | _ -> Error (Printf.sprintf "device: bad edge %S" e))
+               | _ -> Error (Printf.sprintf "device: bad edge %S" e))
+             (Ok [])
+        |> Result.map List.rev
+    in
+    match Coupling.create ~n_qubits:n edges with
+    | c -> Ok c
+    | exception Invalid_argument msg -> Error ("device: " ^ msg))
+  | _ -> Error "device: expected \"n:<int> edges:<a-b,...>\""
+
+(* newlines in the captured failure message would break the line format *)
+let escape_line s =
+  String.concat "\\n" (String.split_on_char '\n' s)
+
+let to_string r =
+  String.concat "\n"
+    [
+      header;
+      "router=" ^ r.router;
+      "property=" ^ r.property;
+      "seed=" ^ string_of_int r.seed;
+      "failure=" ^ escape_line r.failure;
+      "config=" ^ config_to_string r.config;
+      "device=" ^ coupling_to_string r.coupling;
+      "qasm:";
+      Quantum.Qasm.to_string r.circuit;
+    ]
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | first :: rest when String.trim first = header ->
+    let rec split_fields acc = function
+      | [] -> Error "missing \"qasm:\" section"
+      | l :: rest when String.trim l = "qasm:" ->
+        Ok (List.rev acc, String.concat "\n" rest)
+      | l :: rest -> (
+        match String.index_opt l '=' with
+        | Some i ->
+          split_fields
+            ((String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+            :: acc)
+            rest
+        | None -> Error (Printf.sprintf "bad line %S" l))
+    in
+    let* fields, qasm = split_fields [] rest in
+    let get k =
+      match List.assoc_opt k fields with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" k)
+    in
+    let* router = get "router" in
+    let* property = get "property" in
+    let* seed_s = get "seed" in
+    let* seed =
+      match int_of_string_opt seed_s with
+      | Some i -> Ok i
+      | None -> Error "bad seed"
+    in
+    let* failure = get "failure" in
+    let* config_s = get "config" in
+    let* config = config_of_string config_s in
+    let* device_s = get "device" in
+    let* coupling = coupling_of_string device_s in
+    let* circuit =
+      match Quantum.Qasm.of_string qasm with
+      | c -> Ok c
+      | exception Quantum.Qasm.Parse_error { line; message } ->
+        Error (Printf.sprintf "qasm:%d: %s" line message)
+    in
+    Ok { router; property; seed; failure; config; coupling; circuit }
+  | _ -> Error (Printf.sprintf "not a %S file" header)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let save ~dir r =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro-%s-%s-%d.txt" r.router r.property r.seed)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r));
+  path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,115 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Router = Engine.Router
+
+let ensure_registered () =
+  Router.register Engine.Sabre_router.router;
+  Baseline.Routers.register ()
+
+type routed = {
+  physical : Circuit.t;
+  initial : int array;
+  final : int array;
+  n_swaps : int;
+}
+
+let route ?initial ~config coupling circuit router =
+  let ctx = Engine.Context.create ~config ?initial coupling circuit in
+  let ctx = Engine.Pipeline.run (Engine.Pipeline.default ~router ()) ctx in
+  let r = Engine.Context.routed_exn ctx in
+  {
+    physical = r.Engine.Context.physical;
+    initial = Mapping.l2p_array r.Engine.Context.trial_initial;
+    final = Mapping.l2p_array r.Engine.Context.final_mapping;
+    n_swaps = r.Engine.Context.n_swaps;
+  }
+
+type verdict = Pass | Fail of Oracle.failure | Skip of string
+
+let pp_verdict ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Fail f -> Format.fprintf ppf "FAIL: %a" Oracle.pp_failure f
+  | Skip msg -> Format.fprintf ppf "skip (%s)" msg
+
+type report = { router : string; n_swaps : int option; verdict : verdict }
+
+let check_router_full ?dense_max_qubits ?states ~config coupling circuit
+    router =
+  match route ~config coupling circuit router with
+  | r -> (
+    ( Some r.n_swaps,
+      match
+        Oracle.check ?dense_max_qubits ?states
+          ~commuting:config.Config.commutation_aware ~coupling
+          ~logical:circuit ~initial:r.initial ~final:r.final
+          ~physical:r.physical ()
+      with
+      | Ok () -> Pass
+      | Error f -> Fail f ))
+  | exception Router.Route_failed msg -> (None, Skip msg)
+  | exception e -> (None, Fail (Oracle.Crash (Printexc.to_string e)))
+
+let check_router ?dense_max_qubits ?states ~config coupling circuit router =
+  snd (check_router_full ?dense_max_qubits ?states ~config coupling circuit router)
+
+let check_all ?routers ?dense_max_qubits ?states ~config coupling circuit () =
+  ensure_registered ();
+  let names = match routers with Some ns -> ns | None -> Router.names () in
+  List.map
+    (fun name ->
+      match Router.find name with
+      | None -> { router = name; n_swaps = None; verdict = Skip "unregistered" }
+      | Some router ->
+        let n_swaps, verdict =
+          check_router_full ?dense_max_qubits ?states ~config coupling circuit
+            router
+        in
+        { router = name; n_swaps; verdict })
+    (List.sort compare names)
+
+let determinism ~config coupling circuit router =
+  match
+    ( route ~config coupling circuit router,
+      route ~config coupling circuit router )
+  with
+  | a, b ->
+    if Circuit.equal a.physical b.physical then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "two runs at seed %d disagree: %d vs %d swaps (circuits differ)"
+           config.Config.seed a.n_swaps b.n_swaps)
+  | exception Router.Route_failed _ -> Ok ()
+
+let relabel_invariance ~config ~perm coupling circuit router =
+  let n = Circuit.n_qubits circuit in
+  let np = Coupling.n_qubits coupling in
+  if Array.length perm <> n then invalid_arg "relabel_invariance: bad perm";
+  let base = Mapping.identity ~n_logical:n ~n_physical:np in
+  let relabelled = Circuit.map_qubits (fun q -> perm.(q)) circuit in
+  (* the permuted mapping sends relabelled qubit perm.(q) to the same
+     physical home base gives q, so both runs start from the identical
+     physical placement *)
+  let l2p = Mapping.l2p_array base in
+  let l2p' = Array.make n (-1) in
+  Array.iteri (fun q p -> l2p'.(perm.(q)) <- p) l2p;
+  let permuted = Mapping.of_array ~n_physical:np l2p' in
+  match
+    ( route ~initial:base ~config coupling circuit router,
+      route ~initial:permuted ~config coupling relabelled router )
+  with
+  | a, b ->
+    if a.n_swaps = b.n_swaps then Ok ()
+    else
+      Error
+        (Printf.sprintf "SWAP count not relabelling-invariant: %d vs %d"
+           a.n_swaps b.n_swaps)
+  | exception Router.Route_failed _ -> Ok ()
+
+let commuting_conformance ~config coupling circuit router =
+  let config = { config with Config.commutation_aware = true } in
+  match check_router ~config coupling circuit router with
+  | Pass | Skip _ -> Ok ()
+  | Fail f -> Error (Oracle.failure_to_string f)

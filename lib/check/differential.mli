@@ -1,0 +1,91 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Config = Sabre_core.Config
+module Router = Engine.Router
+
+(** Cross-router differential testing.
+
+    Every registered router (SABRE, greedy, BKA, plus any future one)
+    must satisfy the same conformance contract ({!Oracle}) on the same
+    (circuit, device, config, seed); this module runs each router through
+    the engine pass pipeline and asserts its output independently,
+    plus the metamorphic properties: seed determinism, qubit-relabelling
+    invariance of SWAP counts, and commutation-aware routing remaining
+    equivalent. *)
+
+val ensure_registered : unit -> unit
+(** Register the built-in routers (SABRE and the baselines) in the
+    {!Engine.Router} registry. Idempotent. *)
+
+type routed = {
+  physical : Circuit.t;
+  initial : int array;
+  final : int array;
+  n_swaps : int;
+}
+
+val route :
+  ?initial:Sabre_core.Mapping.t ->
+  config:Config.t ->
+  Coupling.t ->
+  Circuit.t ->
+  Router.t ->
+  routed
+(** Run one router through the engine pipeline (decompose → DAG → initial
+    mapping → routing). Raises whatever the pipeline raises
+    ([Router.Route_failed], [Invalid_argument]). *)
+
+type verdict =
+  | Pass
+  | Fail of Oracle.failure
+  | Skip of string
+      (** the router declined the instance ([Route_failed], e.g. BKA's
+          node-budget abort) — not a conformance failure *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type report = { router : string; n_swaps : int option; verdict : verdict }
+
+val check_router :
+  ?dense_max_qubits:int ->
+  ?states:int ->
+  config:Config.t ->
+  Coupling.t ->
+  Circuit.t ->
+  Router.t ->
+  verdict
+(** Route and apply the conformance oracle; exceptions are folded into
+    the verdict ([Skip] for [Route_failed], [Fail Crash] otherwise). *)
+
+val check_all :
+  ?routers:string list ->
+  ?dense_max_qubits:int ->
+  ?states:int ->
+  config:Config.t ->
+  Coupling.t ->
+  Circuit.t ->
+  unit ->
+  report list
+(** {!check_router} for every named router (default: all registered),
+    in sorted name order. *)
+
+val determinism :
+  config:Config.t -> Coupling.t -> Circuit.t -> Router.t ->
+  (unit, string) result
+(** Route twice at the same seed: the physical circuits must be
+    structurally identical. [Ok ()] also when the router skips. *)
+
+val relabel_invariance :
+  config:Config.t -> perm:int array -> Coupling.t -> Circuit.t -> Router.t ->
+  (unit, string) result
+(** Route the circuit, then route its image under the logical-qubit
+    permutation [perm] with the correspondingly permuted fixed initial
+    mapping: SWAP counts must agree. Only meaningful for routers that
+    honour a fixed initial mapping (SABRE, greedy). *)
+
+val commuting_conformance :
+  config:Config.t -> Coupling.t -> Circuit.t -> Router.t ->
+  (unit, string) result
+(** Route with [commutation_aware = true] and check the commuting-mode
+    oracle: the output must still be compliant and a linearisation of the
+    commuting DAG, and unitarily equivalent on small devices. *)

@@ -1,0 +1,165 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Config = Sabre_core.Config
+
+let gate ~n_qubits:n =
+  let open QCheck.Gen in
+  let qubit = int_range 0 (n - 1) in
+  let distinct_pair =
+    qubit >>= fun a ->
+    int_range 0 (n - 2) >>= fun k ->
+    let b = if k >= a then k + 1 else k in
+    return (a, b)
+  in
+  frequency
+    [
+      (4, distinct_pair >|= fun (a, b) -> Gate.Cnot (a, b));
+      (1, distinct_pair >|= fun (a, b) -> Gate.Cz (a, b));
+      (1, distinct_pair >|= fun (a, b) -> Gate.Swap (a, b));
+      (1, qubit >|= fun q -> Gate.Single (H, q));
+      (1, qubit >|= fun q -> Gate.Single (T, q));
+      ( 1,
+        qubit >>= fun q ->
+        float_range (-3.0) 3.0 >|= fun a -> Gate.Single (Rz a, q) );
+    ]
+
+let circuit ?(min_qubits = 2) ?(max_qubits = 6) ?(max_gates = 40) () =
+  let open QCheck.Gen in
+  int_range min_qubits max_qubits >>= fun n ->
+  list_size (int_range 0 max_gates) (gate ~n_qubits:n) >|= fun gates ->
+  Quantum.Decompose.expand_swaps (Circuit.create ~n_qubits:n gates)
+
+let rebuild like gates =
+  Circuit.create ~n_qubits:(Circuit.n_qubits like)
+    ~n_clbits:(Circuit.n_clbits like) gates
+
+let shrink_circuit c yield =
+  QCheck.Shrink.list_spine (Circuit.gates c) (fun gates ->
+      yield (rebuild c gates))
+
+let circuit_arb ?min_qubits ?max_qubits ?max_gates () =
+  QCheck.make
+    (circuit ?min_qubits ?max_qubits ?max_gates ())
+    ~print:Circuit.to_string ~shrink:shrink_circuit
+
+(* ------------------------------------------------------------------ *)
+(* Coupling graphs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tree_plus_gen n =
+  let open QCheck.Gen in
+  if n = 1 then return (Coupling.create ~n_qubits:1 [])
+  else
+    (* spanning tree: each node i>0 attaches to a random previous node *)
+    let attach i = int_range 0 (i - 1) >|= fun p -> (p, i) in
+    let rec tree i acc =
+      if i >= n then return acc
+      else attach i >>= fun e -> tree (i + 1) (e :: acc)
+    in
+    tree 1 [] >>= fun tree_edges ->
+    list_size (int_range 0 n)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >|= fun extras ->
+    let have = Hashtbl.create 16 in
+    List.iter
+      (fun (a, b) -> Hashtbl.replace have (min a b, max a b) ())
+      tree_edges;
+    let extra_edges =
+      List.filter_map
+        (fun (a, b) ->
+          if a = b then None
+          else begin
+            let e = (min a b, max a b) in
+            if Hashtbl.mem have e then None
+            else begin
+              Hashtbl.replace have e ();
+              Some e
+            end
+          end)
+        extras
+    in
+    Coupling.create ~n_qubits:n (tree_edges @ extra_edges)
+
+let path n =
+  Coupling.create ~n_qubits:n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  let wrap = if n >= 3 then [ (0, n - 1) ] else [] in
+  Coupling.create ~n_qubits:n
+    (List.init (n - 1) (fun i -> (i, i + 1)) @ wrap)
+
+let grid_at_least n =
+  let rows = max 1 (int_of_float (sqrt (float_of_int n))) in
+  let cols = (n + rows - 1) / rows in
+  Hardware.Devices.grid ~rows ~cols
+
+let coupling ?(min_qubits = 2) ?(slack = 4) () =
+  let open QCheck.Gen in
+  int_range (max 2 min_qubits) (max 2 min_qubits + slack) >>= fun n ->
+  frequency
+    [
+      (1, return (path n));
+      (1, return (ring n));
+      (1, return (grid_at_least n));
+      (3, tree_plus_gen n);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Configurations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let config =
+  let open QCheck.Gen in
+  oneofl [ Config.Basic; Config.Lookahead; Config.Decay ] >>= fun heuristic ->
+  int_range 1 2 >>= fun trials ->
+  oneofl [ 1; 3 ] >>= fun traversals ->
+  int_range 0 8 >>= fun extended_set_size ->
+  float_range 0.0 0.9 >>= fun extended_set_weight ->
+  float_range 0.0 0.01 >>= fun decay_increment ->
+  int_range 1 5 >>= fun decay_reset_interval ->
+  int_range 0 1_000_000 >|= fun seed ->
+  {
+    Config.default with
+    heuristic;
+    trials;
+    traversals;
+    extended_set_size;
+    extended_set_weight;
+    decay_increment;
+    decay_reset_interval;
+    seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type instance = {
+  circuit : Circuit.t;
+  coupling : Coupling.t;
+  config : Config.t;
+}
+
+let instance ?max_qubits ?max_gates () =
+  let open QCheck.Gen in
+  circuit ?max_qubits ?max_gates () >>= fun c ->
+  coupling ~min_qubits:(Circuit.n_qubits c) () >>= fun coupling ->
+  config >|= fun config -> { circuit = c; coupling; config }
+
+let print_instance i =
+  Format.asprintf "config=%a@.%a@.%a" Config.pp i.config Coupling.pp i.coupling
+    Circuit.pp i.circuit
+
+let shrink_instance i yield =
+  shrink_circuit i.circuit (fun c -> yield { i with circuit = c })
+
+let instance_arb ?max_qubits ?max_gates () =
+  QCheck.make
+    (instance ?max_qubits ?max_gates ())
+    ~print:print_instance ~shrink:shrink_instance
+
+let instance_of_seed ?max_qubits ?max_gates seed =
+  QCheck.Gen.generate1
+    ~rand:(Random.State.make [| 0x5eed; seed |])
+    (instance ?max_qubits ?max_gates ())

@@ -224,6 +224,73 @@ let test_greedy_router_matches_baseline () =
     (Circuit.equal direct.physical r.Engine.Context.physical);
   check Alcotest.int "same swaps" direct.n_swaps r.Engine.Context.n_swaps
 
+(* ------------------------------------------------------------------ *)
+(* Error paths: registry misses, invalid configs, malformed pipelines  *)
+(* ------------------------------------------------------------------ *)
+
+let test_router_registry_miss () =
+  (match Engine.Router.find "no-such-router" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unregistered router resolved");
+  Baseline.Routers.register ();
+  let names = Engine.Router.names () in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " registered") true (List.mem n names))
+    [ "sabre"; "greedy"; "bka" ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let expect_invalid_arg ~substring f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument (%s)" substring
+  | exception Invalid_argument msg ->
+    check Alcotest.bool
+      (Printf.sprintf "%S mentions %S" msg substring)
+      true (contains ~sub:substring msg)
+
+let test_context_rejects_invalid_config () =
+  let device = Devices.ibm_q5_yorktown () in
+  let c = Workloads.Ghz.circuit 3 in
+  expect_invalid_arg ~substring:"trials" (fun () ->
+      Engine.Context.create ~config:{ Config.default with trials = 0 } device c);
+  expect_invalid_arg ~substring:"traversals" (fun () ->
+      Engine.Context.create
+        ~config:{ Config.default with traversals = 2 }
+        device c);
+  expect_invalid_arg ~substring:"extended_set_weight" (fun () ->
+      Engine.Context.create
+        ~config:{ Config.default with extended_set_weight = 1.5 }
+        device c)
+
+let test_context_rejects_bad_devices () =
+  expect_invalid_arg ~substring:"wider than device" (fun () ->
+      Engine.Context.create (Devices.linear 3) (Workloads.Ghz.circuit 5));
+  let disconnected = Coupling.create ~n_qubits:4 [ (0, 1); (2, 3) ] in
+  expect_invalid_arg ~substring:"disconnected" (fun () ->
+      Engine.Context.create disconnected (Workloads.Ghz.circuit 4))
+
+let test_routing_pass_requires_initial_mapping () =
+  let ctx =
+    Engine.Context.create (Devices.ibm_q5_yorktown ()) (Workloads.Qft.circuit 4)
+  in
+  match Engine.Pipeline.run [ Engine.Routing_pass.pass () ] ctx with
+  | _ -> Alcotest.fail "routing without an initial mapping succeeded"
+  | exception Engine.Router.Route_failed msg ->
+    check Alcotest.bool "mentions the missing pass" true
+      (contains ~sub:"Initial_mapping_pass" msg)
+
+let test_routed_exn_before_routing () =
+  let ctx =
+    Engine.Context.create (Devices.ibm_q5_yorktown ()) (Workloads.Ghz.circuit 3)
+  in
+  match Engine.Context.routed_exn ctx with
+  | _ -> Alcotest.fail "routed_exn succeeded on an unrouted context"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     tc "golden equivalence: 5 workloads x 2 devices" `Quick
@@ -240,4 +307,13 @@ let suite =
       test_baseline_routers_via_engine;
     tc "greedy router matches direct baseline call" `Quick
       test_greedy_router_matches_baseline;
+    tc "router registry: miss returns None, names lists built-ins" `Quick
+      test_router_registry_miss;
+    tc "context rejects invalid configs" `Quick
+      test_context_rejects_invalid_config;
+    tc "context rejects too-small and disconnected devices" `Quick
+      test_context_rejects_bad_devices;
+    tc "routing pass without initial mapping fails" `Quick
+      test_routing_pass_requires_initial_mapping;
+    tc "routed_exn before routing raises" `Quick test_routed_exn_before_routing;
   ]

@@ -1,143 +1,106 @@
-(* Property-based tests (qcheck) over random circuits and devices. *)
+(* Property-based tests (qcheck) over random circuits and devices.
+
+   Generators (with shrinking) live in [Check.Generators]; the routing
+   correctness contract is [Check.Oracle]; the cross-router differential
+   and metamorphic checks are [Check.Differential]. This suite wires
+   them into qcheck properties so every registered router is fuzzed on
+   every run — the same machinery `sabre_fuzz` drives for longer
+   campaigns. *)
 
 module Gate = Quantum.Gate
 module Circuit = Quantum.Circuit
 module Coupling = Hardware.Coupling
 module Devices = Hardware.Devices
 module Mapping = Sabre.Mapping
+module Generators = Check.Generators
+module Differential = Check.Differential
+
+let circuit_arb = Generators.circuit_arb ()
+let instance_arb = Generators.instance_arb ()
 
 (* ------------------------------------------------------------------ *)
-(* Generators                                                          *)
+(* Differential conformance: every registered router, same instances   *)
 (* ------------------------------------------------------------------ *)
 
-let gate_gen n =
-  let open QCheck.Gen in
-  let qubit = int_range 0 (n - 1) in
-  let distinct_pair =
-    qubit >>= fun a ->
-    int_range 0 (n - 2) >>= fun k ->
-    let b = if k >= a then k + 1 else k in
-    return (a, b)
-  in
-  frequency
-    [
-      (4, distinct_pair >|= fun (a, b) -> Gate.Cnot (a, b));
-      (1, distinct_pair >|= fun (a, b) -> Gate.Cz (a, b));
-      (1, distinct_pair >|= fun (a, b) -> Gate.Swap (a, b));
-      (1, qubit >|= fun q -> Gate.Single (H, q));
-      (1, qubit >|= fun q -> Gate.Single (T, q));
-      ( 1,
-        qubit >>= fun q ->
-        float_range (-3.0) 3.0 >|= fun a -> Gate.Single (Rz a, q) );
-    ]
+let prop_all_routers_conform =
+  QCheck.Test.make ~count:50
+    ~name:"every registered router passes the conformance oracle"
+    instance_arb (fun i ->
+      let reports =
+        Differential.check_all ~config:i.Generators.config
+          i.Generators.coupling i.Generators.circuit ()
+      in
+      List.for_all
+        (fun (r : Differential.report) ->
+          match r.verdict with
+          | Differential.Pass | Differential.Skip _ -> true
+          | Differential.Fail f ->
+            QCheck.Test.fail_reportf "router %s: %a" r.router
+              Check.Oracle.pp_failure f)
+        reports)
 
-(* Routed-equivalence checks identify Swap gates in the *output* as
-   routing-inserted, so input circuits must be in the SWAP-free elementary
-   set (as the paper's are) — generated SWAPs are expanded to 3 CNOTs. *)
-let circuit_gen =
-  let open QCheck.Gen in
-  int_range 2 6 >>= fun n ->
-  list_size (int_range 0 40) (gate_gen n) >|= fun gates ->
-  Quantum.Decompose.expand_swaps (Circuit.create ~n_qubits:n gates)
-
-let circuit_arb =
-  QCheck.make circuit_gen ~print:(fun c -> Circuit.to_string c)
-
-(* Random connected device with at least as many qubits as the circuit:
-   a random spanning tree plus random extra edges. *)
-let device_gen ~min_qubits =
-  let open QCheck.Gen in
-  int_range min_qubits (min_qubits + 4) >>= fun n ->
-  if n = 1 then return (Coupling.create ~n_qubits:1 [])
-  else
-    (* spanning tree: each node i>0 attaches to a random previous node *)
-    let attach i = int_range 0 (i - 1) >|= fun p -> (p, i) in
-    let rec tree i acc =
-      if i >= n then return acc
-      else attach i >>= fun e -> tree (i + 1) (e :: acc)
-    in
-    tree 1 [] >>= fun tree_edges ->
-    (* a few random extra edges *)
-    list_size (int_range 0 n)
-      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
-    >|= fun extras ->
-    let have = Hashtbl.create 16 in
-    List.iter
-      (fun (a, b) -> Hashtbl.replace have (min a b, max a b) ())
-      tree_edges;
-    let extra_edges =
-      List.filter_map
-        (fun (a, b) ->
-          if a = b then None
-          else begin
-            let e = (min a b, max a b) in
-            if Hashtbl.mem have e then None
-            else begin
-              Hashtbl.replace have e ();
-              Some e
-            end
-          end)
-        extras
-    in
-    Coupling.create ~n_qubits:n (tree_edges @ extra_edges)
-
-let routed_instance_gen =
-  let open QCheck.Gen in
-  circuit_gen >>= fun c ->
-  device_gen ~min_qubits:(Circuit.n_qubits c) >>= fun device ->
-  int_range 0 1_000_000 >|= fun seed -> (c, device, seed)
-
-let routed_instance_arb =
-  QCheck.make routed_instance_gen ~print:(fun (c, device, seed) ->
-      Format.asprintf "seed=%d@.%a@.%a" seed Coupling.pp device Circuit.pp c)
-
-(* ------------------------------------------------------------------ *)
-(* Properties                                                          *)
-(* ------------------------------------------------------------------ *)
-
-let prop_sabre_output_valid =
-  QCheck.Test.make ~count:60 ~name:"SABRE output compliant and equivalent"
-    routed_instance_arb (fun (c, device, seed) ->
-      let config = { Sabre.Config.default with trials = 1; seed } in
-      let r = Sabre.Compiler.run ~config device c in
-      let initial = Mapping.l2p_array r.initial_mapping in
-      let final = Mapping.l2p_array r.final_mapping in
-      (match
-         Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
-           ~physical:r.physical ()
-       with
-      | Ok () -> true
-      | Error e -> QCheck.Test.fail_reportf "%a" Sim.Tracker.pp_error e)
-      && Sim.Equivalence.routed_equivalent ~states:1 ~initial ~final
-           ~logical:c ~physical:r.physical ())
-
-let prop_greedy_output_valid =
-  QCheck.Test.make ~count:60 ~name:"greedy output compliant and equivalent"
-    routed_instance_arb (fun (c, device, _) ->
-      let r = Baseline.Greedy_router.run device c in
-      let initial = Mapping.l2p_array r.initial_mapping in
-      let final = Mapping.l2p_array r.final_mapping in
+let prop_seed_determinism =
+  QCheck.Test.make ~count:25 ~name:"sabre is deterministic at a fixed seed"
+    instance_arb (fun i ->
       match
-        Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
-          ~physical:r.physical ()
+        Differential.determinism ~config:i.Generators.config
+          i.Generators.coupling i.Generators.circuit
+          Engine.Sabre_router.router
       with
       | Ok () -> true
-      | Error e -> QCheck.Test.fail_reportf "%a" Sim.Tracker.pp_error e)
+      | Error msg -> QCheck.Test.fail_reportf "%s" msg)
 
-let prop_bka_output_valid =
-  QCheck.Test.make ~count:40 ~name:"BKA output compliant and equivalent"
-    routed_instance_arb (fun (c, device, _) ->
-      match Baseline.Bka.run device c with
-      | Error _ -> QCheck.assume_fail ()
-      | Ok r -> (
-        let initial = Mapping.l2p_array r.initial_mapping in
-        let final = Mapping.l2p_array r.final_mapping in
-        match
-          Sim.Tracker.check ~coupling:device ~initial ~final ~logical:c
-            ~physical:r.physical ()
-        with
-        | Ok () -> true
-        | Error e -> QCheck.Test.fail_reportf "%a" Sim.Tracker.pp_error e))
+let perm_gen n rng =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let relabel_arb =
+  QCheck.make
+    QCheck.Gen.(
+      Generators.instance () >>= fun i ->
+      int_bound 1_000_000 >|= fun pseed -> (i, pseed))
+    ~print:(fun (i, pseed) ->
+      Printf.sprintf "perm_seed=%d\n%s" pseed (Generators.print_instance i))
+
+let prop_relabel_invariance =
+  Differential.ensure_registered ();
+  QCheck.Test.make ~count:30
+    ~name:"SWAP count invariant under logical-qubit relabelling"
+    relabel_arb (fun (i, pseed) ->
+      let n = Circuit.n_qubits i.Generators.circuit in
+      let perm = perm_gen n (Random.State.make [| pseed |]) in
+      List.for_all
+        (fun name ->
+          let router = Option.get (Engine.Router.find name) in
+          match
+            Differential.relabel_invariance ~config:i.Generators.config ~perm
+              i.Generators.coupling i.Generators.circuit router
+          with
+          | Ok () -> true
+          | Error msg -> QCheck.Test.fail_reportf "router %s: %s" name msg)
+        [ "sabre"; "greedy" ])
+
+let prop_commuting_conformance =
+  QCheck.Test.make ~count:25
+    ~name:"commutation-aware routing still equivalent"
+    instance_arb (fun i ->
+      match
+        Differential.commuting_conformance ~config:i.Generators.config
+          i.Generators.coupling i.Generators.circuit
+          Engine.Sabre_router.router
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit-level properties                                            *)
+(* ------------------------------------------------------------------ *)
 
 let prop_reverse_involutive =
   QCheck.Test.make ~count:100 ~name:"reverse . reverse = id (unitary part)"
@@ -150,17 +113,17 @@ let prop_reverse_involutive =
 let prop_reverse_is_inverse_unitary =
   QCheck.Test.make ~count:40 ~name:"circuit . reverse = identity unitary"
     circuit_arb (fun c ->
-      let n = Circuit.n_qubits c in
       let unitary =
         Circuit.filter (function Gate.Measure _ -> false | _ -> true) c
       in
       let rng = Random.State.make [| 123 |] in
-      let s = Sim.Statevector.random ~state:rng n in
+      let s = Sim.Statevector.random ~state:rng (Circuit.n_qubits c) in
       let expected = Sim.Statevector.copy s in
       Sim.Statevector.apply_circuit s unitary;
       Sim.Statevector.apply_circuit s (Circuit.reverse unitary);
       Sim.Statevector.approx_equal s expected)
 
+(* satellite: parse . print = id on generated circuits *)
 let prop_qasm_roundtrip =
   QCheck.Test.make ~count:100 ~name:"qasm print/parse roundtrip" circuit_arb
     (fun c ->
@@ -170,7 +133,13 @@ let prop_qasm_roundtrip =
 let prop_depth_bounds =
   QCheck.Test.make ~count:100 ~name:"depth bounds" circuit_arb (fun c ->
       let d = Quantum.Depth.depth c in
-      let g = Circuit.gate_count c + List.length (List.filter (function Gate.Measure _ -> true | _ -> false) (Circuit.gates c)) in
+      let g =
+        Circuit.gate_count c
+        + List.length
+            (List.filter
+               (function Gate.Measure _ -> true | _ -> false)
+               (Circuit.gates c))
+      in
       d <= g
       &&
       (* depth at least the busiest qubit's load *)
@@ -179,13 +148,14 @@ let prop_depth_bounds =
         (fun gate ->
           match gate with
           | Gate.Barrier _ -> ()
-          | _ -> List.iter (fun q -> loads.(q) <- loads.(q) + 1) (Gate.qubits gate))
+          | _ ->
+            List.iter (fun q -> loads.(q) <- loads.(q) + 1) (Gate.qubits gate))
         (Circuit.gates c);
       Array.for_all (fun l -> d >= l) loads)
 
 let prop_distance_matrix_metric =
   QCheck.Test.make ~count:60 ~name:"distance matrix is a metric"
-    (QCheck.make (device_gen ~min_qubits:2))
+    (QCheck.make (Generators.coupling ~min_qubits:2 ()))
     (fun device ->
       let n = Coupling.n_qubits device in
       let d = Coupling.distance_matrix device in
@@ -277,8 +247,9 @@ let prop_directed_fix_sound =
   QCheck.Test.make ~count:40 ~name:"directed fix sound"
     (QCheck.make
        QCheck.Gen.(
-         circuit_gen >>= fun c ->
-         device_gen ~min_qubits:(Circuit.n_qubits c) >>= fun device ->
+         Generators.circuit () >>= fun c ->
+         Generators.coupling ~min_qubits:(Circuit.n_qubits c) ()
+         >>= fun device ->
          int_bound 1_000_000 >|= fun seed -> (c, device, seed)))
     (fun (c, device, seed) ->
       let rng = Random.State.make [| seed |] in
@@ -308,10 +279,9 @@ let prop_noise_metric_consistent =
   QCheck.Test.make ~count:30 ~name:"noise routing metrics are metrics"
     (QCheck.make
        QCheck.Gen.(
-         device_gen ~min_qubits:3 >>= fun device ->
+         Generators.coupling ~min_qubits:3 () >>= fun device ->
          int_bound 10_000 >|= fun seed -> (device, seed)))
     (fun (device, seed) ->
-      QCheck.assume (Coupling.is_connected_graph device);
       let m = Hardware.Noise.randomized ~seed device in
       let check_matrix d =
         let n = Coupling.n_qubits device in
@@ -333,9 +303,10 @@ let prop_noise_metric_consistent =
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
-      prop_sabre_output_valid;
-      prop_greedy_output_valid;
-      prop_bka_output_valid;
+      prop_all_routers_conform;
+      prop_seed_determinism;
+      prop_relabel_invariance;
+      prop_commuting_conformance;
       prop_reverse_involutive;
       prop_reverse_is_inverse_unitary;
       prop_qasm_roundtrip;

@@ -101,6 +101,25 @@ let test_error_reports_line () =
     check Alcotest.int "line 3" 3 line
   | _ -> Alcotest.fail "expected parse error"
 
+(* regression: every error category reports the line it occurred on,
+   with comments and blank lines counted but not blamed *)
+let test_error_lines_across_constructs () =
+  let line_of label s expected =
+    match Qasm.of_string s with
+    | exception Qasm.Parse_error { line; _ } ->
+      check Alcotest.int label expected line
+    | _ -> Alcotest.failf "%s: expected parse error" label
+  in
+  line_of "error on line 1" "frobnicate;" 1;
+  line_of "out-of-bounds index"
+    "qreg q[2];\nh q[5];" 2;
+  line_of "unknown register after comment and blank line"
+    "qreg q[2];\n// a comment\n\nh r[0];" 4;
+  line_of "bad arity deep in a file"
+    "qreg q[3];\nh q[0];\nh q[1];\nh q[2];\ncx q[0];" 5;
+  line_of "duplicate register"
+    "qreg q[2];\nqreg q[3];" 2
+
 let test_round_trip () =
   let original = Qasm.of_string program in
   let reparsed = Qasm.of_string (Qasm.to_string original) in
@@ -205,6 +224,7 @@ let suite =
     tc "measure whole register" `Quick test_measure_register;
     tc "errors rejected" `Quick test_errors;
     tc "error reports line" `Quick test_error_reports_line;
+    tc "error lines across constructs" `Quick test_error_lines_across_constructs;
     tc "round trip" `Quick test_round_trip;
     tc "round trip generated circuits" `Quick test_round_trip_generated;
     tc "gate definitions" `Quick test_gate_definitions;

@@ -30,4 +30,5 @@ let () =
       ("integration", Suite_integration.suite);
       ("assets", Suite_assets.suite);
       ("properties", Suite_properties.suite);
+      ("check", Suite_check.suite);
     ]
