@@ -22,10 +22,94 @@ module Suite = Workloads.Suite
 
 let device = Devices.ibm_q20_tokyo ()
 
+(* Wall-clock timing. [Sys.time] measures CPU time of the process, which
+   under-reports multi-domain runs and ignores time spent blocked; every
+   reported number below is wall time. *)
+let wall = Unix.gettimeofday
+
 let time f =
-  let t0 = Sys.time () in
+  let t0 = wall () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, wall () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* JSON recording (--json FILE)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Record = struct
+  type value = Int of int | Float of float | Str of string
+
+  type section = {
+    name : string;
+    mutable wall_s : float;
+    mutable rows : (string * value) list list;  (* in insertion order *)
+  }
+
+  let enabled = ref false
+  let sections : section list ref = ref []
+
+  let section name =
+    match List.find_opt (fun s -> s.name = name) !sections with
+    | Some s -> s
+    | None ->
+      let s = { name; wall_s = 0.0; rows = [] } in
+      sections := !sections @ [ s ];
+      s
+
+  let row name fields =
+    if !enabled then begin
+      let s = section name in
+      s.rows <- s.rows @ [ fields ]
+    end
+
+  let finish name wall_s = if !enabled then (section name).wall_s <- wall_s
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let value_to_json = function
+    | Int i -> string_of_int i
+    | Float f -> Printf.sprintf "%.6f" f
+    | Str s -> Printf.sprintf "\"%s\"" (escape s)
+
+  let row_to_json fields =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (value_to_json v))
+           fields)
+    ^ "}"
+
+  let write path =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"sections\": [\n";
+    let n = List.length !sections in
+    List.iteri
+      (fun i s ->
+        Printf.fprintf oc
+          "    {\"name\": \"%s\", \"wall_s\": %.6f, \"rows\": [\n" s.name
+          s.wall_s;
+        let m = List.length s.rows in
+        List.iteri
+          (fun j r ->
+            Printf.fprintf oc "      %s%s\n" (row_to_json r)
+              (if j = m - 1 then "" else ","))
+          s.rows;
+        Printf.fprintf oc "    ]}%s\n" (if i = n - 1 then "" else ",");
+        ())
+      !sections;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Format.printf "@.wrote %s@." path
+end
 
 let verified ~logical ~initial ~final ~physical label =
   match
@@ -363,6 +447,8 @@ let ablation () =
 (* Device-size scaling (objective 4, Section III-B)                     *)
 (* ------------------------------------------------------------------ *)
 
+let scaling_sizes = ref [ 20; 50; 100; 200; 400 ]
+
 let scaling () =
   Format.printf
     "@.== Device-size scaling: SABRE on NISQ devices of growing size ==@.@.";
@@ -392,11 +478,20 @@ let scaling () =
         Format.eprintf "FATAL: scaling: %a@." Sim.Tracker.pp_error e;
         exit 2);
       let two_q = Circuit.two_qubit_count circuit in
+      Record.row "scaling"
+        [
+          ("device", Str (Printf.sprintf "grid%dx%d" rows cols));
+          ("qubits", Int (Coupling.n_qubits dev));
+          ("n_logical", Int n);
+          ("gates", Int gates);
+          ("swaps", Int r.stats.n_swaps);
+          ("route_s", Float t);
+        ];
       Format.printf "%-10s %8d %8d %8d | %9.2fs %12.1f@."
         (Printf.sprintf "grid%dx%d" rows cols)
         (Coupling.n_qubits dev) n gates t
         (1e6 *. t /. float_of_int two_q))
-    [ 20; 50; 100; 200; 400 ];
+    !scaling_sizes;
   Format.printf
     "@.Time per routed two-qubit gate grows polynomially (the O(N) \
      candidate set times the O(N) heuristic evaluation), not \
@@ -444,11 +539,11 @@ let pipeline () =
   let conversions = c.Sabre.Config.trials * c.Sabre.Config.traversals in
   let reps = 500 in
   let time_n f =
-    let t0 = Sys.time () in
+    let t0 = wall () in
     for _ = 1 to reps do
       f ()
     done;
-    (Sys.time () -. t0) /. float_of_int reps
+    (wall () -. t0) /. float_of_int reps
   in
   let convert () =
     ignore
@@ -528,30 +623,55 @@ let micro () =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let usage () =
+  Format.eprintf
+    "usage: bench [--json FILE] [--max-qubits N] \
+     [table2|figure8|scalability|ablation|scaling|pipeline|micro]...@.";
+  exit 1
+
 let () =
+  let json_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | "--max-qubits" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some cap when cap > 0 ->
+        scaling_sizes := List.filter (fun s -> s <= cap) !scaling_sizes;
+        if !scaling_sizes = [] then scaling_sizes := [ cap ]
+      | _ -> usage ());
+      parse acc rest
+    | ("--json" | "--max-qubits") :: [] -> usage ()
+    | section :: rest -> parse (section :: acc) rest
+  in
   let sections =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ ->
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] ->
       [
         "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "pipeline";
         "micro";
       ]
+    | named -> named
   in
+  Record.enabled := Option.is_some !json_file;
   List.iter
     (fun section ->
-      match section with
-      | "table2" -> table2 ()
-      | "figure8" -> figure8 ()
-      | "scalability" -> scalability ()
-      | "ablation" -> ablation ()
-      | "scaling" -> scaling ()
-      | "pipeline" -> pipeline ()
-      | "micro" -> micro ()
-      | other ->
-        Format.eprintf
-          "unknown section %S (expected \
-           table2|figure8|scalability|ablation|scaling|pipeline|micro)@."
-          other;
-        exit 1)
-    sections
+      let run =
+        match section with
+        | "table2" -> table2
+        | "figure8" -> figure8
+        | "scalability" -> scalability
+        | "ablation" -> ablation
+        | "scaling" -> scaling
+        | "pipeline" -> pipeline
+        | "micro" -> micro
+        | other ->
+          Format.eprintf "unknown section %S@." other;
+          usage ()
+      in
+      let (), t = time run in
+      Record.finish section t)
+    sections;
+  match !json_file with None -> () | Some path -> Record.write path

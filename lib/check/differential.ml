@@ -6,6 +6,9 @@ module Router = Engine.Router
 
 let ensure_registered () =
   Router.register Engine.Sabre_router.router;
+  (* pre-flat-core reference implementation, cross-checked against the
+     flat-core [sabre] router for one release cycle *)
+  Router.register Engine.Sabre_ref_router.router;
   Baseline.Routers.register ()
 
 type routed = {
@@ -113,3 +116,26 @@ let commuting_conformance ~config coupling circuit router =
   match check_router ~config coupling circuit router with
   | Pass | Skip _ -> Ok ()
   | Fail f -> Error (Oracle.failure_to_string f)
+
+let flatcore_equivalence ~config coupling circuit =
+  ensure_registered ();
+  let find n =
+    match Router.find n with
+    | Some r -> r
+    | None -> invalid_arg ("flatcore_equivalence: router " ^ n ^ " missing")
+  in
+  match
+    ( route ~config coupling circuit (find Engine.Sabre_router.name),
+      route ~config coupling circuit (find Engine.Sabre_ref_router.name) )
+  with
+  | a, b ->
+    if not (Circuit.equal a.physical b.physical) then
+      Error
+        (Printf.sprintf
+           "flat-core and reference SABRE routed different circuits at seed \
+            %d (%d vs %d swaps)"
+           config.Config.seed a.n_swaps b.n_swaps)
+    else if a.initial <> b.initial || a.final <> b.final then
+      Error "flat-core and reference SABRE disagree on mappings"
+    else Ok ()
+  | exception Router.Route_failed _ -> Ok ()

@@ -89,3 +89,10 @@ val commuting_conformance :
 (** Route with [commutation_aware = true] and check the commuting-mode
     oracle: the output must still be compliant and a linearisation of the
     commuting DAG, and unitarily equivalent on small devices. *)
+
+val flatcore_equivalence :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Route with both the flat-core [sabre] router and the frozen
+    pre-refactor [sabre-ref] reference at the same seed: physical
+    circuits and both mappings must be byte-identical. Transitional
+    check for the flat-core refactor; delete with {!Engine.Sabre_ref_router}. *)

@@ -123,6 +123,11 @@ let determinism_failure ~config coupling circuit router =
   | Error msg -> Some msg
   | Ok () -> None
 
+let flatcore_failure ~config coupling circuit =
+  match Differential.flatcore_equivalence ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
 let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
     ?(on_event = fun (_ : event) -> ()) ~seed ~routers () =
   Differential.ensure_registered ();
@@ -204,6 +209,19 @@ let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
                   determinism_failure ~config coupling c router)
           end)
       routers;
+    (* transitional flat-core refactor property: old and new SABRE must
+       emit byte-identical routings on every generated instance *)
+    if
+      List.mem "sabre" routers
+      && not (Hashtbl.mem dead ("sabre", "flatcore-equivalence"))
+    then begin
+      match flatcore_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"flatcore-equivalence" ~config
+          ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> flatcore_failure ~config coupling c)
+    end;
     incr trials;
     on_event (Trial_done !trials)
   done;

@@ -22,3 +22,47 @@ let score ~heuristic ~dist ~l2p ~front ~extended ~weight ~decay ~p1 ~p2 =
   | Lookahead -> lookahead ~dist ~l2p ~front ~extended ~weight
   | Decay ->
     with_decay ~decay ~p1 ~p2 (lookahead ~dist ~l2p ~front ~extended ~weight)
+
+(* ------------------------------------------------------------------ *)
+(* Flat variants: row-major distance matrix, pair sets as parallel int
+   arrays. Summation order matches the list versions exactly (index
+   order = list order), so both produce bit-identical floats.           *)
+(* ------------------------------------------------------------------ *)
+
+let flatten_dist d =
+  let n = Array.length d in
+  let flat = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    let row = d.(i) in
+    if Array.length row <> n then
+      invalid_arg "Heuristic.flatten_dist: matrix not square";
+    Array.blit row 0 flat (i * n) n
+  done;
+  flat
+
+let basic_flat ~dist ~stride ~l2p ~q1 ~q2 ~len =
+  let acc = ref 0.0 in
+  for k = 0 to len - 1 do
+    acc := !acc +. dist.((l2p.(q1.(k)) * stride) + l2p.(q2.(k)))
+  done;
+  !acc
+
+let average_flat ~dist ~stride ~l2p ~q1 ~q2 ~len =
+  if len = 0 then 0.0
+  else basic_flat ~dist ~stride ~l2p ~q1 ~q2 ~len /. float_of_int len
+
+let lookahead_flat ~dist ~stride ~l2p ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen ~weight
+    =
+  average_flat ~dist ~stride ~l2p ~q1:fq1 ~q2:fq2 ~len:flen
+  +. (weight *. average_flat ~dist ~stride ~l2p ~q1:eq1 ~q2:eq2 ~len:elen)
+
+let score_flat ~heuristic ~dist ~stride ~l2p ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen
+    ~weight ~decay ~p1 ~p2 =
+  match (heuristic : Config.heuristic) with
+  | Basic -> basic_flat ~dist ~stride ~l2p ~q1:fq1 ~q2:fq2 ~len:flen
+  | Lookahead ->
+    lookahead_flat ~dist ~stride ~l2p ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen ~weight
+  | Decay ->
+    with_decay ~decay ~p1 ~p2
+      (lookahead_flat ~dist ~stride ~l2p ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen
+         ~weight)

@@ -42,3 +42,44 @@ val score :
   float
 (** Dispatch on the configured heuristic level. For [Basic] the extended
     set and decay are ignored; for [Lookahead] decay is ignored. *)
+
+(** {2 Flat variants}
+
+    Zero-allocation scoring for the routing hot loop. The distance
+    matrix is row-major flattened ([dist.((i * stride) + j)]); gate sets
+    are parallel arrays [q1]/[q2] of logical operands with an explicit
+    length (the arrays may be over-allocated scratch buffers). Summation
+    order equals the list versions', so results are bit-identical. *)
+
+val flatten_dist : float array array -> float array
+(** Row-major copy of a square matrix; stride = its dimension. Raises
+    [Invalid_argument] on ragged input. *)
+
+val basic_flat :
+  dist:float array ->
+  stride:int ->
+  l2p:int array ->
+  q1:int array ->
+  q2:int array ->
+  len:int ->
+  float
+(** Eq. (1) over [q1.(k), q2.(k)] for [k < len]. *)
+
+val score_flat :
+  heuristic:Config.heuristic ->
+  dist:float array ->
+  stride:int ->
+  l2p:int array ->
+  fq1:int array ->
+  fq2:int array ->
+  flen:int ->
+  eq1:int array ->
+  eq2:int array ->
+  elen:int ->
+  weight:float ->
+  decay:float array ->
+  p1:int ->
+  p2:int ->
+  float
+(** Flat counterpart of {!score}: front layer [fq1]/[fq2]/[flen],
+    extended set [eq1]/[eq2]/[elen]. *)

@@ -11,16 +11,74 @@ type result = {
   fallback_swaps : int;
 }
 
+(* Growable int FIFO: the ready queue and the extended-set BFS both ran
+   on [int Queue.t], one boxed cell per push; this is a flat ring buffer
+   with identical FIFO semantics and no per-element allocation. *)
+module Intq = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+  let create n = { buf = Array.make (max 16 n) 0; head = 0; len = 0 }
+  let is_empty q = q.len = 0
+  let clear q =
+    q.head <- 0;
+    q.len <- 0
+
+  let push q x =
+    let cap = Array.length q.buf in
+    if q.len = cap then begin
+      let buf = Array.make (2 * cap) 0 in
+      let tail = cap - q.head in
+      Array.blit q.buf q.head buf 0 tail;
+      Array.blit q.buf 0 buf tail q.head;
+      q.buf <- buf;
+      q.head <- 0
+    end;
+    q.buf.((q.head + q.len) mod Array.length q.buf) <- x;
+    q.len <- q.len + 1
+
+  let pop q =
+    if q.len = 0 then invalid_arg "Intq.pop: empty";
+    let x = q.buf.(q.head) in
+    q.head <- (q.head + 1) mod Array.length q.buf;
+    q.len <- q.len - 1;
+    x
+end
+
 (* Mutable search state for one traversal. *)
 type state = {
   config : Config.t;
   coupling : Coupling.t;
-  dist : float array array;
+  dist : float array;  (* row-major, stride = n_physical *)
+  stride : int;
   dag : Dag.t;
   mapping : Mapping.t;  (* private copy, updated in place *)
   remaining : int array;  (* unexecuted predecessor count per node *)
-  ready : int Queue.t;  (* nodes whose predecessors all executed *)
-  mutable front : int list;  (* ready two-qubit nodes, oldest first *)
+  ready : Intq.t;  (* nodes whose predecessors all executed *)
+  (* Front layer: array-backed deque of ready-but-blocked two-qubit
+     nodes, oldest first, always compacted to start at index 0.
+     [front_gen] bumps whenever membership changes; the caches below
+     carry the generation they were built at. *)
+  mutable front_buf : int array;
+  mutable front_len : int;
+  mutable front_gen : int;
+  mutable cache_gen : int;  (* generation of fq/eq caches; -1 = stale *)
+  mutable fq1 : int array;  (* front-layer logical pairs, front order *)
+  mutable fq2 : int array;
+  mutable flen : int;
+  mutable eq1 : int array;  (* extended set E, BFS collection order *)
+  mutable eq2 : int array;
+  mutable elen : int;
+  (* extended-set BFS scratch, reused across rebuilds *)
+  visit_stamp : int array;  (* per DAG node; = visit_gen if seen *)
+  mutable visit_gen : int;
+  bfs : Intq.t;
+  (* SWAP-candidate scratch: per-coupling-edge stamps. A set bit at
+     [cand_gen] marks the edge as a candidate for the current decision;
+     scanning edge ids in order recovers the canonical sorted (min,max)
+     enumeration with no hashtable and no sort. *)
+  cand_mark : int array;
+  mutable cand_gen : int;
+  l2p_scratch : int array;  (* tentative π for scoring, one per decision *)
   mutable out_rev : Gate.t list;  (* emitted physical gates, reversed *)
   decay : float array;  (* per physical qubit; 1.0 at rest *)
   mutable steps_since_reset : int;
@@ -37,97 +95,133 @@ let reset_decay st =
 
 let emit st gate = st.out_rev <- gate :: st.out_rev
 
+let front_push st i =
+  if st.front_len = Array.length st.front_buf then begin
+    let buf = Array.make (2 * st.front_len) 0 in
+    Array.blit st.front_buf 0 buf 0 st.front_len;
+    st.front_buf <- buf
+  end;
+  st.front_buf.(st.front_len) <- i;
+  st.front_len <- st.front_len + 1;
+  st.front_gen <- st.front_gen + 1
+
 (* Emit the logical gate at DAG node [i], remapped through the current π,
    and release its successors. *)
 let execute_node st i =
   let to_physical q = Mapping.to_physical st.mapping q in
   emit st (Gate.remap to_physical (Dag.gate st.dag i));
-  List.iter
-    (fun j ->
+  Dag.succ_iter st.dag i (fun j ->
       st.remaining.(j) <- st.remaining.(j) - 1;
-      if st.remaining.(j) = 0 then Queue.add j st.ready)
-    (Dag.successors st.dag i);
+      if st.remaining.(j) = 0 then Intq.push st.ready j);
   st.stall <- 0;
-  if Gate.is_two_qubit (Dag.gate st.dag i) then reset_decay st
+  if Dag.is_two_qubit_node st.dag i then reset_decay st
 
 let executable st i =
-  match Gate.two_qubit_pair (Dag.gate st.dag i) with
-  | None -> true
-  | Some (q1, q2) ->
-    Coupling.connected st.coupling
-      (Mapping.to_physical st.mapping q1)
-      (Mapping.to_physical st.mapping q2)
+  let q1 = Dag.pair_q1 st.dag i in
+  q1 < 0
+  || Coupling.connected st.coupling
+       (Mapping.to_physical st.mapping q1)
+       (Mapping.to_physical st.mapping (Dag.pair_q2 st.dag i))
 
 (* Drain the ready queue and the front layer until no gate can execute.
    Returns once progress stops; the front then holds exactly the blocked
    two-qubit gates (possibly none, if the circuit is finished). *)
-let rec advance st =
-  let progressed = ref false in
-  while not (Queue.is_empty st.ready) do
-    let i = Queue.pop st.ready in
-    if Gate.is_two_qubit (Dag.gate st.dag i) then
-      st.front <- st.front @ [ i ]
-    else begin
-      execute_node st i;
-      progressed := true
-    end
-  done;
-  let runnable, blocked = List.partition (executable st) st.front in
-  if runnable <> [] then begin
-    st.front <- blocked;
-    List.iter (execute_node st) runnable;
-    progressed := true
-  end;
-  if !progressed then advance st
-
-(* The extended set E (Section IV-D): breadth-first successors of the
-   front layer, collecting up to [size] two-qubit gates. *)
-let extended_set st =
-  let size = st.config.extended_set_size in
-  if size = 0 then []
-  else begin
-    let visited = Hashtbl.create 64 in
-    let q = Queue.create () in
-    List.iter
-      (fun i -> List.iter (fun j -> Queue.add j q) (Dag.successors st.dag i))
-      st.front;
-    let collected = ref [] in
-    let count = ref 0 in
-    while !count < size && not (Queue.is_empty q) do
-      let i = Queue.pop q in
-      if not (Hashtbl.mem visited i) then begin
-        Hashtbl.add visited i ();
-        (match Gate.two_qubit_pair (Dag.gate st.dag i) with
-        | Some pair ->
-          collected := pair :: !collected;
-          incr count
-        | None -> ());
-        List.iter (fun j -> Queue.add j q) (Dag.successors st.dag i)
+let advance st =
+  let again = ref true in
+  while !again do
+    let progressed = ref false in
+    while not (Intq.is_empty st.ready) do
+      let i = Intq.pop st.ready in
+      if Dag.is_two_qubit_node st.dag i then front_push st i
+      else begin
+        execute_node st i;
+        progressed := true
       end
     done;
-    List.rev !collected
-  end
+    (* one in-place sweep: executable nodes run (executability depends
+       only on π, which gate execution never changes, so interleaving
+       equals the old partition-then-execute), blocked ones compact *)
+    let w = ref 0 in
+    let executed = ref false in
+    for r = 0 to st.front_len - 1 do
+      let i = st.front_buf.(r) in
+      if executable st i then begin
+        execute_node st i;
+        executed := true
+      end
+      else begin
+        st.front_buf.(!w) <- i;
+        incr w
+      end
+    done;
+    if !executed then begin
+      st.front_len <- !w;
+      st.front_gen <- st.front_gen + 1;
+      progressed := true
+    end;
+    again := !progressed
+  done
+
+let ensure_capacity arr len = if Array.length arr < len then Array.make (2 * len) 0 else arr
+
+(* Rebuild the front-pair arrays and the extended set E (Section IV-D:
+   breadth-first successors of the front layer, up to [size] two-qubit
+   gates). Both depend only on front membership — not on π — so they
+   stay valid across every candidate scored and every SWAP applied until
+   a gate executes; [cache_gen] tracks that. *)
+let rebuild_front_caches st =
+  st.fq1 <- ensure_capacity st.fq1 st.front_len;
+  st.fq2 <- ensure_capacity st.fq2 st.front_len;
+  for r = 0 to st.front_len - 1 do
+    let i = st.front_buf.(r) in
+    st.fq1.(r) <- Dag.pair_q1 st.dag i;
+    st.fq2.(r) <- Dag.pair_q2 st.dag i
+  done;
+  st.flen <- st.front_len;
+  let size = st.config.extended_set_size in
+  st.elen <- 0;
+  if size > 0 && st.config.heuristic <> Config.Basic then begin
+    st.eq1 <- ensure_capacity st.eq1 size;
+    st.eq2 <- ensure_capacity st.eq2 size;
+    st.visit_gen <- st.visit_gen + 1;
+    Intq.clear st.bfs;
+    for r = 0 to st.front_len - 1 do
+      Dag.succ_iter st.dag st.front_buf.(r) (fun j -> Intq.push st.bfs j)
+    done;
+    while st.elen < size && not (Intq.is_empty st.bfs) do
+      let i = Intq.pop st.bfs in
+      if st.visit_stamp.(i) <> st.visit_gen then begin
+        st.visit_stamp.(i) <- st.visit_gen;
+        if Dag.is_two_qubit_node st.dag i then begin
+          st.eq1.(st.elen) <- Dag.pair_q1 st.dag i;
+          st.eq2.(st.elen) <- Dag.pair_q2 st.dag i;
+          st.elen <- st.elen + 1
+        end;
+        Dag.succ_iter st.dag i (fun j -> Intq.push st.bfs j)
+      end
+    done
+  end;
+  st.cache_gen <- st.front_gen
 
 (* Candidate SWAPs: coupling-graph edges with at least one endpoint
-   occupied by a logical qubit of a front-layer gate (Section IV-C1). *)
-let swap_candidates st =
-  let seen = Hashtbl.create 32 in
-  let add p p' =
-    let e = (min p p', max p p') in
-    if not (Hashtbl.mem seen e) then Hashtbl.add seen e ()
+   occupied by a logical qubit of a front-layer gate (Section IV-C1).
+   Unlike the front caches these depend on π, which the applied SWAP
+   mutates, so they are re-marked per decision — but with per-edge
+   stamps instead of a hashtable, and the id-order scan replaces the
+   sort (edge ids are already the sorted (min,max) order). *)
+let mark_candidates st =
+  st.cand_gen <- st.cand_gen + 1;
+  let stamp = st.cand_gen in
+  let mark_qubit q =
+    let p = Mapping.to_physical st.mapping q in
+    Coupling.neighbors_iter st.coupling p (fun p' ->
+        st.cand_mark.(Coupling.edge_id st.coupling p p') <- stamp)
   in
-  List.iter
-    (fun i ->
-      List.iter
-        (fun q ->
-          let p = Mapping.to_physical st.mapping q in
-          List.iter (add p) (Coupling.neighbors st.coupling p))
-        (Gate.qubits (Dag.gate st.dag i)))
-    st.front;
-  Hashtbl.fold (fun e () acc -> e :: acc) seen [] |> List.sort compare
-
-let front_pairs st =
-  List.filter_map (fun i -> Gate.two_qubit_pair (Dag.gate st.dag i)) st.front
+  for r = 0 to st.front_len - 1 do
+    mark_qubit (Dag.pair_q1 st.dag st.front_buf.(r));
+    mark_qubit (Dag.pair_q2 st.dag st.front_buf.(r))
+  done;
+  stamp
 
 let apply_swap st ~fallback (p1, p2) =
   emit st (Gate.Swap (p1, p2));
@@ -135,54 +229,56 @@ let apply_swap st ~fallback (p1, p2) =
   st.n_swaps <- st.n_swaps + 1;
   if fallback then st.fallback_swaps <- st.fallback_swaps + 1
 
+let score_swap st ~l2p ~p1 ~p2 =
+  (* tentatively apply the swap on the scratch π *)
+  let l1 = Mapping.to_logical st.mapping p1
+  and l2 = Mapping.to_logical st.mapping p2 in
+  if l1 >= 0 then l2p.(l1) <- p2;
+  if l2 >= 0 then l2p.(l2) <- p1;
+  let v =
+    Heuristic.score_flat ~heuristic:st.config.heuristic ~dist:st.dist
+      ~stride:st.stride ~l2p ~fq1:st.fq1 ~fq2:st.fq2 ~flen:st.flen
+      ~eq1:st.eq1 ~eq2:st.eq2 ~elen:st.elen
+      ~weight:st.config.extended_set_weight ~decay:st.decay ~p1 ~p2
+  in
+  if l1 >= 0 then l2p.(l1) <- p1;
+  if l2 >= 0 then l2p.(l2) <- p2;
+  v
+
 let choose_and_apply_swap st =
-  let front = front_pairs st in
-  let extended =
-    match st.config.heuristic with
-    | Config.Basic -> []
-    | Config.Lookahead | Config.Decay -> extended_set st
-  in
-  let l2p = Mapping.l2p_array st.mapping in
-  let score (p1, p2) =
-    (* tentatively apply the swap on the raw array *)
-    let swap_l2p () =
-      let l1 = Mapping.to_logical st.mapping p1
-      and l2 = Mapping.to_logical st.mapping p2 in
-      if l1 >= 0 then l2p.(l1) <- p2;
-      if l2 >= 0 then l2p.(l2) <- p1;
-      fun () ->
-        if l1 >= 0 then l2p.(l1) <- p1;
-        if l2 >= 0 then l2p.(l2) <- p2
-    in
-    let undo = swap_l2p () in
-    let v =
-      Heuristic.score ~heuristic:st.config.heuristic ~dist:st.dist ~l2p ~front
-        ~extended ~weight:st.config.extended_set_weight ~decay:st.decay ~p1
-        ~p2
-    in
-    undo ();
-    v
-  in
-  let candidates = swap_candidates st in
-  let best, _ =
-    match candidates with
-    | [] ->
-      (* Cannot happen on a connected graph with a non-empty front: every
-         occupied qubit has neighbours. *)
-      invalid_arg "Routing_pass: no SWAP candidates (disconnected device?)"
-    | first :: rest ->
-      List.fold_left
-        (fun (be, bs) e ->
-          let s = score e in
-          if s < bs then (e, s) else (be, bs))
-        (first, score first) rest
-  in
-  apply_swap st ~fallback:false best;
+  if st.cache_gen <> st.front_gen then rebuild_front_caches st;
+  let stamp = mark_candidates st in
+  let l2p = st.l2p_scratch in
+  for q = 0 to Mapping.n_logical st.mapping - 1 do
+    l2p.(q) <- Mapping.to_physical st.mapping q
+  done;
+  (* scan edge ids in order: same enumeration as the old sorted candidate
+     list, same first-strictly-better tie-break *)
+  let best_p1 = ref (-1) and best_p2 = ref (-1) in
+  let best_score = ref infinity in
+  let have_best = ref false in
+  for e = 0 to Coupling.n_edges st.coupling - 1 do
+    if st.cand_mark.(e) = stamp then begin
+      let p1, p2 = Coupling.edge_endpoints st.coupling e in
+      let s = score_swap st ~l2p ~p1 ~p2 in
+      if (not !have_best) || s < !best_score then begin
+        have_best := true;
+        best_score := s;
+        best_p1 := p1;
+        best_p2 := p2
+      end
+    end
+  done;
+  if not !have_best then
+    (* Cannot happen on a connected graph with a non-empty front: every
+       occupied qubit has neighbours. *)
+    invalid_arg "Routing_pass: no SWAP candidates (disconnected device?)";
+  let p1 = !best_p1 and p2 = !best_p2 in
+  apply_swap st ~fallback:false (p1, p2);
   st.search_steps <- st.search_steps + 1;
   st.stall <- st.stall + 1;
   (* decay bookkeeping (Section IV-C3 / V "Algorithm Configuration") *)
   if st.config.heuristic = Config.Decay then begin
-    let p1, p2 = best in
     st.decay.(p1) <- st.decay.(p1) +. st.config.decay_increment;
     st.decay.(p2) <- st.decay.(p2) +. st.config.decay_increment;
     st.steps_since_reset <- st.steps_since_reset + 1;
@@ -193,30 +289,37 @@ let choose_and_apply_swap st =
 (* Anti-livelock fallback: force the oldest front gate executable by
    swapping one operand along a shortest path to the other. *)
 let fallback_route st =
-  match st.front with
-  | [] -> ()
-  | i :: _ ->
-    (match Gate.two_qubit_pair (Dag.gate st.dag i) with
-    | None -> assert false
-    | Some (q1, q2) ->
-      let p1 = Mapping.to_physical st.mapping q1
-      and p2 = Mapping.to_physical st.mapping q2 in
-      let path = Coupling.shortest_path st.coupling p1 p2 in
-      let rec walk = function
-        | a :: (b :: (_ :: _ as rest)) ->
-          apply_swap st ~fallback:true (a, b);
-          walk (b :: rest)
-        | _ -> ()
-      in
-      walk path);
+  if st.front_len > 0 then begin
+    let i = st.front_buf.(0) in
+    let q1 = Dag.pair_q1 st.dag i and q2 = Dag.pair_q2 st.dag i in
+    assert (q1 >= 0);
+    let p1 = Mapping.to_physical st.mapping q1
+    and p2 = Mapping.to_physical st.mapping q2 in
+    let path = Coupling.shortest_path st.coupling p1 p2 in
+    let rec walk = function
+      | a :: (b :: (_ :: _ as rest)) ->
+        apply_swap st ~fallback:true (a, b);
+        walk (b :: rest)
+      | _ -> ()
+    in
+    walk path;
     reset_decay st;
     st.stall <- 0
+  end
 
-let float_distance_matrix coupling =
+let flat_hop_distances coupling =
   let d = Coupling.distance_matrix coupling in
-  Array.map (Array.map float_of_int) d
+  let n = Coupling.n_qubits coupling in
+  let flat = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    let row = d.(i) in
+    for j = 0 to n - 1 do
+      flat.((i * n) + j) <- float_of_int row.(j)
+    done
+  done;
+  flat
 
-let run ?dist config coupling dag initial =
+let run_flat ?dist config coupling dag initial =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Routing_pass.run: " ^ msg));
@@ -226,21 +329,43 @@ let run ?dist config coupling dag initial =
   if Mapping.n_logical initial <> Circuit.n_qubits circuit then
     invalid_arg "Routing_pass.run: mapping arity mismatch";
   let n = Dag.n_nodes dag in
+  let n_physical = Coupling.n_qubits coupling in
+  let dist =
+    match dist with
+    | Some d ->
+      if Array.length d <> n_physical * n_physical then
+        invalid_arg "Routing_pass.run: flat dist has wrong dimension";
+      d
+    | None -> flat_hop_distances coupling
+  in
   let st =
     {
       config;
       coupling;
-      dist =
-        (match dist with
-        | Some d -> d
-        | None -> float_distance_matrix coupling);
+      dist;
+      stride = n_physical;
       dag;
       mapping = Mapping.copy initial;
       remaining = Array.init n (Dag.in_degree dag);
-      ready = Queue.create ();
-      front = [];
+      ready = Intq.create 64;
+      front_buf = Array.make 16 0;
+      front_len = 0;
+      front_gen = 0;
+      cache_gen = -1;
+      fq1 = [||];
+      fq2 = [||];
+      flen = 0;
+      eq1 = [||];
+      eq2 = [||];
+      elen = 0;
+      visit_stamp = Array.make (max 1 n) 0;
+      visit_gen = 0;
+      bfs = Intq.create 64;
+      cand_mark = Array.make (max 1 (Coupling.n_edges coupling)) 0;
+      cand_gen = 0;
+      l2p_scratch = Array.make (Mapping.n_logical initial) 0;
       out_rev = [];
-      decay = Array.make (Coupling.n_qubits coupling) 1.0;
+      decay = Array.make n_physical 1.0;
       steps_since_reset = 0;
       stall = 0;
       stall_limit =
@@ -252,9 +377,9 @@ let run ?dist config coupling dag initial =
       fallback_swaps = 0;
     }
   in
-  List.iter (fun i -> Queue.add i st.ready) (Dag.initial_front dag);
+  List.iter (fun i -> Intq.push st.ready i) (Dag.initial_front dag);
   advance st;
-  while st.front <> [] do
+  while st.front_len > 0 do
     if st.stall > st.stall_limit then fallback_route st
     else choose_and_apply_swap st;
     advance st
@@ -270,3 +395,7 @@ let run ?dist config coupling dag initial =
     search_steps = st.search_steps;
     fallback_swaps = st.fallback_swaps;
   }
+
+let run ?dist config coupling dag initial =
+  let dist = Option.map Heuristic.flatten_dist dist in
+  run_flat ?dist config coupling dag initial

@@ -1,0 +1,272 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Coupling = Hardware.Coupling
+
+type result = {
+  physical : Circuit.t;
+  final_mapping : Mapping.t;
+  n_swaps : int;
+  search_steps : int;
+  fallback_swaps : int;
+}
+
+(* Mutable search state for one traversal. *)
+type state = {
+  config : Config.t;
+  coupling : Coupling.t;
+  dist : float array array;
+  dag : Dag.t;
+  mapping : Mapping.t;  (* private copy, updated in place *)
+  remaining : int array;  (* unexecuted predecessor count per node *)
+  ready : int Queue.t;  (* nodes whose predecessors all executed *)
+  mutable front : int list;  (* ready two-qubit nodes, oldest first *)
+  mutable out_rev : Gate.t list;  (* emitted physical gates, reversed *)
+  decay : float array;  (* per physical qubit; 1.0 at rest *)
+  mutable steps_since_reset : int;
+  mutable stall : int;  (* swaps since the last gate execution *)
+  stall_limit : int;
+  mutable n_swaps : int;
+  mutable search_steps : int;
+  mutable fallback_swaps : int;
+}
+
+let reset_decay st =
+  Array.fill st.decay 0 (Array.length st.decay) 1.0;
+  st.steps_since_reset <- 0
+
+let emit st gate = st.out_rev <- gate :: st.out_rev
+
+(* Emit the logical gate at DAG node [i], remapped through the current π,
+   and release its successors. *)
+let execute_node st i =
+  let to_physical q = Mapping.to_physical st.mapping q in
+  emit st (Gate.remap to_physical (Dag.gate st.dag i));
+  List.iter
+    (fun j ->
+      st.remaining.(j) <- st.remaining.(j) - 1;
+      if st.remaining.(j) = 0 then Queue.add j st.ready)
+    (Dag.successors st.dag i);
+  st.stall <- 0;
+  if Gate.is_two_qubit (Dag.gate st.dag i) then reset_decay st
+
+let executable st i =
+  match Gate.two_qubit_pair (Dag.gate st.dag i) with
+  | None -> true
+  | Some (q1, q2) ->
+    Coupling.connected st.coupling
+      (Mapping.to_physical st.mapping q1)
+      (Mapping.to_physical st.mapping q2)
+
+(* Drain the ready queue and the front layer until no gate can execute.
+   Returns once progress stops; the front then holds exactly the blocked
+   two-qubit gates (possibly none, if the circuit is finished). *)
+let rec advance st =
+  let progressed = ref false in
+  while not (Queue.is_empty st.ready) do
+    let i = Queue.pop st.ready in
+    if Gate.is_two_qubit (Dag.gate st.dag i) then
+      st.front <- st.front @ [ i ]
+    else begin
+      execute_node st i;
+      progressed := true
+    end
+  done;
+  let runnable, blocked = List.partition (executable st) st.front in
+  if runnable <> [] then begin
+    st.front <- blocked;
+    List.iter (execute_node st) runnable;
+    progressed := true
+  end;
+  if !progressed then advance st
+
+(* The extended set E (Section IV-D): breadth-first successors of the
+   front layer, collecting up to [size] two-qubit gates. *)
+let extended_set st =
+  let size = st.config.extended_set_size in
+  if size = 0 then []
+  else begin
+    let visited = Hashtbl.create 64 in
+    let q = Queue.create () in
+    List.iter
+      (fun i -> List.iter (fun j -> Queue.add j q) (Dag.successors st.dag i))
+      st.front;
+    let collected = ref [] in
+    let count = ref 0 in
+    while !count < size && not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      if not (Hashtbl.mem visited i) then begin
+        Hashtbl.add visited i ();
+        (match Gate.two_qubit_pair (Dag.gate st.dag i) with
+        | Some pair ->
+          collected := pair :: !collected;
+          incr count
+        | None -> ());
+        List.iter (fun j -> Queue.add j q) (Dag.successors st.dag i)
+      end
+    done;
+    List.rev !collected
+  end
+
+(* Candidate SWAPs: coupling-graph edges with at least one endpoint
+   occupied by a logical qubit of a front-layer gate (Section IV-C1). *)
+let swap_candidates st =
+  let seen = Hashtbl.create 32 in
+  let add p p' =
+    let e = (min p p', max p p') in
+    if not (Hashtbl.mem seen e) then Hashtbl.add seen e ()
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun q ->
+          let p = Mapping.to_physical st.mapping q in
+          List.iter (add p) (Coupling.neighbors st.coupling p))
+        (Gate.qubits (Dag.gate st.dag i)))
+    st.front;
+  Hashtbl.fold (fun e () acc -> e :: acc) seen [] |> List.sort compare
+
+let front_pairs st =
+  List.filter_map (fun i -> Gate.two_qubit_pair (Dag.gate st.dag i)) st.front
+
+let apply_swap st ~fallback (p1, p2) =
+  emit st (Gate.Swap (p1, p2));
+  Mapping.swap_physical_inplace st.mapping p1 p2;
+  st.n_swaps <- st.n_swaps + 1;
+  if fallback then st.fallback_swaps <- st.fallback_swaps + 1
+
+let choose_and_apply_swap st =
+  let front = front_pairs st in
+  let extended =
+    match st.config.heuristic with
+    | Config.Basic -> []
+    | Config.Lookahead | Config.Decay -> extended_set st
+  in
+  let l2p = Mapping.l2p_array st.mapping in
+  let score (p1, p2) =
+    (* tentatively apply the swap on the raw array *)
+    let swap_l2p () =
+      let l1 = Mapping.to_logical st.mapping p1
+      and l2 = Mapping.to_logical st.mapping p2 in
+      if l1 >= 0 then l2p.(l1) <- p2;
+      if l2 >= 0 then l2p.(l2) <- p1;
+      fun () ->
+        if l1 >= 0 then l2p.(l1) <- p1;
+        if l2 >= 0 then l2p.(l2) <- p2
+    in
+    let undo = swap_l2p () in
+    let v =
+      Heuristic.score ~heuristic:st.config.heuristic ~dist:st.dist ~l2p ~front
+        ~extended ~weight:st.config.extended_set_weight ~decay:st.decay ~p1
+        ~p2
+    in
+    undo ();
+    v
+  in
+  let candidates = swap_candidates st in
+  let best, _ =
+    match candidates with
+    | [] ->
+      (* Cannot happen on a connected graph with a non-empty front: every
+         occupied qubit has neighbours. *)
+      invalid_arg "Routing_pass: no SWAP candidates (disconnected device?)"
+    | first :: rest ->
+      List.fold_left
+        (fun (be, bs) e ->
+          let s = score e in
+          if s < bs then (e, s) else (be, bs))
+        (first, score first) rest
+  in
+  apply_swap st ~fallback:false best;
+  st.search_steps <- st.search_steps + 1;
+  st.stall <- st.stall + 1;
+  (* decay bookkeeping (Section IV-C3 / V "Algorithm Configuration") *)
+  if st.config.heuristic = Config.Decay then begin
+    let p1, p2 = best in
+    st.decay.(p1) <- st.decay.(p1) +. st.config.decay_increment;
+    st.decay.(p2) <- st.decay.(p2) +. st.config.decay_increment;
+    st.steps_since_reset <- st.steps_since_reset + 1;
+    if st.steps_since_reset >= st.config.decay_reset_interval then
+      reset_decay st
+  end
+
+(* Anti-livelock fallback: force the oldest front gate executable by
+   swapping one operand along a shortest path to the other. *)
+let fallback_route st =
+  match st.front with
+  | [] -> ()
+  | i :: _ ->
+    (match Gate.two_qubit_pair (Dag.gate st.dag i) with
+    | None -> assert false
+    | Some (q1, q2) ->
+      let p1 = Mapping.to_physical st.mapping q1
+      and p2 = Mapping.to_physical st.mapping q2 in
+      let path = Coupling.shortest_path st.coupling p1 p2 in
+      let rec walk = function
+        | a :: (b :: (_ :: _ as rest)) ->
+          apply_swap st ~fallback:true (a, b);
+          walk (b :: rest)
+        | _ -> ()
+      in
+      walk path);
+    reset_decay st;
+    st.stall <- 0
+
+let float_distance_matrix coupling =
+  let d = Coupling.distance_matrix coupling in
+  Array.map (Array.map float_of_int) d
+
+let run ?dist config coupling dag initial =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Routing_pass_ref.run: " ^ msg));
+  let circuit = Dag.circuit dag in
+  if Circuit.n_qubits circuit > Coupling.n_qubits coupling then
+    invalid_arg "Routing_pass_ref.run: circuit wider than device";
+  if Mapping.n_logical initial <> Circuit.n_qubits circuit then
+    invalid_arg "Routing_pass_ref.run: mapping arity mismatch";
+  let n = Dag.n_nodes dag in
+  let st =
+    {
+      config;
+      coupling;
+      dist =
+        (match dist with
+        | Some d -> d
+        | None -> float_distance_matrix coupling);
+      dag;
+      mapping = Mapping.copy initial;
+      remaining = Array.init n (Dag.in_degree dag);
+      ready = Queue.create ();
+      front = [];
+      out_rev = [];
+      decay = Array.make (Coupling.n_qubits coupling) 1.0;
+      steps_since_reset = 0;
+      stall = 0;
+      stall_limit =
+        (match config.stall_limit with
+        | Some s -> s
+        | None -> 10 + (5 * Coupling.diameter coupling));
+      n_swaps = 0;
+      search_steps = 0;
+      fallback_swaps = 0;
+    }
+  in
+  List.iter (fun i -> Queue.add i st.ready) (Dag.initial_front dag);
+  advance st;
+  while st.front <> [] do
+    if st.stall > st.stall_limit then fallback_route st
+    else choose_and_apply_swap st;
+    advance st
+  done;
+  {
+    physical =
+      Circuit.create
+        ~n_qubits:(Coupling.n_qubits coupling)
+        ~n_clbits:(Circuit.n_clbits circuit)
+        (List.rev st.out_rev);
+    final_mapping = st.mapping;
+    n_swaps = st.n_swaps;
+    search_steps = st.search_steps;
+    fallback_swaps = st.fallback_swaps;
+  }

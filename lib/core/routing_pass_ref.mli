@@ -2,13 +2,14 @@ module Circuit = Quantum.Circuit
 module Dag = Quantum.Dag
 module Coupling = Hardware.Coupling
 
-(** One traversal of SABRE's SWAP-based heuristic search (paper
-    Algorithm 1).
+(** Frozen pre-flat-core copy of {!Routing_pass} (list front layer,
+    per-decision extended-set rebuild, square distance matrix).
 
-    The pass consumes a circuit DAG and an initial mapping and produces
-    the physical circuit: original gates remapped through the evolving π,
-    interleaved with inserted SWAP gates on coupling-graph edges. The
-    bidirectional driver {!Compiler} calls this once per traversal. *)
+    Kept for one release cycle as the differential-testing reference:
+    the [sabre-ref] router routes through this implementation, and the
+    fuzz harness cross-checks that it and the flat-core {!Routing_pass}
+    produce byte-identical circuits. Do not optimise this file — its
+    value is being the old code. *)
 
 type result = {
   physical : Circuit.t;  (** hardware-compliant output circuit *)
@@ -31,16 +32,4 @@ val run :
     initial mapping is not mutated. Raises [Invalid_argument] when the
     circuit needs more logical qubits than the device has physical ones,
     or when the coupling graph is disconnected while the circuit requires
-    interaction across components.
-
-    Convenience wrapper over {!run_flat}: flattens [dist] row-major per
-    call. Drivers that route many traversals (trials × directions)
-    should flatten once and call {!run_flat}. *)
-
-val run_flat :
-  ?dist:float array -> Config.t -> Coupling.t -> Dag.t -> Mapping.t -> result
-(** Same as {!run}, but the metric is the row-major flattened matrix
-    ([dist.((p1 * n_physical) + p2)], stride = device qubit count) the
-    search scores against directly — no per-compilation conversion, one
-    shared array across trials and traversal directions. Raises
-    [Invalid_argument] if [dist] is not exactly [n_physical²] long. *)
+    interaction across components. *)

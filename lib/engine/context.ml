@@ -22,7 +22,7 @@ type t = {
   coupling : Coupling.t;
   circuit : Circuit.t;
   noise : Noise.t option;
-  dist : float array array;
+  dist : float array;  (* row-major, stride = Coupling.n_qubits coupling *)
   trial_mode : Trial_runner.mode;
   fixed_initial : Mapping.t option;
   dag_forward : Dag.t option;
@@ -40,8 +40,19 @@ let check_device coupling circuit =
   if Circuit.n_qubits circuit > 1 && not (Coupling.is_connected_graph coupling)
   then invalid_arg "Engine.Context: disconnected coupling graph"
 
+(* Flat row-major hop distances, derived once from the Floyd–Warshall
+   cache; every pass, trial and traversal direction shares this array. *)
 let hop_distances coupling =
-  Array.map (Array.map float_of_int) (Coupling.distance_matrix coupling)
+  let d = Coupling.distance_matrix coupling in
+  let n = Coupling.n_qubits coupling in
+  let flat = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    let row = d.(i) in
+    for j = 0 to n - 1 do
+      flat.((i * n) + j) <- float_of_int row.(j)
+    done
+  done;
+  flat
 
 let create ?(config = Config.default) ?dist ?noise
     ?(trial_mode = Trial_runner.Sequential) ?initial coupling circuit =
@@ -54,7 +65,10 @@ let create ?(config = Config.default) ?dist ?noise
     coupling;
     circuit;
     noise;
-    dist = (match dist with Some d -> d | None -> hop_distances coupling);
+    dist =
+      (match dist with
+      | Some d -> Sabre_core.Heuristic.flatten_dist d
+      | None -> hop_distances coupling);
     trial_mode;
     fixed_initial = Option.map Mapping.copy initial;
     dag_forward = None;

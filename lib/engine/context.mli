@@ -36,9 +36,11 @@ type t = {
   noise : Noise.t option;
       (** when present, trial ranking prefers estimated success
           probability (Section VI variability-aware mapping) *)
-  dist : float array array;
-      (** routing metric; all-pairs hop distances unless the caller
-          substituted a custom matrix — computed once per compilation *)
+  dist : float array;
+      (** routing metric, row-major flattened with stride
+          [Coupling.n_qubits coupling]; all-pairs hop distances unless
+          the caller substituted a custom matrix — computed once per
+          compilation and shared by every trial and traversal *)
   trial_mode : Trial_runner.mode;
   fixed_initial : Mapping.t option;
       (** caller-supplied initial mapping; suppresses random trials *)
@@ -64,11 +66,12 @@ val create :
   Circuit.t ->
   t
 (** Validate the inputs and build a fresh context. [dist] overrides the
-    hop-count metric (e.g. {!Hardware.Noise.swap_reliability_distance});
-    when absent the coupling graph's Floyd–Warshall matrix is converted
-    to floats here, once. [initial] is copied. Raises [Invalid_argument]
-    on an invalid config, a circuit wider than the device, or a
-    disconnected coupling graph. *)
+    hop-count metric (e.g. {!Hardware.Noise.swap_reliability_distance})
+    and is flattened row-major here, once; when absent the coupling
+    graph's Floyd–Warshall matrix is converted directly into the flat
+    form. [initial] is copied. Raises [Invalid_argument] on an invalid
+    config, a circuit wider than the device, or a disconnected coupling
+    graph. *)
 
 val add_metric : t -> string -> float -> t
 val add_counter : t -> pass:string -> string -> int -> t

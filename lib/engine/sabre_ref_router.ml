@@ -1,25 +1,36 @@
 module Config = Sabre_core.Config
-module Routing = Sabre_core.Routing_pass
+module Coupling = Hardware.Coupling
+module Routing = Sabre_core.Routing_pass_ref
 
-let name = "sabre"
+(* The pre-flat-core SABRE implementation behind the Router interface.
+
+   Registered (by {!Check.Differential.ensure_registered}) for one
+   release cycle so every differential-fuzz run cross-checks the
+   flat-core router against the old list-based one; remove together
+   with {!Sabre_core.Routing_pass_ref} once the cycle ends. *)
+
+let name = "sabre-ref"
 let deterministic = false
 
 let dag_exn = function
   | Some d -> d
-  | None -> raise (Router.Route_failed "sabre router: Dag_pass must run first")
+  | None ->
+    raise (Router.Route_failed "sabre-ref router: Dag_pass must run first")
 
-(* Traversal i (1-based) routes forward when i is odd, backward when
-   even; the traversal count is odd so the last one is forward and its
-   input mapping is the reverse-traversal-optimised initial mapping. *)
+(* The reference pass predates the flat metric: rebuild the square
+   matrix it expects from the context's row-major array, once per call. *)
+let square_dist (ctx : Context.t) =
+  let n = Coupling.n_qubits ctx.coupling in
+  Array.init n (fun i -> Array.sub ctx.dist (i * n) n)
+
 let route (ctx : Context.t) ~initial =
   let forward = dag_exn ctx.dag_forward in
   let total = ctx.config.Config.traversals in
   let backward = if total > 1 then dag_exn ctx.dag_backward else forward in
+  let dist = square_dist ctx in
   let rec go i mapping first steps fallbacks =
     let oriented = if i mod 2 = 1 then forward else backward in
-    let r =
-      Routing.run_flat ~dist:ctx.dist ctx.config ctx.coupling oriented mapping
-    in
+    let r = Routing.run ~dist ctx.config ctx.coupling oriented mapping in
     let first = match first with None -> Some r.Routing.n_swaps | s -> s in
     let steps = steps + r.Routing.search_steps in
     let fallbacks = fallbacks + r.Routing.fallback_swaps in
@@ -44,5 +55,3 @@ let router : Router.t =
     let deterministic = deterministic
     let route = route
   end)
-
-let () = Router.register router

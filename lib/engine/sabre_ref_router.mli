@@ -1,0 +1,9 @@
+(** The pre-flat-core SABRE router ([sabre-ref]), kept for one release
+    cycle as the differential-testing reference against the flat-core
+    implementation. Routes through {!Sabre_core.Routing_pass_ref}; for
+    fixed seeds its output must be byte-identical to the [sabre]
+    router's. Not registered at module init — the check harness
+    ({!Check.Differential.ensure_registered}) registers it. *)
+
+val name : string
+val router : Router.t

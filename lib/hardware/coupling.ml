@@ -2,7 +2,13 @@ type t = {
   n : int;
   adj : int list array;
   edge_list : (int * int) list;  (* normalised (min,max), sorted *)
+  (* flat views for the routing hot path *)
+  adj_off : int array;  (* CSR offsets into adj_idx, length n+1 *)
+  adj_idx : int array;  (* neighbours, ascending within each row *)
+  edge_a : int array;  (* edge e = (edge_a.(e), edge_b.(e)), sorted *)
+  edge_b : int array;
   mutable dist : int array array option;  (* Floyd–Warshall cache *)
+  mutable edge_ids : int array option;  (* n*n flat: packed pair -> edge id *)
 }
 
 let infinity_dist = 1 lsl 29
@@ -33,19 +39,72 @@ let create ~n_qubits edge_input =
       adj.(b) <- a :: adj.(b))
     normalised;
   Array.iteri (fun i l -> adj.(i) <- List.sort Int.compare l) adj;
+  let edge_list =
+    List.sort
+      (fun (a1, b1) (a2, b2) ->
+        let c = Int.compare a1 a2 in
+        if c <> 0 then c else Int.compare b1 b2)
+      normalised
+  in
+  let adj_off = Array.make (n_qubits + 1) 0 in
+  for i = 0 to n_qubits - 1 do
+    adj_off.(i + 1) <- adj_off.(i) + List.length adj.(i)
+  done;
+  let adj_idx = Array.make adj_off.(n_qubits) 0 in
+  Array.iteri
+    (fun i l -> List.iteri (fun k j -> adj_idx.(adj_off.(i) + k) <- j) l)
+    adj;
+  let m = List.length edge_list in
+  let edge_a = Array.make m 0 and edge_b = Array.make m 0 in
+  List.iteri
+    (fun e (a, b) ->
+      edge_a.(e) <- a;
+      edge_b.(e) <- b)
+    edge_list;
   {
     n = n_qubits;
     adj;
-    edge_list = List.sort compare normalised;
+    edge_list;
+    adj_off;
+    adj_idx;
+    edge_a;
+    edge_b;
     dist = None;
+    edge_ids = None;
   }
 
 let n_qubits g = g.n
 let edges g = g.edge_list
-let n_edges g = List.length g.edge_list
+let n_edges g = Array.length g.edge_a
 let neighbors g i = g.adj.(i)
-let degree g i = List.length g.adj.(i)
+let degree g i = g.adj_off.(i + 1) - g.adj_off.(i)
 let connected g a b = List.mem b g.adj.(a)
+
+let neighbors_iter g i f =
+  for k = g.adj_off.(i) to g.adj_off.(i + 1) - 1 do
+    f g.adj_idx.(k)
+  done
+
+let edge_endpoints g e = (g.edge_a.(e), g.edge_b.(e))
+
+(* Flat (min,max)-packed pair -> edge-id table, built on first use like
+   the distance cache. Edge ids follow the sorted [edges] order, so a
+   scan over ids enumerates edges in their canonical order. *)
+let edge_id_table g =
+  match g.edge_ids with
+  | Some t -> t
+  | None ->
+    let t = Array.make (g.n * g.n) (-1) in
+    Array.iteri
+      (fun e a ->
+        let b = g.edge_b.(e) in
+        t.((a * g.n) + b) <- e;
+        t.((b * g.n) + a) <- e)
+      g.edge_a;
+    g.edge_ids <- Some t;
+    t
+
+let edge_id g a b = (edge_id_table g).((a * g.n) + b)
 
 let is_connected_graph g =
   if g.n = 0 then true

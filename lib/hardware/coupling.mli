@@ -28,6 +28,21 @@ val connected : t -> int -> int -> bool
 (** [connected g a b] is true when {a,b} is an edge — i.e. a CNOT between
     them is directly executable. *)
 
+val neighbors_iter : t -> int -> (int -> unit) -> unit
+(** [neighbors_iter g i f] applies [f] to each neighbour of [i] in
+    ascending order, allocation-free (CSR adjacency). *)
+
+val edge_id : t -> int -> int -> int
+(** [edge_id g a b] is the index of undirected edge {a,b} in {!edges}
+    (symmetric in [a]/[b]), or [-1] when not an edge. O(1) via a flat
+    n²-entry table built on first use and cached, like
+    {!distance_matrix}. Edge ids enumerate edges in the canonical sorted
+    [(min, max)] order. *)
+
+val edge_endpoints : t -> int -> int * int
+(** [edge_endpoints g e] is the normalised [(min, max)] endpoint pair of
+    edge id [e]. *)
+
 val is_connected_graph : t -> bool
 (** Whether the whole graph is one connected component (required for a
     router to succeed on circuits touching all qubits). *)

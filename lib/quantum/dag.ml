@@ -3,7 +3,54 @@ type t = {
   gates : Gate.t array;  (* cached copy of the circuit's gates *)
   succ : int list array;  (* distinct successors, ascending *)
   pred : int list array;  (* distinct predecessors, ascending *)
+  (* CSR (compressed-sparse-row) view of the same adjacency: row [i]
+     spans [off.(i) .. off.(i+1) - 1] of [idx], ascending within a row.
+     The hot routing loops traverse these instead of the lists. *)
+  succ_off : int array;
+  succ_idx : int array;
+  pred_off : int array;
+  pred_idx : int array;
+  (* per-node operand table: for a two-qubit gate the logical pair,
+     [(-1, -1)] otherwise, so the router never re-matches on Gate.t *)
+  pair_q1 : int array;
+  pair_q2 : int array;
 }
+
+let csr_of_lists n rows =
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + List.length rows.(i)
+  done;
+  let idx = Array.make off.(n) 0 in
+  for i = 0 to n - 1 do
+    List.iteri (fun k j -> idx.(off.(i) + k) <- j) rows.(i)
+  done;
+  (off, idx)
+
+let finalize circuit gates succ pred =
+  let n = Array.length gates in
+  let succ_off, succ_idx = csr_of_lists n succ in
+  let pred_off, pred_idx = csr_of_lists n pred in
+  let pair_q1 = Array.make n (-1) and pair_q2 = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    match Gate.two_qubit_pair gates.(i) with
+    | Some (q1, q2) ->
+      pair_q1.(i) <- q1;
+      pair_q2.(i) <- q2
+    | None -> ()
+  done;
+  {
+    circuit;
+    gates;
+    succ;
+    pred;
+    succ_off;
+    succ_idx;
+    pred_off;
+    pred_idx;
+    pair_q1;
+    pair_q2;
+  }
 
 let of_circuit circuit =
   let gates = Circuit.gate_array circuit in
@@ -25,7 +72,7 @@ let of_circuit circuit =
   done;
   (* successor lists were built in reverse; deduplicate and sort *)
   Array.iteri (fun i l -> succ.(i) <- List.sort_uniq Int.compare l) succ;
-  { circuit; gates; succ; pred }
+  finalize circuit gates succ pred
 
 (* Commutation-aware construction. Per qubit we keep two gate groups:
    [current] — the most recent gates that pairwise commute with each
@@ -62,7 +109,7 @@ let of_circuit_commuting circuit =
     List.iter (fun p -> succ.(p) <- i :: succ.(p)) deps
   done;
   Array.iteri (fun i l -> succ.(i) <- List.sort_uniq Int.compare l) succ;
-  { circuit; gates; succ; pred }
+  finalize circuit gates succ pred
 
 let matches_linearization d c =
   let n = Array.length d.gates in
@@ -104,12 +151,30 @@ let n_nodes d = Array.length d.succ
 let gate d i = d.gates.(i)
 let successors d i = d.succ.(i)
 let predecessors d i = d.pred.(i)
-let in_degree d i = List.length d.pred.(i)
+let in_degree d i = d.pred_off.(i + 1) - d.pred_off.(i)
+let out_degree d i = d.succ_off.(i + 1) - d.succ_off.(i)
+
+let succ_iter d i f =
+  for k = d.succ_off.(i) to d.succ_off.(i + 1) - 1 do
+    f d.succ_idx.(k)
+  done
+
+let pred_iter d i f =
+  for k = d.pred_off.(i) to d.pred_off.(i + 1) - 1 do
+    f d.pred_idx.(k)
+  done
+
+let pair_q1 d i = d.pair_q1.(i)
+let pair_q2 d i = d.pair_q2.(i)
+let is_two_qubit_node d i = d.pair_q1.(i) >= 0
+
+let two_qubit_pair d i =
+  if d.pair_q1.(i) >= 0 then Some (d.pair_q1.(i), d.pair_q2.(i)) else None
 
 let initial_front d =
   let acc = ref [] in
   for i = n_nodes d - 1 downto 0 do
-    if d.pred.(i) = [] then acc := i :: !acc
+    if in_degree d i = 0 then acc := i :: !acc
   done;
   !acc
 
@@ -143,18 +208,29 @@ let two_qubit_nodes d =
   done;
   !acc
 
+(* Explicit worklist: the naive recursion is one frame per DAG node on a
+   chain circuit and overflows the stack on long programs. Every node is
+   marked before it is pushed, so the stack never holds a node twice and
+   an [n]-slot array suffices. *)
 let descendant_count d i =
-  let seen = Array.make (n_nodes d) false in
+  let n = n_nodes d in
+  let seen = Array.make n false in
+  let stack = Array.make (max 1 n) 0 in
+  let top = ref 0 in
   let count = ref 0 in
-  let rec visit j =
-    List.iter
-      (fun s ->
-        if not seen.(s) then begin
-          seen.(s) <- true;
-          incr count;
-          visit s
-        end)
-      d.succ.(j)
-  in
-  visit i;
+  stack.(!top) <- i;
+  incr top;
+  while !top > 0 do
+    decr top;
+    let j = stack.(!top) in
+    for k = d.succ_off.(j) to d.succ_off.(j + 1) - 1 do
+      let s = d.succ_idx.(k) in
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        incr count;
+        stack.(!top) <- s;
+        incr top
+      end
+    done
+  done;
   !count

@@ -44,7 +44,39 @@ val predecessors : t -> int -> int list
 (** Direct predecessors of node [i], each listed once. *)
 
 val in_degree : t -> int -> int
-(** Number of distinct predecessors. *)
+(** Number of distinct predecessors. O(1) via the CSR offsets. *)
+
+val out_degree : t -> int -> int
+(** Number of distinct successors. O(1) via the CSR offsets. *)
+
+(** {2 Flat (CSR) view}
+
+    The adjacency is additionally stored compressed-sparse-row:
+    contiguous [int array] rows behind O(1) offsets. The iterators below
+    traverse it without allocating; they visit exactly the nodes of
+    {!successors}/{!predecessors} in the same (ascending) order. *)
+
+val succ_iter : t -> int -> (int -> unit) -> unit
+(** [succ_iter d i f] applies [f] to each successor of [i], ascending,
+    allocation-free. *)
+
+val pred_iter : t -> int -> (int -> unit) -> unit
+(** [pred_iter d i f] applies [f] to each predecessor of [i], ascending,
+    allocation-free. *)
+
+val pair_q1 : t -> int -> int
+(** First logical operand of node [i] when it is a two-qubit gate, [-1]
+    otherwise. Precomputed; O(1), no option allocation. *)
+
+val pair_q2 : t -> int -> int
+(** Second logical operand, or [-1]; see {!pair_q1}. *)
+
+val is_two_qubit_node : t -> int -> bool
+(** [is_two_qubit_node d i] = [pair_q1 d i >= 0]. *)
+
+val two_qubit_pair : t -> int -> (int * int) option
+(** Allocating convenience over {!pair_q1}/{!pair_q2}; agrees with
+    {!Gate.two_qubit_pair} on {!gate}[ d i]. *)
 
 val initial_front : t -> int list
 (** Nodes with no predecessors, in program order: the initial front layer
@@ -57,4 +89,5 @@ val two_qubit_nodes : t -> int list
 (** Nodes carrying a two-qubit gate, in program order. *)
 
 val descendant_count : t -> int -> int
-(** Number of nodes reachable from [i] (excluding [i]); O(V+E) per call. *)
+(** Number of nodes reachable from [i] (excluding [i]); O(V+E) per call.
+    Iterative (explicit worklist), safe on arbitrarily deep circuits. *)

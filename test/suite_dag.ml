@@ -75,6 +75,18 @@ let test_descendant_count () =
   check Alcotest.int "g1 reaches g3 g4 g5" 3 (Dag.descendant_count d 0);
   check Alcotest.int "g5 reaches none" 0 (Dag.descendant_count d 4)
 
+let test_descendant_count_deep_chain () =
+  (* 50k-gate dependency chain: the pre-flat-core recursive DFS blew the
+     stack here; the worklist rewrite must count all descendants. *)
+  let n = 50_000 in
+  let gates = List.init n (fun i -> Gate.Cnot (i mod 2, (i + 1) mod 2)) in
+  let d = Dag.of_circuit (Circuit.create ~n_qubits:2 gates) in
+  check Alcotest.int "head reaches the whole chain" (n - 1)
+    (Dag.descendant_count d 0);
+  check Alcotest.int "midpoint reaches the tail" (n - 1 - (n / 2))
+    (Dag.descendant_count d (n / 2));
+  check Alcotest.int "tail reaches none" 0 (Dag.descendant_count d (n - 1))
+
 let test_empty_circuit () =
   let d = Dag.of_circuit (Circuit.empty 3) in
   check Alcotest.int "no nodes" 0 (Dag.n_nodes d);
@@ -99,6 +111,8 @@ let suite =
     tc "topological order" `Quick test_topological_order;
     tc "two_qubit_nodes" `Quick test_two_qubit_nodes;
     tc "descendant_count" `Quick test_descendant_count;
+    tc "descendant_count on a 50k-gate chain" `Quick
+      test_descendant_count_deep_chain;
     tc "empty circuit" `Quick test_empty_circuit;
     tc "barrier orders" `Quick test_barrier_orders;
   ]

@@ -98,6 +98,63 @@ let prop_commuting_conformance =
       | Ok () -> true
       | Error msg -> QCheck.Test.fail_reportf "%s" msg)
 
+let prop_flatcore_equivalence =
+  QCheck.Test.make ~count:40
+    ~name:"flat-core sabre matches the frozen sabre-ref reference"
+    instance_arb (fun i ->
+      match
+        Differential.flatcore_equivalence ~config:i.Generators.config
+          i.Generators.coupling i.Generators.circuit
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Flat (CSR) DAG view agrees with the list-based accessors            *)
+(* ------------------------------------------------------------------ *)
+
+let dag_views_agree d =
+  let module Dag = Quantum.Dag in
+  let collect iter i =
+    let acc = ref [] in
+    iter d i (fun j -> acc := j :: !acc);
+    List.rev !acc
+  in
+  let ok = ref true in
+  for i = 0 to Dag.n_nodes d - 1 do
+    let succs = Dag.successors d i and preds = Dag.predecessors d i in
+    if collect Dag.succ_iter i <> succs then
+      QCheck.Test.fail_reportf "node %d: succ_iter disagrees" i;
+    if collect Dag.pred_iter i <> preds then
+      QCheck.Test.fail_reportf "node %d: pred_iter disagrees" i;
+    if Dag.in_degree d i <> List.length preds then
+      QCheck.Test.fail_reportf "node %d: in_degree disagrees" i;
+    if Dag.out_degree d i <> List.length succs then
+      QCheck.Test.fail_reportf "node %d: out_degree disagrees" i;
+    let pair = Gate.two_qubit_pair (Dag.gate d i) in
+    if Dag.two_qubit_pair d i <> pair then
+      QCheck.Test.fail_reportf "node %d: cached pair disagrees" i;
+    (match pair with
+    | Some (a, b) ->
+      if Dag.pair_q1 d i <> a || Dag.pair_q2 d i <> b then
+        QCheck.Test.fail_reportf "node %d: pair_q1/q2 disagree" i;
+      if not (Dag.is_two_qubit_node d i) then
+        QCheck.Test.fail_reportf "node %d: is_two_qubit_node false" i
+    | None ->
+      if Dag.pair_q1 d i <> -1 || Dag.pair_q2 d i <> -1 then
+        QCheck.Test.fail_reportf "node %d: sentinel pair expected" i;
+      if Dag.is_two_qubit_node d i then
+        QCheck.Test.fail_reportf "node %d: is_two_qubit_node true" i)
+  done;
+  !ok
+
+let prop_dag_csr_matches_lists =
+  QCheck.Test.make ~count:100
+    ~name:"flat CSR DAG accessors agree with list-based ones" circuit_arb
+    (fun c ->
+      dag_views_agree (Quantum.Dag.of_circuit c)
+      && dag_views_agree (Quantum.Dag.of_circuit_commuting c))
+
 (* ------------------------------------------------------------------ *)
 (* Circuit-level properties                                            *)
 (* ------------------------------------------------------------------ *)
@@ -307,6 +364,8 @@ let suite =
       prop_seed_determinism;
       prop_relabel_invariance;
       prop_commuting_conformance;
+      prop_flatcore_equivalence;
+      prop_dag_csr_matches_lists;
       prop_reverse_involutive;
       prop_reverse_is_inverse_unitary;
       prop_qasm_roundtrip;

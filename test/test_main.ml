@@ -24,6 +24,7 @@ let () =
       ("routing", Suite_routing.suite);
       ("compiler", Suite_compiler.suite);
       ("engine", Suite_engine.suite);
+      ("flatcore", Suite_flatcore.suite);
       ("baseline", Suite_baseline.suite);
       ("optimal", Suite_optimal.suite);
       ("workloads", Suite_workloads.suite);
