@@ -7,7 +7,13 @@
      ablation    — what each Section IV-C design decision buys
      scaling     — SABRE runtime on devices of 20-400 qubits
      pipeline    — engine per-stage wall times + dist-matrix sharing
+     throughput  — batch compilation: circuits/sec across domain pools,
+                   cold vs warm device-keyed distance cache
      micro       — Bechamel micro-benchmarks (one per table/figure)
+
+   Flags: --json FILE records machine-readable rows, --repeat K reports
+   min-of-K wall time per timed row (stable cross-PR numbers),
+   --max-qubits / --max-domains cap the scaling and throughput sweeps.
 
    Every routed circuit is verified with Sim.Tracker before its numbers
    are printed; a verification failure aborts the run. *)
@@ -31,6 +37,22 @@ let time f =
   let t0 = wall () in
   let r = f () in
   (r, wall () -. t0)
+
+(* --repeat K: timed rows report the minimum wall time over K identical
+   runs — the standard way to suppress scheduler/allocator noise so
+   BENCH_*.json numbers stay comparable across PRs. Every run computes
+   the same deterministic result; the last one is returned. *)
+let repeat = ref 1
+
+let time_min f =
+  let r, t0 = time f in
+  let best = ref t0 and result = ref r in
+  for _ = 2 to !repeat do
+    let r, t = time f in
+    if t < !best then best := t;
+    result := r
+  done;
+  (!result, !best)
 
 (* ------------------------------------------------------------------ *)
 (* JSON recording (--json FILE)                                        *)
@@ -466,7 +488,7 @@ let scaling () =
           ~gates ()
       in
       let config = { Sabre.Config.default with trials = 1 } in
-      let r, t = time (fun () -> Sabre.Compiler.run ~config dev circuit) in
+      let r, t = time_min (fun () -> Sabre.Compiler.run ~config dev circuit) in
       (match
          Sim.Tracker.check ~coupling:dev
            ~initial:(Mapping.l2p_array r.initial_mapping)
@@ -564,6 +586,136 @@ let pipeline () =
     (t_old /. t_new)
 
 (* ------------------------------------------------------------------ *)
+(* Batch throughput: Scheduler domain pool + device-keyed dist cache    *)
+(* ------------------------------------------------------------------ *)
+
+let max_domains = ref max_int
+
+let throughput () =
+  Format.printf
+    "@.== Batch throughput: circuits/sec across the Scheduler domain pool \
+     (IBM Q20 Tokyo) ==@.@.";
+  let n_jobs = 40 in
+  let jobs =
+    Array.init n_jobs (fun i ->
+        {
+          Engine.Batch.name = Printf.sprintf "rand10_%03d" i;
+          circuit =
+            Workloads.Random_reversible.circuit ~seed:(4000 + i)
+              ~hot_bias:0.0 ~n:10 ~gates:120 ();
+        })
+  in
+  let config = { Sabre.Config.default with trials = 2 } in
+  let fail_job (e : Engine.Batch.error) =
+    Format.eprintf "FATAL: throughput: %s failed: %s@." e.name e.message;
+    exit 2
+  in
+  let swaps_of (report : Engine.Batch.report) =
+    Array.fold_left
+      (fun acc -> function
+        | Ok (s : Engine.Batch.success) -> acc + s.stats.n_swaps
+        | Error e -> fail_job e)
+      0 report.outcomes
+  in
+  (* Sequential reference: every routed circuit semantically verified,
+     and its total SWAP count is the determinism yardstick every
+     multi-domain row must match exactly. *)
+  let seq = Engine.Batch.compile_many ~config ~domains:1 device jobs in
+  Array.iteri
+    (fun i -> function
+      | Ok (s : Engine.Batch.success) ->
+        verified ~logical:jobs.(i).Engine.Batch.circuit ~initial:s.initial
+          ~final:s.final ~physical:s.physical s.name
+      | Error e -> fail_job e)
+    seq.outcomes;
+  let seq_swaps = swaps_of seq in
+  let host = Engine.Trial_runner.default_domains () in
+  let domain_counts =
+    List.sort_uniq compare [ 1; 2; 4; host ]
+    |> List.filter (fun d -> d <= !max_domains)
+    |> function [] -> [ 1 ] | l -> l
+  in
+  Format.printf "%-8s %9s %9s | %12s %9s | %7s@." "domains" "circuits"
+    "wall_s" "circuits/s" "speedup" "swaps";
+  let t1 = ref nan in
+  List.iter
+    (fun d ->
+      let report, t =
+        time_min (fun () ->
+            Engine.Batch.compile_many ~config ~domains:d device jobs)
+      in
+      let swaps = swaps_of report in
+      if swaps <> seq_swaps then begin
+        Format.eprintf
+          "FATAL: throughput: %d domains produced %d swaps, sequential \
+           produced %d — determinism broken@."
+          d swaps seq_swaps;
+        exit 2
+      end;
+      if d = 1 then t1 := t;
+      let per_s = float_of_int n_jobs /. t in
+      let speedup = !t1 /. t in
+      Record.row "throughput"
+        [
+          ("kind", Str "batch");
+          ("domains", Int d);
+          ("host_cores", Int host);
+          ("circuits", Int n_jobs);
+          ("wall_s", Float t);
+          ("circuits_per_s", Float per_s);
+          ("speedup_vs_1", Float speedup);
+          ("swaps", Int swaps);
+        ];
+      Format.printf "%-8d %9d %9.3f | %12.1f %8.2fx | %7d@." d n_jobs t per_s
+        speedup swaps)
+    domain_counts;
+  Format.printf
+    "@.-- Context.create setup cost: cold vs warm distance cache \
+     (grid20x20, 400 qubits) --@.";
+  (* Each measurement uses a fresh Coupling.t so the per-instance memo
+     never helps: the timed region is exactly what a new request against
+     a known device pays — digest + cache hit when warm, digest + BFS
+     all-pairs shortest paths + insertion when cold. *)
+  let probe = Workloads.Qft.circuit 8 in
+  let setup_once ~cold =
+    if cold then Hardware.Dist_cache.clear ()
+    else
+      ignore (Hardware.Dist_cache.hop_distances (Devices.grid ~rows:20 ~cols:20));
+    let dev = Devices.grid ~rows:20 ~cols:20 in
+    let t0 = wall () in
+    ignore (Engine.Context.create ~config dev probe);
+    wall () -. t0
+  in
+  let min_of k f =
+    let best = ref (f ()) in
+    for _ = 2 to k do
+      let t = f () in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let reps = max 3 !repeat in
+  let t_cold = min_of reps (fun () -> setup_once ~cold:true) in
+  let t_warm = min_of reps (fun () -> setup_once ~cold:false) in
+  Record.row "throughput"
+    [
+      ("kind", Str "setup");
+      ("device", Str "grid20x20");
+      ("qubits", Int 400);
+      ("cold_s", Float t_cold);
+      ("warm_s", Float t_warm);
+      ("cold_over_warm", Float (t_cold /. t_warm));
+    ];
+  Format.printf "cold (BFS APSP + insert) : %9.3f ms@." (1e3 *. t_cold);
+  Format.printf "warm (digest + hit)      : %9.3f ms  (%.1fx less)@."
+    (1e3 *. t_warm) (t_cold /. t_warm);
+  Format.printf
+    "@.Multi-domain rows must report byte-identical SWAP totals to the \
+     sequential row (enforced above); throughput scaling depends on the \
+     cores this host exposes (%d).@."
+    host
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -625,8 +777,9 @@ let micro () =
 
 let usage () =
   Format.eprintf
-    "usage: bench [--json FILE] [--max-qubits N] \
-     [table2|figure8|scalability|ablation|scaling|pipeline|micro]...@.";
+    "usage: bench [--json FILE] [--max-qubits N] [--max-domains N] \
+     [--repeat K] \
+     [table2|figure8|scalability|ablation|scaling|pipeline|throughput|micro]...@.";
   exit 1
 
 let () =
@@ -643,7 +796,18 @@ let () =
         if !scaling_sizes = [] then scaling_sizes := [ cap ]
       | _ -> usage ());
       parse acc rest
-    | ("--json" | "--max-qubits") :: [] -> usage ()
+    | "--max-domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some cap when cap > 0 -> max_domains := cap
+      | _ -> usage ());
+      parse acc rest
+    | "--repeat" :: k :: rest ->
+      (match int_of_string_opt k with
+      | Some k when k > 0 -> repeat := k
+      | _ -> usage ());
+      parse acc rest
+    | ("--json" | "--max-qubits" | "--max-domains" | "--repeat") :: [] ->
+      usage ()
     | section :: rest -> parse (section :: acc) rest
   in
   let sections =
@@ -651,7 +815,7 @@ let () =
     | [] ->
       [
         "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "pipeline";
-        "micro";
+        "throughput"; "micro";
       ]
     | named -> named
   in
@@ -666,6 +830,7 @@ let () =
         | "ablation" -> ablation
         | "scaling" -> scaling
         | "pipeline" -> pipeline
+        | "throughput" -> throughput
         | "micro" -> micro
         | other ->
           Format.eprintf "unknown section %S@." other;

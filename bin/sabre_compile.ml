@@ -91,12 +91,10 @@ let route router_name config device circuit ~trial_mode ~instrument =
     | exception Engine.Verify_pass.Verify_failed msg -> Error msg)
 
 (* ------------------------------------------------------------------ *)
-(* Reporting                                                            *)
+(* Batch mode                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Minimal JSON emission: enough for machine-readable reports without an
-   external dependency. Strings we emit are identifiers and need no
-   escaping beyond the standard set. *)
+(* Minimal JSON string escaping, shared by batch rows and reports. *)
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -108,6 +106,113 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* One QASM path per manifest line; blank lines and #-comments are
+   skipped. Paths are resolved relative to the process, not the
+   manifest. *)
+let read_manifest path =
+  try
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        Ok (List.rev acc)
+    in
+    go []
+  with Sys_error msg -> Error msg
+
+let batch_json_line = function
+  | Ok (s : Engine.Batch.success) ->
+    Printf.sprintf
+      "{\"name\": \"%s\", \"status\": \"ok\", \"qubits\": %d, \
+       \"original_gates\": %d, \"routed_gates\": %d, \"swaps\": %d, \
+       \"depth\": %d, \"time_s\": %.6f}"
+      (json_escape s.Engine.Batch.name)
+      (Mapping.n_logical s.Engine.Batch.initial)
+      s.stats.Sabre.Stats.original_gates s.stats.Sabre.Stats.total_gates
+      s.stats.Sabre.Stats.n_swaps s.stats.Sabre.Stats.routed_depth
+      s.stats.Sabre.Stats.time_s
+  | Error (e : Engine.Batch.error) ->
+    Printf.sprintf "{\"name\": \"%s\", \"status\": \"error\", \"message\": \"%s\"}"
+      (json_escape e.Engine.Batch.name)
+      (json_escape e.Engine.Batch.message)
+
+let run_batch manifest router_name config device ~domains ~verify ~quiet =
+  Baseline.Routers.register ();
+  match Engine.Router.find router_name with
+  | None ->
+    Error
+      (Printf.sprintf "unknown router %S (available: %s)" router_name
+         (String.concat ", " (Engine.Router.names ())))
+  | Some router -> (
+    match read_manifest manifest with
+    | Error msg -> Error msg
+    | Ok [] -> Error (Printf.sprintf "%s: empty manifest" manifest)
+    | Ok paths ->
+      (* parse failures become error rows, not batch aborts *)
+      let parsed =
+        List.map
+          (fun path ->
+            match Quantum.Qasm.of_file path with
+            | circuit -> Ok { Engine.Batch.name = path; circuit }
+            | exception Quantum.Qasm.Parse_error { line; message } ->
+              Error
+                {
+                  Engine.Batch.name = path;
+                  message = Printf.sprintf "%s:%d: %s" path line message;
+                }
+            | exception Sys_error msg ->
+              Error { Engine.Batch.name = path; message = msg })
+          paths
+      in
+      let jobs =
+        Array.of_list
+          (List.filter_map Result.to_option parsed)
+      in
+      let report =
+        Engine.Batch.compile_many ~config ~router ~domains ~verify device jobs
+      in
+      (* re-merge compile outcomes with parse failures, manifest order *)
+      let outcomes = Queue.create () in
+      let next = ref 0 in
+      List.iter
+        (fun p ->
+          match p with
+          | Error e -> Queue.add (Error e) outcomes
+          | Ok _ ->
+            Queue.add report.Engine.Batch.outcomes.(!next) outcomes;
+            incr next)
+        parsed;
+      let failures = ref 0 in
+      Queue.iter
+        (fun o ->
+          (match o with Error _ -> incr failures | Ok _ -> ());
+          print_endline (batch_json_line o))
+        outcomes;
+      if not quiet then begin
+        let cache = Hardware.Dist_cache.stats () in
+        Format.eprintf
+          "batch: %d circuits (%d failed), %d domain%s, %.3fs wall, %.1f \
+           circuits/s; dist-cache %d hit%s / %d miss%s@."
+          (List.length parsed) !failures report.Engine.Batch.domains
+          (if report.Engine.Batch.domains = 1 then "" else "s")
+          report.Engine.Batch.wall_s
+          (float_of_int (Array.length jobs) /. report.Engine.Batch.wall_s)
+          cache.Hardware.Dist_cache.hits
+          (if cache.Hardware.Dist_cache.hits = 1 then "" else "s")
+          cache.Hardware.Dist_cache.misses
+          (if cache.Hardware.Dist_cache.misses = 1 then "" else "es")
+      end;
+      if !failures > 0 then Error (Printf.sprintf "%d circuits failed" !failures)
+      else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let report_json ?passes device circuit (r : routed) stats router_name =
   let mapping_json arr =
@@ -190,8 +295,41 @@ let directed_of_name = function
 
 let run_main input workload size device_name device_size directed router trials
     traversals delta weight extended_size seed commutation output expand quiet
-    json trace stats_json parallel =
+    json trace stats_json parallel batch =
   let result =
+    match batch with
+    | Some manifest ->
+      let* () =
+        if input <> None || workload <> None then
+          Error "--batch takes its circuits from the manifest; drop the \
+                 positional input and --workload"
+        else if directed <> None then
+          Error "--batch does not support directed devices yet"
+        else Ok ()
+      in
+      let* device =
+        try Ok (Devices.by_name device_name device_size)
+        with Invalid_argument msg -> Error msg
+      in
+      let config =
+        {
+          Sabre.Config.default with
+          trials;
+          traversals;
+          decay_increment = delta;
+          extended_set_weight = weight;
+          extended_set_size = extended_size;
+          seed;
+          commutation_aware = commutation;
+        }
+      in
+      let* () =
+        Result.map_error (fun m -> "config: " ^ m)
+          (Sabre.Config.validate config)
+      in
+      let domains = match parallel with None -> 1 | Some n -> max 1 n in
+      run_batch manifest router config device ~domains ~verify:true ~quiet
+    | None ->
     let* circuit = load_circuit input workload size in
     let* directed_device =
       match directed with
@@ -374,9 +512,21 @@ let stats_json =
 let parallel =
   Arg.(value & opt (some int) None
        & info [ "j"; "parallel-trials" ] ~docv:"N"
-           ~doc:"Run the trial loop across N OCaml domains. Deterministic: \
-                 the winner is identical to a sequential run at the same \
-                 seed.")
+           ~doc:"Run the trial loop across N OCaml domains (with --batch: \
+                 run the circuit batch across N domains instead, trials \
+                 staying sequential inside each job). Deterministic: the \
+                 result is identical to a sequential run at the same seed.")
+
+let batch =
+  Arg.(value & opt (some file) None
+       & info [ "batch" ] ~docv:"MANIFEST"
+           ~doc:"Batch mode: compile every OpenQASM file listed in MANIFEST \
+                 (one path per line, #-comments allowed) for the chosen \
+                 device, emitting one JSON result line per circuit on \
+                 stdout and a throughput summary on stderr. Combine with \
+                 -j N to spread the batch over N domains; results are \
+                 byte-identical to a sequential run. Exits non-zero if any \
+                 circuit fails.")
 
 let cmd =
   let doc = "map a quantum circuit onto a NISQ device with SABRE" in
@@ -401,6 +551,6 @@ let cmd =
       const run_main $ input $ workload $ size $ device_name $ device_size
       $ directed $ router $ trials $ traversals $ delta $ weight
       $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json
-      $ trace $ stats_json $ parallel)
+      $ trace $ stats_json $ parallel $ batch)
 
 let () = exit (Cmd.eval' cmd)

@@ -44,6 +44,63 @@ module Intq = struct
     x
 end
 
+(* Reusable search-state arena. One scratch owns every array the
+   traversal loop touches, so a driver that routes many circuits against
+   one device (trials × traversals × batched compilations) allocates
+   the arena once per domain and the steady-state hot path performs no
+   array allocation at all.
+
+   Reset discipline: per-run state (front deque length, ready/BFS
+   queues, decay, remaining-predecessor counts) is cleared at the start
+   of every run; the stamp arrays ([cand_mark], [visit_stamp]) are
+   deliberately NOT cleared — their generation counters survive in the
+   scratch and keep increasing monotonically across runs, so a stale
+   stamp can never equal a fresh generation. Growable arrays keep their
+   high-water capacity between runs.
+
+   A scratch is single-domain state: never share one across concurrent
+   runs. *)
+module Scratch = struct
+  type t = {
+    n_physical : int;
+    n_edges : int;
+    decay : float array;  (* per physical qubit, refilled 1.0 per run *)
+    cand_mark : int array;  (* per coupling edge, generation-stamped *)
+    mutable cand_gen : int;
+    mutable remaining : int array;  (* grown to the largest DAG seen *)
+    mutable visit_stamp : int array;
+    mutable visit_gen : int;
+    mutable front_buf : int array;
+    mutable fq1 : int array;
+    mutable fq2 : int array;
+    mutable eq1 : int array;
+    mutable eq2 : int array;
+    mutable l2p : int array;  (* grown to the widest circuit seen *)
+    ready : Intq.t;
+    bfs : Intq.t;
+  }
+
+  let create coupling =
+    {
+      n_physical = Coupling.n_qubits coupling;
+      n_edges = Coupling.n_edges coupling;
+      decay = Array.make (Coupling.n_qubits coupling) 1.0;
+      cand_mark = Array.make (max 1 (Coupling.n_edges coupling)) 0;
+      cand_gen = 0;
+      remaining = [||];
+      visit_stamp = [||];
+      visit_gen = 0;
+      front_buf = Array.make 16 0;
+      fq1 = [||];
+      fq2 = [||];
+      eq1 = [||];
+      eq2 = [||];
+      l2p = [||];
+      ready = Intq.create 64;
+      bfs = Intq.create 64;
+    }
+end
+
 (* Mutable search state for one traversal. *)
 type state = {
   config : Config.t;
@@ -319,7 +376,13 @@ let flat_hop_distances coupling =
   done;
   flat
 
-let run_flat ?dist config coupling dag initial =
+(* Grow-only capacity helper for scratch arrays. Replacing a stamp
+   array with a zeroed one is safe: stamps are only ever compared
+   against generations that keep increasing, and 0 is below any live
+   generation. *)
+let grown arr len = if Array.length arr >= len then arr else Array.make len 0
+
+let run_with_scratch ~scratch ?dist config coupling dag initial =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Routing_pass.run: " ^ msg));
@@ -330,6 +393,10 @@ let run_flat ?dist config coupling dag initial =
     invalid_arg "Routing_pass.run: mapping arity mismatch";
   let n = Dag.n_nodes dag in
   let n_physical = Coupling.n_qubits coupling in
+  if
+    scratch.Scratch.n_physical <> n_physical
+    || scratch.Scratch.n_edges <> Coupling.n_edges coupling
+  then invalid_arg "Routing_pass.run: scratch built for a different device";
   let dist =
     match dist with
     | Some d ->
@@ -338,6 +405,17 @@ let run_flat ?dist config coupling dag initial =
       d
     | None -> flat_hop_distances coupling
   in
+  (* per-run reset of the reused arena *)
+  scratch.Scratch.remaining <- grown scratch.Scratch.remaining n;
+  let remaining = scratch.Scratch.remaining in
+  for i = 0 to n - 1 do
+    remaining.(i) <- Dag.in_degree dag i
+  done;
+  scratch.Scratch.visit_stamp <- grown scratch.Scratch.visit_stamp (max 1 n);
+  scratch.Scratch.l2p <- grown scratch.Scratch.l2p (Mapping.n_logical initial);
+  Intq.clear scratch.Scratch.ready;
+  Intq.clear scratch.Scratch.bfs;
+  Array.fill scratch.Scratch.decay 0 (Array.length scratch.Scratch.decay) 1.0;
   let st =
     {
       config;
@@ -346,26 +424,26 @@ let run_flat ?dist config coupling dag initial =
       stride = n_physical;
       dag;
       mapping = Mapping.copy initial;
-      remaining = Array.init n (Dag.in_degree dag);
-      ready = Intq.create 64;
-      front_buf = Array.make 16 0;
+      remaining;
+      ready = scratch.Scratch.ready;
+      front_buf = scratch.Scratch.front_buf;
       front_len = 0;
       front_gen = 0;
       cache_gen = -1;
-      fq1 = [||];
-      fq2 = [||];
+      fq1 = scratch.Scratch.fq1;
+      fq2 = scratch.Scratch.fq2;
       flen = 0;
-      eq1 = [||];
-      eq2 = [||];
+      eq1 = scratch.Scratch.eq1;
+      eq2 = scratch.Scratch.eq2;
       elen = 0;
-      visit_stamp = Array.make (max 1 n) 0;
-      visit_gen = 0;
-      bfs = Intq.create 64;
-      cand_mark = Array.make (max 1 (Coupling.n_edges coupling)) 0;
-      cand_gen = 0;
-      l2p_scratch = Array.make (Mapping.n_logical initial) 0;
+      visit_stamp = scratch.Scratch.visit_stamp;
+      visit_gen = scratch.Scratch.visit_gen;
+      bfs = scratch.Scratch.bfs;
+      cand_mark = scratch.Scratch.cand_mark;
+      cand_gen = scratch.Scratch.cand_gen;
+      l2p_scratch = scratch.Scratch.l2p;
       out_rev = [];
-      decay = Array.make n_physical 1.0;
+      decay = scratch.Scratch.decay;
       steps_since_reset = 0;
       stall = 0;
       stall_limit =
@@ -377,24 +455,41 @@ let run_flat ?dist config coupling dag initial =
       fallback_swaps = 0;
     }
   in
-  List.iter (fun i -> Intq.push st.ready i) (Dag.initial_front dag);
-  advance st;
-  while st.front_len > 0 do
-    if st.stall > st.stall_limit then fallback_route st
-    else choose_and_apply_swap st;
-    advance st
-  done;
-  {
-    physical =
-      Circuit.create
-        ~n_qubits:(Coupling.n_qubits coupling)
-        ~n_clbits:(Circuit.n_clbits circuit)
-        (List.rev st.out_rev);
-    final_mapping = st.mapping;
-    n_swaps = st.n_swaps;
-    search_steps = st.search_steps;
-    fallback_swaps = st.fallback_swaps;
-  }
+  (* Sync grown arrays and generation counters back even when the run
+     raises: a stamp written during an aborted run must stay below the
+     next run's generations, so the counters may never rewind. *)
+  let sync () =
+    scratch.Scratch.front_buf <- st.front_buf;
+    scratch.Scratch.fq1 <- st.fq1;
+    scratch.Scratch.fq2 <- st.fq2;
+    scratch.Scratch.eq1 <- st.eq1;
+    scratch.Scratch.eq2 <- st.eq2;
+    scratch.Scratch.visit_gen <- st.visit_gen;
+    scratch.Scratch.cand_gen <- st.cand_gen
+  in
+  Fun.protect ~finally:sync (fun () ->
+      List.iter (fun i -> Intq.push st.ready i) (Dag.initial_front dag);
+      advance st;
+      while st.front_len > 0 do
+        if st.stall > st.stall_limit then fallback_route st
+        else choose_and_apply_swap st;
+        advance st
+      done;
+      {
+        physical =
+          Circuit.create
+            ~n_qubits:(Coupling.n_qubits coupling)
+            ~n_clbits:(Circuit.n_clbits circuit)
+            (List.rev st.out_rev);
+        final_mapping = st.mapping;
+        n_swaps = st.n_swaps;
+        search_steps = st.search_steps;
+        fallback_swaps = st.fallback_swaps;
+      })
+
+let run_flat ?dist config coupling dag initial =
+  run_with_scratch ~scratch:(Scratch.create coupling) ?dist config coupling dag
+    initial
 
 let run ?dist config coupling dag initial =
   let dist = Option.map Heuristic.flatten_dist dist in

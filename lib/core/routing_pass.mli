@@ -43,4 +43,39 @@ val run_flat :
     ([dist.((p1 * n_physical) + p2)], stride = device qubit count) the
     search scores against directly — no per-compilation conversion, one
     shared array across trials and traversal directions. Raises
-    [Invalid_argument] if [dist] is not exactly [n_physical²] long. *)
+    [Invalid_argument] if [dist] is not exactly [n_physical²] long.
+
+    Allocates a fresh {!Scratch.t} per call; drivers routing many
+    traversals against one device should hold a scratch and call
+    {!run_with_scratch}. *)
+
+(** Reusable search-state arena: every array the traversal loop touches
+    (front deque, candidate stamps, BFS ring buffer, decay, front-pair
+    and extended-set caches), allocated once per device and reset per
+    run, so the steady-state hot path of a driver that routes many
+    circuits is allocation-free. A scratch belongs to one domain at a
+    time — never share one across concurrent runs. *)
+module Scratch : sig
+  type t
+
+  val create : Coupling.t -> t
+  (** Size the arena for [coupling] (decay per physical qubit, candidate
+      stamps per edge); DAG-sized arrays start empty and grow to the
+      largest circuit routed with this scratch. *)
+end
+
+val run_with_scratch :
+  scratch:Scratch.t ->
+  ?dist:float array ->
+  Config.t ->
+  Coupling.t ->
+  Dag.t ->
+  Mapping.t ->
+  result
+(** {!run_flat}, reusing [scratch] instead of allocating. The output is
+    bit-identical to a fresh-scratch run: per-run state is reset on
+    entry, and the stamp arrays survive untouched because their
+    generation counters only ever increase (a π-independent stale stamp
+    can never collide with a fresh generation). Raises
+    [Invalid_argument] when [scratch] was created for a device of a
+    different shape (qubit or edge count). *)

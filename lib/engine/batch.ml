@@ -1,0 +1,74 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+
+type job = { name : string; circuit : Circuit.t }
+
+type success = {
+  name : string;
+  physical : Circuit.t;
+  initial : Mapping.t;
+  final : Mapping.t;
+  stats : Stats.t;
+}
+
+type error = { name : string; message : string }
+type outcome = (success, error) result
+
+type report = {
+  outcomes : outcome array;
+  wall_s : float;
+  domains : int;
+  domain_stats : Scheduler.domain_stats array;
+}
+
+let wall = Unix.gettimeofday
+
+let compile_one ~config ~pipeline ~instrument coupling job =
+  let t0 = wall () in
+  match
+    Context.create ~config ~trial_mode:Trial_runner.Sequential ~instrument
+      coupling job.circuit
+    |> Pipeline.run ~instrument pipeline
+  with
+  | ctx ->
+    let r = Context.routed_exn ctx in
+    Ok
+      {
+        name = job.name;
+        physical = r.Context.physical;
+        initial = r.Context.trial_initial;
+        final = r.Context.final_mapping;
+        stats = Context.stats ctx ~time_s:(wall () -. t0);
+      }
+  | exception Router.Route_failed msg -> Error { name = job.name; message = msg }
+  | exception Verify_pass.Verify_failed msg ->
+    Error { name = job.name; message = msg }
+  | exception Invalid_argument msg -> Error { name = job.name; message = msg }
+
+let compile_many ?(config = Config.default) ?(router = Sabre_router.router)
+    ?(domains = 1) ?(verify = false) ?(instrument = Instrument.null) coupling
+    jobs =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.Batch: " ^ msg));
+  (* Warm the device-keyed distance cache once on the calling domain so
+     workers start from a hit instead of racing on the first miss. *)
+  ignore (Hardware.Dist_cache.hop_distances coupling);
+  let pipeline = Pipeline.default ~router ~verify () in
+  let thunks =
+    Array.map
+      (fun job () -> compile_one ~config ~pipeline ~instrument coupling job)
+      jobs
+  in
+  let t0 = wall () in
+  let domains = max 1 (min domains (max 1 (Array.length jobs))) in
+  let { Scheduler.results; stats } = Scheduler.run_report ~domains thunks in
+  {
+    outcomes = results;
+    wall_s = wall () -. t0;
+    domains;
+    domain_stats = stats;
+  }

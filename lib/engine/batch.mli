@@ -1,0 +1,61 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+
+(** Batch compilation: many circuits, one device, a pool of domains.
+
+    This is the service-shaped entry point: a request batch compiles
+    against a shared device across the {!Scheduler} domain pool, the
+    distance matrix is fetched once from {!Hardware.Dist_cache} and
+    shared read-only by every domain, and each domain reuses its own
+    routing scratch arena across the jobs it claims. Results come back
+    in job order and are {e byte-identical} to compiling each circuit
+    sequentially: every job runs its trial loop sequentially inside the
+    job ([Trial_runner.Sequential]) with the seed from [config], so the
+    only parallelism is across independent circuits.
+
+    Per-job failures (routing failure, verification failure, invalid
+    input) are captured as [Error] outcomes; one poisoned circuit never
+    takes down the batch. *)
+
+type job = { name : string; circuit : Circuit.t }
+
+type success = {
+  name : string;
+  physical : Circuit.t;  (** hardware-compliant routed circuit *)
+  initial : Mapping.t;  (** winning trial's initial mapping *)
+  final : Mapping.t;
+  stats : Stats.t;  (** [time_s] is this job's wall time *)
+}
+
+type error = { name : string; message : string }
+type outcome = (success, error) result
+
+type report = {
+  outcomes : outcome array;  (** in job order *)
+  wall_s : float;  (** whole-batch wall time *)
+  domains : int;  (** domains actually used (after clamping) *)
+  domain_stats : Scheduler.domain_stats array;
+      (** per-worker jobs-claimed counters from the scheduler *)
+}
+
+val compile_many :
+  ?config:Config.t ->
+  ?router:Router.t ->
+  ?domains:int ->
+  ?verify:bool ->
+  ?instrument:Instrument.t ->
+  Coupling.t ->
+  job array ->
+  report
+(** [compile_many coupling jobs] routes every job's circuit for
+    [coupling] through the default pipeline. [router] defaults to
+    SABRE; [domains] defaults to 1 (sequential — pass
+    [Trial_runner.default_domains ()] to use every core); [verify]
+    (default [false]) appends the semantic {!Verify_pass} to each job's
+    pipeline. [instrument] receives every job's pass events and must be
+    domain-safe when [domains > 1] ({!Instrument.null}, the default,
+    and {!Instrument.stderr_trace} are; a plain {!Instrument.collector}
+    is not). *)

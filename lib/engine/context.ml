@@ -40,35 +40,37 @@ let check_device coupling circuit =
   if Circuit.n_qubits circuit > 1 && not (Coupling.is_connected_graph coupling)
   then invalid_arg "Engine.Context: disconnected coupling graph"
 
-(* Flat row-major hop distances, derived once from the Floyd–Warshall
-   cache; every pass, trial and traversal direction shares this array. *)
-let hop_distances coupling =
-  let d = Coupling.distance_matrix coupling in
-  let n = Coupling.n_qubits coupling in
-  let flat = Array.make (n * n) 0.0 in
-  for i = 0 to n - 1 do
-    let row = d.(i) in
-    for j = 0 to n - 1 do
-      flat.((i * n) + j) <- float_of_int row.(j)
-    done
-  done;
-  flat
-
 let create ?(config = Config.default) ?dist ?noise
-    ?(trial_mode = Trial_runner.Sequential) ?initial coupling circuit =
+    ?(trial_mode = Trial_runner.Sequential) ?initial
+    ?(instrument = Instrument.null) coupling circuit =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.Context: " ^ msg));
   check_device coupling circuit;
+  let dist, cache_counters =
+    match dist with
+    | Some d -> (Sabre_core.Heuristic.flatten_dist d, [])
+    | None ->
+      (* the device-keyed cache skips the all-pairs BFS entirely when a
+         structurally identical device was compiled before *)
+      let flat, outcome = Hardware.Dist_cache.lookup coupling in
+      let hit, miss = match outcome with `Hit -> (1, 0) | `Miss -> (0, 1) in
+      instrument.Instrument.emit
+        (Instrument.Counter
+           { pass = "context"; name = "dist_cache_hit"; value = hit });
+      instrument.Instrument.emit
+        (Instrument.Counter
+           { pass = "context"; name = "dist_cache_miss"; value = miss });
+      ( flat,
+        [ ("context.dist_cache_hit", hit); ("context.dist_cache_miss", miss) ]
+      )
+  in
   {
     config;
     coupling;
     circuit;
     noise;
-    dist =
-      (match dist with
-      | Some d -> Sabre_core.Heuristic.flatten_dist d
-      | None -> hop_distances coupling);
+    dist;
     trial_mode;
     fixed_initial = Option.map Mapping.copy initial;
     dag_forward = None;
@@ -77,7 +79,7 @@ let create ?(config = Config.default) ?dist ?noise
     routed = None;
     verified = None;
     metrics = [];
-    counters = [];
+    counters = List.rev cache_counters;  (* stored newest-first *)
   }
 
 let add_metric ctx name v = { ctx with metrics = (name, v) :: ctx.metrics }

@@ -62,16 +62,20 @@ val create :
   ?noise:Noise.t ->
   ?trial_mode:Trial_runner.mode ->
   ?initial:Mapping.t ->
+  ?instrument:Instrument.t ->
   Coupling.t ->
   Circuit.t ->
   t
 (** Validate the inputs and build a fresh context. [dist] overrides the
     hop-count metric (e.g. {!Hardware.Noise.swap_reliability_distance})
-    and is flattened row-major here, once; when absent the coupling
-    graph's Floyd–Warshall matrix is converted directly into the flat
-    form. [initial] is copied. Raises [Invalid_argument] on an invalid
-    config, a circuit wider than the device, or a disconnected coupling
-    graph. *)
+    and is flattened row-major here, once; when absent the flat
+    hop-distance matrix comes from the device-keyed
+    {!Hardware.Dist_cache} — a cache hit skips the all-pairs BFS
+    entirely, and the hit/miss outcome is emitted on [instrument]
+    (counters [context.dist_cache_hit] / [context.dist_cache_miss],
+    also visible in {!counters}). [initial] is copied. Raises
+    [Invalid_argument] on an invalid config, a circuit wider than the
+    device, or a disconnected coupling graph. *)
 
 val add_metric : t -> string -> float -> t
 val add_counter : t -> pass:string -> string -> int -> t

@@ -8,6 +8,26 @@ let dag_exn = function
   | Some d -> d
   | None -> raise (Router.Route_failed "sabre router: Dag_pass must run first")
 
+(* Domain-local routing scratch, keyed to the device it was sized for.
+   Every domain (the caller's, and each Scheduler worker) owns exactly
+   one arena and reuses it across trials, traversals and batched
+   compilations against the same device instance; a different device
+   simply re-sizes the slot. Keying by physical identity is deliberate:
+   batch drivers share one [Coupling.t] across jobs, and a fresh
+   instance would need a fresh arena anyway. *)
+let scratch_slot : (Hardware.Coupling.t * Routing.Scratch.t) option ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scratch_for coupling =
+  let slot = Domain.DLS.get scratch_slot in
+  match !slot with
+  | Some (c, s) when c == coupling -> s
+  | _ ->
+    let s = Routing.Scratch.create coupling in
+    slot := Some (coupling, s);
+    s
+
 (* Traversal i (1-based) routes forward when i is odd, backward when
    even; the traversal count is odd so the last one is forward and its
    input mapping is the reverse-traversal-optimised initial mapping. *)
@@ -15,10 +35,12 @@ let route (ctx : Context.t) ~initial =
   let forward = dag_exn ctx.dag_forward in
   let total = ctx.config.Config.traversals in
   let backward = if total > 1 then dag_exn ctx.dag_backward else forward in
+  let scratch = scratch_for ctx.coupling in
   let rec go i mapping first steps fallbacks =
     let oriented = if i mod 2 = 1 then forward else backward in
     let r =
-      Routing.run_flat ~dist:ctx.dist ctx.config ctx.coupling oriented mapping
+      Routing.run_with_scratch ~scratch ~dist:ctx.dist ctx.config ctx.coupling
+        oriented mapping
     in
     let first = match first with None -> Some r.Routing.n_swaps | s -> s in
     let steps = steps + r.Routing.search_steps in

@@ -5,40 +5,13 @@ let default_domains () = max 1 (Domain.recommended_domain_count ())
 let map ~mode jobs =
   match mode with
   | Sequential -> Array.map (fun f -> f ()) jobs
-  | Domains d ->
-    let n = Array.length jobs in
-    if n = 0 then [||]
-    else begin
-      let d = max 1 (min d n) in
-      let results = Array.make n None in
-      (* round-robin striping: domain k owns trials k, k+d, k+2d, ...
-         Each slot is written by exactly one domain, so the plain array
-         needs no synchronisation. *)
-      let worker k () =
-        let i = ref k in
-        while !i < n do
-          results.(!i) <- Some (jobs.(!i) ());
-          i := !i + d
-        done
-      in
-      let domains = List.init d (fun k -> Domain.spawn (worker k)) in
-      let first_error =
-        List.fold_left
-          (fun err dom ->
-            match Domain.join dom with
-            | () -> err
-            | exception e -> (match err with None -> Some e | s -> s))
-          None domains
-      in
-      (match first_error with Some e -> raise e | None -> ());
-      Array.map
-        (function Some r -> r | None -> assert false (* joined without error *))
-        results
-    end
+  | Domains d -> Scheduler.run ~domains:d jobs
 
 let best ~better = function
   | [||] -> invalid_arg "Trial_runner.best: no trials"
   | results ->
+    (* left-to-right, strict improvement only: ties keep the earliest
+       candidate, so sequential and parallel runs pick the same winner *)
     let acc = ref results.(0) in
     for i = 1 to Array.length results - 1 do
       if better results.(i) !acc then acc := results.(i)

@@ -10,19 +10,22 @@
 type mode =
   | Sequential
   | Domains of int
-      (** evaluate across [n] domains; trial [i] runs on domain
-          [i mod n], results are still delivered in trial order *)
+      (** evaluate across [n] domains via {!Scheduler} (shared atomic
+          work queue, work-stealing claim order); results are still
+          delivered in trial order *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
 
 val map : mode:mode -> (unit -> 'a) array -> 'a array
-(** Evaluate every thunk, returning results in input order. In
-    [Domains] mode an exception raised by any thunk is re-raised after
-    all domains have been joined. *)
+(** Evaluate every thunk, returning results in input order. [Domains]
+    mode is implemented by {!Scheduler.run}, which also defines the
+    exception semantics (lowest-indexed failure re-raised after all
+    domains join). *)
 
 val best : better:('a -> 'a -> bool) -> 'a array -> 'a
 (** Left fold keeping the first element when [better] ties — the same
     reduction order as a sequential loop, so sequential and parallel
-    runs pick the same winner. [better a b] must mean "[a] is strictly
-    better than [b]". Raises [Invalid_argument] on an empty array. *)
+    runs pick the same winner ("first best wins"). [better a b] must
+    mean "[a] is strictly better than [b]". Raises [Invalid_argument]
+    on an empty array. *)

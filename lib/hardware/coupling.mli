@@ -48,11 +48,26 @@ val is_connected_graph : t -> bool
     router to succeed on circuits touching all qubits). *)
 
 val distance_matrix : t -> int array array
-(** All-pairs shortest path distances computed with the Floyd–Warshall
-    algorithm (paper Section IV-A, O(N³)). [D.(i).(j)] is the minimum
-    number of edges between [Qi] and [Qj]; [max_int/2]-ish sentinel is
-    never visible for connected graphs, and unreachable pairs report a
-    value [>= n_qubits]. The matrix is computed once and cached. *)
+(** All-pairs shortest path distances, one BFS per source over the CSR
+    adjacency — O(V·(V+E)), exact on unit-weight edges, so identical to
+    the Floyd–Warshall matrix the paper describes (Section IV-A) at a
+    fraction of its O(V³) cost on sparse couplings. [D.(i).(j)] is the
+    minimum number of edges between [Qi] and [Qj]; [max_int/2]-ish
+    sentinel is never visible for connected graphs, and unreachable
+    pairs report a value [>= n_qubits]. The matrix is computed once per
+    graph value and cached; see {!Dist_cache} for the cross-instance,
+    device-keyed cache. *)
+
+val floyd_warshall : t -> int array array
+(** The paper's original O(N³) Floyd–Warshall all-pairs algorithm, kept
+    as a differential-testing reference for {!distance_matrix}. Not
+    cached; do not use on a hot path. *)
+
+val digest : t -> string
+(** Canonical hex digest of the device: qubit count plus the normalised
+    sorted edge list. Equal exactly when two graphs have the same vertex
+    count and edge set (regardless of construction order); computed once
+    and cached. Keys the {!Dist_cache} memo table. *)
 
 val distance : t -> int -> int -> int
 (** [distance g i j] is [ (distance_matrix g).(i).(j) ]. *)

@@ -1,0 +1,80 @@
+let capacity = 16
+
+type entry = { flat : float array; mutable tick : int }
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create capacity
+let clock = ref 0
+let hits = ref 0
+let misses = ref 0
+let evictions = ref 0
+
+let flatten coupling =
+  let d = Coupling.distance_matrix coupling in
+  let n = Coupling.n_qubits coupling in
+  let flat = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    let row = d.(i) in
+    for j = 0 to n - 1 do
+      flat.((i * n) + j) <- float_of_int row.(j)
+    done
+  done;
+  flat
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, tick) when tick <= e.tick -> acc
+        | _ -> Some (key, e.tick))
+      table None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove table key;
+    incr evictions
+  | None -> ()
+
+let lookup coupling =
+  (* digest first: it memoises inside the coupling value and keeps the
+     O(edges) serialisation outside the critical section on reuse *)
+  let key = Coupling.digest coupling in
+  Mutex.protect lock (fun () ->
+      incr clock;
+      match Hashtbl.find_opt table key with
+      | Some e ->
+        e.tick <- !clock;
+        incr hits;
+        (e.flat, `Hit)
+      | None ->
+        incr misses;
+        let flat = flatten coupling in
+        if Hashtbl.length table >= capacity then evict_lru ();
+        Hashtbl.add table key { flat; tick = !clock };
+        (flat, `Miss))
+
+let hop_distances coupling = fst (lookup coupling)
+
+let stats () =
+  Mutex.protect lock (fun () ->
+      {
+        hits = !hits;
+        misses = !misses;
+        evictions = !evictions;
+        entries = Hashtbl.length table;
+      })
+
+let reset_stats () =
+  Mutex.protect lock (fun () ->
+      hits := 0;
+      misses := 0;
+      evictions := 0)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset table;
+      hits := 0;
+      misses := 0;
+      evictions := 0)

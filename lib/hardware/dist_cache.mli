@@ -1,0 +1,43 @@
+(** Device-keyed distance-matrix cache.
+
+    A service workload compiles thousands of circuits against a handful
+    of devices, and each compilation used to pay the all-pairs
+    shortest-path setup again because device objects are typically
+    rebuilt per request (parsed from a manifest, constructed by
+    [Devices.by_name], ...). This module memoises the {e flat row-major
+    float} hop-distance matrix — the exact array the routing hot path
+    scores against — across {!Coupling.t} instances, keyed by
+    {!Coupling.digest} (qubit count + canonical edge list), so two
+    structurally identical devices share one matrix no matter how many
+    times they are re-created.
+
+    The table is a mutex-protected LRU bounded at {!capacity} entries;
+    concurrent lookups from any number of domains are safe. Returned
+    arrays are shared: treat them as read-only. *)
+
+val capacity : int
+(** Maximum resident devices (16). Inserting beyond it evicts the least
+    recently used entry. *)
+
+val lookup : Coupling.t -> float array * [ `Hit | `Miss ]
+(** The device's all-pairs hop distances, flattened row-major with
+    stride [Coupling.n_qubits] — from the cache ([`Hit]) when a
+    structurally equal device was seen before, computed (one BFS per
+    source) and inserted ([`Miss]) otherwise. The returned array is
+    shared and must not be mutated. *)
+
+val hop_distances : Coupling.t -> float array
+(** [fst (lookup coupling)]. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : unit -> stats
+(** Cumulative counters since start-up (or {!reset_stats}), plus the
+    current resident entry count. *)
+
+val reset_stats : unit -> unit
+(** Zero the hit/miss/eviction counters; resident entries stay. *)
+
+val clear : unit -> unit
+(** Drop every resident entry (and reset the counters) — used by
+    benchmarks to measure cold-cache behaviour and by tests. *)

@@ -1,0 +1,107 @@
+(* Engine.Batch: many circuits, one device, a Scheduler domain pool.
+
+   Byte-identical parallel-vs-sequential equality is property-tested in
+   [Suite_properties]; here we pin the service-shaped contract — job
+   ordering, per-job failure isolation, verification, clamping. *)
+
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Mapping = Sabre.Mapping
+module Engine = Sabre.Engine
+module Batch = Engine.Batch
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let device = Devices.ibm_q20_tokyo ()
+
+let jobs_of circuits =
+  Array.of_list
+    (List.mapi
+       (fun i c -> { Batch.name = Printf.sprintf "job%d" i; circuit = c })
+       circuits)
+
+let test_routes_and_verifies () =
+  let jobs =
+    jobs_of
+      (List.init 6 (fun i -> Helpers.random_circuit ~seed:(70 + i) ~n:8 ~gates:40))
+  in
+  let report = Batch.compile_many ~domains:2 ~verify:true device jobs in
+  check Alcotest.int "one outcome per job" (Array.length jobs)
+    (Array.length report.outcomes);
+  check Alcotest.int "clamped domain count reported" 2 report.domains;
+  check Alcotest.bool "wall time recorded" true (report.wall_s >= 0.0);
+  check Alcotest.int "jobs_run sums to batch size" (Array.length jobs)
+    (Array.fold_left
+       (fun acc s -> acc + s.Engine.Scheduler.jobs_run)
+       0 report.domain_stats);
+  Array.iteri
+    (fun i -> function
+      | Error (e : Batch.error) -> Alcotest.failf "%s: %s" e.name e.message
+      | Ok (s : Batch.success) ->
+        check Alcotest.string "outcomes in job order" jobs.(i).Batch.name
+          s.name;
+        check Alcotest.bool "per-job wall time recorded" true
+          (s.stats.time_s >= 0.0);
+        Helpers.assert_routed ~coupling:device
+          ~initial:(Mapping.l2p_array s.initial)
+          ~final:(Mapping.l2p_array s.final)
+          ~logical:jobs.(i).Batch.circuit ~physical:s.physical s.name)
+    report.outcomes
+
+let test_poisoned_job_is_isolated () =
+  let too_wide = Circuit.create ~n_qubits:30 [ Quantum.Gate.Cnot (0, 29) ] in
+  let jobs =
+    jobs_of
+      [
+        Helpers.random_circuit ~seed:1 ~n:6 ~gates:20;
+        too_wide;
+        Helpers.random_circuit ~seed:2 ~n:6 ~gates:20;
+      ]
+  in
+  let report = Batch.compile_many ~domains:2 device jobs in
+  (match report.outcomes.(1) with
+  | Error (e : Batch.error) ->
+    check Alcotest.string "failed job keeps its name" "job1" e.name;
+    check Alcotest.bool "failure message is descriptive" true
+      (String.length e.message > 0)
+  | Ok _ -> Alcotest.fail "30-qubit circuit routed on a 20-qubit device");
+  List.iter
+    (fun i ->
+      match report.outcomes.(i) with
+      | Ok _ -> ()
+      | Error (e : Batch.error) ->
+        Alcotest.failf "neighbour %s poisoned: %s" e.name e.message)
+    [ 0; 2 ]
+
+let test_domains_clamped_to_jobs () =
+  let jobs =
+    jobs_of [ Helpers.random_circuit ~seed:3 ~n:5 ~gates:10 ]
+  in
+  let report = Batch.compile_many ~domains:64 device jobs in
+  check Alcotest.int "one job never spawns a pool" 1 report.domains
+
+let test_invalid_config_rejected () =
+  let jobs = jobs_of [ Helpers.random_circuit ~seed:4 ~n:4 ~gates:5 ] in
+  check Alcotest.bool "trials=0 rejected up front" true
+    (match
+       Batch.compile_many
+         ~config:{ Sabre.Config.default with trials = 0 }
+         device jobs
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_empty_batch () =
+  let report = Batch.compile_many ~domains:4 device [||] in
+  check Alcotest.int "empty batch, empty outcomes" 0
+    (Array.length report.outcomes)
+
+let suite =
+  [
+    tc "routes and verifies a batch" `Quick test_routes_and_verifies;
+    tc "poisoned job is isolated" `Quick test_poisoned_job_is_isolated;
+    tc "domains clamped to job count" `Quick test_domains_clamped_to_jobs;
+    tc "invalid config rejected" `Quick test_invalid_config_rejected;
+    tc "empty batch" `Quick test_empty_batch;
+  ]

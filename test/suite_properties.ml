@@ -230,6 +230,71 @@ let prop_distance_matrix_metric =
       done;
       !ok)
 
+let prop_bfs_matches_floyd_warshall =
+  (* PR 4 replaced the O(V^3) Floyd-Warshall all-pairs computation with
+     per-source BFS over the CSR adjacency; on unit-weight graphs the two
+     must agree exactly. The old implementation is kept as the testing
+     reference. *)
+  QCheck.Test.make ~count:80
+    ~name:"BFS all-pairs distances equal Floyd-Warshall"
+    (QCheck.make (Generators.coupling ~min_qubits:2 ~slack:12 ()))
+    (fun device ->
+      Coupling.distance_matrix device = Coupling.floyd_warshall device)
+
+let batch_arb =
+  QCheck.make
+    QCheck.Gen.(
+      Generators.coupling ~min_qubits:4 ~slack:6 () >>= fun coupling ->
+      let max_qubits = min 6 (Coupling.n_qubits coupling) in
+      Generators.config >>= fun config ->
+      list_size (int_range 2 6)
+        (Generators.circuit ~min_qubits:2 ~max_qubits ~max_gates:25 ())
+      >|= fun circuits -> (coupling, config, circuits))
+    ~print:(fun (coupling, config, circuits) ->
+      Printf.sprintf "device: %d qubits, %d circuits, seed=%d"
+        (Coupling.n_qubits coupling)
+        (List.length circuits) config.Sabre.Config.seed)
+
+let prop_batch_matches_sequential =
+  QCheck.Test.make ~count:30
+    ~name:"Batch.compile_many with N domains equals sequential exactly"
+    batch_arb (fun (coupling, config, circuits) ->
+      let jobs =
+        Array.of_list
+          (List.mapi
+             (fun i c ->
+               { Engine.Batch.name = Printf.sprintf "job%d" i; circuit = c })
+             circuits)
+      in
+      let seq = Engine.Batch.compile_many ~config ~domains:1 coupling jobs in
+      let par = Engine.Batch.compile_many ~config ~domains:3 coupling jobs in
+      let same i (a : Engine.Batch.outcome) (b : Engine.Batch.outcome) =
+        match (a, b) with
+        | Ok x, Ok y ->
+          x.name = y.name
+          && Circuit.equal x.physical y.physical
+          && Mapping.equal x.initial y.initial
+          && Mapping.equal x.final y.final
+          && x.stats.n_swaps = y.stats.n_swaps
+          && x.stats.search_steps = y.stats.search_steps
+          && x.stats.first_traversal_swaps = y.stats.first_traversal_swaps
+          && x.stats.routed_depth = y.stats.routed_depth
+        | Error x, Error y -> x.name = y.name && x.message = y.message
+        | _ ->
+          QCheck.Test.fail_reportf "job %d: outcome kinds differ" i
+      in
+      Array.length seq.outcomes = Array.length par.outcomes
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun i a ->
+          if not (same i a par.outcomes.(i)) then begin
+            ok := false;
+            QCheck.Test.fail_reportf "job %d: 3-domain result diverges" i
+          end)
+        seq.outcomes;
+      !ok)
+
 let prop_mapping_swap_involutive =
   QCheck.Test.make ~count:100 ~name:"mapping swap twice = identity"
     (QCheck.make
@@ -371,6 +436,8 @@ let suite =
       prop_qasm_roundtrip;
       prop_depth_bounds;
       prop_distance_matrix_metric;
+      prop_bfs_matches_floyd_warshall;
+      prop_batch_matches_sequential;
       prop_mapping_swap_involutive;
       prop_canonical_key_stable_under_dag_relinearisation;
       prop_sabre_no_swaps_on_complete_graph;

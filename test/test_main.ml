@@ -24,6 +24,9 @@ let () =
       ("routing", Suite_routing.suite);
       ("compiler", Suite_compiler.suite);
       ("engine", Suite_engine.suite);
+      ("scheduler", Suite_scheduler.suite);
+      ("dist_cache", Suite_dist_cache.suite);
+      ("batch", Suite_batch.suite);
       ("flatcore", Suite_flatcore.suite);
       ("baseline", Suite_baseline.suite);
       ("optimal", Suite_optimal.suite);
