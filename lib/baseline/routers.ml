@@ -20,6 +20,7 @@ let greedy : Router.t =
         search_steps = 0;
         fallback_swaps = 0;
         traversals = 1;
+        scoring = Sabre_core.Stats.scoring_zero;
       }
   end)
 
@@ -40,6 +41,7 @@ let bka : Router.t =
           search_steps = r.nodes_generated;
           fallback_swaps = 0;
           traversals = 1;
+          scoring = Sabre_core.Stats.scoring_zero;
         }
       | Error f ->
         raise (Router.Route_failed (Format.asprintf "BKA: %a" Bka.pp_failure f))

@@ -18,8 +18,8 @@ type routed = {
   n_swaps : int;
 }
 
-let route ?initial ~config coupling circuit router =
-  let ctx = Engine.Context.create ~config ?initial coupling circuit in
+let route ?initial ?scoring ~config coupling circuit router =
+  let ctx = Engine.Context.create ~config ?initial ?scoring coupling circuit in
   let ctx = Engine.Pipeline.run (Engine.Pipeline.default ~router ()) ctx in
   let r = Engine.Context.routed_exn ctx in
   {
@@ -137,5 +137,30 @@ let flatcore_equivalence ~config coupling circuit =
            config.Config.seed a.n_swaps b.n_swaps)
     else if a.initial <> b.initial || a.final <> b.final then
       Error "flat-core and reference SABRE disagree on mappings"
+    else Ok ()
+  | exception Router.Route_failed _ -> Ok ()
+
+let delta_equivalence ~config coupling circuit =
+  ensure_registered ();
+  let sabre =
+    match Router.find Engine.Sabre_router.name with
+    | Some r -> r
+    | None -> invalid_arg "delta_equivalence: router sabre missing"
+  in
+  match
+    ( route ~scoring:Sabre_core.Routing_pass.Delta ~config coupling circuit
+        sabre,
+      route ~scoring:Sabre_core.Routing_pass.Full ~config coupling circuit
+        sabre )
+  with
+  | a, b ->
+    if not (Circuit.equal a.physical b.physical) then
+      Error
+        (Printf.sprintf
+           "delta and full-recompute scoring routed different circuits at \
+            seed %d (%d vs %d swaps)"
+           config.Config.seed a.n_swaps b.n_swaps)
+    else if a.initial <> b.initial || a.final <> b.final then
+      Error "delta and full-recompute scoring disagree on mappings"
     else Ok ()
   | exception Router.Route_failed _ -> Ok ()

@@ -26,14 +26,17 @@ type routed = {
 
 val route :
   ?initial:Sabre_core.Mapping.t ->
+  ?scoring:Sabre_core.Routing_pass.scoring_mode ->
   config:Config.t ->
   Coupling.t ->
   Circuit.t ->
   Router.t ->
   routed
 (** Run one router through the engine pipeline (decompose → DAG → initial
-    mapping → routing). Raises whatever the pipeline raises
-    ([Router.Route_failed], [Invalid_argument]). *)
+    mapping → routing). [scoring] selects the SABRE candidate-scoring
+    strategy (delta vs full recompute; ignored by other routers). Raises
+    whatever the pipeline raises ([Router.Route_failed],
+    [Invalid_argument]). *)
 
 type verdict =
   | Pass
@@ -96,3 +99,11 @@ val flatcore_equivalence :
     pre-refactor [sabre-ref] reference at the same seed: physical
     circuits and both mappings must be byte-identical. Transitional
     check for the flat-core refactor; delete with {!Engine.Sabre_ref_router}. *)
+
+val delta_equivalence :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Route with the [sabre] router twice at the same seed — once with
+    incremental delta scoring, once with the full per-candidate
+    recompute: physical circuits and both mappings must be
+    byte-identical (the delta scorer's integer-exactness guarantee made
+    observable end to end). *)

@@ -128,6 +128,11 @@ let flatcore_failure ~config coupling circuit =
   | Error msg -> Some msg
   | Ok () -> None
 
+let delta_failure ~config coupling circuit =
+  match Differential.delta_equivalence ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
 let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
     ?(on_event = fun (_ : event) -> ()) ~seed ~routers () =
   Differential.ensure_registered ();
@@ -222,6 +227,19 @@ let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
           ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
           ~failure_of:(fun c -> flatcore_failure ~config coupling c)
     end;
+    (* delta-scoring property: incremental and full-recompute candidate
+       scoring must emit byte-identical routings on every instance *)
+    if
+      List.mem "sabre" routers
+      && not (Hashtbl.mem dead ("sabre", "delta-equivalence"))
+    then begin
+      match delta_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"delta-equivalence" ~config
+          ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> delta_failure ~config coupling c)
+    end;
     incr trials;
     on_event (Trial_done !trials)
   done;
@@ -250,6 +268,14 @@ let replay (r : Corpus.repro) =
         `Error (Printf.sprintf "router skipped the instance: %s" msg))
     | "determinism" -> (
       match Differential.determinism ~config coupling circuit router with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "flatcore-equivalence" -> (
+      match Differential.flatcore_equivalence ~config coupling circuit with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "delta-equivalence" -> (
+      match Differential.delta_equivalence ~config coupling circuit with
       | Error msg -> `Reproduced msg
       | Ok () -> `Passes)
     | p -> `Error (Printf.sprintf "unknown property %S" p))

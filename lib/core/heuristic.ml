@@ -8,7 +8,16 @@ let basic ~dist ~l2p pairs =
 let average_distance ~dist ~l2p pairs =
   match pairs with
   | [] -> 0.0
-  | _ -> basic ~dist ~l2p pairs /. float_of_int (List.length pairs)
+  | _ ->
+    (* Single traversal: the count rides along with the sum.  Same
+       left-to-right addition order as [basic], so the result is
+       bit-identical to the old sum-then-length form. *)
+    let sum, count =
+      List.fold_left
+        (fun (acc, n) (q1, q2) -> (acc +. dist.(l2p.(q1)).(l2p.(q2)), n + 1))
+        (0.0, 0) pairs
+    in
+    sum /. float_of_int count
 
 let lookahead ~dist ~l2p ~front ~extended ~weight =
   average_distance ~dist ~l2p front
@@ -66,3 +75,63 @@ let score_flat ~heuristic ~dist ~stride ~l2p ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen
     with_decay ~decay ~p1 ~p2
       (lookahead_flat ~dist ~stride ~l2p ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen
          ~weight)
+
+(* ------------------------------------------------------------------ *)
+(* Integer delta primitives.
+
+   BFS hop distances are small non-negative integers, and IEEE-754
+   doubles represent every integer below 2^53 exactly, with addition of
+   exactly-representable integers itself exact as long as every partial
+   sum stays below 2^53.  [basic_flat] over an integer-valued matrix is
+   therefore [float_of_int] of the integer sum, bit for bit — and an
+   integer sum maintained by delta updates (base − old + new) is the
+   same integer, independent of update order.  That is what lets the
+   router score candidates in O(touched pairs) while reproducing the
+   full-recompute float exactly.                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep individual entries far below 2^53 / max-pair-count so the sum
+   bound can never be hit in practice: distances above this (or
+   non-integral, or negative, as in noise-weighted metrics) disqualify
+   the matrix from integer delta scoring. *)
+let max_int_dist = 0x4000_0000 (* 2^30 *)
+
+let dist_int_of_flat dist =
+  let n = Array.length dist in
+  let out = Array.make (max n 1) 0 in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       let v = dist.(i) in
+       if Float.is_integer v && v >= 0.0 && v <= float_of_int max_int_dist
+       then out.(i) <- int_of_float v
+       else raise Exit
+     done
+   with Exit -> ok := false);
+  if !ok then Some out else None
+
+let sum_int ~dist ~stride ~l2p ~q1 ~q2 ~len =
+  let acc = ref 0 in
+  for k = 0 to len - 1 do
+    acc := !acc + dist.((l2p.(q1.(k)) * stride) + l2p.(q2.(k)))
+  done;
+  !acc
+
+(* Mirrors [average_flat]: same zero-length guard, same division. *)
+let average_of_sum_int ~sum ~len =
+  if len = 0 then 0.0 else float_of_int sum /. float_of_int len
+
+(* Mirrors [lookahead_flat]'s expression shape exactly:
+   [front_avg +. (weight *. ext_avg)]. *)
+let lookahead_of_sums_int ~fsum ~flen ~esum ~elen ~weight =
+  average_of_sum_int ~sum:fsum ~len:flen
+  +. (weight *. average_of_sum_int ~sum:esum ~len:elen)
+
+let score_of_sums_int ~heuristic ~fsum ~flen ~esum ~elen ~weight ~decay ~p1
+    ~p2 =
+  match (heuristic : Config.heuristic) with
+  | Basic -> float_of_int fsum
+  | Lookahead -> lookahead_of_sums_int ~fsum ~flen ~esum ~elen ~weight
+  | Decay ->
+    with_decay ~decay ~p1 ~p2
+      (lookahead_of_sums_int ~fsum ~flen ~esum ~elen ~weight)

@@ -13,6 +13,12 @@ val basic :
     that the same heuristic serves hop distances (plain reproduction) and
     reliability-weighted distances ({!Hardware.Noise}). *)
 
+val average_distance :
+  dist:float array array -> l2p:int array -> (int * int) list -> float
+(** Mean mapped distance over a pair list, 0 when empty — the building
+    block of {!lookahead}. Sum and count are accumulated in a single
+    traversal of the list. *)
+
 val lookahead :
   dist:float array array ->
   l2p:int array ->
@@ -83,3 +89,56 @@ val score_flat :
   float
 (** Flat counterpart of {!score}: front layer [fq1]/[fq2]/[flen],
     extended set [eq1]/[eq2]/[elen]. *)
+
+(** {2 Integer delta primitives}
+
+    Support for incremental (delta) SWAP scoring that is *bit-identical*
+    to a full {!score_flat} recompute — not approximately equal.
+
+    The exactness argument: BFS hop distances are small non-negative
+    integers; IEEE-754 doubles represent every integer below 2^53
+    exactly, and adding exactly-representable integers is itself exact
+    while every partial sum stays below 2^53. So summing an
+    integer-valued distance matrix in float ({!basic_flat}) produces
+    exactly [float_of_int] of the integer sum — and an integer sum
+    maintained incrementally ([base − old_terms + new_terms], all in
+    [int]) is the *same* integer regardless of update order. Entries are
+    capped at 2^30 ({!dist_int_of_flat} rejects larger ones), so with
+    fewer than 2^22 pairs no partial sum can approach 2^53.
+
+    Reconstruction ({!score_of_sums_int}) mirrors {!score_flat}'s float
+    expression shape operation for operation — same zero-length guards,
+    same divisions, same [front +. (weight *. ext)] association, same
+    {!with_decay} factor — which is what makes the reconstructed score
+    bit-identical, not merely numerically close. *)
+
+val dist_int_of_flat : float array -> int array option
+(** Integer view of a flat distance matrix, or [None] if any entry is
+    non-integral, negative, or above 2^30 (e.g. noise-weighted metrics,
+    which must then use full recompute scoring). *)
+
+val sum_int :
+  dist:int array ->
+  stride:int ->
+  l2p:int array ->
+  q1:int array ->
+  q2:int array ->
+  len:int ->
+  int
+(** Integer twin of {!basic_flat}: Σ_k D[π(q1.(k))][π(q2.(k))]. *)
+
+val score_of_sums_int :
+  heuristic:Config.heuristic ->
+  fsum:int ->
+  flen:int ->
+  esum:int ->
+  elen:int ->
+  weight:float ->
+  decay:float array ->
+  p1:int ->
+  p2:int ->
+  float
+(** Rebuild the {!score_flat} value from integer pair-distance sums.
+    Bit-identical to [score_flat] evaluated on the matching
+    integer-valued float matrix with the same front/extended sets (see
+    the exactness argument above). *)

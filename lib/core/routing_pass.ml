@@ -3,13 +3,73 @@ module Circuit = Quantum.Circuit
 module Dag = Quantum.Dag
 module Coupling = Hardware.Coupling
 
+type scoring_mode = Delta | Full
+
 type result = {
   physical : Circuit.t;
   final_mapping : Mapping.t;
   n_swaps : int;
   search_steps : int;
   fallback_swaps : int;
+  scoring : Stats.scoring;
 }
+
+(* Per-logical-qubit incidence index over the front/extended pair slots,
+   in CSR form: [idx.(off.(q) .. off.(q+1)-1)] are the slot ids whose
+   pair contains logical qubit [q]. Keyed by *logical* qubits — not
+   physical ones — so the index is π-independent: it stays valid across
+   every SWAP applied while the front is blocked, and only needs a
+   rebuild when front membership changes (tracked by [built_gen], the
+   front generation the index was built at). Built by an
+   allocation-free counting sort; arrays grow to high-water capacity. *)
+module Incidence = struct
+  type t = {
+    mutable off : int array;  (* n_logical+1 exclusive prefix sums *)
+    mutable idx : int array;  (* 2·len slot ids, grouped by qubit *)
+    mutable built_gen : int;  (* front generation reflected; -1 = none *)
+  }
+
+  let create () = { off = [||]; idx = [||]; built_gen = -1 }
+  let invalidate t = t.built_gen <- -1
+  let generation t = t.built_gen
+
+  let build t ~gen ~n_logical ~q1 ~q2 ~len =
+    let n1 = n_logical + 1 in
+    if Array.length t.off < n1 then t.off <- Array.make (max n1 16) 0
+    else Array.fill t.off 0 n1 0;
+    if Array.length t.idx < 2 * len then
+      t.idx <- Array.make (max (2 * len) 16) 0;
+    let off = t.off and idx = t.idx in
+    (* count → exclusive prefix → cursor fill → shift back to starts *)
+    for k = 0 to len - 1 do
+      off.(q1.(k)) <- off.(q1.(k)) + 1;
+      off.(q2.(k)) <- off.(q2.(k)) + 1
+    done;
+    let start = ref 0 in
+    for q = 0 to n_logical do
+      let c = off.(q) in
+      off.(q) <- !start;
+      start := !start + c
+    done;
+    for k = 0 to len - 1 do
+      idx.(off.(q1.(k))) <- k;
+      off.(q1.(k)) <- off.(q1.(k)) + 1;
+      idx.(off.(q2.(k))) <- k;
+      off.(q2.(k)) <- off.(q2.(k)) + 1
+    done;
+    for q = n_logical downto 1 do
+      off.(q) <- off.(q - 1)
+    done;
+    off.(0) <- 0;
+    t.built_gen <- gen
+
+  let degree t q = t.off.(q + 1) - t.off.(q)
+
+  let iter t q f =
+    for s = t.off.(q) to t.off.(q + 1) - 1 do
+      f t.idx.(s)
+    done
+end
 
 (* Growable int FIFO: the ready queue and the extended-set BFS both ran
    on [int Queue.t], one boxed cell per push; this is a flat ring buffer
@@ -76,6 +136,8 @@ module Scratch = struct
     mutable eq1 : int array;
     mutable eq2 : int array;
     mutable l2p : int array;  (* grown to the widest circuit seen *)
+    finc : Incidence.t;  (* front-pair incidence, delta scoring *)
+    einc : Incidence.t;  (* extended-set incidence, delta scoring *)
     ready : Intq.t;
     bfs : Intq.t;
   }
@@ -96,6 +158,8 @@ module Scratch = struct
       eq1 = [||];
       eq2 = [||];
       l2p = [||];
+      finc = Incidence.create ();
+      einc = Incidence.create ();
       ready = Intq.create 64;
       bfs = Intq.create 64;
     }
@@ -106,7 +170,12 @@ type state = {
   config : Config.t;
   coupling : Coupling.t;
   dist : float array;  (* row-major, stride = n_physical *)
+  dist_int : int array option;
+      (* integer view of [dist]; [Some] engages delta scoring (the
+         matrix must be integer-valued, see Heuristic's exactness
+         argument), [None] falls back to full per-candidate recompute *)
   stride : int;
+  n_logical : int;
   dag : Dag.t;
   mapping : Mapping.t;  (* private copy, updated in place *)
   remaining : int array;  (* unexecuted predecessor count per node *)
@@ -135,7 +204,14 @@ type state = {
      enumeration with no hashtable and no sort. *)
   cand_mark : int array;
   mutable cand_gen : int;
-  l2p_scratch : int array;  (* tentative π for scoring, one per decision *)
+  l2p_scratch : int array;
+      (* logical→physical view of [mapping], initialised once per run
+         and kept in lock-step by [apply_swap]; the full-recompute
+         scorer additionally flips/restores it per candidate *)
+  (* delta-scoring state: per-logical-qubit incidence over the fq/eq
+     pair slots, rebuilt with the front caches *)
+  finc : Incidence.t;
+  einc : Incidence.t;
   mutable out_rev : Gate.t list;  (* emitted physical gates, reversed *)
   decay : float array;  (* per physical qubit; 1.0 at rest *)
   mutable steps_since_reset : int;
@@ -144,6 +220,11 @@ type state = {
   mutable n_swaps : int;
   mutable search_steps : int;
   mutable fallback_swaps : int;
+  (* scorer accounting, reported through [result.scoring] *)
+  mutable sc_decisions : int;
+  mutable sc_candidates : int;
+  mutable sc_delta_terms : int;
+  mutable sc_full_terms : int;
 }
 
 let reset_decay st =
@@ -258,6 +339,19 @@ let rebuild_front_caches st =
       end
     done
   end;
+  (* Delta scoring: the incidence indices mirror the fq/eq slots just
+     rebuilt. Logical-qubit keyed, so they survive applied SWAPs and
+     only go stale when front membership changes — exactly when this
+     function runs again. [einc] is skipped while E is empty (its
+     generation stays stale, and the scorer never consults it). *)
+  (match st.dist_int with
+  | Some _ ->
+    Incidence.build st.finc ~gen:st.front_gen ~n_logical:st.n_logical
+      ~q1:st.fq1 ~q2:st.fq2 ~len:st.flen;
+    if st.elen > 0 then
+      Incidence.build st.einc ~gen:st.front_gen ~n_logical:st.n_logical
+        ~q1:st.eq1 ~q2:st.eq2 ~len:st.elen
+  | None -> ());
   st.cache_gen <- st.front_gen
 
 (* Candidate SWAPs: coupling-graph edges with at least one endpoint
@@ -282,7 +376,14 @@ let mark_candidates st =
 
 let apply_swap st ~fallback (p1, p2) =
   emit st (Gate.Swap (p1, p2));
+  let l1 = Mapping.to_logical st.mapping p1
+  and l2 = Mapping.to_logical st.mapping p2 in
   Mapping.swap_physical_inplace st.mapping p1 p2;
+  (* keep the scoring π in lock-step with the live mapping — O(1) per
+     SWAP (heuristic and fallback alike) instead of the O(n_logical)
+     rebuild every decision used to pay *)
+  if l1 >= 0 then st.l2p_scratch.(l1) <- p2;
+  if l2 >= 0 then st.l2p_scratch.(l2) <- p1;
   st.n_swaps <- st.n_swaps + 1;
   if fallback then st.fallback_swaps <- st.fallback_swaps + 1
 
@@ -302,15 +403,12 @@ let score_swap st ~l2p ~p1 ~p2 =
   if l2 >= 0 then l2p.(l2) <- p2;
   v
 
-let choose_and_apply_swap st =
-  if st.cache_gen <> st.front_gen then rebuild_front_caches st;
-  let stamp = mark_candidates st in
+(* Full-recompute scorer: every candidate pays |F|+|E| distance terms.
+   Scans edge ids in order — same enumeration as the old sorted
+   candidate list, same first-strictly-better tie-break. *)
+let choose_full st stamp =
   let l2p = st.l2p_scratch in
-  for q = 0 to Mapping.n_logical st.mapping - 1 do
-    l2p.(q) <- Mapping.to_physical st.mapping q
-  done;
-  (* scan edge ids in order: same enumeration as the old sorted candidate
-     list, same first-strictly-better tie-break *)
+  let per_candidate = st.flen + st.elen in
   let best_p1 = ref (-1) and best_p2 = ref (-1) in
   let best_score = ref infinity in
   let have_best = ref false in
@@ -318,6 +416,9 @@ let choose_and_apply_swap st =
     if st.cand_mark.(e) = stamp then begin
       let p1, p2 = Coupling.edge_endpoints st.coupling e in
       let s = score_swap st ~l2p ~p1 ~p2 in
+      st.sc_candidates <- st.sc_candidates + 1;
+      st.sc_delta_terms <- st.sc_delta_terms + per_candidate;
+      st.sc_full_terms <- st.sc_full_terms + per_candidate;
       if (not !have_best) || s < !best_score then begin
         have_best := true;
         best_score := s;
@@ -326,11 +427,113 @@ let choose_and_apply_swap st =
       end
     end
   done;
-  if not !have_best then
+  (!have_best, !best_p1, !best_p2)
+
+(* Delta scorer: integer base sums [fsum]/[esum] once per decision, then
+   each candidate (p1,p2) only revisits the pair slots whose logical
+   qubits currently sit on p1 or p2 ([Incidence]), rebuilding
+   [score_flat]'s value bit-identically from the updated integer sums
+   (see Heuristic's exactness argument). Same edge-id scan order, same
+   first-strictly-better tie-break as [choose_full]. *)
+let choose_delta st di stamp =
+  (* Defence in depth: the index must describe the live front.
+     [choose_and_apply_swap] rebuilds stale caches before scoring, so
+     this can only fire if that invariant is broken. *)
+  if Incidence.generation st.finc <> st.front_gen then
+    invalid_arg "Routing_pass: stale incidence index (front changed)";
+  if st.elen > 0 && Incidence.generation st.einc <> st.front_gen then
+    invalid_arg "Routing_pass: stale extended incidence index";
+  let l2p = st.l2p_scratch in
+  let stride = st.stride in
+  let fsum =
+    Heuristic.sum_int ~dist:di ~stride ~l2p ~q1:st.fq1 ~q2:st.fq2
+      ~len:st.flen
+  in
+  let esum =
+    if st.elen = 0 then 0
+    else
+      Heuristic.sum_int ~dist:di ~stride ~l2p ~q1:st.eq1 ~q2:st.eq2
+        ~len:st.elen
+  in
+  st.sc_delta_terms <- st.sc_delta_terms + st.flen + st.elen;
+  let per_candidate_full = st.flen + st.elen in
+  let touched = ref 0 in
+  let best_p1 = ref (-1) and best_p2 = ref (-1) in
+  let best_score = ref infinity in
+  let have_best = ref false in
+  for e = 0 to Coupling.n_edges st.coupling - 1 do
+    if st.cand_mark.(e) = stamp then begin
+      let p1, p2 = Coupling.edge_endpoints st.coupling e in
+      let l1 = Mapping.to_logical st.mapping p1
+      and l2 = Mapping.to_logical st.mapping p2 in
+      touched := 0;
+      (* Σ over pair slots incident to logical qubit [l] of
+         (term after the candidate SWAP − term before). Slots whose
+         pair also contains [skip] are omitted: when walking l2's
+         slots, pairs containing l1 were already counted in l1's
+         walk. The new physical position is the transposition (p1 p2)
+         applied to the current one — no l2p mutation needed. *)
+      let delta_over inc q1a q2a l skip =
+        if l < 0 then 0
+        else begin
+          let d = ref 0 in
+          Incidence.iter inc l (fun k ->
+              let a = q1a.(k) and b = q2a.(k) in
+              if a <> skip && b <> skip then begin
+                let pa = l2p.(a) and pb = l2p.(b) in
+                let pa' =
+                  if pa = p1 then p2 else if pa = p2 then p1 else pa
+                in
+                let pb' =
+                  if pb = p1 then p2 else if pb = p2 then p1 else pb
+                in
+                d := !d + di.((pa' * stride) + pb') - di.((pa * stride) + pb);
+                incr touched
+              end);
+          !d
+        end
+      in
+      let df =
+        delta_over st.finc st.fq1 st.fq2 l1 (-1)
+        + delta_over st.finc st.fq1 st.fq2 l2 l1
+      in
+      let de =
+        if st.elen = 0 then 0
+        else
+          delta_over st.einc st.eq1 st.eq2 l1 (-1)
+          + delta_over st.einc st.eq1 st.eq2 l2 l1
+      in
+      let s =
+        Heuristic.score_of_sums_int ~heuristic:st.config.heuristic
+          ~fsum:(fsum + df) ~flen:st.flen ~esum:(esum + de) ~elen:st.elen
+          ~weight:st.config.extended_set_weight ~decay:st.decay ~p1 ~p2
+      in
+      st.sc_candidates <- st.sc_candidates + 1;
+      st.sc_delta_terms <- st.sc_delta_terms + (2 * !touched);
+      st.sc_full_terms <- st.sc_full_terms + per_candidate_full;
+      if (not !have_best) || s < !best_score then begin
+        have_best := true;
+        best_score := s;
+        best_p1 := p1;
+        best_p2 := p2
+      end
+    end
+  done;
+  (!have_best, !best_p1, !best_p2)
+
+let choose_and_apply_swap st =
+  if st.cache_gen <> st.front_gen then rebuild_front_caches st;
+  let stamp = mark_candidates st in
+  st.sc_decisions <- st.sc_decisions + 1;
+  let have_best, p1, p2 =
+    match st.dist_int with
+    | Some di -> choose_delta st di stamp
+    | None -> choose_full st stamp
+  in
+  if not have_best then
     (* Cannot happen on a connected graph with a non-empty front: every
        occupied qubit has neighbours. *)
     invalid_arg "Routing_pass: no SWAP candidates (disconnected device?)";
-  let p1 = !best_p1 and p2 = !best_p2 in
   apply_swap st ~fallback:false (p1, p2);
   st.search_steps <- st.search_steps + 1;
   st.stall <- st.stall + 1;
@@ -382,7 +585,8 @@ let flat_hop_distances coupling =
    generation. *)
 let grown arr len = if Array.length arr >= len then arr else Array.make len 0
 
-let run_with_scratch ~scratch ?dist config coupling dag initial =
+let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
+    coupling dag initial =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Routing_pass.run: " ^ msg));
@@ -405,6 +609,26 @@ let run_with_scratch ~scratch ?dist config coupling dag initial =
       d
     | None -> flat_hop_distances coupling
   in
+  (* Delta scoring needs an integer view of the metric. A caller-provided
+     one is validated against [dist] entry for entry (the delta scorer's
+     exactness argument assumes they agree); otherwise one is derived,
+     which quietly fails — falling back to full recompute — for
+     non-integer metrics such as noise-weighted distances. *)
+  let dist_int =
+    match scoring with
+    | Full -> None
+    | Delta -> (
+      match dist_int with
+      | Some di ->
+        if Array.length di <> n_physical * n_physical then
+          invalid_arg "Routing_pass.run: flat dist_int has wrong dimension";
+        for i = 0 to Array.length di - 1 do
+          if dist.(i) <> float_of_int di.(i) then
+            invalid_arg "Routing_pass.run: dist_int disagrees with dist"
+        done;
+        Some di
+      | None -> Heuristic.dist_int_of_flat dist)
+  in
   (* per-run reset of the reused arena *)
   scratch.Scratch.remaining <- grown scratch.Scratch.remaining n;
   let remaining = scratch.Scratch.remaining in
@@ -416,12 +640,19 @@ let run_with_scratch ~scratch ?dist config coupling dag initial =
   Intq.clear scratch.Scratch.ready;
   Intq.clear scratch.Scratch.bfs;
   Array.fill scratch.Scratch.decay 0 (Array.length scratch.Scratch.decay) 1.0;
+  (* front generations restart at 0 every run, so an index left over
+     from a previous run could alias a fresh generation — invalidate *)
+  Incidence.invalidate scratch.Scratch.finc;
+  Incidence.invalidate scratch.Scratch.einc;
+  let n_logical = Mapping.n_logical initial in
   let st =
     {
       config;
       coupling;
       dist;
+      dist_int;
       stride = n_physical;
+      n_logical;
       dag;
       mapping = Mapping.copy initial;
       remaining;
@@ -442,6 +673,8 @@ let run_with_scratch ~scratch ?dist config coupling dag initial =
       cand_mark = scratch.Scratch.cand_mark;
       cand_gen = scratch.Scratch.cand_gen;
       l2p_scratch = scratch.Scratch.l2p;
+      finc = scratch.Scratch.finc;
+      einc = scratch.Scratch.einc;
       out_rev = [];
       decay = scratch.Scratch.decay;
       steps_since_reset = 0;
@@ -453,8 +686,17 @@ let run_with_scratch ~scratch ?dist config coupling dag initial =
       n_swaps = 0;
       search_steps = 0;
       fallback_swaps = 0;
+      sc_decisions = 0;
+      sc_candidates = 0;
+      sc_delta_terms = 0;
+      sc_full_terms = 0;
     }
   in
+  (* initialise the scoring π once per run; [apply_swap] keeps it in
+     lock-step from here on *)
+  for q = 0 to n_logical - 1 do
+    st.l2p_scratch.(q) <- Mapping.to_physical st.mapping q
+  done;
   (* Sync grown arrays and generation counters back even when the run
      raises: a stamp written during an aborted run must stay below the
      next run's generations, so the counters may never rewind. *)
@@ -485,12 +727,20 @@ let run_with_scratch ~scratch ?dist config coupling dag initial =
         n_swaps = st.n_swaps;
         search_steps = st.search_steps;
         fallback_swaps = st.fallback_swaps;
+        scoring =
+          {
+            Stats.decisions = st.sc_decisions;
+            candidates = st.sc_candidates;
+            delta_terms = st.sc_delta_terms;
+            full_terms = st.sc_full_terms;
+          };
       })
 
-let run_flat ?dist config coupling dag initial =
-  run_with_scratch ~scratch:(Scratch.create coupling) ?dist config coupling dag
-    initial
+let run_flat ?dist ?dist_int ?scoring config coupling dag initial =
+  run_with_scratch
+    ~scratch:(Scratch.create coupling)
+    ?dist ?dist_int ?scoring config coupling dag initial
 
-let run ?dist config coupling dag initial =
+let run ?dist ?scoring config coupling dag initial =
   let dist = Option.map Heuristic.flatten_dist dist in
-  run_flat ?dist config coupling dag initial
+  run_flat ?dist ?scoring config coupling dag initial

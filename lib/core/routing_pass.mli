@@ -10,6 +10,19 @@ module Coupling = Hardware.Coupling
     interleaved with inserted SWAP gates on coupling-graph edges. The
     bidirectional driver {!Compiler} calls this once per traversal. *)
 
+type scoring_mode =
+  | Delta
+      (** Incremental candidate scoring: integer base sums once per
+          decision, then O(pairs touching the swapped qubits) per
+          candidate. Requires an integer-valued metric — when the matrix
+          is not integer-valued (noise-weighted metrics), the run
+          silently degrades to [Full]. Bit-identical output to [Full]
+          (see {!Heuristic}'s exactness argument). The default. *)
+  | Full
+      (** Full |F|+|E| recompute per candidate — the pre-delta scorer,
+          kept as the equivalence baseline and for custom float
+          metrics. *)
+
 type result = {
   physical : Circuit.t;  (** hardware-compliant output circuit *)
   final_mapping : Mapping.t;  (** π after the last gate *)
@@ -18,10 +31,12 @@ type result = {
   fallback_swaps : int;
       (** SWAPs inserted by the anti-livelock shortest-path fallback; 0
           in normal operation *)
+  scoring : Stats.scoring;  (** inner-loop scorer accounting *)
 }
 
 val run :
   ?dist:float array array ->
+  ?scoring:scoring_mode ->
   Config.t -> Coupling.t -> Dag.t -> Mapping.t -> result
 (** [run config coupling dag initial] routes the DAG's circuit. [dist]
     overrides the hop-count distance matrix with a custom routing metric
@@ -38,12 +53,22 @@ val run :
     should flatten once and call {!run_flat}. *)
 
 val run_flat :
-  ?dist:float array -> Config.t -> Coupling.t -> Dag.t -> Mapping.t -> result
+  ?dist:float array ->
+  ?dist_int:int array ->
+  ?scoring:scoring_mode ->
+  Config.t -> Coupling.t -> Dag.t -> Mapping.t -> result
 (** Same as {!run}, but the metric is the row-major flattened matrix
     ([dist.((p1 * n_physical) + p2)], stride = device qubit count) the
     search scores against directly — no per-compilation conversion, one
     shared array across trials and traversal directions. Raises
     [Invalid_argument] if [dist] is not exactly [n_physical²] long.
+
+    [dist_int] is the integer view of the same matrix for the delta
+    scorer (e.g. {!Hardware.Dist_cache.lookup_all}'s second component);
+    it must agree with [dist] entry for entry ([Invalid_argument]
+    otherwise). When omitted under [~scoring:Delta] (the default mode)
+    an integer view is derived from [dist] when possible, else the run
+    degrades to full recompute.
 
     Allocates a fresh {!Scratch.t} per call; drivers routing many
     traversals against one device should hold a scratch and call
@@ -64,9 +89,44 @@ module Scratch : sig
       largest circuit routed with this scratch. *)
 end
 
+(** Per-logical-qubit incidence index over front/extended pair slots, in
+    CSR form — the structure behind delta scoring, exposed so tests can
+    exercise the counting-sort builder and generation stamping
+    directly. Keyed by logical qubits, so it is π-independent: valid
+    across applied SWAPs, stale only when front membership changes. *)
+module Incidence : sig
+  type t
+
+  val create : unit -> t
+  (** Empty index; arrays grow to high-water capacity across builds. *)
+
+  val build :
+    t -> gen:int -> n_logical:int -> q1:int array -> q2:int array ->
+    len:int -> unit
+  (** (Re)build over pair slots [q1.(k), q2.(k)], [k < len], recording
+      [gen] as the front generation the index reflects. *)
+
+  val generation : t -> int
+  (** The generation passed to the last {!build}; -1 if never built or
+      invalidated. The router compares this against its live front
+      generation to detect a stale index. *)
+
+  val invalidate : t -> unit
+  (** Reset the generation to -1 (e.g. between runs, where front
+      generations restart and could alias). *)
+
+  val degree : t -> int -> int
+  (** Number of pair slots containing logical qubit [q]. *)
+
+  val iter : t -> int -> (int -> unit) -> unit
+  (** Apply to each slot id containing logical qubit [q]. *)
+end
+
 val run_with_scratch :
   scratch:Scratch.t ->
   ?dist:float array ->
+  ?dist_int:int array ->
+  ?scoring:scoring_mode ->
   Config.t ->
   Coupling.t ->
   Dag.t ->

@@ -2,6 +2,24 @@ module Circuit = Quantum.Circuit
 module Depth = Quantum.Depth
 module Decompose = Quantum.Decompose
 
+type scoring = {
+  decisions : int;
+  candidates : int;
+  delta_terms : int;
+  full_terms : int;
+}
+
+let scoring_zero =
+  { decisions = 0; candidates = 0; delta_terms = 0; full_terms = 0 }
+
+let scoring_add a b =
+  {
+    decisions = a.decisions + b.decisions;
+    candidates = a.candidates + b.candidates;
+    delta_terms = a.delta_terms + b.delta_terms;
+    full_terms = a.full_terms + b.full_terms;
+  }
+
 type t = {
   n_swaps : int;
   added_gates : int;
@@ -14,10 +32,11 @@ type t = {
   traversals_run : int;
   time_s : float;
   first_traversal_swaps : int;
+  scoring : scoring;
 }
 
 let summary ~original ~routed ~n_swaps ~search_steps ~fallback_swaps
-    ~traversals_run ~time_s ~first_traversal_swaps =
+    ~traversals_run ~time_s ~first_traversal_swaps ~scoring =
   let original_gates = Decompose.elementary_gate_count original in
   {
     n_swaps;
@@ -31,6 +50,7 @@ let summary ~original ~routed ~n_swaps ~search_steps ~fallback_swaps
     traversals_run;
     time_s;
     first_traversal_swaps;
+    scoring;
   }
 
 let pp ppf s =
@@ -39,6 +59,8 @@ let pp ppf s =
      gates          : %d -> %d@,\
      depth          : %d -> %d@,\
      search steps   : %d (fallback swaps %d)@,\
-     traversals     : %d in %.3fs@]"
+     traversals     : %d in %.3fs@,\
+     scoring        : %d candidates, %d/%d terms@]"
     s.n_swaps s.added_gates s.original_gates s.total_gates s.original_depth
     s.routed_depth s.search_steps s.fallback_swaps s.traversals_run s.time_s
+    s.scoring.candidates s.scoring.delta_terms s.scoring.full_terms

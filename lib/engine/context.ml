@@ -15,6 +15,7 @@ type routed = {
   search_steps : int;
   fallback_swaps : int;
   traversals_run : int;
+  scoring : Stats.scoring;
 }
 
 type t = {
@@ -23,6 +24,8 @@ type t = {
   circuit : Circuit.t;
   noise : Noise.t option;
   dist : float array;  (* row-major, stride = Coupling.n_qubits coupling *)
+  dist_int : int array option;  (* integer view of [dist], if exact *)
+  scoring_mode : Sabre_core.Routing_pass.scoring_mode;
   trial_mode : Trial_runner.mode;
   fixed_initial : Mapping.t option;
   dag_forward : Dag.t option;
@@ -42,18 +45,24 @@ let check_device coupling circuit =
 
 let create ?(config = Config.default) ?dist ?noise
     ?(trial_mode = Trial_runner.Sequential) ?initial
-    ?(instrument = Instrument.null) coupling circuit =
+    ?(instrument = Instrument.null)
+    ?(scoring = Sabre_core.Routing_pass.Delta) coupling circuit =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.Context: " ^ msg));
   check_device coupling circuit;
-  let dist, cache_counters =
+  let dist, dist_int, cache_counters =
     match dist with
-    | Some d -> (Sabre_core.Heuristic.flatten_dist d, [])
+    | Some d ->
+      (* custom metric: integer-valued ones (hop-like) still get delta
+         scoring; non-integer ones (noise-weighted) get [None] and the
+         router recomputes in full *)
+      let flat = Sabre_core.Heuristic.flatten_dist d in
+      (flat, Sabre_core.Heuristic.dist_int_of_flat flat, [])
     | None ->
       (* the device-keyed cache skips the all-pairs BFS entirely when a
          structurally identical device was compiled before *)
-      let flat, outcome = Hardware.Dist_cache.lookup coupling in
+      let flat, flat_int, outcome = Hardware.Dist_cache.lookup_all coupling in
       let hit, miss = match outcome with `Hit -> (1, 0) | `Miss -> (0, 1) in
       instrument.Instrument.emit
         (Instrument.Counter
@@ -62,6 +71,7 @@ let create ?(config = Config.default) ?dist ?noise
         (Instrument.Counter
            { pass = "context"; name = "dist_cache_miss"; value = miss });
       ( flat,
+        Some flat_int,
         [ ("context.dist_cache_hit", hit); ("context.dist_cache_miss", miss) ]
       )
   in
@@ -71,6 +81,8 @@ let create ?(config = Config.default) ?dist ?noise
     circuit;
     noise;
     dist;
+    dist_int;
+    scoring_mode = scoring;
     trial_mode;
     fixed_initial = Option.map Mapping.copy initial;
     dag_forward = None;
@@ -100,4 +112,4 @@ let stats ctx ~time_s =
   Stats.summary ~original:ctx.circuit ~routed:r.physical ~n_swaps:r.n_swaps
     ~search_steps:r.search_steps ~fallback_swaps:r.fallback_swaps
     ~traversals_run:r.traversals_run ~time_s
-    ~first_traversal_swaps:r.first_swaps
+    ~first_traversal_swaps:r.first_swaps ~scoring:r.scoring

@@ -26,6 +26,8 @@ type routed = {
   search_steps : int;  (** heuristic steps summed over all trials *)
   fallback_swaps : int;  (** anti-livelock SWAPs summed over all trials *)
   traversals_run : int;  (** traversals executed across all trials *)
+  scoring : Stats.scoring;
+      (** inner-loop scorer accounting summed over all trials *)
 }
 
 type t = {
@@ -41,6 +43,13 @@ type t = {
           [Coupling.n_qubits coupling]; all-pairs hop distances unless
           the caller substituted a custom matrix — computed once per
           compilation and shared by every trial and traversal *)
+  dist_int : int array option;
+      (** integer view of [dist] for the router's exact delta scorer;
+          [None] when the metric is not integer-valued (e.g.
+          noise-weighted), which forces full recompute scoring *)
+  scoring_mode : Sabre_core.Routing_pass.scoring_mode;
+      (** candidate-scoring strategy handed to the router (default
+          [Delta]; output is bit-identical either way) *)
   trial_mode : Trial_runner.mode;
   fixed_initial : Mapping.t option;
       (** caller-supplied initial mapping; suppresses random trials *)
@@ -63,6 +72,7 @@ val create :
   ?trial_mode:Trial_runner.mode ->
   ?initial:Mapping.t ->
   ?instrument:Instrument.t ->
+  ?scoring:Sabre_core.Routing_pass.scoring_mode ->
   Coupling.t ->
   Circuit.t ->
   t
@@ -73,9 +83,15 @@ val create :
     {!Hardware.Dist_cache} — a cache hit skips the all-pairs BFS
     entirely, and the hit/miss outcome is emitted on [instrument]
     (counters [context.dist_cache_hit] / [context.dist_cache_miss],
-    also visible in {!counters}). [initial] is copied. Raises
-    [Invalid_argument] on an invalid config, a circuit wider than the
-    device, or a disconnected coupling graph. *)
+    also visible in {!counters}). The integer hop matrix rides along as
+    [dist_int] (shared from the same cache entry, or derived from a
+    custom [dist] when it happens to be integer-valued) so the router
+    can score candidates incrementally. [scoring] selects the router's
+    candidate-scoring strategy — [Delta] (default) and [Full] produce
+    bit-identical output; [Full] exists as the equivalence baseline.
+    [initial] is copied. Raises [Invalid_argument] on an invalid config,
+    a circuit wider than the device, or a disconnected coupling
+    graph. *)
 
 val add_metric : t -> string -> float -> t
 val add_counter : t -> pass:string -> string -> int -> t

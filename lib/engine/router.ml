@@ -10,6 +10,9 @@ type outcome = {
   search_steps : int;
   fallback_swaps : int;
   traversals : int;
+  scoring : Sabre_core.Stats.scoring;
+      (* inner-loop scorer accounting; [Stats.scoring_zero] for routers
+         without a heuristic decision loop *)
 }
 
 exception Route_failed of string

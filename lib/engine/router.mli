@@ -19,6 +19,9 @@ type outcome = {
   search_steps : int;
   fallback_swaps : int;
   traversals : int;  (** traversals this trial actually ran *)
+  scoring : Sabre_core.Stats.scoring;
+      (** inner-loop scorer accounting; {!Sabre_core.Stats.scoring_zero}
+          for routers without a heuristic decision loop *)
 }
 
 exception Route_failed of string

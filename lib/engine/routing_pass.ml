@@ -38,6 +38,11 @@ let pass ?(router = Sabre_router.router) () =
       let outcomes = Trial_runner.map ~mode:ctx.trial_mode jobs in
       let best = Trial_runner.best ~better:(better ~noise:ctx.noise) outcomes in
       let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outcomes in
+      let scoring =
+        Array.fold_left
+          (fun acc o -> Sabre_core.Stats.scoring_add acc o.Router.scoring)
+          Sabre_core.Stats.scoring_zero outcomes
+      in
       let routed =
         {
           Context.physical = best.Router.physical;
@@ -48,6 +53,7 @@ let pass ?(router = Sabre_router.router) () =
           search_steps = sum (fun o -> o.Router.search_steps);
           fallback_swaps = sum (fun o -> o.Router.fallback_swaps);
           traversals_run = sum (fun o -> o.Router.traversals);
+          scoring;
         }
       in
       let ctx = { ctx with routed = Some routed } in
@@ -56,5 +62,21 @@ let pass ?(router = Sabre_router.router) () =
       let ctx =
         Pass.count instrument ~pass:name ctx "search_steps" routed.search_steps
       in
-      Pass.count instrument ~pass:name ctx "fallback_swaps"
-        routed.fallback_swaps)
+      let ctx =
+        Pass.count instrument ~pass:name ctx "fallback_swaps"
+          routed.fallback_swaps
+      in
+      let ctx =
+        Pass.count instrument ~pass:name ctx "scoring_decisions"
+          scoring.Sabre_core.Stats.decisions
+      in
+      let ctx =
+        Pass.count instrument ~pass:name ctx "scoring_candidates"
+          scoring.Sabre_core.Stats.candidates
+      in
+      let ctx =
+        Pass.count instrument ~pass:name ctx "scoring_delta_terms"
+          scoring.Sabre_core.Stats.delta_terms
+      in
+      Pass.count instrument ~pass:name ctx "scoring_full_terms"
+        scoring.Sabre_core.Stats.full_terms)

@@ -44,6 +44,8 @@ let route (ctx : Context.t) ~initial =
         search_steps = steps;
         fallback_swaps = fallbacks;
         traversals = total;
+        (* the reference pass predates scorer accounting *)
+        scoring = Sabre_core.Stats.scoring_zero;
       }
     else go (i + 1) r.Routing.final_mapping first steps fallbacks
   in

@@ -36,15 +36,16 @@ let route (ctx : Context.t) ~initial =
   let total = ctx.config.Config.traversals in
   let backward = if total > 1 then dag_exn ctx.dag_backward else forward in
   let scratch = scratch_for ctx.coupling in
-  let rec go i mapping first steps fallbacks =
+  let rec go i mapping first steps fallbacks scoring =
     let oriented = if i mod 2 = 1 then forward else backward in
     let r =
-      Routing.run_with_scratch ~scratch ~dist:ctx.dist ctx.config ctx.coupling
-        oriented mapping
+      Routing.run_with_scratch ~scratch ~dist:ctx.dist ?dist_int:ctx.dist_int
+        ~scoring:ctx.scoring_mode ctx.config ctx.coupling oriented mapping
     in
     let first = match first with None -> Some r.Routing.n_swaps | s -> s in
     let steps = steps + r.Routing.search_steps in
     let fallbacks = fallbacks + r.Routing.fallback_swaps in
+    let scoring = Sabre_core.Stats.scoring_add scoring r.Routing.scoring in
     if i = total then
       {
         Router.physical = r.Routing.physical;
@@ -55,10 +56,11 @@ let route (ctx : Context.t) ~initial =
         search_steps = steps;
         fallback_swaps = fallbacks;
         traversals = total;
+        scoring;
       }
-    else go (i + 1) r.Routing.final_mapping first steps fallbacks
+    else go (i + 1) r.Routing.final_mapping first steps fallbacks scoring
   in
-  go 1 initial None 0 0
+  go 1 initial None 0 0 Sabre_core.Stats.scoring_zero
 
 let router : Router.t =
   (module struct

@@ -1,6 +1,6 @@
 let capacity = 16
 
-type entry = { flat : float array; mutable tick : int }
+type entry = { flat : float array; flat_int : int array; mutable tick : int }
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 let lock = Mutex.create ()
@@ -10,17 +10,23 @@ let hits = ref 0
 let misses = ref 0
 let evictions = ref 0
 
+(* One pass builds both views: the float matrix the scorer sums in the
+   hot loop, and the integer hop counts the delta scorer needs for
+   exact incremental sums. *)
 let flatten coupling =
   let d = Coupling.distance_matrix coupling in
   let n = Coupling.n_qubits coupling in
   let flat = Array.make (n * n) 0.0 in
+  let flat_int = Array.make (n * n) 0 in
   for i = 0 to n - 1 do
     let row = d.(i) in
     for j = 0 to n - 1 do
-      flat.((i * n) + j) <- float_of_int row.(j)
+      let k = (i * n) + j in
+      flat.(k) <- float_of_int row.(j);
+      flat_int.(k) <- row.(j)
     done
   done;
-  flat
+  (flat, flat_int)
 
 let evict_lru () =
   let victim =
@@ -37,7 +43,7 @@ let evict_lru () =
     incr evictions
   | None -> ()
 
-let lookup coupling =
+let lookup_all coupling =
   (* digest first: it memoises inside the coupling value and keeps the
      O(edges) serialisation outside the critical section on reuse *)
   let key = Coupling.digest coupling in
@@ -47,15 +53,23 @@ let lookup coupling =
       | Some e ->
         e.tick <- !clock;
         incr hits;
-        (e.flat, `Hit)
+        (e.flat, e.flat_int, `Hit)
       | None ->
         incr misses;
-        let flat = flatten coupling in
+        let flat, flat_int = flatten coupling in
         if Hashtbl.length table >= capacity then evict_lru ();
-        Hashtbl.add table key { flat; tick = !clock };
-        (flat, `Miss))
+        Hashtbl.add table key { flat; flat_int; tick = !clock };
+        (flat, flat_int, `Miss))
+
+let lookup coupling =
+  let flat, _, outcome = lookup_all coupling in
+  (flat, outcome)
 
 let hop_distances coupling = fst (lookup coupling)
+
+let hop_distances_int coupling =
+  let _, flat_int, _ = lookup_all coupling in
+  flat_int
 
 let stats () =
   Mutex.protect lock (fun () ->

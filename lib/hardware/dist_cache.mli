@@ -26,8 +26,17 @@ val lookup : Coupling.t -> float array * [ `Hit | `Miss ]
     source) and inserted ([`Miss]) otherwise. The returned array is
     shared and must not be mutated. *)
 
+val lookup_all : Coupling.t -> float array * int array * [ `Hit | `Miss ]
+(** Like {!lookup}, additionally returning the {e integer} hop-count
+    matrix backing the same entry (one accounting event, not two). Both
+    matrices are built in one pass and cached together; the integer view
+    feeds the router's exact delta scorer. Shared, read-only. *)
+
 val hop_distances : Coupling.t -> float array
 (** [fst (lookup coupling)]. *)
+
+val hop_distances_int : Coupling.t -> int array
+(** The integer matrix of {!lookup_all}, discarding the outcome. *)
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 

@@ -131,6 +131,29 @@ let test_concurrent_lookups_safe () =
   check Alcotest.int "exactly one miss" 1 s.misses;
   check Alcotest.int "one resident entry" 1 s.entries
 
+let test_integer_view_agrees_with_float () =
+  Cache.clear ();
+  let flat, flat_int, outcome = Cache.lookup_all (Devices.ibm_q20_tokyo ()) in
+  check Alcotest.bool "first lookup_all misses" true (outcome = `Miss);
+  check Alcotest.int "same length" (Array.length flat) (Array.length flat_int);
+  Array.iteri
+    (fun i f ->
+      check Alcotest.bool "entrywise float_of_int agreement" true
+        (Float.equal f (float_of_int flat_int.(i))))
+    flat;
+  (* one accounting event per lookup_all, same as lookup *)
+  let s = Cache.stats () in
+  check Alcotest.int "single miss recorded" 1 (s.hits + s.misses)
+
+let test_integer_view_shared_on_hit () =
+  Cache.clear ();
+  let _, i1, _ = Cache.lookup_all (path 7) in
+  let _, i2, outcome = Cache.lookup_all (path 7) in
+  check Alcotest.bool "second lookup_all hits" true (outcome = `Hit);
+  check Alcotest.bool "hit shares the cached int array" true (i1 == i2);
+  check Alcotest.bool "hop_distances_int reads the same entry" true
+    (Cache.hop_distances_int (path 7) == i1)
+
 let suite =
   [
     tc "hit/miss accounting" `Quick test_hit_miss_accounting;
@@ -141,4 +164,7 @@ let suite =
     tc "Context.create reports cache outcome" `Quick
       test_context_create_reports_cache_outcome;
     tc "concurrent lookups are safe" `Quick test_concurrent_lookups_safe;
+    tc "integer view agrees with float" `Quick
+      test_integer_view_agrees_with_float;
+    tc "integer view shared on hit" `Quick test_integer_view_shared_on_hit;
   ]

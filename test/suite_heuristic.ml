@@ -76,6 +76,84 @@ let test_swap_that_helps_scores_lower () =
   let after = Heuristic.basic ~dist ~l2p:moved [ (0, 4) ] in
   check Alcotest.bool "improvement visible" true (after < before)
 
+let test_average_distance_single_traversal () =
+  (* the satellite fix: one fold now carries the count along with the
+     sum — values must stay bit-identical to sum /. length on the same
+     pair order (here with fractional per-pair distances so division
+     actually rounds) *)
+  let frac =
+    Array.init 5 (fun i -> Array.init 5 (fun j -> float_of_int (abs (i - j)) /. 3.0))
+  in
+  let pairs = [ (0, 3); (1, 4); (0, 1); (2, 4) ] in
+  let expected =
+    Heuristic.basic ~dist:frac ~l2p:identity pairs
+    /. float_of_int (List.length pairs)
+  in
+  check Alcotest.bool "bit-identical to sum/length" true
+    (Float.equal expected
+       (Heuristic.average_distance ~dist:frac ~l2p:identity pairs));
+  checkf "empty pairs still 0" 0.0
+    (Heuristic.average_distance ~dist:frac ~l2p:identity [])
+
+let test_int_sum_matches_float_sum () =
+  let flat = Heuristic.flatten_dist dist in
+  let flat_int = Option.get (Heuristic.dist_int_of_flat flat) in
+  let q1 = [| 0; 1; 0; 2 |] and q2 = [| 3; 4; 1; 4 |] in
+  let s =
+    Heuristic.sum_int ~dist:flat_int ~stride:5 ~l2p:identity ~q1 ~q2 ~len:4
+  in
+  let f =
+    Heuristic.basic_flat ~dist:flat ~stride:5 ~l2p:identity ~q1 ~q2 ~len:4
+  in
+  check Alcotest.bool "float sum = float_of_int int sum" true
+    (Float.equal f (float_of_int s));
+  check Alcotest.int "hand value: 3+3+1+2" 9 s
+
+let test_score_of_sums_matches_score_flat () =
+  (* the reconstruction mirrors score_flat's expression shape exactly:
+     compare bit-for-bit on all three modes, including an empty E *)
+  let flat = Heuristic.flatten_dist dist in
+  let flat_int = Option.get (Heuristic.dist_int_of_flat flat) in
+  let decay = [| 1.0; 1.3; 1.0; 1.0; 2.0 |] in
+  let fq1 = [| 0; 1 |] and fq2 = [| 3; 4 |] in
+  let eq1 = [| 0; 1; 2 |] and eq2 = [| 1; 2; 4 |] in
+  List.iter
+    (fun (flen, elen) ->
+      let fsum =
+        Heuristic.sum_int ~dist:flat_int ~stride:5 ~l2p:identity ~q1:fq1
+          ~q2:fq2 ~len:flen
+      and esum =
+        Heuristic.sum_int ~dist:flat_int ~stride:5 ~l2p:identity ~q1:eq1
+          ~q2:eq2 ~len:elen
+      in
+      List.iter
+        (fun heuristic ->
+          let full =
+            Heuristic.score_flat ~heuristic ~dist:flat ~stride:5
+              ~l2p:identity ~fq1 ~fq2 ~flen ~eq1 ~eq2 ~elen ~weight:0.5
+              ~decay ~p1:1 ~p2:4
+          in
+          let rebuilt =
+            Heuristic.score_of_sums_int ~heuristic ~fsum ~flen ~esum ~elen
+              ~weight:0.5 ~decay ~p1:1 ~p2:4
+          in
+          check Alcotest.bool "bit-identical reconstruction" true
+            (Float.equal full rebuilt))
+        [ Config.Basic; Config.Lookahead; Config.Decay ])
+    [ (2, 3); (2, 0); (1, 1) ]
+
+let test_dist_int_of_flat_rejects_non_integer () =
+  check Alcotest.bool "fractional entry rejected" true
+    (Heuristic.dist_int_of_flat [| 0.0; 0.5; 0.5; 0.0 |] = None);
+  check Alcotest.bool "negative entry rejected" true
+    (Heuristic.dist_int_of_flat [| 0.0; -1.0; -1.0; 0.0 |] = None);
+  check Alcotest.bool "oversized entry rejected" true
+    (Heuristic.dist_int_of_flat [| 0.0; 1e18; 1e18; 0.0 |] = None);
+  match Heuristic.dist_int_of_flat [| 0.0; 2.0; 2.0; 0.0 |] with
+  | Some ints ->
+    check (Alcotest.array Alcotest.int) "integer view" [| 0; 2; 2; 0 |] ints
+  | None -> Alcotest.fail "integer matrix wrongly rejected"
+
 let suite =
   [
     tc "basic sums distances (Eq. 1)" `Quick test_basic_sums_distances;
@@ -86,4 +164,11 @@ let suite =
     tc "decay scales by max" `Quick test_decay_scales;
     tc "score dispatch" `Quick test_score_dispatch;
     tc "helpful swap scores lower" `Quick test_swap_that_helps_scores_lower;
+    tc "average_distance single traversal" `Quick
+      test_average_distance_single_traversal;
+    tc "int sum matches float sum" `Quick test_int_sum_matches_float_sum;
+    tc "score_of_sums_int mirrors score_flat" `Quick
+      test_score_of_sums_matches_score_flat;
+    tc "dist_int_of_flat gating" `Quick
+      test_dist_int_of_flat_rejects_non_integer;
   ]

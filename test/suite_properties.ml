@@ -110,6 +110,135 @@ let prop_flatcore_equivalence =
       | Error msg -> QCheck.Test.fail_reportf "%s" msg)
 
 (* ------------------------------------------------------------------ *)
+(* Delta scoring ≡ full recompute                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Route-level: delta and full-recompute candidate scoring must emit
+   byte-identical circuits and mappings (heuristic mode, extended-set
+   size/weight, decay parameters all randomised by the generator). *)
+let prop_delta_equivalence =
+  QCheck.Test.make ~count:40
+    ~name:"delta-scored sabre matches full-recompute sabre"
+    instance_arb (fun i ->
+      match
+        Differential.delta_equivalence ~config:i.Generators.config
+          i.Generators.coupling i.Generators.circuit
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "%s" msg)
+
+(* Scorer-level: reconstructing a candidate's score from delta-updated
+   integer sums is bit-for-bit equal ([Float.equal], not ≈) to
+   [Heuristic.score_flat] on the tentatively swapped π — for all three
+   heuristic modes, over random couplings, placements, pair sets and
+   candidate SWAPs. This is the exactness argument made executable: the
+   incidence-walked integer delta must land on the very float the full
+   recompute produces. *)
+let prop_delta_score_bit_identical =
+  let module Heuristic = Sabre.Heuristic in
+  let module Routing = Sabre.Routing_pass in
+  QCheck.Test.make ~count:200
+    ~name:"delta score reconstruction == score_flat bit-for-bit"
+    instance_arb (fun i ->
+      let coupling = i.Generators.coupling in
+      let n = Coupling.n_qubits coupling in
+      let dist = Hardware.Dist_cache.hop_distances coupling in
+      let dist_int = Hardware.Dist_cache.hop_distances_int coupling in
+      let st = Random.State.make [| i.Generators.config.Sabre.Config.seed |] in
+      (* random placement: logical q sits on physical l2p.(q) *)
+      let l2p = Array.init n Fun.id in
+      for k = n - 1 downto 1 do
+        let j = Random.State.int st (k + 1) in
+        let t = l2p.(k) in
+        l2p.(k) <- l2p.(j);
+        l2p.(j) <- t
+      done;
+      let p2l = Array.make n (-1) in
+      Array.iteri (fun q p -> p2l.(p) <- q) l2p;
+      let rand_pairs len =
+        let q1 = Array.init len (fun _ -> Random.State.int st n) in
+        let q2 =
+          Array.map
+            (fun a ->
+              let b = ref (Random.State.int st n) in
+              while !b = a do
+                b := Random.State.int st n
+              done;
+              !b)
+            q1
+        in
+        (q1, q2)
+      in
+      let flen = 1 + Random.State.int st 6 in
+      let elen = Random.State.int st 8 in
+      let fq1, fq2 = rand_pairs flen in
+      let eq1, eq2 = rand_pairs (max 1 elen) in
+      let decay =
+        Array.init n (fun _ ->
+            1.0 +. (0.1 *. float_of_int (Random.State.int st 5)))
+      in
+      let weight = i.Generators.config.Sabre.Config.extended_set_weight in
+      let e = Random.State.int st (Coupling.n_edges coupling) in
+      let p1, p2 = Coupling.edge_endpoints coupling e in
+      (* incidence indices over the pair slots, as the router builds them *)
+      let finc = Routing.Incidence.create ()
+      and einc = Routing.Incidence.create () in
+      Routing.Incidence.build finc ~gen:0 ~n_logical:n ~q1:fq1 ~q2:fq2
+        ~len:flen;
+      Routing.Incidence.build einc ~gen:0 ~n_logical:n ~q1:eq1 ~q2:eq2
+        ~len:elen;
+      let l1 = p2l.(p1) and l2 = p2l.(p2) in
+      let delta_over inc q1a q2a l skip =
+        let d = ref 0 in
+        if l >= 0 then
+          Routing.Incidence.iter inc l (fun k ->
+              let a = q1a.(k) and b = q2a.(k) in
+              if a <> skip && b <> skip then begin
+                let pa = l2p.(a) and pb = l2p.(b) in
+                let pa' = if pa = p1 then p2 else if pa = p2 then p1 else pa in
+                let pb' = if pb = p1 then p2 else if pb = p2 then p1 else pb in
+                d := !d + dist_int.((pa' * n) + pb') - dist_int.((pa * n) + pb)
+              end);
+        !d
+      in
+      let fsum =
+        Heuristic.sum_int ~dist:dist_int ~stride:n ~l2p ~q1:fq1 ~q2:fq2
+          ~len:flen
+      and esum =
+        Heuristic.sum_int ~dist:dist_int ~stride:n ~l2p ~q1:eq1 ~q2:eq2
+          ~len:elen
+      in
+      let df =
+        delta_over finc fq1 fq2 l1 (-1) + delta_over finc fq1 fq2 l2 l1
+      and de =
+        delta_over einc eq1 eq2 l1 (-1) + delta_over einc eq1 eq2 l2 l1
+      in
+      (* full recompute on the tentatively swapped π *)
+      let l2p' = Array.copy l2p in
+      if l1 >= 0 then l2p'.(l1) <- p2;
+      if l2 >= 0 then l2p'.(l2) <- p1;
+      List.for_all
+        (fun heuristic ->
+          let full =
+            Heuristic.score_flat ~heuristic ~dist ~stride:n ~l2p:l2p' ~fq1
+              ~fq2 ~flen ~eq1 ~eq2 ~elen ~weight ~decay ~p1 ~p2
+          in
+          let delta =
+            Heuristic.score_of_sums_int ~heuristic ~fsum:(fsum + df) ~flen
+              ~esum:(esum + de) ~elen ~weight ~decay ~p1 ~p2
+          in
+          Float.equal full delta
+          || QCheck.Test.fail_reportf
+               "heuristic %s: full %h vs delta %h (flen=%d elen=%d p1=%d \
+                p2=%d)"
+               (match heuristic with
+               | Sabre.Config.Basic -> "basic"
+               | Sabre.Config.Lookahead -> "lookahead"
+               | Sabre.Config.Decay -> "decay")
+               full delta flen elen p1 p2)
+        [ Sabre.Config.Basic; Sabre.Config.Lookahead; Sabre.Config.Decay ])
+
+(* ------------------------------------------------------------------ *)
 (* Flat (CSR) DAG view agrees with the list-based accessors            *)
 (* ------------------------------------------------------------------ *)
 
@@ -430,6 +559,8 @@ let suite =
       prop_relabel_invariance;
       prop_commuting_conformance;
       prop_flatcore_equivalence;
+      prop_delta_equivalence;
+      prop_delta_score_bit_identical;
       prop_dag_csr_matches_lists;
       prop_reverse_involutive;
       prop_reverse_is_inverse_unitary;

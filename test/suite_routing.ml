@@ -290,6 +290,165 @@ let test_search_steps_counted () =
   let r = route device c m in
   check Alcotest.int "one step" 1 r.search_steps
 
+(* ------------------------------------------------------------------ *)
+(* Incidence index + delta scoring                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_incidence_index () =
+  let module I = Routing_pass.Incidence in
+  let idx = I.create () in
+  check Alcotest.int "fresh index has no generation" (-1) (I.generation idx);
+  (* pair slots: 0:(0,1)  1:(1,2)  2:(3,0) over 5 logical qubits *)
+  let q1 = [| 0; 1; 3 |] and q2 = [| 1; 2; 0 |] in
+  I.build idx ~gen:7 ~n_logical:5 ~q1 ~q2 ~len:3;
+  check Alcotest.int "generation recorded" 7 (I.generation idx);
+  List.iteri
+    (fun q d -> check Alcotest.int (Printf.sprintf "degree of %d" q) d (I.degree idx q))
+    [ 2; 2; 1; 1; 0 ];
+  let slots q =
+    let acc = ref [] in
+    I.iter idx q (fun k -> acc := k :: !acc);
+    List.sort compare !acc
+  in
+  check (Alcotest.list Alcotest.int) "slots of qubit 0" [ 0; 2 ] (slots 0);
+  check (Alcotest.list Alcotest.int) "slots of qubit 1" [ 0; 1 ] (slots 1);
+  check (Alcotest.list Alcotest.int) "slots of qubit 2" [ 1 ] (slots 2);
+  check (Alcotest.list Alcotest.int) "slots of qubit 3" [ 2 ] (slots 3)
+
+let test_incidence_rebuild_invalidation () =
+  (* a rebuild at a newer generation fully replaces the old content, and
+     [invalidate] marks the index unusable (the between-runs reset) *)
+  let module I = Routing_pass.Incidence in
+  let idx = I.create () in
+  I.build idx ~gen:3 ~n_logical:6 ~q1:[| 0; 2 |] ~q2:[| 1; 3 |] ~len:2;
+  I.build idx ~gen:8 ~n_logical:6 ~q1:[| 4 |] ~q2:[| 5 |] ~len:1;
+  check Alcotest.int "generation bumped" 8 (I.generation idx);
+  check Alcotest.int "stale qubit cleared" 0 (I.degree idx 0);
+  check Alcotest.int "fresh qubit indexed" 1 (I.degree idx 4);
+  let acc = ref [] in
+  I.iter idx 5 (fun k -> acc := k :: !acc);
+  check (Alcotest.list Alcotest.int) "fresh slot id" [ 0 ] !acc;
+  I.invalidate idx;
+  check Alcotest.int "invalidated" (-1) (I.generation idx)
+
+let route_mode ~scoring ?(config = single_pass) coupling dag mapping =
+  Routing_pass.run_flat ~scoring config coupling dag mapping
+
+let assert_modes_agree ?config device c m label =
+  let dag = Dag.of_circuit c in
+  let a = route_mode ~scoring:Routing_pass.Delta ?config device dag m in
+  let b = route_mode ~scoring:Routing_pass.Full ?config device dag m in
+  check Alcotest.bool (label ^ ": identical circuits") true
+    (Circuit.equal a.physical b.physical);
+  check
+    (Alcotest.array Alcotest.int)
+    (label ^ ": identical final mapping")
+    (Mapping.l2p_array b.final_mapping)
+    (Mapping.l2p_array a.final_mapping);
+  check Alcotest.int (label ^ ": identical swaps") b.n_swaps a.n_swaps;
+  (a, b)
+
+let test_delta_equals_full_all_heuristics () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Helpers.random_circuit ~seed:17 ~n:12 ~gates:200 in
+  let m = Mapping.identity ~n_logical:12 ~n_physical:20 in
+  List.iter
+    (fun h ->
+      let config = { single_pass with Config.heuristic = h } in
+      ignore (assert_modes_agree ~config device c m "heuristic sweep"))
+    [ Config.Basic; Config.Lookahead; Config.Decay ]
+
+let test_delta_survives_applied_swaps () =
+  (* Long SWAP sequences between gate executions: the logical-keyed
+     incidence index must stay valid across every applied SWAP (it only
+     goes stale when front membership changes). A far CNOT on a long
+     line forces many consecutive decisions on one unchanged front. *)
+  let device = Devices.linear 16 in
+  let c = Circuit.create ~n_qubits:16 [ Gate.Cnot (0, 15); Gate.Cnot (0, 15) ] in
+  let m = Mapping.identity ~n_logical:16 ~n_physical:16 in
+  let a, _ = assert_modes_agree device c m "far cnot" in
+  check Alcotest.bool "many decisions on one front" true
+    (a.search_steps >= 10);
+  verify device c m a "far cnot delta"
+
+let test_delta_equals_full_under_fallback () =
+  (* stall_limit = 1 forces the anti-livelock path: fallback SWAPs must
+     keep the incrementally-synced scoring π consistent too *)
+  let device = Devices.linear 8 in
+  let c = Helpers.random_circuit ~seed:9 ~n:8 ~gates:120 in
+  let m = Mapping.identity ~n_logical:8 ~n_physical:8 in
+  let config = { single_pass with Config.stall_limit = Some 1 } in
+  let a, _ = assert_modes_agree ~config device c m "fallback" in
+  check Alcotest.bool "fallback exercised" true (a.fallback_swaps > 0)
+
+let test_50k_gate_chain_regression () =
+  (* mirrors the PR 3 DAG 50k-chain test at the routing level: a long
+     chain must neither blow the stack nor diverge between scorers *)
+  let device = Devices.linear 8 in
+  let c = Helpers.random_circuit ~seed:3 ~n:8 ~gates:50_000 in
+  let m = Mapping.identity ~n_logical:8 ~n_physical:8 in
+  let a, _ = assert_modes_agree device c m "50k chain" in
+  check Alcotest.bool "routed the whole chain" true
+    (Circuit.length a.physical >= 50_000)
+
+let test_scoring_stats_reported () =
+  let device = Devices.ibm_q20_tokyo () in
+  let c = Workloads.Qft.circuit 12 in
+  let m = Mapping.identity ~n_logical:12 ~n_physical:20 in
+  let dag = Dag.of_circuit c in
+  let d = route_mode ~scoring:Routing_pass.Delta device dag m in
+  let f = route_mode ~scoring:Routing_pass.Full device dag m in
+  check Alcotest.int "decisions = search steps" d.search_steps
+    d.scoring.Sabre.Stats.decisions;
+  check Alcotest.bool "candidates scored" true
+    (d.scoring.Sabre.Stats.candidates >= d.scoring.Sabre.Stats.decisions);
+  check Alcotest.bool "delta touches fewer terms" true
+    (d.scoring.Sabre.Stats.delta_terms < d.scoring.Sabre.Stats.full_terms);
+  check Alcotest.int "same work measured either way"
+    d.scoring.Sabre.Stats.full_terms f.scoring.Sabre.Stats.full_terms;
+  check Alcotest.int "full mode recomputes everything"
+    f.scoring.Sabre.Stats.full_terms f.scoring.Sabre.Stats.delta_terms
+
+let test_non_integer_metric_falls_back_to_full () =
+  (* a non-integer metric (e.g. noise-weighted) cannot use exact integer
+     deltas; requesting Delta must quietly degrade to full recompute —
+     same output, and the stats show no terms were skipped *)
+  let device = Devices.linear 5 in
+  let n = Coupling.n_qubits device in
+  let dist =
+    Array.map (fun d -> d *. 0.5) (Hardware.Dist_cache.hop_distances device)
+  in
+  let c = Circuit.create ~n_qubits:5 [ Gate.Cnot (0, 4) ] in
+  let m = Mapping.identity ~n_logical:5 ~n_physical:n in
+  let dag = Dag.of_circuit c in
+  let a =
+    Routing_pass.run_flat ~dist ~scoring:Routing_pass.Delta single_pass device
+      dag m
+  in
+  let b =
+    Routing_pass.run_flat ~dist ~scoring:Routing_pass.Full single_pass device
+      dag m
+  in
+  check Alcotest.bool "identical circuits" true
+    (Circuit.equal a.physical b.physical);
+  check Alcotest.int "no delta savings on a float metric"
+    a.scoring.Sabre.Stats.full_terms a.scoring.Sabre.Stats.delta_terms;
+  check Alcotest.bool "scored something" true
+    (a.scoring.Sabre.Stats.full_terms > 0)
+
+let test_mismatched_dist_int_rejected () =
+  let device = Devices.linear 4 in
+  let dist = Hardware.Dist_cache.hop_distances device in
+  let dist_int = Array.copy (Hardware.Dist_cache.hop_distances_int device) in
+  dist_int.(1) <- dist_int.(1) + 1;
+  let c = Circuit.create ~n_qubits:4 [ Gate.Cnot (0, 3) ] in
+  let m = Mapping.identity ~n_logical:4 ~n_physical:4 in
+  let dag = Dag.of_circuit c in
+  check Alcotest.bool "raises on disagreement" true
+    (match Routing_pass.run_flat ~dist ~dist_int single_pass device dag m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   [
     tc "executable circuit untouched" `Quick test_executable_circuit_untouched;
@@ -313,4 +472,18 @@ let suite =
     tc "swaps touch occupied qubits" `Quick test_candidates_restricted_to_front;
     tc "empty circuit" `Quick test_empty_circuit;
     tc "search steps counted" `Quick test_search_steps_counted;
+    tc "incidence index CSR layout" `Quick test_incidence_index;
+    tc "incidence rebuild + invalidation" `Quick
+      test_incidence_rebuild_invalidation;
+    tc "delta = full for every heuristic" `Quick
+      test_delta_equals_full_all_heuristics;
+    tc "delta index survives applied swaps" `Quick
+      test_delta_survives_applied_swaps;
+    tc "delta = full under fallback" `Quick
+      test_delta_equals_full_under_fallback;
+    tc "50k-gate chain regression" `Quick test_50k_gate_chain_regression;
+    tc "scoring stats reported" `Quick test_scoring_stats_reported;
+    tc "non-integer metric falls back to full" `Quick
+      test_non_integer_metric_falls_back_to_full;
+    tc "mismatched dist_int rejected" `Quick test_mismatched_dist_int_rejected;
   ]
