@@ -19,8 +19,8 @@ let load_circuit input workload size =
   match (input, workload) with
   | Some path, None -> (
     try Ok (Quantum.Qasm.of_file path) with
-    | Quantum.Qasm.Parse_error { line; message } ->
-      Error (Printf.sprintf "%s:%d: %s" path line message)
+    | Quantum.Qasm.Parse_error { line; column; message } ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path line column message)
     | Sys_error msg -> Error msg)
   | None, Some name -> (
     let n = Option.value size ~default:8 in
@@ -159,11 +159,11 @@ let run_batch manifest router_name config device ~domains ~verify ~quiet =
           (fun path ->
             match Quantum.Qasm.of_file path with
             | circuit -> Ok { Engine.Batch.name = path; circuit }
-            | exception Quantum.Qasm.Parse_error { line; message } ->
+            | exception Quantum.Qasm.Parse_error { line; column; message } ->
               Error
                 {
                   Engine.Batch.name = path;
-                  message = Printf.sprintf "%s:%d: %s" path line message;
+                  message = Printf.sprintf "%s:%d:%d: %s" path line column message;
                 }
             | exception Sys_error msg ->
               Error { Engine.Batch.name = path; message = msg })
@@ -209,6 +209,66 @@ let run_batch manifest router_name config device ~domains ~verify ~quiet =
       end;
       if !failures > 0 then Error (Printf.sprintf "%d circuits failed" !failures)
       else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Streaming mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_stream input output device config ~quiet ~json =
+  let ( let* ) = Result.bind in
+  let* path =
+    match input with
+    | Some p -> Ok p
+    | None -> Error "--stream needs a QASM input file"
+  in
+  let* out =
+    match output with
+    | Some o -> Ok o
+    | None ->
+      Error
+        "--stream needs -o OUT.qasm (gates are written as routed, never \
+         buffered)"
+  in
+  let* rep = Engine.Stream_pass.route_file ~config device ~input:path ~output:out in
+  let r = rep.Engine.Stream_pass.result in
+  let heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+  let gates_out = r.Sabre.Routing_pass.s_gates_out in
+  let gates_in = r.Sabre.Routing_pass.s_gates_in in
+  let wall = rep.Engine.Stream_pass.wall_s in
+  if json then
+    print_endline
+      (Printf.sprintf
+         "{\"input\": \"%s\", \"output\": \"%s\", \"qubits\": %d, \
+          \"device_qubits\": %d, \"gates_in\": %d, \"gates_out\": %d, \
+          \"swaps\": %d, \"fallback_swaps\": %d, \"peak_window\": %d, \
+          \"peak_heap_words\": %d, \"wall_s\": %.6f, \"gates_per_s\": %.0f}"
+         (json_escape path) (json_escape out) rep.Engine.Stream_pass.n_qubits
+         (Coupling.n_qubits device) gates_in gates_out
+         r.Sabre.Routing_pass.s_n_swaps r.Sabre.Routing_pass.s_fallback_swaps
+         r.Sabre.Routing_pass.s_peak_window heap_words wall
+         (float_of_int gates_in /. wall))
+  else if not quiet then begin
+    Format.printf "streamed        : %s -> %s@." path out;
+    Format.printf "gates           : %d in, %d out (+%d SWAPs)@." gates_in
+      gates_out r.Sabre.Routing_pass.s_n_swaps;
+    Format.printf "peak window     : %d resident gates@."
+      r.Sabre.Routing_pass.s_peak_window;
+    Format.printf "peak heap       : %d words@." heap_words;
+    Format.printf "throughput      : %.0f gates/s (%.3fs)@."
+      (float_of_int gates_in /. wall)
+      wall
+  end;
+  Ok ()
+
+let run_gen_stream path size gates seed ~quiet =
+  let n = Option.value size ~default:16 in
+  match Workloads.Stream_chain.to_qasm_file ~seed ~n ~gates path with
+  | () ->
+    if not quiet then
+      Format.printf "generated       : %s (%d qubits, %d gates)@." path n gates;
+    Ok ()
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
@@ -295,8 +355,45 @@ let directed_of_name = function
 
 let run_main input workload size device_name device_size directed router trials
     traversals delta weight extended_size seed commutation output expand quiet
-    json trace stats_json parallel batch =
+    json trace stats_json parallel batch stream gen_stream gates =
   let result =
+    match (gen_stream, stream) with
+    | Some path, _ -> run_gen_stream path size gates seed ~quiet
+    | None, true ->
+      let* () =
+        if workload <> None then Error "--stream reads a QASM file, not --workload"
+        else if batch <> None then Error "--stream and --batch are exclusive"
+        else if directed <> None then
+          Error "--stream does not support directed devices"
+        else if commutation then
+          Error
+            "--stream routes the plain dependency DAG (commutation-aware \
+             admission needs the whole circuit)"
+        else Ok ()
+      in
+      let* device =
+        try Ok (Devices.by_name device_name device_size)
+        with Invalid_argument msg -> Error msg
+      in
+      (* single forward traversal from the identity placement: the
+         trial/traversal knobs need the materialised circuit *)
+      let config =
+        {
+          Sabre.Config.default with
+          trials = 1;
+          traversals = 1;
+          decay_increment = delta;
+          extended_set_weight = weight;
+          extended_set_size = extended_size;
+          seed;
+        }
+      in
+      let* () =
+        Result.map_error (fun m -> "config: " ^ m)
+          (Sabre.Config.validate config)
+      in
+      run_stream input output device config ~quiet ~json
+    | None, false ->
     match batch with
     | Some manifest ->
       let* () =
@@ -528,6 +625,30 @@ let batch =
                  byte-identical to a sequential run. Exits non-zero if any \
                  circuit fails.")
 
+let stream =
+  Arg.(value & flag
+       & info [ "stream" ]
+           ~doc:"Streaming mode: route the input file to -o OUT.qasm in a \
+                 single forward traversal, reading, routing and writing \
+                 gate by gate. Peak memory is bounded by the circuit's \
+                 active window (how long qubits stay idle), not its \
+                 length, so million-gate files route in a few megabytes. \
+                 The output is byte-identical to materialised single-pass \
+                 routing from the identity placement.")
+
+let gen_stream =
+  Arg.(value & opt (some string) None
+       & info [ "gen-stream" ] ~docv:"OUT.qasm"
+           ~doc:"Generate a brickwork benchmark circuit (see \
+                 Workloads.Stream_chain) to OUT.qasm, gate by gate in \
+                 constant memory, and exit. Size with -n (qubits, default \
+                 16), --gates and --seed.")
+
+let gates =
+  Arg.(value & opt int 1_000_000
+       & info [ "gates" ] ~docv:"G"
+           ~doc:"Gate count for --gen-stream (default 1000000).")
+
 let cmd =
   let doc = "map a quantum circuit onto a NISQ device with SABRE" in
   let man =
@@ -551,6 +672,6 @@ let cmd =
       const run_main $ input $ workload $ size $ device_name $ device_size
       $ directed $ router $ trials $ traversals $ delta $ weight
       $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json
-      $ trace $ stats_json $ parallel $ batch)
+      $ trace $ stats_json $ parallel $ batch $ stream $ gen_stream $ gates)
 
 let () = exit (Cmd.eval' cmd)

@@ -206,8 +206,8 @@ let of_string s =
     let* circuit =
       match Quantum.Qasm.of_string qasm with
       | c -> Ok c
-      | exception Quantum.Qasm.Parse_error { line; message } ->
-        Error (Printf.sprintf "qasm:%d: %s" line message)
+      | exception Quantum.Qasm.Parse_error { line; column; message } ->
+        Error (Printf.sprintf "qasm:%d:%d: %s" line column message)
     in
     Ok { router; property; seed; failure; config; coupling; circuit }
   | _ -> Error (Printf.sprintf "not a %S file" header)

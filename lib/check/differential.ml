@@ -140,6 +140,86 @@ let flatcore_equivalence ~config coupling circuit =
     else Ok ()
   | exception Router.Route_failed _ -> Ok ()
 
+let stream_equivalence ~config coupling circuit =
+  let module Routing_pass = Sabre_core.Routing_pass in
+  let module Dag = Quantum.Dag in
+  let module Gate = Quantum.Gate in
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  if n_logical = 0 || n_logical > n_physical then Ok ()
+  else begin
+    (* a fixed (seeded) placement: streaming is a single forward
+       traversal, so both sides must start from the same π *)
+    let initial =
+      Mapping.random
+        ~state:(Random.State.make [| 0x51e4; config.Config.seed |])
+        ~n_logical ~n_physical
+    in
+    let gates = Circuit.gates circuit in
+    let source () =
+      let r = ref gates in
+      fun () ->
+        match !r with
+        | [] -> None
+        | g :: tl ->
+          r := tl;
+          Some g
+    in
+    let retire = Array.make n_logical (-1) in
+    List.iteri
+      (fun i g -> List.iter (fun q -> retire.(q) <- i) (Gate.qubits g))
+      gates;
+    match
+      Routing_pass.run_flat config coupling (Dag.of_circuit circuit) initial
+    with
+    | exception Invalid_argument _ -> Ok ()
+    | m ->
+      let expected = Circuit.gates m.Routing_pass.physical in
+      let check label retire_opt =
+        let out = ref [] in
+        match
+          Routing_pass.run_streaming ?retire:retire_opt
+            ~sink:(fun g -> out := g :: !out)
+            config coupling (source ()) initial
+        with
+        | exception e ->
+          Error
+            (Printf.sprintf
+               "streaming (%s) raised %s where materialised routing succeeded"
+               label (Printexc.to_string e))
+        | s ->
+          let streamed = List.rev !out in
+          if streamed <> expected then
+            Error
+              (Printf.sprintf
+                 "streaming (%s) and materialised routing emitted different \
+                  gate sequences at seed %d (%d vs %d gates, %d vs %d swaps)"
+                 label config.Config.seed (List.length streamed)
+                 (List.length expected) s.Routing_pass.s_n_swaps
+                 m.Routing_pass.n_swaps)
+          else if
+            not
+              (Mapping.equal s.Routing_pass.s_final_mapping
+                 m.Routing_pass.final_mapping)
+          then
+            Error
+              (Printf.sprintf
+                 "streaming (%s) and materialised routing disagree on the \
+                  final mapping at seed %d"
+                 label config.Config.seed)
+          else if s.Routing_pass.s_n_swaps <> m.Routing_pass.n_swaps then
+            Error
+              (Printf.sprintf
+                 "streaming (%s) swap count %d <> materialised %d at seed %d"
+                 label s.Routing_pass.s_n_swaps m.Routing_pass.n_swaps
+                 config.Config.seed)
+          else Ok ()
+      in
+      (match check "retire-bounded" (Some retire) with
+      | Error _ as e -> e
+      | Ok () -> check "unbounded" None)
+  end
+
 let delta_equivalence ~config coupling circuit =
   ensure_registered ();
   let sabre =

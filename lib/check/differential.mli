@@ -100,6 +100,17 @@ val flatcore_equivalence :
     circuits and both mappings must be byte-identical. Transitional
     check for the flat-core refactor; delete with {!Engine.Sabre_ref_router}. *)
 
+val stream_equivalence :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Route the circuit's gate stream with
+    {!Sabre_core.Routing_pass.run_streaming} — once retire-bounded (the
+    per-qubit last-use schedule that keeps the window small) and once
+    unbounded — and route the materialised circuit with
+    {!Sabre_core.Routing_pass.run_flat} from the same seeded fixed
+    initial mapping: the emitted gate sequences, final mappings and SWAP
+    counts must be byte-identical. [Ok ()] when the instance is wider
+    than the device or the materialised route itself rejects it. *)
+
 val delta_equivalence :
   config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
 (** Route with the [sabre] router twice at the same seed — once with

@@ -133,6 +133,11 @@ let delta_failure ~config coupling circuit =
   | Error msg -> Some msg
   | Ok () -> None
 
+let stream_failure ~config coupling circuit =
+  match Differential.stream_equivalence ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
 let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
     ?(on_event = fun (_ : event) -> ()) ~seed ~routers () =
   Differential.ensure_registered ();
@@ -240,6 +245,19 @@ let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
           ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
           ~failure_of:(fun c -> delta_failure ~config coupling c)
     end;
+    (* streaming property: windowed single-pass routing must emit the
+       byte-identical gate sequence to the materialised run *)
+    if
+      List.mem "sabre" routers
+      && not (Hashtbl.mem dead ("sabre", "stream-equivalence"))
+    then begin
+      match stream_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"stream-equivalence" ~config
+          ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> stream_failure ~config coupling c)
+    end;
     incr trials;
     on_event (Trial_done !trials)
   done;
@@ -276,6 +294,10 @@ let replay (r : Corpus.repro) =
       | Ok () -> `Passes)
     | "delta-equivalence" -> (
       match Differential.delta_equivalence ~config coupling circuit with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "stream-equivalence" -> (
+      match Differential.stream_equivalence ~config coupling circuit with
       | Error msg -> `Reproduced msg
       | Ok () -> `Passes)
     | p -> `Error (Printf.sprintf "unknown property %S" p))

@@ -44,6 +44,119 @@ let circuit_arb ?min_qubits ?max_qubits ?max_gates () =
     ~print:Circuit.to_string ~shrink:shrink_circuit
 
 (* ------------------------------------------------------------------ *)
+(* QASM programs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Valid OpenQASM 2.0 sources exercising the frontend's whole surface:
+   several quantum and classical registers, user-defined gates with
+   parameter expressions, broadcast single-qubit application,
+   whole-register measure, barriers, comments and blank lines. All
+   parameters are multiples of 0.25, exact in binary, so printed
+   round-trips are float-exact by construction. *)
+let qasm_program =
+  let open QCheck.Gen in
+  let param = int_range 0 12 >|= fun k -> float_of_int k *. 0.25 in
+  let pf = Printf.sprintf "%g" in
+  int_range 1 3 >>= fun n_qregs ->
+  list_repeat n_qregs (int_range 1 3) >>= fun qsizes ->
+  int_range 1 2 >>= fun n_cregs ->
+  list_repeat n_cregs (int_range 1 3) >>= fun csizes ->
+  bool >>= fun with_defs ->
+  let qregs = List.mapi (fun i s -> (Printf.sprintf "qr%d" i, s)) qsizes in
+  let cregs = List.mapi (fun i s -> (Printf.sprintf "cr%d" i, s)) csizes in
+  let qubits =
+    List.concat_map (fun (n, s) -> List.init s (fun i -> (n, i))) qregs
+  in
+  let total = List.length qubits in
+  let qubit_at k =
+    let n, i = List.nth qubits k in
+    Printf.sprintf "%s[%d]" n i
+  in
+  let qubit = int_range 0 (total - 1) >|= qubit_at in
+  let distinct_pair =
+    int_range 0 (total - 1) >>= fun a ->
+    int_range 0 (total - 2) >|= fun k ->
+    let b = if k >= a then k + 1 else k in
+    (qubit_at a, qubit_at b)
+  in
+  let qreg_name = oneofl (List.map fst qregs) in
+  let stmt =
+    frequency
+      ([
+         ( 3,
+           qubit >>= fun q ->
+           oneofl [ "h"; "x"; "t"; "sdg" ] >|= fun g ->
+           Printf.sprintf "%s %s;" g q );
+         ( 2,
+           qubit >>= fun q ->
+           param >|= fun v -> Printf.sprintf "rz(%s) %s;" (pf v) q );
+         ( 2,
+           qreg_name >>= fun r ->
+           oneofl [ "h"; "x" ] >|= fun g ->
+           Printf.sprintf "%s %s; // broadcast" g r );
+         (1, qreg_name >|= fun r -> Printf.sprintf "barrier %s;" r);
+         (1, return "");
+         (1, return "// comment line");
+       ]
+      @ (if total >= 2 then
+           [
+             ( 4,
+               distinct_pair >|= fun (a, b) ->
+               Printf.sprintf "cx %s,%s;" a b );
+           ]
+         else [])
+      @
+      if with_defs then
+        [
+          ( 1,
+            qubit >>= fun q ->
+            param >|= fun v -> Printf.sprintf "gd1(%s) %s;" (pf v) q );
+        ]
+        @
+        if total >= 2 then
+          [
+            ( 1,
+              distinct_pair >|= fun (a, b) ->
+              Printf.sprintf "gd2 %s,%s;" a b );
+          ]
+        else []
+      else [])
+  in
+  list_size (int_range 0 25) stmt >|= fun body ->
+  let header =
+    [ "OPENQASM 2.0;"; "include \"qelib1.inc\";" ]
+    @ List.map (fun (n, s) -> Printf.sprintf "qreg %s[%d];" n s) qregs
+    @ List.map (fun (n, s) -> Printf.sprintf "creg %s[%d];" n s) cregs
+    @
+    if with_defs then
+      [
+        "gate gd1(p) a { rz(p*2) a; h a; }";
+        "gate gd2 a,b { cx a,b; tdg b; }";
+      ]
+    else []
+  in
+  let measures =
+    let matched =
+      List.concat_map
+        (fun (qn, qs) ->
+          List.filter_map
+            (fun (cn, cs) ->
+              if qs = cs then Some (Printf.sprintf "measure %s -> %s;" qn cn)
+              else None)
+            cregs)
+        qregs
+    in
+    let indexed =
+      Printf.sprintf "measure %s[0] -> %s[0];" (fst (List.hd qregs))
+        (fst (List.hd cregs))
+    in
+    match matched with m :: _ -> [ m; indexed ] | [] -> [ indexed ]
+  in
+  String.concat "\n" (header @ body @ measures) ^ "\n"
+
+let qasm_program_arb = QCheck.make qasm_program ~print:(fun s -> s)
+
+(* ------------------------------------------------------------------ *)
 (* Coupling graphs                                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -33,6 +33,20 @@ val circuit_arb :
   Circuit.t QCheck.arbitrary
 (** {!circuit} packaged with printing and {!shrink_circuit}. *)
 
+val qasm_program : string QCheck.Gen.t
+(** A random valid OpenQASM 2.0 source: 1–3 quantum and 1–2 classical
+    registers, optional user-defined gates (one parameterised via an
+    arithmetic expression, one two-qubit), indexed and broadcast
+    single-qubit applications, cross-register CNOTs, barriers, indexed
+    and whole-register measures, comments and blank lines. Parameters
+    are multiples of 0.25 so print→parse round-trips are float-exact.
+    Drives the frontend round-trip and streaming-equivalence
+    properties. *)
+
+val qasm_program_arb : string QCheck.arbitrary
+(** {!qasm_program} packaged with printing (no shrinking: deleting
+    program lines rarely preserves well-formedness). *)
+
 val coupling : ?min_qubits:int -> ?slack:int -> unit -> Coupling.t QCheck.Gen.t
 (** Random {e connected} coupling graph with between [min_qubits]
     (default 2) and [min_qubits + slack] (default slack 4) qubits, drawn

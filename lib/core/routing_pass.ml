@@ -14,6 +14,17 @@ type result = {
   scoring : Stats.scoring;
 }
 
+type stream_result = {
+  s_final_mapping : Mapping.t;
+  s_n_swaps : int;
+  s_search_steps : int;
+  s_fallback_swaps : int;
+  s_scoring : Stats.scoring;
+  s_gates_in : int;
+  s_gates_out : int;
+  s_peak_window : int;
+}
+
 (* Per-logical-qubit incidence index over the front/extended pair slots,
    in CSR form: [idx.(off.(q) .. off.(q+1)-1)] are the slot ids whose
    pair contains logical qubit [q]. Keyed by *logical* qubits — not
@@ -212,7 +223,7 @@ type state = {
      pair slots, rebuilt with the front caches *)
   finc : Incidence.t;
   einc : Incidence.t;
-  mutable out_rev : Gate.t list;  (* emitted physical gates, reversed *)
+  sink : Gate.t -> unit;  (* receives emitted physical gates in order *)
   decay : float array;  (* per physical qubit; 1.0 at rest *)
   mutable steps_since_reset : int;
   mutable stall : int;  (* swaps since the last gate execution *)
@@ -231,7 +242,7 @@ let reset_decay st =
   Array.fill st.decay 0 (Array.length st.decay) 1.0;
   st.steps_since_reset <- 0
 
-let emit st gate = st.out_rev <- gate :: st.out_rev
+let emit st gate = st.sink gate
 
 let front_push st i =
   if st.front_len = Array.length st.front_buf then begin
@@ -368,9 +379,12 @@ let mark_candidates st =
     Coupling.neighbors_iter st.coupling p (fun p' ->
         st.cand_mark.(Coupling.edge_id st.coupling p p') <- stamp)
   in
-  for r = 0 to st.front_len - 1 do
-    mark_qubit (Dag.pair_q1 st.dag st.front_buf.(r));
-    mark_qubit (Dag.pair_q2 st.dag st.front_buf.(r))
+  (* reads the fq caches — same pairs, same order as the front deque —
+     so the function is independent of how the DAG is represented;
+     [choose_and_apply_swap] rebuilds stale caches before marking *)
+  for r = 0 to st.flen - 1 do
+    mark_qubit st.fq1.(r);
+    mark_qubit st.fq2.(r)
   done;
   stamp
 
@@ -521,8 +535,12 @@ let choose_delta st di stamp =
   done;
   (!have_best, !best_p1, !best_p2)
 
-let choose_and_apply_swap st =
-  if st.cache_gen <> st.front_gen then rebuild_front_caches st;
+(* [rebuild] refreshes the fq/eq caches from the current front: the
+   materialised path passes [rebuild_front_caches], the streaming path
+   its window-backed equivalent. Everything below the caches is
+   representation-agnostic. *)
+let choose_and_apply_swap ~rebuild st =
+  if st.cache_gen <> st.front_gen then rebuild st;
   let stamp = mark_candidates st in
   st.sc_decisions <- st.sc_decisions + 1;
   let have_best, p1, p2 =
@@ -548,23 +566,25 @@ let choose_and_apply_swap st =
 
 (* Anti-livelock fallback: force the oldest front gate executable by
    swapping one operand along a shortest path to the other. *)
+let fallback_walk st q1 q2 =
+  assert (q1 >= 0);
+  let p1 = Mapping.to_physical st.mapping q1
+  and p2 = Mapping.to_physical st.mapping q2 in
+  let path = Coupling.shortest_path st.coupling p1 p2 in
+  let rec walk = function
+    | a :: (b :: (_ :: _ as rest)) ->
+      apply_swap st ~fallback:true (a, b);
+      walk (b :: rest)
+    | _ -> ()
+  in
+  walk path;
+  reset_decay st;
+  st.stall <- 0
+
 let fallback_route st =
   if st.front_len > 0 then begin
     let i = st.front_buf.(0) in
-    let q1 = Dag.pair_q1 st.dag i and q2 = Dag.pair_q2 st.dag i in
-    assert (q1 >= 0);
-    let p1 = Mapping.to_physical st.mapping q1
-    and p2 = Mapping.to_physical st.mapping q2 in
-    let path = Coupling.shortest_path st.coupling p1 p2 in
-    let rec walk = function
-      | a :: (b :: (_ :: _ as rest)) ->
-        apply_swap st ~fallback:true (a, b);
-        walk (b :: rest)
-      | _ -> ()
-    in
-    walk path;
-    reset_decay st;
-    st.stall <- 0
+    fallback_walk st (Dag.pair_q1 st.dag i) (Dag.pair_q2 st.dag i)
   end
 
 let flat_hop_distances coupling =
@@ -585,6 +605,40 @@ let flat_hop_distances coupling =
    generation. *)
 let grown arr len = if Array.length arr >= len then arr else Array.make len 0
 
+(* Shared metric validation/derivation for the materialised and
+   streaming entry points. Delta scoring needs an integer view of the
+   metric. A caller-provided one is validated against [dist] entry for
+   entry (the delta scorer's exactness argument assumes they agree);
+   otherwise one is derived, which quietly fails — falling back to full
+   recompute — for non-integer metrics such as noise-weighted
+   distances. *)
+let resolve_metric ~coupling ~scoring ~dist ~dist_int =
+  let n_physical = Coupling.n_qubits coupling in
+  let dist =
+    match dist with
+    | Some d ->
+      if Array.length d <> n_physical * n_physical then
+        invalid_arg "Routing_pass.run: flat dist has wrong dimension";
+      d
+    | None -> flat_hop_distances coupling
+  in
+  let dist_int =
+    match scoring with
+    | Full -> None
+    | Delta -> (
+      match dist_int with
+      | Some di ->
+        if Array.length di <> n_physical * n_physical then
+          invalid_arg "Routing_pass.run: flat dist_int has wrong dimension";
+        for i = 0 to Array.length di - 1 do
+          if dist.(i) <> float_of_int di.(i) then
+            invalid_arg "Routing_pass.run: dist_int disagrees with dist"
+        done;
+        Some di
+      | None -> Heuristic.dist_int_of_flat dist)
+  in
+  (dist, dist_int)
+
 let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
     coupling dag initial =
   (match Config.validate config with
@@ -601,34 +655,7 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
     scratch.Scratch.n_physical <> n_physical
     || scratch.Scratch.n_edges <> Coupling.n_edges coupling
   then invalid_arg "Routing_pass.run: scratch built for a different device";
-  let dist =
-    match dist with
-    | Some d ->
-      if Array.length d <> n_physical * n_physical then
-        invalid_arg "Routing_pass.run: flat dist has wrong dimension";
-      d
-    | None -> flat_hop_distances coupling
-  in
-  (* Delta scoring needs an integer view of the metric. A caller-provided
-     one is validated against [dist] entry for entry (the delta scorer's
-     exactness argument assumes they agree); otherwise one is derived,
-     which quietly fails — falling back to full recompute — for
-     non-integer metrics such as noise-weighted distances. *)
-  let dist_int =
-    match scoring with
-    | Full -> None
-    | Delta -> (
-      match dist_int with
-      | Some di ->
-        if Array.length di <> n_physical * n_physical then
-          invalid_arg "Routing_pass.run: flat dist_int has wrong dimension";
-        for i = 0 to Array.length di - 1 do
-          if dist.(i) <> float_of_int di.(i) then
-            invalid_arg "Routing_pass.run: dist_int disagrees with dist"
-        done;
-        Some di
-      | None -> Heuristic.dist_int_of_flat dist)
-  in
+  let dist, dist_int = resolve_metric ~coupling ~scoring ~dist ~dist_int in
   (* per-run reset of the reused arena *)
   scratch.Scratch.remaining <- grown scratch.Scratch.remaining n;
   let remaining = scratch.Scratch.remaining in
@@ -645,6 +672,7 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
   Incidence.invalidate scratch.Scratch.finc;
   Incidence.invalidate scratch.Scratch.einc;
   let n_logical = Mapping.n_logical initial in
+  let out_rev = ref [] in
   let st =
     {
       config;
@@ -675,7 +703,7 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
       l2p_scratch = scratch.Scratch.l2p;
       finc = scratch.Scratch.finc;
       einc = scratch.Scratch.einc;
-      out_rev = [];
+      sink = (fun g -> out_rev := g :: !out_rev);
       decay = scratch.Scratch.decay;
       steps_since_reset = 0;
       stall = 0;
@@ -714,7 +742,7 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
       advance st;
       while st.front_len > 0 do
         if st.stall > st.stall_limit then fallback_route st
-        else choose_and_apply_swap st;
+        else choose_and_apply_swap ~rebuild:rebuild_front_caches st;
         advance st
       done;
       {
@@ -722,7 +750,7 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
           Circuit.create
             ~n_qubits:(Coupling.n_qubits coupling)
             ~n_clbits:(Circuit.n_clbits circuit)
-            (List.rev st.out_rev);
+            (List.rev !out_rev);
         final_mapping = st.mapping;
         n_swaps = st.n_swaps;
         search_steps = st.search_steps;
@@ -744,3 +772,218 @@ let run_flat ?dist ?dist_int ?scoring config coupling dag initial =
 let run ?dist ?scoring config coupling dag initial =
   let dist = Option.map Heuristic.flatten_dist dist in
   run_flat ?dist ?scoring config coupling dag initial
+
+(* ------------------------------------------------------------------ *)
+(* Streaming entry point                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* placeholder for [state.dag] in streaming runs: the window-backed
+   driver below never touches it *)
+let empty_dag = lazy (Dag.of_circuit (Circuit.create ~n_qubits:0 []))
+
+(* Single forward traversal over a gate stream, emitting routed gates
+   through [sink] as they execute. Byte-for-byte equivalent to
+   [run_flat] on the materialised circuit with the same [initial]
+   mapping: the window releases ready nodes in exactly the order the
+   eager DAG does (see [Dag.Window]), the front/extended-set caches are
+   rebuilt from the window with the same contents and order, and the
+   scoring machinery below the caches is shared code. Peak memory is
+   bounded by the window, which [retire] (per-qubit last-use stream
+   positions, e.g. from [Qasm_stream.survey]) keeps proportional to the
+   circuit's qubit-inactivity span rather than its length. *)
+let run_streaming ?dist ?dist_int ?(scoring = Delta) ?retire ~sink config
+    coupling source initial =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Routing_pass.run: " ^ msg));
+  let n_physical = Coupling.n_qubits coupling in
+  let n_logical = Mapping.n_logical initial in
+  if n_logical > n_physical then
+    invalid_arg "Routing_pass.run_streaming: circuit wider than device";
+  let dist, dist_int = resolve_metric ~coupling ~scoring ~dist ~dist_int in
+  let w = Dag.Window.create ?retire ~n_qubits:n_logical source in
+  let gates_out = ref 0 in
+  let st =
+    {
+      config;
+      coupling;
+      dist;
+      dist_int;
+      stride = n_physical;
+      n_logical;
+      dag = Lazy.force empty_dag;
+      mapping = Mapping.copy initial;
+      remaining = [||];
+      ready = Intq.create 64;
+      front_buf = Array.make 16 0;
+      front_len = 0;
+      front_gen = 0;
+      cache_gen = -1;
+      fq1 = [||];
+      fq2 = [||];
+      flen = 0;
+      eq1 = [||];
+      eq2 = [||];
+      elen = 0;
+      visit_stamp = [||];
+      visit_gen = 0;
+      bfs = Intq.create 64;
+      cand_mark = Array.make (max 1 (Coupling.n_edges coupling)) 0;
+      cand_gen = 0;
+      l2p_scratch = Array.make (max 1 n_logical) 0;
+      finc = Incidence.create ();
+      einc = Incidence.create ();
+      sink =
+        (fun g ->
+          incr gates_out;
+          sink g);
+      decay = Array.make n_physical 1.0;
+      steps_since_reset = 0;
+      stall = 0;
+      stall_limit =
+        (match config.stall_limit with
+        | Some s -> s
+        | None -> 10 + (5 * Coupling.diameter coupling));
+      n_swaps = 0;
+      search_steps = 0;
+      fallback_swaps = 0;
+      sc_decisions = 0;
+      sc_candidates = 0;
+      sc_delta_terms = 0;
+      sc_full_terms = 0;
+    }
+  in
+  for q = 0 to n_logical - 1 do
+    st.l2p_scratch.(q) <- Mapping.to_physical st.mapping q
+  done;
+  let on_ready i = Intq.push st.ready i in
+  (* window-backed counterparts of [execute_node]/[executable]/[advance]
+     — same control flow, with successor release (and re-saturation)
+     delegated to the window *)
+  let execute_slot i =
+    let to_physical q = Mapping.to_physical st.mapping q in
+    emit st (Gate.remap to_physical (Dag.Window.gate w i));
+    let two = Dag.Window.is_two_qubit_node w i in
+    Dag.Window.execute w i on_ready;
+    st.stall <- 0;
+    if two then reset_decay st
+  in
+  let slot_executable i =
+    let q1 = Dag.Window.pair_q1 w i in
+    q1 < 0
+    || Coupling.connected st.coupling
+         (Mapping.to_physical st.mapping q1)
+         (Mapping.to_physical st.mapping (Dag.Window.pair_q2 w i))
+  in
+  let advance_stream () =
+    let again = ref true in
+    while !again do
+      let progressed = ref false in
+      while not (Intq.is_empty st.ready) do
+        let i = Intq.pop st.ready in
+        if Dag.Window.is_two_qubit_node w i then front_push st i
+        else begin
+          execute_slot i;
+          progressed := true
+        end
+      done;
+      let wr = ref 0 in
+      let executed = ref false in
+      for r = 0 to st.front_len - 1 do
+        let i = st.front_buf.(r) in
+        if slot_executable i then begin
+          execute_slot i;
+          executed := true
+        end
+        else begin
+          st.front_buf.(!wr) <- i;
+          incr wr
+        end
+      done;
+      if !executed then begin
+        st.front_len <- !wr;
+        st.front_gen <- st.front_gen + 1;
+        progressed := true
+      end;
+      again := !progressed
+    done
+  in
+  (* window-backed [rebuild_front_caches]: identical contents and order;
+     [ensure_successors] completes a node's successor set before the
+     BFS expands it (admissions during a rebuild never release ready
+     nodes — the window is saturated whenever a router is stalled) *)
+  let rebuild_stream_caches st =
+    st.fq1 <- ensure_capacity st.fq1 st.front_len;
+    st.fq2 <- ensure_capacity st.fq2 st.front_len;
+    for r = 0 to st.front_len - 1 do
+      let i = st.front_buf.(r) in
+      st.fq1.(r) <- Dag.Window.pair_q1 w i;
+      st.fq2.(r) <- Dag.Window.pair_q2 w i
+    done;
+    st.flen <- st.front_len;
+    let size = st.config.extended_set_size in
+    st.elen <- 0;
+    if size > 0 && st.config.heuristic <> Config.Basic then begin
+      st.eq1 <- ensure_capacity st.eq1 size;
+      st.eq2 <- ensure_capacity st.eq2 size;
+      st.visit_gen <- st.visit_gen + 1;
+      Intq.clear st.bfs;
+      for r = 0 to st.front_len - 1 do
+        Dag.Window.ensure_successors w st.front_buf.(r) on_ready;
+        Dag.Window.succ_iter_seq w st.front_buf.(r) (fun j ->
+            Intq.push st.bfs j)
+      done;
+      while st.elen < size && not (Intq.is_empty st.bfs) do
+        let i = Intq.pop st.bfs in
+        if Dag.Window.mark_visited w i st.visit_gen then begin
+          if Dag.Window.is_two_qubit_node w i then begin
+            st.eq1.(st.elen) <- Dag.Window.pair_q1 w i;
+            st.eq2.(st.elen) <- Dag.Window.pair_q2 w i;
+            st.elen <- st.elen + 1
+          end;
+          Dag.Window.ensure_successors w i on_ready;
+          Dag.Window.succ_iter_seq w i (fun j -> Intq.push st.bfs j)
+        end
+      done
+    end;
+    (match st.dist_int with
+    | Some _ ->
+      Incidence.build st.finc ~gen:st.front_gen ~n_logical:st.n_logical
+        ~q1:st.fq1 ~q2:st.fq2 ~len:st.flen;
+      if st.elen > 0 then
+        Incidence.build st.einc ~gen:st.front_gen ~n_logical:st.n_logical
+          ~q1:st.eq1 ~q2:st.eq2 ~len:st.elen
+    | None -> ());
+    st.cache_gen <- st.front_gen
+  in
+  let fallback_stream () =
+    if st.front_len > 0 then begin
+      let i = st.front_buf.(0) in
+      fallback_walk st (Dag.Window.pair_q1 w i) (Dag.Window.pair_q2 w i)
+    end
+  in
+  Dag.Window.saturate w on_ready;
+  advance_stream ();
+  while st.front_len > 0 do
+    if st.stall > st.stall_limit then fallback_stream ()
+    else choose_and_apply_swap ~rebuild:rebuild_stream_caches st;
+    advance_stream ()
+  done;
+  if not (Dag.Window.exhausted w && Dag.Window.live_count w = 0) then
+    invalid_arg "Routing_pass.run_streaming: stream not drained";
+  {
+    s_final_mapping = st.mapping;
+    s_n_swaps = st.n_swaps;
+    s_search_steps = st.search_steps;
+    s_fallback_swaps = st.fallback_swaps;
+    s_scoring =
+      {
+        Stats.decisions = st.sc_decisions;
+        candidates = st.sc_candidates;
+        delta_terms = st.sc_delta_terms;
+        full_terms = st.sc_full_terms;
+      };
+    s_gates_in = Dag.Window.admitted w;
+    s_gates_out = !gates_out;
+    s_peak_window = Dag.Window.peak_live w;
+  }

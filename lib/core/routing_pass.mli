@@ -139,3 +139,54 @@ val run_with_scratch :
     can never collide with a fresh generation). Raises
     [Invalid_argument] when [scratch] was created for a device of a
     different shape (qubit or edge count). *)
+
+(** {2 Streaming entry point} *)
+
+type stream_result = {
+  s_final_mapping : Mapping.t;  (** π after the last gate *)
+  s_n_swaps : int;
+  s_search_steps : int;
+  s_fallback_swaps : int;
+  s_scoring : Stats.scoring;
+  s_gates_in : int;  (** gates consumed from the source stream *)
+  s_gates_out : int;  (** gates delivered to the sink (in + SWAPs) *)
+  s_peak_window : int;
+      (** high-water count of simultaneously resident DAG nodes — the
+          quantity that bounds streaming memory instead of circuit
+          length *)
+}
+
+val run_streaming :
+  ?dist:float array ->
+  ?dist_int:int array ->
+  ?scoring:scoring_mode ->
+  ?retire:int array ->
+  sink:(Quantum.Gate.t -> unit) ->
+  Config.t ->
+  Coupling.t ->
+  (unit -> Quantum.Gate.t option) ->
+  Mapping.t ->
+  stream_result
+(** [run_streaming ~sink config coupling source initial] routes the
+    gate stream [source] (one gate per call, [None] at end) in a single
+    forward traversal from the fixed [initial] mapping, delivering each
+    routed physical gate to [sink] as soon as it is decided.
+
+    The delivered gate sequence is byte-identical to
+    [(run_flat config coupling (Dag.of_circuit c) initial).physical] on
+    the materialised equivalent [c] — same gates, same order, same
+    SWAPs — for every scoring mode and heuristic; see {!Dag.Window} for
+    the admission discipline behind the guarantee. What streaming gives
+    up is only what inherently needs the whole circuit: reverse
+    traversals and multi-trial initial-mapping search.
+
+    [retire.(q)] is the stream position of the last gate touching
+    logical qubit [q] ([-1] if never touched), as produced by
+    {!Quantum.Qasm_stream.survey}; with it, peak resident state is
+    proportional to the circuit's maximum qubit-inactivity span and
+    independent of gate count. Without it the run is still exact but
+    may buffer up to the whole stream. [dist]/[dist_int]/[scoring] are
+    as in {!run_flat}. The number of logical qubits is taken from
+    [Mapping.n_logical initial]. Raises [Invalid_argument] on
+    validation failure, a stream gate out of qubit range, or a
+    zero-operand gate. *)

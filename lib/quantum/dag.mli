@@ -91,3 +91,90 @@ val two_qubit_nodes : t -> int list
 val descendant_count : t -> int -> int
 (** Number of nodes reachable from [i] (excluding [i]); O(V+E) per call.
     Iterative (explicit worklist), safe on arbitrarily deep circuits. *)
+
+(** {2 Windowed (streaming) view}
+
+    A bounded incremental builder of the same dependency DAG, fed from a
+    gate stream instead of a materialised circuit. Nodes are *slot ids*,
+    recycled through a free list as gates execute, so the resident size
+    is the active window, not the program length. Slot ids are therefore
+    only meaningful between admission and execution; stream positions
+    ({!Window.seq}) are the stable node identity.
+
+    The admission discipline (see the implementation comment) guarantees
+    that ready-release order is identical to the eager
+    {!of_circuit}-based run: a consumer that pops ready nodes FIFO and
+    calls {!Window.execute} observes exactly the node sequence the eager
+    path observes, which is what makes streamed routing byte-identical
+    to materialised routing. *)
+module Window : sig
+  type t
+
+  val create : ?retire:int array -> n_qubits:int -> (unit -> Gate.t option) -> t
+  (** [create ?retire ~n_qubits source] builds a window over [source]
+      (one gate per call, [None] at end of stream). [retire.(q)], when
+      given, must be at or after the stream position of the last gate
+      touching [q] ([-1] for a qubit never touched): it lets the window
+      stop admitting on behalf of inactive qubits, bounding resident
+      slots by the maximum qubit-inactivity span. Without [retire] the
+      window stays exact but may admit up to the whole stream. Raises
+      [Invalid_argument] if [retire] has the wrong length, or later if
+      the stream yields a gate whose qubit is outside [0, n_qubits) or a
+      zero-operand gate (an empty barrier has no qubit to anchor its
+      admission time to, so its position could not be reproduced). *)
+
+  val saturate : t -> (int -> unit) -> unit
+  (** [saturate t on_ready] admits gates in stream order until every
+      unadmitted gate provably has an unexecuted admitted predecessor
+      (or end of stream). Newly admitted gates with no unexecuted
+      predecessor are passed to [on_ready] in stream order. Call once
+      before consuming; {!execute} re-saturates automatically. *)
+
+  val execute : t -> int -> (int -> unit) -> unit
+  (** [execute t s on_ready] retires slot [s] (which must be ready):
+      releases its successors — passing newly-ready ones to [on_ready]
+      in ascending stream position — frees the slot for reuse, and
+      re-saturates the window. *)
+
+  val ensure_successors : t -> int -> (int -> unit) -> unit
+  (** [ensure_successors t s on_ready] admits just enough of the stream
+      that [s]'s successor set is complete, so a lookahead BFS may
+      expand [s]. When the window is saturated (always true between
+      executions) these admissions cannot produce ready nodes, but
+      [on_ready] is taken for uniformity. *)
+
+  val succ_iter_seq : t -> int -> (int -> unit) -> unit
+  (** Iterate the distinct successors admitted so far, in ascending
+      stream position — the windowed counterpart of {!succ_iter} (which
+      iterates ascending node id, the same order). Call
+      {!ensure_successors} first if completeness is required. Not
+      reentrant (shared scratch). *)
+
+  val gate : t -> int -> Gate.t
+  val seq : t -> int -> int
+  (** Stream position of the slot's gate (0-based). *)
+
+  val pair_q1 : t -> int -> int
+  val pair_q2 : t -> int -> int
+  val is_two_qubit_node : t -> int -> bool
+
+  val mark_visited : t -> int -> int -> bool
+  (** [mark_visited t s gen] — first visit of [s] in generation [gen]?
+      Marks as a side effect. Generations must be positive and strictly
+      increasing across BFS passes; stamps are cleared on slot reuse. *)
+
+  val exhausted : t -> bool
+  (** The source returned [None]. *)
+
+  val live_count : t -> int
+  (** Slots currently admitted and unexecuted. *)
+
+  val peak_live : t -> int
+  (** High-water mark of {!live_count}: the peak window size. *)
+
+  val admitted : t -> int
+  (** Total gates admitted from the stream so far. *)
+
+  val executed : t -> int
+  (** Total gates executed so far. *)
+end

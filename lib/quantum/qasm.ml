@@ -1,573 +1,32 @@
-exception Parse_error of { line : int; message : string }
-
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+exception Parse_error = Qasm_stream.Parse_error
 
 (* ------------------------------------------------------------------ *)
-(* Lexer                                                               *)
+(* Eager reader: drain the incremental frontend                        *)
 (* ------------------------------------------------------------------ *)
 
-type token =
-  | Ident of string
-  | Number of float
-  | String of string
-  | LBracket
-  | RBracket
-  | LParen
-  | RParen
-  | Comma
-  | Semicolon
-  | Arrow
-  | Plus
-  | Minus
-  | Star
-  | Slash
-  | Caret
-  | LBrace
-  | RBrace
-
-type lexed = { token : token; line : int }
-
-let is_digit c = c >= '0' && c <= '9'
-let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
-let is_ident_char c = is_ident_start c || is_digit c
-
-let tokenize src =
-  let n = String.length src in
-  let tokens = ref [] in
-  let line = ref 1 in
-  let pos = ref 0 in
-  let push t = tokens := { token = t; line = !line } :: !tokens in
-  while !pos < n do
-    let c = src.[!pos] in
-    if c = '\n' then begin
-      incr line;
-      incr pos
-    end
-    else if c = ' ' || c = '\t' || c = '\r' then incr pos
-    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then begin
-      (* line comment *)
-      while !pos < n && src.[!pos] <> '\n' do
-        incr pos
-      done
-    end
-    else if c = '"' then begin
-      let start = !pos + 1 in
-      let stop = ref start in
-      while !stop < n && src.[!stop] <> '"' do
-        incr stop
-      done;
-      if !stop >= n then fail !line "unterminated string literal";
-      push (String (String.sub src start (!stop - start)));
-      pos := !stop + 1
-    end
-    else if is_digit c || (c = '.' && !pos + 1 < n && is_digit src.[!pos + 1])
-    then begin
-      let start = !pos in
-      while
-        !pos < n
-        && (is_digit src.[!pos]
-           || src.[!pos] = '.'
-           || src.[!pos] = 'e'
-           || src.[!pos] = 'E'
-           || ((src.[!pos] = '+' || src.[!pos] = '-')
-              && !pos > start
-              && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')))
-      do
-        incr pos
-      done;
-      let text = String.sub src start (!pos - start) in
-      match float_of_string_opt text with
-      | Some f -> push (Number f)
-      | None -> fail !line "malformed number %S" text
-    end
-    else if is_ident_start c then begin
-      let start = !pos in
-      while !pos < n && is_ident_char src.[!pos] do
-        incr pos
-      done;
-      push (Ident (String.sub src start (!pos - start)))
-    end
-    else begin
-      (match c with
-      | '[' -> push LBracket
-      | ']' -> push RBracket
-      | '(' -> push LParen
-      | ')' -> push RParen
-      | ',' -> push Comma
-      | ';' -> push Semicolon
-      | '+' -> push Plus
-      | '{' -> push LBrace
-      | '}' -> push RBrace
-      | '*' -> push Star
-      | '/' -> push Slash
-      | '^' -> push Caret
-      | '-' ->
-        if !pos + 1 < n && src.[!pos + 1] = '>' then begin
-          push Arrow;
-          incr pos
-        end
-        else push Minus
-      | _ -> fail !line "unexpected character %C" c);
-      incr pos
-    end
-  done;
-  List.rev !tokens
-
-(* ------------------------------------------------------------------ *)
-(* Parser state                                                        *)
-(* ------------------------------------------------------------------ *)
-
-type stream = { mutable rest : lexed list; mutable last_line : int }
-
-let peek st = match st.rest with [] -> None | t :: _ -> Some t
-
-let next st =
-  match st.rest with
-  | [] -> fail st.last_line "unexpected end of input"
-  | t :: rest ->
-    st.rest <- rest;
-    st.last_line <- t.line;
-    t
-
-let expect st tok what =
-  let t = next st in
-  if t.token <> tok then fail t.line "expected %s" what
-
-let expect_ident st =
-  let t = next st in
-  match t.token with
-  | Ident s -> (s, t.line)
-  | _ -> fail t.line "expected identifier"
-
-let expect_nat st =
-  let t = next st in
-  match t.token with
-  | Number f when Float.is_integer f && f >= 0.0 -> int_of_float f
-  | _ -> fail t.line "expected a non-negative integer"
-
-(* ------------------------------------------------------------------ *)
-(* Parameter expression evaluation                                     *)
-(* ------------------------------------------------------------------ *)
-
-(* Parameter expressions are parsed to an AST so that user-defined gate
-   bodies can reference formal parameters; top-level applications are
-   evaluated in the empty environment.
-
-   expr := term (('+'|'-') term)*
-   term := factor (('*'|'/') factor)*
-   factor := atom ('^' factor)?
-   atom := number | 'pi' | ident | '-' atom | '(' expr ')' *)
-type expr =
-  | Num of float
-  | Var of string * int  (* name, line (for error reporting) *)
-  | Neg of expr
-  | Bin of [ `Add | `Sub | `Mul | `Div | `Pow ] * expr * expr
-
-let rec parse_expr st =
-  let v = ref (parse_term st) in
-  let rec loop () =
-    match peek st with
-    | Some { token = Plus; _ } ->
-      ignore (next st);
-      v := Bin (`Add, !v, parse_term st);
-      loop ()
-    | Some { token = Minus; _ } ->
-      ignore (next st);
-      v := Bin (`Sub, !v, parse_term st);
-      loop ()
-    | _ -> ()
+let of_stream st =
+  let gates = ref [] in
+  let rec drain () =
+    match Qasm_stream.next_event st with
+    | None -> ()
+    | Some (Qasm_stream.Gate g) ->
+      gates := g :: !gates;
+      drain ()
+    | Some (Qasm_stream.Qreg _ | Qasm_stream.Creg _) -> drain ()
   in
-  loop ();
-  !v
+  drain ();
+  Circuit.create
+    ~n_qubits:(Qasm_stream.n_qubits st)
+    ~n_clbits:(max (Qasm_stream.n_clbits st) 1)
+    (List.rev !gates)
 
-and parse_term st =
-  let v = ref (parse_factor st) in
-  let rec loop () =
-    match peek st with
-    | Some { token = Star; _ } ->
-      ignore (next st);
-      v := Bin (`Mul, !v, parse_factor st);
-      loop ()
-    | Some { token = Slash; _ } ->
-      ignore (next st);
-      v := Bin (`Div, !v, parse_factor st);
-      loop ()
-    | _ -> ()
-  in
-  loop ();
-  !v
-
-and parse_factor st =
-  let base = parse_atom st in
-  match peek st with
-  | Some { token = Caret; _ } ->
-    ignore (next st);
-    Bin (`Pow, base, parse_factor st)
-  | _ -> base
-
-and parse_atom st =
-  let t = next st in
-  match t.token with
-  | Number f -> Num f
-  | Ident "pi" -> Num Float.pi
-  | Ident name -> Var (name, t.line)
-  | Minus -> Neg (parse_atom st)
-  | LParen ->
-    let v = parse_expr st in
-    expect st RParen ")";
-    v
-  | _ -> fail t.line "expected a parameter expression"
-
-let rec eval_expr env = function
-  | Num f -> f
-  | Var (name, line) -> (
-    match List.assoc_opt name env with
-    | Some v -> v
-    | None -> fail line "unknown parameter %S" name)
-  | Neg e -> -.eval_expr env e
-  | Bin (op, a, b) -> (
-    let x = eval_expr env a and y = eval_expr env b in
-    match op with
-    | `Add -> x +. y
-    | `Sub -> x -. y
-    | `Mul -> x *. y
-    | `Div -> x /. y
-    | `Pow -> Float.pow x y)
-
-(* ------------------------------------------------------------------ *)
-(* Program parsing                                                     *)
-(* ------------------------------------------------------------------ *)
-
-type register = { base : int; size : int }
-
-(* One statement of a user-defined gate body: callee name, parameter
-   expressions over the definition's formals, and formal qubit names. *)
-type body_stmt = { callee : string; callee_line : int; exprs : expr list; qargs : string list }
-
-type gate_def = { formal_params : string list; formal_qubits : string list; body : body_stmt list }
-
-type env = {
-  qregs : (string, register) Hashtbl.t;
-  cregs : (string, register) Hashtbl.t;
-  defs : (string, gate_def) Hashtbl.t;
-  mutable n_qubits : int;
-  mutable n_clbits : int;
-  mutable program : Gate.t list;  (* reversed *)
-}
-
-(* A qubit argument: either one qubit or a whole register (broadcast). *)
-type arg = Qubit of int | Whole of register
-
-let parse_arg env st =
-  let name, line = expect_ident st in
-  let reg =
-    match Hashtbl.find_opt env.qregs name with
-    | Some r -> r
-    | None -> fail line "unknown quantum register %S" name
-  in
-  match peek st with
-  | Some { token = LBracket; _ } ->
-    ignore (next st);
-    let idx = expect_nat st in
-    expect st RBracket "]";
-    if idx >= reg.size then fail line "index %d out of bounds for %S" idx name;
-    Qubit (reg.base + idx)
-  | _ -> Whole reg
-
-let parse_carg env st =
-  let name, line = expect_ident st in
-  let reg =
-    match Hashtbl.find_opt env.cregs name with
-    | Some r -> r
-    | None -> fail line "unknown classical register %S" name
-  in
-  match peek st with
-  | Some { token = LBracket; _ } ->
-    ignore (next st);
-    let idx = expect_nat st in
-    expect st RBracket "]";
-    if idx >= reg.size then fail line "index %d out of bounds for %S" idx name;
-    Qubit (reg.base + idx)
-  | _ -> Whole reg
-
-let parse_params st =
-  match peek st with
-  | Some { token = LParen; _ } ->
-    ignore (next st);
-    let rec loop acc =
-      let v = parse_expr st in
-      match (next st).token with
-      | Comma -> loop (v :: acc)
-      | RParen -> List.rev (v :: acc)
-      | _ -> fail st.last_line "expected , or ) in parameter list"
-    in
-    loop []
-  | _ -> []
-
-let parse_args env st =
-  let rec loop acc =
-    let a = parse_arg env st in
-    match peek st with
-    | Some { token = Comma; _ } ->
-      ignore (next st);
-      loop (a :: acc)
-    | _ -> List.rev (a :: acc)
-  in
-  loop []
-
-let emit env g = env.program <- g :: env.program
-
-let single_kind_of line name params =
-  let p i = List.nth params i in
-  match (name, List.length params) with
-  | "id", 0 -> Gate.I
-  | "h", 0 -> Gate.H
-  | "x", 0 -> Gate.X
-  | "y", 0 -> Gate.Y
-  | "z", 0 -> Gate.Z
-  | "s", 0 -> Gate.S
-  | "sdg", 0 -> Gate.Sdg
-  | "t", 0 -> Gate.T
-  | "tdg", 0 -> Gate.Tdg
-  | "rx", 1 -> Gate.Rx (p 0)
-  | "ry", 1 -> Gate.Ry (p 0)
-  | "rz", 1 -> Gate.Rz (p 0)
-  | "u1", 1 -> Gate.U1 (p 0)
-  | "u2", 2 -> Gate.U2 (p 0, p 1)
-  | ("u3" | "u" | "U"), 3 -> Gate.U3 (p 0, p 1, p 2)
-  | _, k -> fail line "gate %S with %d parameter(s) is not supported" name k
-
-let one_qubit line = function
-  | Qubit q -> q
-  | Whole _ -> fail line "broadcast is only supported for single-qubit gates"
-
-(* Apply a gate given already-evaluated parameters and resolved qubit
-   arguments. User-defined gates expand recursively; recursion is finite
-   because a definition may only call gates defined before it. *)
-let rec apply_gate env line name params args =
-  match (name, args) with
-  | ("cx" | "CX"), [ a; b ] ->
-    emit env (Gate.Cnot (one_qubit line a, one_qubit line b))
-  | "cz", [ a; b ] -> emit env (Gate.Cz (one_qubit line a, one_qubit line b))
-  | "swap", [ a; b ] ->
-    emit env (Gate.Swap (one_qubit line a, one_qubit line b))
-  | ("ccx" | "toffoli"), [ a; b; c ] ->
-    List.iter (emit env)
-      (Decompose.toffoli (one_qubit line a) (one_qubit line b)
-         (one_qubit line c))
-  | ("cx" | "CX" | "cz" | "swap"), _ ->
-    fail line "gate %S expects exactly 2 qubit arguments" name
-  | ("ccx" | "toffoli"), _ ->
-    fail line "gate %S expects exactly 3 qubit arguments" name
-  | _, _ when Hashtbl.mem env.defs name ->
-    let def = Hashtbl.find env.defs name in
-    if List.length params <> List.length def.formal_params then
-      fail line "gate %S expects %d parameter(s)" name
-        (List.length def.formal_params);
-    if List.length args <> List.length def.formal_qubits then
-      fail line "gate %S expects %d qubit argument(s)" name
-        (List.length def.formal_qubits);
-    let qubit_binding =
-      List.combine def.formal_qubits (List.map (one_qubit line) args)
-    in
-    let param_binding = List.combine def.formal_params params in
-    List.iter
-      (fun stmt ->
-        let callee_params =
-          List.map (eval_expr param_binding) stmt.exprs
-        in
-        let callee_args =
-          List.map
-            (fun formal ->
-              match List.assoc_opt formal qubit_binding with
-              | Some q -> Qubit q
-              | None ->
-                fail stmt.callee_line "unknown qubit argument %S" formal)
-            stmt.qargs
-        in
-        apply_gate env stmt.callee_line stmt.callee callee_params callee_args)
-      def.body
-  | _, [ Qubit q ] -> emit env (Gate.Single (single_kind_of line name params, q))
-  | _, [ Whole reg ] ->
-    let kind = single_kind_of line name params in
-    for i = 0 to reg.size - 1 do
-      emit env (Gate.Single (kind, reg.base + i))
-    done
-  | _, _ -> fail line "gate %S expects exactly 1 qubit argument" name
-
-(* gate name(p, ...) q, ... { callee(expr, ...) q, ...; ... } *)
-let parse_gate_def env st =
-  let name, line = expect_ident st in
-  if Hashtbl.mem env.defs name then fail line "gate %S defined twice" name;
-  let formal_params =
-    match peek st with
-    | Some { token = LParen; _ } ->
-      ignore (next st);
-      (match peek st with
-      | Some { token = RParen; _ } ->
-        ignore (next st);
-        []
-      | _ ->
-        let rec loop acc =
-          let p, _ = expect_ident st in
-          match (next st).token with
-          | Comma -> loop (p :: acc)
-          | RParen -> List.rev (p :: acc)
-          | _ -> fail st.last_line "expected , or ) in formal parameters"
-        in
-        loop [])
-    | _ -> []
-  in
-  let rec qubit_formals acc =
-    let q, _ = expect_ident st in
-    match peek st with
-    | Some { token = Comma; _ } ->
-      ignore (next st);
-      qubit_formals (q :: acc)
-    | _ -> List.rev (q :: acc)
-  in
-  let formal_qubits = qubit_formals [] in
-  (match (next st).token with
-  | LBrace -> ()
-  | _ -> fail st.last_line "expected { to open the gate body");
-  let body = ref [] in
-  let rec body_loop () =
-    match peek st with
-    | Some { token = RBrace; _ } -> ignore (next st)
-    | Some _ ->
-      let callee, callee_line = expect_ident st in
-      if callee = "barrier" then begin
-        (* barriers inside gate bodies only constrain scheduling of the
-           expansion; accept and drop them *)
-        let rec skip () =
-          match (next st).token with
-          | Semicolon -> ()
-          | _ -> skip ()
-        in
-        skip ();
-        body_loop ()
-      end
-      else begin
-        let exprs =
-          match peek st with
-          | Some { token = LParen; _ } ->
-            ignore (next st);
-            let rec loop acc =
-              let e = parse_expr st in
-              match (next st).token with
-              | Comma -> loop (e :: acc)
-              | RParen -> List.rev (e :: acc)
-              | _ -> fail st.last_line "expected , or ) in parameter list"
-            in
-            loop []
-          | _ -> []
-        in
-        let rec qargs acc =
-          let q, _ = expect_ident st in
-          match (next st).token with
-          | Comma -> qargs (q :: acc)
-          | Semicolon -> List.rev (q :: acc)
-          | _ -> fail st.last_line "expected , or ; in gate body"
-        in
-        let qargs = qargs [] in
-        body := { callee; callee_line; exprs; qargs } :: !body;
-        body_loop ()
-      end
-    | None -> fail st.last_line "unterminated gate body"
-  in
-  body_loop ();
-  Hashtbl.add env.defs name
-    { formal_params; formal_qubits; body = List.rev !body }
-
-let parse_statement env st =
-  let name, line = expect_ident st in
-  match name with
-  | "OPENQASM" ->
-    let _version = eval_expr [] (parse_expr st) in
-    expect st Semicolon ";"
-  | "include" ->
-    let t = next st in
-    (match t.token with
-    | String _ -> ()
-    | _ -> fail t.line "include expects a string literal");
-    expect st Semicolon ";"
-  | "qreg" | "creg" ->
-    let reg_name, rline = expect_ident st in
-    expect st LBracket "[";
-    let size = expect_nat st in
-    expect st RBracket "]";
-    expect st Semicolon ";";
-    let table, base =
-      if name = "qreg" then (env.qregs, env.n_qubits)
-      else (env.cregs, env.n_clbits)
-    in
-    if Hashtbl.mem table reg_name then
-      fail rline "register %S declared twice" reg_name;
-    Hashtbl.add table reg_name { base; size };
-    if name = "qreg" then env.n_qubits <- env.n_qubits + size
-    else env.n_clbits <- env.n_clbits + size
-  | "barrier" ->
-    let args = parse_args env st in
-    expect st Semicolon ";";
-    let qs =
-      List.concat_map
-        (function
-          | Qubit q -> [ q ]
-          | Whole reg -> List.init reg.size (fun i -> reg.base + i))
-        args
-    in
-    emit env (Gate.Barrier qs)
-  | "measure" ->
-    let src = parse_arg env st in
-    expect st Arrow "->";
-    let dst = parse_carg env st in
-    expect st Semicolon ";";
-    (match (src, dst) with
-    | Qubit q, Qubit c -> emit env (Gate.Measure (q, c))
-    | Whole qr, Whole cr when qr.size = cr.size ->
-      for i = 0 to qr.size - 1 do
-        emit env (Gate.Measure (qr.base + i, cr.base + i))
-      done
-    | _ -> fail line "measure arguments must both be bits or equal-size registers")
-  | "gate" -> parse_gate_def env st
-  | "opaque" ->
-    (* declaration without body: consume through the semicolon; any later
-       application will fail as an unknown gate *)
-    let rec skip () =
-      match (next st).token with Semicolon -> () | _ -> skip ()
-    in
-    skip ()
-  | _ ->
-    let params = List.map (eval_expr []) (parse_params st) in
-    let args = parse_args env st in
-    expect st Semicolon ";";
-    apply_gate env line name params args
-
-let of_string src =
-  let st = { rest = tokenize src; last_line = 1 } in
-  let env =
-    {
-      qregs = Hashtbl.create 4;
-      cregs = Hashtbl.create 4;
-      defs = Hashtbl.create 4;
-      n_qubits = 0;
-      n_clbits = 0;
-      program = [];
-    }
-  in
-  while peek st <> None do
-    parse_statement env st
-  done;
-  Circuit.create ~n_qubits:env.n_qubits ~n_clbits:(max env.n_clbits 1)
-    (List.rev env.program)
+let of_string src = of_stream (Qasm_stream.of_string src)
 
 let of_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
-  of_string src
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_stream (Qasm_stream.of_channel ic))
 
 (* ------------------------------------------------------------------ *)
 (* Printer                                                             *)
@@ -605,17 +64,30 @@ let pp_gate ppf g =
       qs
   | Gate.Measure (q, c) -> Format.fprintf ppf "measure q[%d] -> c[%d];" q c
 
+let prelude_string ~n_qubits ~n_clbits =
+  Printf.sprintf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\ncreg c[%d];\n"
+    n_qubits (max n_clbits 1)
+
+let gate_string g = Format.asprintf "%a@." pp_gate g
+
 let to_string c =
   let buf = Buffer.create 1024 in
-  let ppf = Format.formatter_of_buffer buf in
-  Format.fprintf ppf "OPENQASM 2.0;@.include \"qelib1.inc\";@.";
-  Format.fprintf ppf "qreg q[%d];@.creg c[%d];@." (Circuit.n_qubits c)
-    (max (Circuit.n_clbits c) 1);
-  List.iter (fun g -> Format.fprintf ppf "%a@." pp_gate g) (Circuit.gates c);
-  Format.pp_print_flush ppf ();
+  Buffer.add_string buf
+    (prelude_string ~n_qubits:(Circuit.n_qubits c)
+       ~n_clbits:(Circuit.n_clbits c));
+  List.iter (fun g -> Buffer.add_string buf (gate_string g)) (Circuit.gates c);
   Buffer.contents buf
+
+let output_prelude oc ~n_qubits ~n_clbits =
+  output_string oc (prelude_string ~n_qubits ~n_clbits)
+
+let output_gate oc g = output_string oc (gate_string g)
 
 let to_file path c =
   let oc = open_out path in
-  output_string oc (to_string c);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_prelude oc ~n_qubits:(Circuit.n_qubits c)
+        ~n_clbits:(Circuit.n_clbits c);
+      List.iter (output_gate oc) (Circuit.gates c))

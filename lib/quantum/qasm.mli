@@ -18,18 +18,37 @@
 
     [ccx] is expanded with {!Decompose.toffoli} at parse time so that the
     resulting circuit lies in the paper's {single-qubit, CNOT} gate set
-    extended with CZ/SWAP. *)
+    extended with CZ/SWAP.
 
-exception Parse_error of { line : int; message : string }
+    Parsing is built on the incremental {!Qasm_stream} frontend:
+    {!of_file} lexes from the channel chunk-by-chunk instead of slurping
+    the file, and parse errors carry both line and column. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+(** Alias of {!Qasm_stream.Parse_error}; [line] and [column] are
+    1-based. *)
 
 val of_string : string -> Circuit.t
 (** Parse a full OpenQASM 2.0 program. Raises {!Parse_error}. *)
 
 val of_file : string -> Circuit.t
-(** Parse from a file path. Raises {!Parse_error} or [Sys_error]. *)
+(** Parse from a file path, reading the channel incrementally. The
+    channel is closed on all exits, including parse errors. Raises
+    {!Parse_error} or [Sys_error]. *)
 
 val to_string : Circuit.t -> string
 (** Print a circuit as an OpenQASM 2.0 program over one register [q]. *)
 
 val to_file : string -> Circuit.t -> unit
 (** Write {!to_string} output to the given path. *)
+
+val output_prelude : out_channel -> n_qubits:int -> n_clbits:int -> unit
+(** Write the program header ([OPENQASM]/[include]/[qreg]/[creg]) —
+    byte-identical to the prefix {!to_string} emits for a circuit with
+    these dimensions. *)
+
+val output_gate : out_channel -> Gate.t -> unit
+(** Write one gate line, byte-identical to the corresponding line of
+    {!to_string}. [output_prelude] + repeated [output_gate] lets the
+    streaming path serialise a routed circuit without materialising
+    it. *)

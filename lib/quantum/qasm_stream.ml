@@ -1,0 +1,762 @@
+exception Parse_error of { line : int; column : int; message : string }
+
+let fail line column fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { line; column; message }))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Chunked character reader                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The reader pulls bytes from a refill callback one chunk at a time, so
+   the frontend never holds more than one chunk of the input in memory.
+   [line]/[col] always describe the next unconsumed character; both are
+   1-based, and a newline resets the column. *)
+type reader = {
+  refill : bytes -> int;  (* fills the buffer, returns 0 at end of input *)
+  buf : Bytes.t;
+  mutable len : int;
+  mutable pos : int;
+  mutable eof : bool;
+  mutable line : int;
+  mutable col : int;
+}
+
+let chunk_size = 65536
+
+let reader_of_refill refill =
+  {
+    refill;
+    buf = Bytes.create chunk_size;
+    len = 0;
+    pos = 0;
+    eof = false;
+    line = 1;
+    col = 1;
+  }
+
+let ensure r =
+  if r.pos >= r.len && not r.eof then begin
+    let n = r.refill r.buf in
+    r.len <- n;
+    r.pos <- 0;
+    if n = 0 then r.eof <- true
+  end
+
+let at_eof r =
+  ensure r;
+  r.pos >= r.len
+
+(* valid only immediately after [at_eof r = false] *)
+let cur r = Bytes.unsafe_get r.buf r.pos
+
+let advance r =
+  let c = Bytes.unsafe_get r.buf r.pos in
+  r.pos <- r.pos + 1;
+  if c = '\n' then begin
+    r.line <- r.line + 1;
+    r.col <- 1
+  end
+  else r.col <- r.col + 1
+
+(* ------------------------------------------------------------------ *)
+(* Incremental lexer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | LBracket
+  | RBracket
+  | LParen
+  | RParen
+  | Comma
+  | Semicolon
+  | Arrow
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | LBrace
+  | RBrace
+
+type lexed = { token : token; line : int; col : int }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let scan_number r ~line ~col ~first =
+  let b = Buffer.create 24 in
+  Buffer.add_char b first;
+  let prev = ref first in
+  let continues () =
+    (not (at_eof r))
+    &&
+    let ch = cur r in
+    is_digit ch || ch = '.' || ch = 'e' || ch = 'E'
+    || ((ch = '+' || ch = '-') && (!prev = 'e' || !prev = 'E'))
+  in
+  while continues () do
+    let ch = cur r in
+    Buffer.add_char b ch;
+    prev := ch;
+    advance r
+  done;
+  let text = Buffer.contents b in
+  match float_of_string_opt text with
+  | Some f -> { token = Number f; line; col }
+  | None -> fail line col "malformed number %S" text
+
+let rec next_token r =
+  if at_eof r then None
+  else begin
+    let c = cur r in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then begin
+      advance r;
+      next_token r
+    end
+    else begin
+      let line = r.line and col = r.col in
+      if c = '/' then begin
+        advance r;
+        if (not (at_eof r)) && cur r = '/' then begin
+          (* line comment *)
+          while (not (at_eof r)) && cur r <> '\n' do
+            advance r
+          done;
+          next_token r
+        end
+        else Some { token = Slash; line; col }
+      end
+      else if c = '"' then begin
+        advance r;
+        let b = Buffer.create 16 in
+        let rec scan () =
+          if at_eof r then fail line col "unterminated string literal"
+          else begin
+            let ch = cur r in
+            advance r;
+            if ch <> '"' then begin
+              Buffer.add_char b ch;
+              scan ()
+            end
+          end
+        in
+        scan ();
+        Some { token = String (Buffer.contents b); line; col }
+      end
+      else if is_digit c then begin
+        advance r;
+        Some (scan_number r ~line ~col ~first:c)
+      end
+      else if c = '.' then begin
+        advance r;
+        if (not (at_eof r)) && is_digit (cur r) then
+          Some (scan_number r ~line ~col ~first:'.')
+        else fail line col "unexpected character %C" '.'
+      end
+      else if is_ident_start c then begin
+        let b = Buffer.create 16 in
+        Buffer.add_char b c;
+        advance r;
+        while (not (at_eof r)) && is_ident_char (cur r) do
+          Buffer.add_char b (cur r);
+          advance r
+        done;
+        Some { token = Ident (Buffer.contents b); line; col }
+      end
+      else if c = '-' then begin
+        advance r;
+        if (not (at_eof r)) && cur r = '>' then begin
+          advance r;
+          Some { token = Arrow; line; col }
+        end
+        else Some { token = Minus; line; col }
+      end
+      else begin
+        advance r;
+        let t =
+          match c with
+          | '[' -> LBracket
+          | ']' -> RBracket
+          | '(' -> LParen
+          | ')' -> RParen
+          | ',' -> Comma
+          | ';' -> Semicolon
+          | '+' -> Plus
+          | '{' -> LBrace
+          | '}' -> RBrace
+          | '*' -> Star
+          | '^' -> Caret
+          | _ -> fail line col "unexpected character %C" c
+        in
+        Some { token = t; line; col }
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Token stream with one-token lookahead                               *)
+(* ------------------------------------------------------------------ *)
+
+type tokstream = {
+  rdr : reader;
+  mutable la : lexed option;
+  mutable last_line : int;
+  mutable last_col : int;  (* position of the last consumed token *)
+}
+
+let peek ts =
+  match ts.la with
+  | Some _ as s -> s
+  | None ->
+    let s = next_token ts.rdr in
+    ts.la <- s;
+    s
+
+let next ts =
+  match peek ts with
+  | None -> fail ts.last_line ts.last_col "unexpected end of input"
+  | Some t ->
+    ts.la <- None;
+    ts.last_line <- t.line;
+    ts.last_col <- t.col;
+    t
+
+let expect ts tok what =
+  let t = next ts in
+  if t.token <> tok then fail t.line t.col "expected %s" what
+
+let expect_ident ts =
+  let t = next ts in
+  match t.token with
+  | Ident s -> (s, t.line, t.col)
+  | _ -> fail t.line t.col "expected identifier"
+
+let expect_nat ts =
+  let t = next ts in
+  match t.token with
+  | Number f when Float.is_integer f && f >= 0.0 -> int_of_float f
+  | _ -> fail t.line t.col "expected a non-negative integer"
+
+(* ------------------------------------------------------------------ *)
+(* Parameter expression evaluation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Parameter expressions are parsed to an AST so that user-defined gate
+   bodies can reference formal parameters; top-level applications are
+   evaluated in the empty environment.
+
+   expr := term (('+'|'-') term)*
+   term := factor (('*'|'/') factor)*
+   factor := atom ('^' factor)?
+   atom := number | 'pi' | ident | '-' atom | '(' expr ')' *)
+type expr =
+  | Num of float
+  | Var of string * int * int  (* name, line, col (for error reporting) *)
+  | Neg of expr
+  | Bin of [ `Add | `Sub | `Mul | `Div | `Pow ] * expr * expr
+
+let rec parse_expr ts =
+  let v = ref (parse_term ts) in
+  let rec loop () =
+    match peek ts with
+    | Some { token = Plus; _ } ->
+      ignore (next ts);
+      v := Bin (`Add, !v, parse_term ts);
+      loop ()
+    | Some { token = Minus; _ } ->
+      ignore (next ts);
+      v := Bin (`Sub, !v, parse_term ts);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !v
+
+and parse_term ts =
+  let v = ref (parse_factor ts) in
+  let rec loop () =
+    match peek ts with
+    | Some { token = Star; _ } ->
+      ignore (next ts);
+      v := Bin (`Mul, !v, parse_factor ts);
+      loop ()
+    | Some { token = Slash; _ } ->
+      ignore (next ts);
+      v := Bin (`Div, !v, parse_factor ts);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !v
+
+and parse_factor ts =
+  let base = parse_atom ts in
+  match peek ts with
+  | Some { token = Caret; _ } ->
+    ignore (next ts);
+    Bin (`Pow, base, parse_factor ts)
+  | _ -> base
+
+and parse_atom ts =
+  let t = next ts in
+  match t.token with
+  | Number f -> Num f
+  | Ident "pi" -> Num Float.pi
+  | Ident name -> Var (name, t.line, t.col)
+  | Minus -> Neg (parse_atom ts)
+  | LParen ->
+    let v = parse_expr ts in
+    expect ts RParen ")";
+    v
+  | _ -> fail t.line t.col "expected a parameter expression"
+
+let rec eval_expr env = function
+  | Num f -> f
+  | Var (name, line, col) -> (
+    match List.assoc_opt name env with
+    | Some v -> v
+    | None -> fail line col "unknown parameter %S" name)
+  | Neg e -> -.eval_expr env e
+  | Bin (op, a, b) -> (
+    let x = eval_expr env a and y = eval_expr env b in
+    match op with
+    | `Add -> x +. y
+    | `Sub -> x -. y
+    | `Mul -> x *. y
+    | `Div -> x /. y
+    | `Pow -> Float.pow x y)
+
+(* ------------------------------------------------------------------ *)
+(* Program parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Qreg of { name : string; size : int }
+  | Creg of { name : string; size : int }
+  | Gate of Gate.t
+
+type register = { base : int; size : int }
+
+(* One statement of a user-defined gate body: callee name, parameter
+   expressions over the definition's formals, and formal qubit names. *)
+type body_stmt = {
+  callee : string;
+  callee_line : int;
+  callee_col : int;
+  exprs : expr list;
+  qargs : string list;
+}
+
+type gate_def = {
+  formal_params : string list;
+  formal_qubits : string list;
+  body : body_stmt list;
+}
+
+type env = {
+  qregs : (string, register) Hashtbl.t;
+  cregs : (string, register) Hashtbl.t;
+  defs : (string, gate_def) Hashtbl.t;
+  mutable n_qubits : int;
+  mutable n_clbits : int;
+  events : event Queue.t;
+}
+
+(* A qubit argument: either one qubit or a whole register (broadcast). *)
+type arg = Qubit of int | Whole of register
+
+let parse_arg env ts =
+  let name, line, col = expect_ident ts in
+  let reg =
+    match Hashtbl.find_opt env.qregs name with
+    | Some r -> r
+    | None -> fail line col "unknown quantum register %S" name
+  in
+  match peek ts with
+  | Some { token = LBracket; _ } ->
+    ignore (next ts);
+    let idx = expect_nat ts in
+    expect ts RBracket "]";
+    if idx >= reg.size then
+      fail line col "index %d out of bounds for %S" idx name;
+    Qubit (reg.base + idx)
+  | _ -> Whole reg
+
+let parse_carg env ts =
+  let name, line, col = expect_ident ts in
+  let reg =
+    match Hashtbl.find_opt env.cregs name with
+    | Some r -> r
+    | None -> fail line col "unknown classical register %S" name
+  in
+  match peek ts with
+  | Some { token = LBracket; _ } ->
+    ignore (next ts);
+    let idx = expect_nat ts in
+    expect ts RBracket "]";
+    if idx >= reg.size then
+      fail line col "index %d out of bounds for %S" idx name;
+    Qubit (reg.base + idx)
+  | _ -> Whole reg
+
+let parse_params ts =
+  match peek ts with
+  | Some { token = LParen; _ } ->
+    ignore (next ts);
+    let rec loop acc =
+      let v = parse_expr ts in
+      match (next ts).token with
+      | Comma -> loop (v :: acc)
+      | RParen -> List.rev (v :: acc)
+      | _ ->
+        fail ts.last_line ts.last_col "expected , or ) in parameter list"
+    in
+    loop []
+  | _ -> []
+
+let parse_args env ts =
+  let rec loop acc =
+    let a = parse_arg env ts in
+    match peek ts with
+    | Some { token = Comma; _ } ->
+      ignore (next ts);
+      loop (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  loop []
+
+let emit env g = Queue.add (Gate g) env.events
+
+let single_kind_of line col name params =
+  let p i = List.nth params i in
+  match (name, List.length params) with
+  | "id", 0 -> Gate.I
+  | "h", 0 -> Gate.H
+  | "x", 0 -> Gate.X
+  | "y", 0 -> Gate.Y
+  | "z", 0 -> Gate.Z
+  | "s", 0 -> Gate.S
+  | "sdg", 0 -> Gate.Sdg
+  | "t", 0 -> Gate.T
+  | "tdg", 0 -> Gate.Tdg
+  | "rx", 1 -> Gate.Rx (p 0)
+  | "ry", 1 -> Gate.Ry (p 0)
+  | "rz", 1 -> Gate.Rz (p 0)
+  | "u1", 1 -> Gate.U1 (p 0)
+  | "u2", 2 -> Gate.U2 (p 0, p 1)
+  | ("u3" | "u" | "U"), 3 -> Gate.U3 (p 0, p 1, p 2)
+  | _, k -> fail line col "gate %S with %d parameter(s) is not supported" name k
+
+let one_qubit line col = function
+  | Qubit q -> q
+  | Whole _ -> fail line col "broadcast is only supported for single-qubit gates"
+
+(* Apply a gate given already-evaluated parameters and resolved qubit
+   arguments. User-defined gates expand recursively; recursion is finite
+   because a definition may only call gates defined before it. *)
+let rec apply_gate env line col name params args =
+  match (name, args) with
+  | ("cx" | "CX"), [ a; b ] ->
+    emit env (Gate.Cnot (one_qubit line col a, one_qubit line col b))
+  | "cz", [ a; b ] ->
+    emit env (Gate.Cz (one_qubit line col a, one_qubit line col b))
+  | "swap", [ a; b ] ->
+    emit env (Gate.Swap (one_qubit line col a, one_qubit line col b))
+  | ("ccx" | "toffoli"), [ a; b; c ] ->
+    List.iter (emit env)
+      (Decompose.toffoli (one_qubit line col a) (one_qubit line col b)
+         (one_qubit line col c))
+  | ("cx" | "CX" | "cz" | "swap"), _ ->
+    fail line col "gate %S expects exactly 2 qubit arguments" name
+  | ("ccx" | "toffoli"), _ ->
+    fail line col "gate %S expects exactly 3 qubit arguments" name
+  | _, _ when Hashtbl.mem env.defs name ->
+    let def = Hashtbl.find env.defs name in
+    if List.length params <> List.length def.formal_params then
+      fail line col "gate %S expects %d parameter(s)" name
+        (List.length def.formal_params);
+    if List.length args <> List.length def.formal_qubits then
+      fail line col "gate %S expects %d qubit argument(s)" name
+        (List.length def.formal_qubits);
+    let qubit_binding =
+      List.combine def.formal_qubits (List.map (one_qubit line col) args)
+    in
+    let param_binding = List.combine def.formal_params params in
+    List.iter
+      (fun stmt ->
+        let callee_params = List.map (eval_expr param_binding) stmt.exprs in
+        let callee_args =
+          List.map
+            (fun formal ->
+              match List.assoc_opt formal qubit_binding with
+              | Some q -> Qubit q
+              | None ->
+                fail stmt.callee_line stmt.callee_col
+                  "unknown qubit argument %S" formal)
+            stmt.qargs
+        in
+        apply_gate env stmt.callee_line stmt.callee_col stmt.callee
+          callee_params callee_args)
+      def.body
+  | _, [ Qubit q ] ->
+    emit env (Gate.Single (single_kind_of line col name params, q))
+  | _, [ Whole reg ] ->
+    let kind = single_kind_of line col name params in
+    for i = 0 to reg.size - 1 do
+      emit env (Gate.Single (kind, reg.base + i))
+    done
+  | _, _ -> fail line col "gate %S expects exactly 1 qubit argument" name
+
+(* gate name(p, ...) q, ... { callee(expr, ...) q, ...; ... } *)
+let parse_gate_def env ts =
+  let name, line, col = expect_ident ts in
+  if Hashtbl.mem env.defs name then fail line col "gate %S defined twice" name;
+  let formal_params =
+    match peek ts with
+    | Some { token = LParen; _ } ->
+      ignore (next ts);
+      (match peek ts with
+      | Some { token = RParen; _ } ->
+        ignore (next ts);
+        []
+      | _ ->
+        let rec loop acc =
+          let p, _, _ = expect_ident ts in
+          match (next ts).token with
+          | Comma -> loop (p :: acc)
+          | RParen -> List.rev (p :: acc)
+          | _ ->
+            fail ts.last_line ts.last_col
+              "expected , or ) in formal parameters"
+        in
+        loop [])
+    | _ -> []
+  in
+  let rec qubit_formals acc =
+    let q, _, _ = expect_ident ts in
+    match peek ts with
+    | Some { token = Comma; _ } ->
+      ignore (next ts);
+      qubit_formals (q :: acc)
+    | _ -> List.rev (q :: acc)
+  in
+  let formal_qubits = qubit_formals [] in
+  (match (next ts).token with
+  | LBrace -> ()
+  | _ -> fail ts.last_line ts.last_col "expected { to open the gate body");
+  let body = ref [] in
+  let rec body_loop () =
+    match peek ts with
+    | Some { token = RBrace; _ } -> ignore (next ts)
+    | Some _ ->
+      let callee, callee_line, callee_col = expect_ident ts in
+      if callee = "barrier" then begin
+        (* barriers inside gate bodies only constrain scheduling of the
+           expansion; accept and drop them *)
+        let rec skip () =
+          match (next ts).token with Semicolon -> () | _ -> skip ()
+        in
+        skip ();
+        body_loop ()
+      end
+      else begin
+        let exprs =
+          match peek ts with
+          | Some { token = LParen; _ } ->
+            ignore (next ts);
+            let rec loop acc =
+              let e = parse_expr ts in
+              match (next ts).token with
+              | Comma -> loop (e :: acc)
+              | RParen -> List.rev (e :: acc)
+              | _ ->
+                fail ts.last_line ts.last_col
+                  "expected , or ) in parameter list"
+            in
+            loop []
+          | _ -> []
+        in
+        let rec qargs acc =
+          let q, _, _ = expect_ident ts in
+          match (next ts).token with
+          | Comma -> qargs (q :: acc)
+          | Semicolon -> List.rev (q :: acc)
+          | _ -> fail ts.last_line ts.last_col "expected , or ; in gate body"
+        in
+        let qargs = qargs [] in
+        body := { callee; callee_line; callee_col; exprs; qargs } :: !body;
+        body_loop ()
+      end
+    | None -> fail ts.last_line ts.last_col "unterminated gate body"
+  in
+  body_loop ();
+  Hashtbl.add env.defs name
+    { formal_params; formal_qubits; body = List.rev !body }
+
+let parse_statement env ts =
+  let name, line, col = expect_ident ts in
+  match name with
+  | "OPENQASM" ->
+    let _version = eval_expr [] (parse_expr ts) in
+    expect ts Semicolon ";"
+  | "include" ->
+    let t = next ts in
+    (match t.token with
+    | String _ -> ()
+    | _ -> fail t.line t.col "include expects a string literal");
+    expect ts Semicolon ";"
+  | "qreg" | "creg" ->
+    let reg_name, rline, rcol = expect_ident ts in
+    expect ts LBracket "[";
+    let size = expect_nat ts in
+    expect ts RBracket "]";
+    expect ts Semicolon ";";
+    let table, base =
+      if name = "qreg" then (env.qregs, env.n_qubits)
+      else (env.cregs, env.n_clbits)
+    in
+    if Hashtbl.mem table reg_name then
+      fail rline rcol "register %S declared twice" reg_name;
+    Hashtbl.add table reg_name { base; size };
+    if name = "qreg" then begin
+      env.n_qubits <- env.n_qubits + size;
+      Queue.add (Qreg { name = reg_name; size }) env.events
+    end
+    else begin
+      env.n_clbits <- env.n_clbits + size;
+      Queue.add (Creg { name = reg_name; size }) env.events
+    end
+  | "barrier" ->
+    let args = parse_args env ts in
+    expect ts Semicolon ";";
+    let qs =
+      List.concat_map
+        (function
+          | Qubit q -> [ q ]
+          | Whole reg -> List.init reg.size (fun i -> reg.base + i))
+        args
+    in
+    emit env (Gate.Barrier qs)
+  | "measure" ->
+    let src = parse_arg env ts in
+    expect ts Arrow "->";
+    let dst = parse_carg env ts in
+    expect ts Semicolon ";";
+    (match (src, dst) with
+    | Qubit q, Qubit c -> emit env (Gate.Measure (q, c))
+    | Whole qr, Whole cr when qr.size = cr.size ->
+      for i = 0 to qr.size - 1 do
+        emit env (Gate.Measure (qr.base + i, cr.base + i))
+      done
+    | _ ->
+      fail line col "measure arguments must both be bits or equal-size registers")
+  | "gate" -> parse_gate_def env ts
+  | "opaque" ->
+    (* declaration without body: consume through the semicolon; any later
+       application will fail as an unknown gate *)
+    let rec skip () =
+      match (next ts).token with Semicolon -> () | _ -> skip ()
+    in
+    skip ()
+  | _ ->
+    let params = List.map (eval_expr []) (parse_params ts) in
+    let args = parse_args env ts in
+    expect ts Semicolon ";";
+    apply_gate env line col name params args
+
+(* ------------------------------------------------------------------ *)
+(* Pull-based event API                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = { ts : tokstream; env : env }
+
+let make refill =
+  {
+    ts =
+      { rdr = reader_of_refill refill; la = None; last_line = 1; last_col = 1 };
+    env =
+      {
+        qregs = Hashtbl.create 4;
+        cregs = Hashtbl.create 4;
+        defs = Hashtbl.create 4;
+        n_qubits = 0;
+        n_clbits = 0;
+        events = Queue.create ();
+      };
+  }
+
+let of_refill refill = make refill
+let of_channel ic = make (fun b -> input ic b 0 (Bytes.length b))
+
+let of_string s =
+  let off = ref 0 in
+  make (fun b ->
+      let n = min (Bytes.length b) (String.length s - !off) in
+      Bytes.blit_string s !off b 0 n;
+      off := !off + n;
+      n)
+
+let rec next_event t =
+  if not (Queue.is_empty t.env.events) then Some (Queue.pop t.env.events)
+  else
+    match peek t.ts with
+    | None -> None
+    | Some _ ->
+      parse_statement t.env t.ts;
+      next_event t
+
+let n_qubits t = t.env.n_qubits
+let n_clbits t = t.env.n_clbits
+
+(* ------------------------------------------------------------------ *)
+(* Survey pass                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type survey = {
+  sv_n_qubits : int;
+  sv_n_clbits : int;
+  sv_n_gates : int;
+  sv_last_use : int array;
+}
+
+let survey t =
+  let last = ref (Array.make 16 (-1)) in
+  let ensure_q n =
+    if n > Array.length !last then begin
+      let grown = Array.make (max n (2 * Array.length !last)) (-1) in
+      Array.blit !last 0 grown 0 (Array.length !last);
+      last := grown
+    end
+  in
+  let pos = ref 0 in
+  let rec drain () =
+    match next_event t with
+    | None -> ()
+    | Some (Gate g) ->
+      List.iter
+        (fun q ->
+          ensure_q (q + 1);
+          !last.(q) <- !pos)
+        (Gate.qubits g);
+      incr pos;
+      drain ()
+    | Some (Qreg _ | Creg _) -> drain ()
+  in
+  drain ();
+  let nq = n_qubits t in
+  ensure_q nq;
+  {
+    sv_n_qubits = nq;
+    sv_n_clbits = n_clbits t;
+    sv_n_gates = !pos;
+    sv_last_use = Array.sub !last 0 nq;
+  }

@@ -1,0 +1,75 @@
+(** Incremental OpenQASM 2.0 frontend.
+
+    The streaming counterpart to {!Qasm}: the lexer pulls characters
+    from a channel (or any refill callback) one chunk at a time, and the
+    parser exposes a pull-based event API instead of materialising a
+    {!Circuit.t}. Memory use is bounded by one input chunk plus the
+    symbol tables (registers and user gate definitions) — it never
+    depends on the number of gates in the program.
+
+    The grammar accepted is exactly the subset documented in {!Qasm};
+    indeed {!Qasm.of_string}/{!Qasm.of_file} are implemented by draining
+    this stream. User-defined gates are expanded inline at the point of
+    application (macro semantics), so [Gate] events always carry gates
+    over the flattened physical index space. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+(** Raised on malformed input. [line] and [column] are 1-based and
+    locate the offending token (for lexical errors, the offending
+    character). *)
+
+type t
+(** A parser over a partially-consumed input stream. *)
+
+val of_channel : in_channel -> t
+(** Lex from a channel chunk-by-chunk. The channel is not closed by this
+    module; the caller owns it and must keep it open while pulling
+    events. *)
+
+val of_string : string -> t
+(** Lex from an in-memory string (used by the eager {!Qasm} API and by
+    tests). *)
+
+val of_refill : (bytes -> int) -> t
+(** Lex from an arbitrary refill callback: [refill buf] writes at most
+    [Bytes.length buf] bytes at offset 0 and returns how many were
+    written, 0 meaning end of input. *)
+
+type event =
+  | Qreg of { name : string; size : int }
+      (** A quantum register declaration. Its qubits occupy the next
+          [size] indices of the flattened space, in declaration order. *)
+  | Creg of { name : string; size : int }  (** Classical counterpart. *)
+  | Gate of Gate.t
+      (** One gate over flattened qubit indices. Barriers and
+          measurements arrive through this constructor too, as
+          {!Gate.Barrier} and {!Gate.Measure}. *)
+
+val next_event : t -> event option
+(** Pull the next event, consuming as much input as needed (one
+    statement at a time; statements that expand — broadcasts, [ccx],
+    user-defined gates — buffer their expansion and deliver it one event
+    per call). [None] means the input was fully consumed. Raises
+    {!Parse_error}. *)
+
+val n_qubits : t -> int
+(** Total qubits declared by the events pulled so far. *)
+
+val n_clbits : t -> int
+(** Total classical bits declared by the events pulled so far. *)
+
+type survey = {
+  sv_n_qubits : int;
+  sv_n_clbits : int;
+  sv_n_gates : int;
+  sv_last_use : int array;
+      (** [sv_last_use.(q)] is the stream position (0-based gate index)
+          of the last gate touching qubit [q], or [-1] if [q] is never
+          used. This is the retirement schedule that bounds the routing
+          window in {!Dag.Window}. *)
+}
+
+val survey : t -> survey
+(** Drain the stream in O(n_qubits) memory, recording only the counts
+    and per-qubit last-use positions. Used as a cheap pre-pass over a
+    file before streaming it a second time for routing. *)

@@ -1,0 +1,96 @@
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+
+(* Brickwork layers: layer [l] pairs adjacent qubits starting at offset
+   [l mod 2], so every qubit interacts at least once every two layers
+   and the qubit-inactivity span — hence a streaming router's window —
+   is O(n) regardless of [gates]. *)
+
+let validate ~n ~gates =
+  if n < 2 then invalid_arg "Stream_chain: need >= 2 qubits";
+  if gates < 0 then invalid_arg "Stream_chain: negative size"
+
+let events ?(seed = 1) ~n ~gates () =
+  validate ~n ~gates;
+  (* seeded without [gates]: the stream at a smaller [gates] is a strict
+     prefix of the stream at a larger one, which is what lets tests state
+     "peak window is independent of gate count" on literally the same
+     circuit *)
+  let rng = Random.State.make [| seed; n; 0x57c4 |] in
+  let emitted = ref 0 in
+  let layer = ref 0 in
+  let slot = ref 0 in
+  let pending = ref None in
+  fun () ->
+    if !emitted >= gates then None
+    else begin
+      incr emitted;
+      match !pending with
+      | Some g ->
+        pending := None;
+        Some g
+      | None ->
+        (* skip layers with no pairs (offset 1 when n = 2) *)
+        while !slot >= (n - (!layer land 1)) / 2 do
+          incr layer;
+          slot := 0
+        done;
+        let a = (!layer land 1) + (2 * !slot) in
+        let b = a + 1 in
+        incr slot;
+        (* Every slot emits a two-qubit gate touching BOTH its qubits;
+           single-qubit colour rides along as an extra gate, never as a
+           replacement. That keeps the per-qubit inactivity span — and
+           so a streaming router's window — deterministically O(n),
+           independent of the total gate count. *)
+        let r = Random.State.float rng 1.0 in
+        let g =
+          if r < 0.55 then Gate.Cnot (a, b)
+          else if r < 0.8 then Gate.Cnot (b, a)
+          else Gate.Cz (a, b)
+        in
+        let s = Random.State.float rng 1.0 in
+        if s < 0.15 then pending := Some (Gate.Single (Gate.H, a))
+        else if s < 0.3 then
+          pending :=
+            Some (Gate.Single (Gate.Rz (Random.State.float rng 6.28), b));
+        Some g
+    end
+
+let circuit ?seed ~n ~gates () =
+  let next = events ?seed ~n ~gates () in
+  let rec drain acc =
+    match next () with None -> List.rev acc | Some g -> drain (g :: acc)
+  in
+  Circuit.create ~n_qubits:n (drain [])
+
+let last_use ?seed ~n ~gates () =
+  let next = events ?seed ~n ~gates () in
+  let last = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec drain () =
+    match next () with
+    | None -> ()
+    | Some g ->
+      List.iter (fun q -> last.(q) <- !pos) (Gate.qubits g);
+      incr pos;
+      drain ()
+  in
+  drain ();
+  last
+
+let to_qasm_file ?seed ~n ~gates path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Quantum.Qasm.output_prelude oc ~n_qubits:n ~n_clbits:1;
+      let next = events ?seed ~n ~gates () in
+      let rec drain () =
+        match next () with
+        | None -> ()
+        | Some g ->
+          Quantum.Qasm.output_gate oc g;
+          drain ()
+      in
+      drain ())

@@ -97,28 +97,34 @@ let test_errors () =
 
 let test_error_reports_line () =
   match Qasm.of_string "qreg q[2];\nh q[0];\nfoo q[1];" with
-  | exception Qasm.Parse_error { line; _ } ->
-    check Alcotest.int "line 3" 3 line
+  | exception Qasm.Parse_error { line; column; _ } ->
+    check Alcotest.int "line 3" 3 line;
+    check Alcotest.int "column 1" 1 column
   | _ -> Alcotest.fail "expected parse error"
 
-(* regression: every error category reports the line it occurred on,
+(* regression: every error category reports the line:col it occurred on,
    with comments and blank lines counted but not blamed *)
 let test_error_lines_across_constructs () =
-  let line_of label s expected =
+  let pos_of label s expected_line expected_col =
     match Qasm.of_string s with
-    | exception Qasm.Parse_error { line; _ } ->
-      check Alcotest.int label expected line
+    | exception Qasm.Parse_error { line; column; _ } ->
+      check Alcotest.int (label ^ " (line)") expected_line line;
+      check Alcotest.int (label ^ " (col)") expected_col column
     | _ -> Alcotest.failf "%s: expected parse error" label
   in
-  line_of "error on line 1" "frobnicate;" 1;
-  line_of "out-of-bounds index"
-    "qreg q[2];\nh q[5];" 2;
-  line_of "unknown register after comment and blank line"
-    "qreg q[2];\n// a comment\n\nh r[0];" 4;
-  line_of "bad arity deep in a file"
-    "qreg q[3];\nh q[0];\nh q[1];\nh q[2];\ncx q[0];" 5;
-  line_of "duplicate register"
-    "qreg q[2];\nqreg q[3];" 2
+  (* unknown gate: blamed on the missing operand after the name *)
+  pos_of "error on line 1" "frobnicate;" 1 11;
+  (* out-of-bounds index: blamed on the register being indexed *)
+  pos_of "out-of-bounds index"
+    "qreg q[2];\nh q[5];" 2 3;
+  pos_of "unknown register after comment and blank line"
+    "qreg q[2];\n// a comment\n\nh r[0];" 4 3;
+  (* bad arity: blamed on the gate name *)
+  pos_of "bad arity deep in a file"
+    "qreg q[3];\nh q[0];\nh q[1];\nh q[2];\ncx q[0];" 5 1;
+  (* duplicate register: blamed on the register name *)
+  pos_of "duplicate register"
+    "qreg q[2];\nqreg q[3];" 2 6
 
 let test_round_trip () =
   let original = Qasm.of_string program in

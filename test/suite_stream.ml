@@ -1,0 +1,555 @@
+(* Streaming pipeline suite (PR 6).
+
+   The spine of this suite is byte-identity: windowed streaming routing
+   must emit exactly the gate sequence the materialised single-traversal
+   route emits, on named workloads (pinned with golden digests) and on
+   random instances (qcheck over the differential property). Around it:
+   Dag.Window release-order unit tests, incremental-frontend equivalence
+   under adversarial chunking, and the file-to-file engine pass. *)
+
+module Gate = Quantum.Gate
+module Circuit = Quantum.Circuit
+module Dag = Quantum.Dag
+module Qasm = Quantum.Qasm
+module Qasm_stream = Quantum.Qasm_stream
+module Coupling = Hardware.Coupling
+module Devices = Hardware.Devices
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Routing_pass = Sabre_core.Routing_pass
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let source_of_circuit c =
+  let r = ref (Circuit.gates c) in
+  fun () ->
+    match !r with
+    | [] -> None
+    | g :: tl ->
+      r := tl;
+      Some g
+
+let last_use_of c =
+  let last = Array.make (Circuit.n_qubits c) (-1) in
+  List.iteri
+    (fun i g -> List.iter (fun q -> last.(q) <- i) (Gate.qubits g))
+    (Circuit.gates c);
+  last
+
+(* ------------------------------------------------------------------ *)
+(* Dag.Window: release order matches the eager DAG                     *)
+(* ------------------------------------------------------------------ *)
+
+(* FIFO consumption of the eager DAG: seed with the initial front in
+   program order, pop, release successors as in-degrees hit zero. *)
+let eager_fifo_order c =
+  let dag = Dag.of_circuit c in
+  let n = Dag.n_nodes dag in
+  let indeg = Array.init n (Dag.in_degree dag) in
+  let q = Queue.create () in
+  List.iter (fun i -> Queue.add i q) (Dag.initial_front dag);
+  let order = ref [] in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    order := i :: !order;
+    Dag.succ_iter dag i (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j q)
+  done;
+  List.rev !order
+
+let window_fifo_order ?retire c =
+  let w =
+    Dag.Window.create ?retire ~n_qubits:(Circuit.n_qubits c)
+      (source_of_circuit c)
+  in
+  let q = Queue.create () in
+  let on_ready s = Queue.add s q in
+  Dag.Window.saturate w on_ready;
+  let order = ref [] in
+  let peak = ref 0 in
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    order := Dag.Window.seq w s :: !order;
+    Dag.Window.execute w s on_ready;
+    peak := max !peak (Dag.Window.peak_live w)
+  done;
+  check Alcotest.bool "stream drained" true
+    (Dag.Window.exhausted w && Dag.Window.live_count w = 0);
+  check Alcotest.int "admitted = executed" (Dag.Window.admitted w)
+    (Dag.Window.executed w);
+  (List.rev !order, !peak)
+
+let order_circuits () =
+  [
+    ("qft5", Workloads.Qft.circuit 5);
+    ("ising10", Workloads.Ising.circuit 10);
+    ("ghz12", Workloads.Ghz.circuit 12);
+    ( "random10",
+      Workloads.Random_reversible.circuit ~seed:11 ~n:10 ~gates:120 () );
+    ("chain8", Workloads.Stream_chain.circuit ~seed:3 ~n:8 ~gates:400 ());
+    ("empty", Circuit.create ~n_qubits:3 []);
+    ("singles", Circuit.create ~n_qubits:2 [ Single (H, 0); Single (T, 0) ]);
+  ]
+
+let test_window_order_matches_dag () =
+  List.iter
+    (fun (name, c) ->
+      let expected = eager_fifo_order c in
+      let unbounded, _ = window_fifo_order c in
+      check (Alcotest.list Alcotest.int)
+        (name ^ " unbounded release order") expected unbounded;
+      let bounded, peak = window_fifo_order ~retire:(last_use_of c) c in
+      check (Alcotest.list Alcotest.int)
+        (name ^ " retire-bounded release order") expected bounded;
+      check Alcotest.bool
+        (name ^ " bounded window never exceeds circuit")
+        true
+        (peak <= max 1 (Circuit.length c)))
+    (order_circuits ())
+
+let test_window_peak_bounded () =
+  (* the same prefix-stable chain at 10x the length: the window must
+     plateau, not grow with gate count *)
+  let peak gates =
+    let c = Workloads.Stream_chain.circuit ~seed:5 ~n:12 ~gates () in
+    snd (window_fifo_order ~retire:(last_use_of c) c)
+  in
+  let p_small = peak 2_000 in
+  let p_large = peak 20_000 in
+  (* the peak saturates toward a deterministic O(n) cap (~2 brickwork
+     layers of pair slots plus their ride-along singles); 10x the gates
+     may still close in on the cap but can never pass it *)
+  check Alcotest.bool
+    (Printf.sprintf "peak window stays within the O(n) cap (%d vs %d)" p_small
+       p_large)
+    true
+    (p_large <= 4 * 12 && p_large <= p_small + 12)
+
+let test_window_rejects_zero_operand () =
+  (* the empty barrier is only reached once the CNOT executes and the
+     window re-saturates — drive the full consumption loop *)
+  let gates = ref [ Gate.Cnot (0, 1); Gate.Barrier [] ] in
+  let source () =
+    match !gates with
+    | [] -> None
+    | g :: tl ->
+      gates := tl;
+      Some g
+  in
+  let w = Dag.Window.create ~n_qubits:2 source in
+  Alcotest.check_raises "empty barrier rejected"
+    (Invalid_argument "Dag.Window: zero-operand gates are not streamable")
+    (fun () ->
+      let q = Queue.create () in
+      let on_ready s = Queue.add s q in
+      Dag.Window.saturate w on_ready;
+      while not (Queue.is_empty q) do
+        Dag.Window.execute w (Queue.pop q) on_ready
+      done)
+
+let test_window_rejects_out_of_range () =
+  let gates = ref [ Gate.Cnot (0, 5) ] in
+  let source () =
+    match !gates with
+    | [] -> None
+    | g :: tl ->
+      gates := tl;
+      Some g
+  in
+  let w = Dag.Window.create ~n_qubits:2 source in
+  match Dag.Window.saturate w (fun _ -> ()) with
+  | () -> Alcotest.fail "qubit 5 on a 2-qubit window was admitted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* run_streaming = run_flat, named rows + golden digests               *)
+(* ------------------------------------------------------------------ *)
+
+let stream_route ?retire ~config ~scoring coupling circuit initial =
+  let out = ref [] in
+  let r =
+    Routing_pass.run_streaming ?retire ~scoring
+      ~sink:(fun g -> out := g :: !out)
+      config coupling (source_of_circuit circuit) initial
+  in
+  (List.rev !out, r)
+
+let fingerprint coupling gates (final : Mapping.t) n_swaps =
+  let c = Circuit.create ~n_qubits:(Coupling.n_qubits coupling) gates in
+  let payload =
+    String.concat "\n"
+      [
+        Qasm.to_string c;
+        String.concat ","
+          (Array.to_list (Array.map string_of_int (Mapping.l2p_array final)));
+        string_of_int n_swaps;
+      ]
+  in
+  Digest.to_hex (Digest.string payload)
+
+let equivalence_rows () =
+  let tokyo = Devices.ibm_q20_tokyo () in
+  let yorktown = Devices.ibm_q5_yorktown () in
+  let grid = Devices.grid ~rows:3 ~cols:4 in
+  let basic = { Config.default with heuristic = Config.Basic } in
+  let lookahead = { Config.default with heuristic = Config.Lookahead } in
+  [
+    ("qft5/yorktown/decay", yorktown, Workloads.Qft.circuit 5, Config.default);
+    ("qft8/tokyo/decay", tokyo, Workloads.Qft.circuit 8, Config.default);
+    ("qft8/tokyo/basic", tokyo, Workloads.Qft.circuit 8, basic);
+    ("qft8/tokyo/lookahead", tokyo, Workloads.Qft.circuit 8, lookahead);
+    ("ising10/tokyo/decay", tokyo, Workloads.Ising.circuit 10, Config.default);
+    ("ghz12/grid3x4/decay", grid, Workloads.Ghz.circuit 12, Config.default);
+    ( "random10/tokyo/decay",
+      tokyo,
+      Workloads.Random_reversible.circuit ~seed:42 ~hot_bias:0.0 ~n:10
+        ~gates:80 (),
+      Config.default );
+    ( "chain12/tokyo/decay",
+      tokyo,
+      Workloads.Stream_chain.circuit ~seed:1 ~n:12 ~gates:600 (),
+      Config.default );
+  ]
+
+let test_streaming_equals_materialised () =
+  List.iter
+    (fun (name, coupling, circuit, config) ->
+      let n_logical = Circuit.n_qubits circuit in
+      let n_physical = Coupling.n_qubits coupling in
+      let initial = Mapping.identity ~n_logical ~n_physical in
+      List.iter
+        (fun scoring ->
+          let m =
+            Routing_pass.run_flat ~scoring config coupling
+              (Dag.of_circuit circuit) initial
+          in
+          let expected = Circuit.gates m.Routing_pass.physical in
+          List.iter
+            (fun (label, retire) ->
+              let gates, r =
+                stream_route ?retire ~config ~scoring coupling circuit initial
+              in
+              let tag = Printf.sprintf "%s (%s)" name label in
+              check Alcotest.bool (tag ^ " same gate sequence") true
+                (gates = expected);
+              check Alcotest.bool (tag ^ " same final mapping") true
+                (Mapping.equal r.Routing_pass.s_final_mapping
+                   m.Routing_pass.final_mapping);
+              check Alcotest.int (tag ^ " same swap count")
+                m.Routing_pass.n_swaps r.Routing_pass.s_n_swaps;
+              check Alcotest.int (tag ^ " same search steps")
+                m.Routing_pass.search_steps r.Routing_pass.s_search_steps;
+              check Alcotest.int (tag ^ " gates_in = circuit length")
+                (Circuit.length circuit) r.Routing_pass.s_gates_in;
+              check Alcotest.int (tag ^ " gates_out = emitted")
+                (List.length gates) r.Routing_pass.s_gates_out)
+            [ ("retire", Some (last_use_of circuit)); ("unbounded", None) ])
+        [ Routing_pass.Delta; Routing_pass.Full ])
+    (equivalence_rows ())
+
+(* Digests of the streamed output (routed QASM + final mapping + swap
+   count), produced by this PR's streaming path and pinned so that
+   future refactors of either side of the equivalence cannot drift
+   silently. Delta scoring, retire-bounded, identity placement. *)
+let stream_goldens =
+  [
+    ("qft8/tokyo/decay", "6ea0bdce5f3793d38e605ee11208f46a");
+    ("ising10/tokyo/decay", "c4acb307611f35bee1affe43404ef7fa");
+    ("chain12/tokyo/decay", "f25bd980d973740a64f559899daac372");
+  ]
+
+let test_stream_goldens () =
+  List.iter
+    (fun (row_name, expected) ->
+      let name, coupling, circuit, config =
+        List.find (fun (n, _, _, _) -> n = row_name) (equivalence_rows ())
+      in
+      let initial =
+        Mapping.identity ~n_logical:(Circuit.n_qubits circuit)
+          ~n_physical:(Coupling.n_qubits coupling)
+      in
+      let gates, r =
+        stream_route ~retire:(last_use_of circuit) ~config
+          ~scoring:Routing_pass.Delta coupling circuit initial
+      in
+      check Alcotest.string (name ^ " streamed digest unchanged") expected
+        (fingerprint coupling gates r.Routing_pass.s_final_mapping
+           r.Routing_pass.s_n_swaps))
+    stream_goldens
+
+let test_streaming_peak_window_independent () =
+  let tokyo = Devices.ibm_q20_tokyo () in
+  let route gates =
+    let c = Workloads.Stream_chain.circuit ~seed:5 ~n:12 ~gates () in
+    let initial =
+      Mapping.identity ~n_logical:12 ~n_physical:(Coupling.n_qubits tokyo)
+    in
+    let _, r =
+      stream_route ~retire:(last_use_of c) ~config:Config.default
+        ~scoring:Routing_pass.Delta tokyo c initial
+    in
+    r.Routing_pass.s_peak_window
+  in
+  let p_small = route 2_000 in
+  let p_large = route 20_000 in
+  check Alcotest.bool
+    (Printf.sprintf "routed peak window plateaus (%d vs %d)" p_small p_large)
+    true
+    (p_large <= p_small + 16)
+
+let test_streaming_rejects_wide_circuit () =
+  let yorktown = Devices.ibm_q5_yorktown () in
+  let c = Workloads.Qft.circuit 8 in
+  let initial = Mapping.identity ~n_logical:8 ~n_physical:8 in
+  match
+    stream_route ~config:Config.default ~scoring:Routing_pass.Delta yorktown c
+      initial
+  with
+  | _ -> Alcotest.fail "8 logical qubits on a 5-qubit device was accepted"
+  | exception Invalid_argument _ -> ()
+
+(* qcheck: the differential property on random instances *)
+let prop_stream_equivalence =
+  QCheck.Test.make ~count:80
+    ~name:"streaming = materialised on random instances"
+    (Check.Generators.instance_arb ())
+    (fun inst ->
+      match
+        Check.Differential.stream_equivalence ~config:inst.Check.Generators.config
+          inst.Check.Generators.coupling inst.Check.Generators.circuit
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frontend                                                *)
+(* ------------------------------------------------------------------ *)
+
+let program =
+  {|OPENQASM 2.0;
+include "qelib1.inc";
+qreg qa[2];
+qreg qb[2];
+creg ca[2];
+gate gd1(p) a { rz(p*2) a; h a; }
+h qa; // broadcast
+cx qa[1],qb[0];
+gd1(0.25) qb[1];
+barrier qa;
+measure qa -> ca;
+|}
+
+let test_event_stream () =
+  let s = Qasm_stream.of_string program in
+  let events = ref [] in
+  let rec drain () =
+    match Qasm_stream.next_event s with
+    | None -> ()
+    | Some e ->
+      events := e :: !events;
+      drain ()
+  in
+  drain ();
+  match List.rev !events with
+  | [
+   Qasm_stream.Qreg { name = "qa"; size = 2 };
+   Qreg { name = "qb"; size = 2 };
+   Creg { name = "ca"; size = 2 };
+   Gate (Single (H, 0));
+   Gate (Single (H, 1));
+   Gate (Cnot (1, 2));
+   Gate (Single (Rz p, 3));
+   Gate (Single (H, 3));
+   Gate (Barrier [ 0; 1 ]);
+   Gate (Measure (0, 0));
+   Gate (Measure (1, 1));
+  ] ->
+    check (Alcotest.float 0.0) "gd1 param expression" 0.5 p;
+    check Alcotest.int "qubits" 4 (Qasm_stream.n_qubits s);
+    check Alcotest.int "clbits" 2 (Qasm_stream.n_clbits s)
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let test_survey () =
+  let sv = Qasm_stream.survey (Qasm_stream.of_string program) in
+  check Alcotest.int "qubits" 4 sv.Qasm_stream.sv_n_qubits;
+  check Alcotest.int "clbits" 2 sv.Qasm_stream.sv_n_clbits;
+  check Alcotest.int "gates" 8 sv.Qasm_stream.sv_n_gates;
+  (* qa[0] last used by measure (pos 6), qa[1] by measure (pos 7),
+     qb[0] by cx (pos 2), qb[1] by gd1's h expansion (pos 4) *)
+  check (Alcotest.array Alcotest.int) "last uses" [| 6; 7; 2; 4 |]
+    sv.Qasm_stream.sv_last_use
+
+(* Parsing through a 1-byte refill function must agree with parsing the
+   whole string: every token boundary crosses a buffer refill. *)
+let byte_by_byte_events src =
+  let pos = ref 0 in
+  let refill buf =
+    if !pos >= String.length src then 0
+    else begin
+      Bytes.set buf 0 src.[!pos];
+      incr pos;
+      1
+    end
+  in
+  let s = Qasm_stream.of_refill refill in
+  let gates = ref [] in
+  let rec drain () =
+    match Qasm_stream.next_event s with
+    | None -> ()
+    | Some (Qasm_stream.Gate g) ->
+      gates := g :: !gates;
+      drain ()
+    | Some _ -> drain ()
+  in
+  drain ();
+  (List.rev !gates, Qasm_stream.n_qubits s, Qasm_stream.n_clbits s)
+
+let test_chunked_parse_equals_string_parse () =
+  let c = Qasm.of_string program in
+  let gates, nq, _ = byte_by_byte_events program in
+  check Alcotest.bool "same gates through 1-byte refills" true
+    (gates = Circuit.gates c);
+  check Alcotest.int "same qubit count" (Circuit.n_qubits c) nq
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parse-print-parse is the identity"
+    Check.Generators.qasm_program_arb (fun src ->
+      let c1 = Qasm.of_string src in
+      let c2 = Qasm.of_string (Qasm.to_string c1) in
+      if not (Circuit.equal c1 c2) then
+        QCheck.Test.fail_reportf "round-trip changed the circuit:@.%s"
+          (Qasm.to_string c1)
+      else true)
+
+let prop_chunked_parse =
+  QCheck.Test.make ~count:100
+    ~name:"1-byte-chunk parse = whole-string parse"
+    Check.Generators.qasm_program_arb (fun src ->
+      let c = Qasm.of_string src in
+      let gates, nq, _ = byte_by_byte_events src in
+      gates = Circuit.gates c && nq = Circuit.n_qubits c)
+
+(* ------------------------------------------------------------------ *)
+(* Stream_pass: file in, file out                                      *)
+(* ------------------------------------------------------------------ *)
+
+let temp name = Filename.temp_file ("sabre_stream_" ^ name) ".qasm"
+
+let test_route_file_matches_materialised () =
+  let tokyo = Devices.ibm_q20_tokyo () in
+  let circuit = Workloads.Qft.circuit 8 in
+  let input = temp "in" and output = temp "out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove input;
+      Sys.remove output)
+    (fun () ->
+      Qasm.to_file input circuit;
+      match Engine.Stream_pass.route_file tokyo ~input ~output with
+      | Error msg -> Alcotest.failf "route_file failed: %s" msg
+      | Ok rep ->
+        let routed = Qasm.of_file output in
+        let initial =
+          Mapping.identity ~n_logical:8
+            ~n_physical:(Coupling.n_qubits tokyo)
+        in
+        let parsed_back = Qasm.of_file input in
+        let m =
+          Routing_pass.run_flat Config.default tokyo
+            (Dag.of_circuit parsed_back) initial
+        in
+        check Alcotest.bool "routed file = materialised route" true
+          (Circuit.gates routed = Circuit.gates m.Routing_pass.physical);
+        check Alcotest.int "report swap count" m.Routing_pass.n_swaps
+          rep.Engine.Stream_pass.result.Routing_pass.s_n_swaps;
+        check Alcotest.int "report qubit count" 8
+          rep.Engine.Stream_pass.n_qubits)
+
+let test_route_files_isolates_failures () =
+  let tokyo = Devices.ibm_q20_tokyo () in
+  let good_in = temp "good" and bad_in = temp "bad" in
+  let good_out = temp "good_out" and bad_out = temp "bad_out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove [ good_in; bad_in; good_out; bad_out ])
+    (fun () ->
+      Qasm.to_file good_in (Workloads.Ghz.circuit 5);
+      let oc = open_out bad_in in
+      output_string oc "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n";
+      close_out oc;
+      let results =
+        Engine.Stream_pass.route_files ~domains:2 tokyo
+          [| (good_in, good_out); (bad_in, bad_out) |]
+      in
+      (match results.(0) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "good file failed: %s" msg);
+      match results.(1) with
+      | Ok _ -> Alcotest.fail "truncated cx was accepted"
+      | Error msg ->
+        check Alcotest.bool "error carries file:line:col" true
+          (String.length msg >= String.length bad_in
+          && String.sub msg 0 (String.length bad_in) = bad_in))
+
+(* ------------------------------------------------------------------ *)
+(* Stream_chain workload                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_chain_contract () =
+  let n = 9 and gates = 500 in
+  let drain f =
+    let rec go acc = match f () with None -> List.rev acc | Some g -> go (g :: acc) in
+    go []
+  in
+  let a = drain (Workloads.Stream_chain.events ~seed:4 ~n ~gates ()) in
+  let b = drain (Workloads.Stream_chain.events ~seed:4 ~n ~gates ()) in
+  check Alcotest.bool "deterministic" true (a = b);
+  check Alcotest.int "gate count" gates (List.length a);
+  let c = Workloads.Stream_chain.circuit ~seed:4 ~n ~gates () in
+  check Alcotest.bool "circuit twin agrees" true (Circuit.gates c = a);
+  let prefix = drain (Workloads.Stream_chain.events ~seed:4 ~n ~gates:100 ()) in
+  check Alcotest.bool "prefix-stable" true
+    (prefix = List.filteri (fun i _ -> i < 100) a);
+  check (Alcotest.array Alcotest.int) "last_use agrees with circuit scan"
+    (last_use_of c)
+    (Workloads.Stream_chain.last_use ~seed:4 ~n ~gates ());
+  let path = temp "chain" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workloads.Stream_chain.to_qasm_file ~seed:4 ~n ~gates path;
+      let parsed = Qasm.of_file path in
+      check Alcotest.bool "qasm file round-trips the stream" true
+        (Circuit.gates parsed = a))
+
+let suite =
+  [
+    tc "window FIFO order = eager DAG FIFO order" `Quick
+      test_window_order_matches_dag;
+    tc "window peak is gate-count independent" `Quick test_window_peak_bounded;
+    tc "window rejects zero-operand gates" `Quick
+      test_window_rejects_zero_operand;
+    tc "window rejects out-of-range qubits" `Quick
+      test_window_rejects_out_of_range;
+    tc "run_streaming = run_flat on named rows" `Quick
+      test_streaming_equals_materialised;
+    tc "streamed golden digests" `Quick test_stream_goldens;
+    tc "routed peak window plateaus" `Quick
+      test_streaming_peak_window_independent;
+    tc "streaming rejects circuits wider than the device" `Quick
+      test_streaming_rejects_wide_circuit;
+    QCheck_alcotest.to_alcotest prop_stream_equivalence;
+    tc "event stream of a mixed program" `Quick test_event_stream;
+    tc "survey counts and retire schedule" `Quick test_survey;
+    tc "1-byte-chunk parse = string parse" `Quick
+      test_chunked_parse_equals_string_parse;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_chunked_parse;
+    tc "route_file matches materialised routing" `Quick
+      test_route_file_matches_materialised;
+    tc "route_files isolates per-file failures" `Quick
+      test_route_files_isolates_failures;
+    tc "stream_chain generator contract" `Quick test_stream_chain_contract;
+  ]
