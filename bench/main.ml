@@ -14,6 +14,10 @@
      stream      — streaming ingest: windowed single-pass routing of
                    250k/1M-gate lazy circuits, with a byte-identity
                    gate against the materialised route
+     serve       — sabre_serve daemon under concurrent clients: latency
+                   percentiles and throughput per client count, warm vs
+                   cold distance cache, every response byte-checked
+                   against Engine.Batch
      micro       — Bechamel micro-benchmarks (one per table/figure)
 
    Flags: --json FILE records machine-readable rows, --repeat K reports
@@ -941,6 +945,204 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Serving: the routing daemon under concurrent clients                *)
+(* ------------------------------------------------------------------ *)
+
+module SP = Serve.Protocol
+
+let serve_client_counts = [ 1; 2; 4; 8 ]
+
+let serve () =
+  Format.printf
+    "@.== Serving: concurrent clients against an in-process daemon ==@.@.";
+  let n_circuits = 16 and requests_per_sweep = 64 in
+  let texts =
+    Array.init n_circuits (fun i ->
+        Quantum.Qasm.to_string
+          (Workloads.Random_reversible.circuit ~seed:(900 + i) ~hot_bias:0.0
+             ~n:10 ~gates:80 ()))
+  in
+  (* reference outputs: every response is gated on byte-identity with
+     Engine.Batch — a mismatch aborts the run like a verification
+     failure would *)
+  let jobs =
+    Array.mapi
+      (fun i text ->
+        {
+          Engine.Batch.name = string_of_int i;
+          circuit = Quantum.Qasm.of_string text;
+        })
+      texts
+  in
+  let reference = Engine.Batch.compile_many ~verify:true device jobs in
+  let expected =
+    Array.map
+      (function
+        | Ok (s : Engine.Batch.success) -> Quantum.Qasm.to_string s.physical
+        | Error (e : Engine.Batch.error) ->
+          Format.eprintf "FATAL: serve: reference compile %s failed: %s@."
+            e.name e.message;
+          exit 2)
+      reference.outcomes
+  in
+  let domains = min 4 !max_domains in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sabre_bench_%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve.Server.start ~domains (SP.Unix_sock sock) in
+  Fun.protect ~finally:(fun () -> Serve.Server.stop server) @@ fun () ->
+  let request_of i =
+    let c = i mod n_circuits in
+    SP.Compile
+      {
+        id = string_of_int c;
+        source = SP.Inline texts.(c);
+        device = "tokyo";
+        device_size = None;
+        router = "sabre";
+        overrides = SP.no_overrides;
+        deadline_s = None;
+      }
+  in
+  let check_response = function
+    | SP.Ok_compiled r ->
+      let c = int_of_string r.SP.id in
+      if r.SP.qasm <> expected.(c) then begin
+        Format.eprintf
+          "FATAL: serve: response for circuit %d differs from Engine.Batch@."
+          c;
+        exit 2
+      end
+    | SP.Error_resp { message; _ } ->
+      Format.eprintf "FATAL: serve: %s@." message;
+      exit 2
+    | _ ->
+      Format.eprintf "FATAL: serve: unexpected response kind@.";
+      exit 2
+  in
+  Format.printf "%-8s %9s %9s | %10s %9s %9s %9s@." "clients" "requests"
+    "wall_s" "req/s" "p50_ms" "p95_ms" "p99_ms";
+  List.iter
+    (fun clients ->
+      let per_client = requests_per_sweep / clients in
+      let total = clients * per_client in
+      let latencies = Array.make total 0.0 in
+      let t0 = wall () in
+      let threads =
+        List.init clients (fun c ->
+            Thread.create
+              (fun c ->
+                Serve.Client.with_connection ~retry_for_s:5.0
+                  (SP.Unix_sock sock) (fun conn ->
+                    for k = 0 to per_client - 1 do
+                      let idx = (c * per_client) + k in
+                      let t = wall () in
+                      match Serve.Client.request conn (request_of idx) with
+                      | Ok resp ->
+                        latencies.(idx) <- wall () -. t;
+                        check_response resp
+                      | Error e ->
+                        Format.eprintf "FATAL: serve: transport: %s@." e;
+                        exit 2
+                    done))
+              c)
+      in
+      List.iter Thread.join threads;
+      let wall_s = wall () -. t0 in
+      Array.sort compare latencies;
+      let pct p =
+        1e3
+        *. latencies.(max 0
+                        (min (total - 1) (int_of_float (p *. float_of_int total))))
+      in
+      Record.row "serve"
+        [
+          ("kind", Str "sweep");
+          ("clients", Int clients);
+          ("domains", Int domains);
+          ("requests", Int total);
+          ("wall_s", Float wall_s);
+          ("req_per_s", Float (float_of_int total /. wall_s));
+          ("p50_ms", Float (pct 0.50));
+          ("p95_ms", Float (pct 0.95));
+          ("p99_ms", Float (pct 0.99));
+        ];
+      Format.printf "%-8d %9d %9.3f | %10.1f %9.2f %9.2f %9.2f@." clients
+        total wall_s
+        (float_of_int total /. wall_s)
+        (pct 0.50) (pct 0.95) (pct 0.99))
+    serve_client_counts;
+  (* warm vs cold device-keyed distance cache, measured end-to-end at
+     the protocol level. Tokyo's 20-qubit BFS is microseconds, so the
+     probe targets a 400-qubit grid, where a cold request pays a real
+     all-pairs BFS and a warm one a digest lookup. *)
+  let latency_of_one () =
+    Serve.Client.with_connection ~retry_for_s:5.0 (SP.Unix_sock sock)
+      (fun conn ->
+        let t = wall () in
+        match
+          Serve.Client.request conn
+            (SP.Compile
+               {
+                 id = "cache-probe";
+                 source = SP.Inline texts.(0);
+                 device = "grid";
+                 device_size = Some 400;
+                 router = "sabre";
+                 overrides = SP.no_overrides;
+                 deadline_s = None;
+               })
+        with
+        | Ok (SP.Ok_compiled _) -> wall () -. t
+        | Ok r ->
+          Format.eprintf "FATAL: serve: cache probe answered %s@."
+            (SP.encode_response r);
+          exit 2
+        | Error e ->
+          Format.eprintf "FATAL: serve: transport: %s@." e;
+          exit 2)
+  in
+  Hardware.Dist_cache.clear ();
+  let t_cold = latency_of_one () in
+  let t_warm =
+    let best = ref (latency_of_one ()) in
+    for _ = 2 to max 3 !repeat do
+      let t = latency_of_one () in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  Record.row "serve"
+    [
+      ("kind", Str "dist_cache");
+      ("cold_ms", Float (1e3 *. t_cold));
+      ("warm_ms", Float (1e3 *. t_warm));
+      ("cold_over_warm", Float (t_cold /. t_warm));
+    ];
+  Format.printf
+    "@.first request, cold dist cache : %7.2f ms@.same request, warm cache \
+     \ \ \ \ : %7.2f ms  (%.1fx less)@."
+    (1e3 *. t_cold) (1e3 *. t_warm) (t_cold /. t_warm);
+  let s = Serve.Server.stats server in
+  Record.row "serve"
+    [
+      ("kind", Str "stats");
+      ("served", Int s.SP.served);
+      ("errored", Int s.SP.errored);
+      ("rejected", Int s.SP.rejected);
+      ("timed_out", Int s.SP.timed_out);
+      ("malformed", Int s.SP.malformed);
+      ("dist_cache_hits", Int s.SP.dist_cache_hits);
+      ("dist_cache_misses", Int s.SP.dist_cache_misses);
+    ];
+  Format.printf
+    "@.daemon counters: served %d, errored %d, rejected %d, timed out %d \
+     (every response byte-checked against Engine.Batch)@."
+    s.SP.served s.SP.errored s.SP.rejected s.SP.timed_out
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -948,7 +1150,7 @@ let usage () =
   Format.eprintf
     "usage: bench [--json FILE] [--max-qubits N] [--max-domains N] \
      [--repeat K] \
-     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|micro]...@.";
+     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|micro]...@.";
   exit 1
 
 let () =
@@ -984,7 +1186,7 @@ let () =
     | [] ->
       [
         "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "scoring";
-        "pipeline"; "throughput"; "stream"; "micro";
+        "pipeline"; "throughput"; "stream"; "serve"; "micro";
       ]
     | named -> named
   in
@@ -1002,6 +1204,7 @@ let () =
         | "pipeline" -> pipeline
         | "throughput" -> throughput
         | "stream" -> stream
+        | "serve" -> serve
         | "micro" -> micro
         | other ->
           Format.eprintf "unknown section %S@." other;

@@ -57,5 +57,5 @@ val compile_many :
     (default [false]) appends the semantic {!Verify_pass} to each job's
     pipeline. [instrument] receives every job's pass events and must be
     domain-safe when [domains > 1] ({!Instrument.null}, the default,
-    and {!Instrument.stderr_trace} are; a plain {!Instrument.collector}
-    is not). *)
+    {!Instrument.stderr_trace} and {!Instrument.sync_collector} are; a
+    plain {!Instrument.collector} is not). *)

@@ -22,6 +22,16 @@ let collector () =
   ( { emit = (fun e -> events := e :: !events) },
     fun () -> List.rev !events )
 
+let sync_collector () =
+  let m = Mutex.create () in
+  let events = ref [] in
+  let with_lock f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  ( { emit = (fun e -> with_lock (fun () -> events := e :: !events)) },
+    fun () -> with_lock (fun () -> List.rev !events) )
+
 let tee a b =
   {
     emit =

@@ -26,7 +26,17 @@ val stderr_trace : t
 
 val collector : unit -> t * (unit -> event list)
 (** [collector ()] returns a sink and a function producing the events
-    emitted so far, oldest first. *)
+    emitted so far, oldest first. Single-domain only: the buffer is an
+    unsynchronised ref. Use {!sync_collector} when several domains
+    share the sink. *)
+
+val sync_collector : unit -> t * (unit -> event list)
+(** Like {!collector}, but mutex-protected: safe to share across
+    domains and threads (e.g. as the sink of {!Batch.compile_many}
+    with [domains > 1], or of a {!Serve.Server}). Events from
+    concurrent emitters interleave in lock-acquisition order; the
+    read-back function may run concurrently with emitters and sees a
+    consistent prefix. *)
 
 val tee : t -> t -> t
 (** Duplicates every event into both sinks. *)

@@ -1,0 +1,65 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Netline.reader;
+  mutable closed : bool;
+}
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      invalid_arg (Printf.sprintf "host %S resolves to no address" host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found ->
+      invalid_arg (Printf.sprintf "unknown host %S" host))
+
+let sockaddr_of = function
+  | Protocol.Unix_sock path -> Unix.ADDR_UNIX path
+  | Protocol.Tcp { host; port } -> Unix.ADDR_INET (resolve_host host, port)
+
+let connect ?(retry_for_s = 0.0) endpoint =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = sockaddr_of endpoint in
+  let deadline = Unix.gettimeofday () +. retry_for_s in
+  let rec go () =
+    let fd =
+      Unix.socket ~cloexec:true
+        (Unix.domain_of_sockaddr addr)
+        Unix.SOCK_STREAM 0
+    in
+    match Unix.connect fd addr with
+    | () -> { fd; reader = Netline.reader fd; closed = false }
+    | exception Unix.Unix_error (((Unix.ENOENT | Unix.ECONNREFUSED) as e), f, a)
+      ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        ignore (Unix.select [] [] [] 0.02);
+        go ()
+      end
+      else raise (Unix.Unix_error (e, f, a))
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go ()
+
+let request t req =
+  if t.closed then Error "connection closed"
+  else if not (Netline.write_line t.fd (Protocol.encode_request req)) then
+    Error "connection lost while sending"
+  else
+    match Netline.read_line t.reader with
+    | Netline.Line line -> Protocol.decode_response line
+    | Netline.Overflow -> Error "oversized response line"
+    | Netline.Eof -> Error "server closed the connection"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection ?retry_for_s endpoint f =
+  let c = connect ?retry_for_s endpoint in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,29 @@
+(** Blocking client for the routing service.
+
+    A thin, dependency-free counterpart to {!Server}: one socket, one
+    request on the wire at a time, {!Netline} framing, {!Protocol}
+    codec. The test suite, the benchmark driver and the CI smoke
+    script all talk to the daemon through this module (or through the
+    documented NDJSON protocol directly). *)
+
+type t
+
+val connect : ?retry_for_s:float -> Protocol.endpoint -> t
+(** Connect to a server. [retry_for_s] (default 0) keeps retrying
+    [ENOENT]/[ECONNREFUSED] for that many seconds — covers the race
+    between spawning a daemon and its socket appearing. Ignores
+    [SIGPIPE] process-wide. Raises [Unix.Unix_error] when the
+    connection cannot be established in time. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response. [Error] means a
+    transport-level failure (connection lost, undecodable response
+    line), not a server-side error — those arrive as
+    [Ok (Error_resp _)]. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection :
+  ?retry_for_s:float -> Protocol.endpoint -> (t -> 'a) -> 'a
+(** [connect], run, [close] on all exits. *)

@@ -1,0 +1,346 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let max_depth = 64
+
+(* ------------------------------------------------------------------ *)
+(* Parser: strict recursive descent over the input string              *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of string * int
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Fail (msg, st.pos))
+let eof st = st.pos >= String.length st.src
+let peek st = st.src.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  if (not (eof st))
+     && (match peek st with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  then begin
+    advance st;
+    skip_ws st
+  end
+
+let expect st c =
+  if eof st || peek st <> c then fail st (Printf.sprintf "expected %C" c);
+  advance st
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "invalid \\u escape"
+
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let v =
+    (hex_digit st st.src.[st.pos] lsl 12)
+    lor (hex_digit st st.src.[st.pos + 1] lsl 8)
+    lor (hex_digit st st.src.[st.pos + 2] lsl 4)
+    lor hex_digit st st.src.[st.pos + 3]
+  in
+  st.pos <- st.pos + 4;
+  v
+
+(* UTF-8 encode one scalar value *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated string";
+    match peek st with
+    | '"' -> advance st
+    | '\\' ->
+      advance st;
+      if eof st then fail st "unterminated escape";
+      let c = peek st in
+      advance st;
+      (match c with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        let cp = hex4 st in
+        if cp >= 0xD800 && cp <= 0xDBFF then begin
+          (* high surrogate: require the paired low surrogate *)
+          if
+            st.pos + 2 > String.length st.src
+            || peek st <> '\\'
+            || st.src.[st.pos + 1] <> 'u'
+          then fail st "unpaired high surrogate";
+          st.pos <- st.pos + 2;
+          let lo = hex4 st in
+          if lo < 0xDC00 || lo > 0xDFFF then fail st "invalid low surrogate";
+          add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+        end
+        else if cp >= 0xDC00 && cp <= 0xDFFF then
+          fail st "unpaired low surrogate"
+        else add_utf8 buf cp
+      | _ -> fail st "invalid escape");
+      go ()
+    | c when Char.code c < 0x20 -> fail st "raw control byte in string"
+    | c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* RFC 8259 number grammar: optional minus, then 0 or a nonzero-led
+   digit run, optional fraction, optional signed exponent — notably
+   stricter than [int_of_string] (no leading zeros, no "+1"). *)
+let json_number_ok text =
+  let n = String.length text in
+  let digits j =
+    let rec go j = if j < n && text.[j] >= '0' && text.[j] <= '9' then go (j + 1) else j in
+    go j
+  in
+  let i = if n > 0 && text.[0] = '-' then 1 else 0 in
+  if i >= n then false
+  else
+    let j = digits i in
+    if j = i then false
+    else if text.[i] = '0' && j > i + 1 then false
+    else
+      let j =
+        if j < n && text.[j] = '.' then
+          let k = digits (j + 1) in
+          if k = j + 1 then -1 else k
+        else j
+      in
+      if j < 0 then false
+      else
+        let j =
+          if j < n && (text.[j] = 'e' || text.[j] = 'E') then
+            let j = j + 1 in
+            let j = if j < n && (text.[j] = '+' || text.[j] = '-') then j + 1 else j in
+            let k = digits j in
+            if k = j then -1 else k
+          else j
+        in
+        j = n
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec scan () =
+    if not (eof st) then
+      match peek st with
+      | '0' .. '9' | '-' | '+' ->
+        advance st;
+        scan ()
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        advance st;
+        scan ()
+      | _ -> ()
+  in
+  scan ();
+  if st.pos = start then fail st "expected a value";
+  let text = String.sub st.src start (st.pos - start) in
+  if not (json_number_ok text) then
+    fail st (Printf.sprintf "bad number %S" text);
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      (* out of int range: fall back to the float representation *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st ~depth =
+  if depth > max_depth then fail st "nesting too deep";
+  skip_ws st;
+  if eof st then fail st "unexpected end of input";
+  match peek st with
+  | 'n' -> literal st "null" Null
+  | 't' -> literal st "true" (Bool true)
+  | 'f' -> literal st "false" (Bool false)
+  | '"' -> Str (parse_string st)
+  | '[' ->
+    advance st;
+    skip_ws st;
+    if (not (eof st)) && peek st = ']' then begin
+      advance st;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value st ~depth:(depth + 1) in
+        skip_ws st;
+        if eof st then fail st "unterminated array";
+        match peek st with
+        | ',' ->
+          advance st;
+          items (v :: acc)
+        | ']' ->
+          advance st;
+          List (List.rev (v :: acc))
+        | _ -> fail st "expected ',' or ']'"
+      in
+      items []
+  | '{' ->
+    advance st;
+    skip_ws st;
+    if (not (eof st)) && peek st = '}' then begin
+      advance st;
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st ~depth:(depth + 1) in
+        skip_ws st;
+        if eof st then fail st "unterminated object";
+        match peek st with
+        | ',' ->
+          advance st;
+          fields ((k, v) :: acc)
+        | '}' ->
+          advance st;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> fail st "expected ',' or '}'"
+      in
+      fields []
+  | _ -> parse_number st
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st ~depth:0 with
+  | v ->
+    skip_ws st;
+    if eof st then Ok v
+    else Error (Printf.sprintf "trailing garbage at byte %d" st.pos)
+  | exception Fail (msg, pos) ->
+    Error (Printf.sprintf "%s at byte %d" msg pos)
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_json f =
+  if not (Float.is_finite f) then
+    invalid_arg "Jsonx.to_string: NaN/infinity has no JSON encoding";
+  let s = Printf.sprintf "%.17g" f in
+  (* "%.17g" prints integral floats without a decimal point; force one
+     so the value parses back as Float, not Int *)
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_json f)
+  | Str s -> escape_into buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        print_into buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        print_into buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 2.0 ** 52.0 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

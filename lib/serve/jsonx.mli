@@ -1,0 +1,53 @@
+(** Minimal JSON for the service protocol.
+
+    The serving layer speaks newline-delimited JSON and the container
+    ships no JSON library, so this module carries the little that the
+    protocol needs: a value type, a strict recursive-descent parser and
+    a compact printer. It is deliberately small — no streaming, no
+    document order preservation beyond association lists, no
+    extensions — but it is a real codec: every value [to_string]
+    produces parses back to an equal value ([Float] via ["%.17g"], so
+    binary round-trips are exact), and the parser rejects trailing
+    garbage, unterminated constructs and over-deep nesting instead of
+    guessing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in printing order *)
+
+val max_depth : int
+(** Parser nesting bound (64). Deeper input is a parse error, not a
+    stack overflow — protocol messages are a few levels deep. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed).
+    Errors carry a byte offset. Numbers without [.], [e] or [E] become
+    [Int] when they fit, [Float] otherwise; [\uXXXX] escapes (including
+    surrogate pairs) decode to UTF-8. *)
+
+val to_string : t -> string
+(** Compact printing, fields in list order, no trailing newline.
+    Strings escape quotes, backslashes and control bytes; [Float]
+    prints with [%.17g] (and a forced [.0] when integral) so [parse]
+    returns the
+    identical bit pattern. Raises [Invalid_argument] on NaN or
+    infinities — JSON has no spelling for them. *)
+
+(** {2 Accessors} — total lookups used by the protocol decoder. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for absent fields or non-objects. *)
+
+val to_int : t -> int option
+(** [Int n], or a [Float] that is exactly integral. *)
+
+val to_float : t -> float option
+(** [Float] or [Int] widened. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

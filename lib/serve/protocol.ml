@@ -1,0 +1,401 @@
+type endpoint = Unix_sock of string | Tcp of { host : string; port : int }
+
+let pp_endpoint ppf = function
+  | Unix_sock path -> Format.fprintf ppf "unix:%s" path
+  | Tcp { host; port } -> Format.fprintf ppf "tcp:%s:%d" host port
+
+type source = Inline of string | Path of string
+
+type overrides = {
+  trials : int option;
+  traversals : int option;
+  delta : float option;
+  weight : float option;
+  extended_set : int option;
+  seed : int option;
+  commutation : bool option;
+}
+
+let no_overrides =
+  {
+    trials = None;
+    traversals = None;
+    delta = None;
+    weight = None;
+    extended_set = None;
+    seed = None;
+    commutation = None;
+  }
+
+type compile = {
+  id : string;
+  source : source;
+  device : string;
+  device_size : int option;
+  router : string;
+  overrides : overrides;
+  deadline_s : float option;
+}
+
+type request =
+  | Compile of compile
+  | Stats of { id : string }
+  | Ping of { id : string }
+
+type error_kind =
+  | Malformed
+  | Oversized
+  | Queue_full
+  | Timeout
+  | Qasm_error
+  | Route_error
+  | Invalid
+  | Shutting_down
+
+let error_kind_name = function
+  | Malformed -> "malformed"
+  | Oversized -> "oversized"
+  | Queue_full -> "queue_full"
+  | Timeout -> "timeout"
+  | Qasm_error -> "qasm_error"
+  | Route_error -> "route_error"
+  | Invalid -> "invalid"
+  | Shutting_down -> "shutting_down"
+
+let error_kind_of_name = function
+  | "malformed" -> Some Malformed
+  | "oversized" -> Some Oversized
+  | "queue_full" -> Some Queue_full
+  | "timeout" -> Some Timeout
+  | "qasm_error" -> Some Qasm_error
+  | "route_error" -> Some Route_error
+  | "invalid" -> Some Invalid
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+type compiled = {
+  id : string;
+  qasm : string;
+  initial : int array;
+  final : int array;
+  n_swaps : int;
+  original_gates : int;
+  total_gates : int;
+  routed_depth : int;
+  time_s : float;
+}
+
+type domain_load = { domain : int; jobs_run : int; wall_busy_s : float }
+
+type server_stats = {
+  served : int;
+  errored : int;
+  rejected : int;
+  timed_out : int;
+  malformed : int;
+  queue_depth : int;
+  queue_capacity : int;
+  domains : int;
+  uptime_s : float;
+  dist_cache_hits : int;
+  dist_cache_misses : int;
+  per_domain : domain_load array;
+}
+
+type response =
+  | Ok_compiled of compiled
+  | Ok_stats of { id : string; stats : server_stats }
+  | Pong of { id : string }
+  | Error_resp of { id : string; kind : error_kind; message : string }
+
+let default_max_bytes = 8 * 1024 * 1024
+
+(* Structural equality is what we mean everywhere: the only non-scalar
+   payloads are int arrays, which polymorphic equality compares by
+   contents, and no float we produce is NaN. *)
+let request_equal (a : request) (b : request) = a = b
+let response_equal (a : response) (b : response) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let opt_field name to_json = function
+  | None -> []
+  | Some v -> [ (name, to_json v) ]
+
+let overrides_fields o =
+  opt_field "trials" (fun v -> Jsonx.Int v) o.trials
+  @ opt_field "traversals" (fun v -> Jsonx.Int v) o.traversals
+  @ opt_field "delta" (fun v -> Jsonx.Float v) o.delta
+  @ opt_field "weight" (fun v -> Jsonx.Float v) o.weight
+  @ opt_field "extended_set" (fun v -> Jsonx.Int v) o.extended_set
+  @ opt_field "seed" (fun v -> Jsonx.Int v) o.seed
+  @ opt_field "commutation" (fun v -> Jsonx.Bool v) o.commutation
+
+let encode_request req =
+  let obj =
+    match req with
+    | Compile c ->
+      let source_field =
+        match c.source with
+        | Inline qasm -> [ ("qasm", Jsonx.Str qasm) ]
+        | Path p -> [ ("path", Jsonx.Str p) ]
+      in
+      Jsonx.Obj
+        ([ ("kind", Jsonx.Str "compile"); ("id", Jsonx.Str c.id) ]
+        @ source_field
+        @ [ ("device", Jsonx.Str c.device) ]
+        @ opt_field "device_size" (fun v -> Jsonx.Int v) c.device_size
+        @ [ ("router", Jsonx.Str c.router) ]
+        @ overrides_fields c.overrides
+        @ opt_field "deadline_s" (fun v -> Jsonx.Float v) c.deadline_s)
+    | Stats { id } ->
+      Jsonx.Obj [ ("kind", Jsonx.Str "stats"); ("id", Jsonx.Str id) ]
+    | Ping { id } ->
+      Jsonx.Obj [ ("kind", Jsonx.Str "ping"); ("id", Jsonx.Str id) ]
+  in
+  Jsonx.to_string obj
+
+let int_array_json a =
+  Jsonx.List (Array.to_list (Array.map (fun i -> Jsonx.Int i) a))
+
+let encode_response resp =
+  let obj =
+    match resp with
+    | Ok_compiled c ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.Str "ok");
+          ("id", Jsonx.Str c.id);
+          ("qasm", Jsonx.Str c.qasm);
+          ("initial", int_array_json c.initial);
+          ("final", int_array_json c.final);
+          ("swaps", Jsonx.Int c.n_swaps);
+          ("original_gates", Jsonx.Int c.original_gates);
+          ("total_gates", Jsonx.Int c.total_gates);
+          ("depth", Jsonx.Int c.routed_depth);
+          ("time_s", Jsonx.Float c.time_s);
+        ]
+    | Ok_stats { id; stats = s } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.Str "stats");
+          ("id", Jsonx.Str id);
+          ("served", Jsonx.Int s.served);
+          ("errored", Jsonx.Int s.errored);
+          ("rejected", Jsonx.Int s.rejected);
+          ("timed_out", Jsonx.Int s.timed_out);
+          ("malformed", Jsonx.Int s.malformed);
+          ("queue_depth", Jsonx.Int s.queue_depth);
+          ("queue_capacity", Jsonx.Int s.queue_capacity);
+          ("domains", Jsonx.Int s.domains);
+          ("uptime_s", Jsonx.Float s.uptime_s);
+          ("dist_cache_hits", Jsonx.Int s.dist_cache_hits);
+          ("dist_cache_misses", Jsonx.Int s.dist_cache_misses);
+          ( "per_domain",
+            Jsonx.List
+              (Array.to_list
+                 (Array.map
+                    (fun d ->
+                      Jsonx.Obj
+                        [
+                          ("domain", Jsonx.Int d.domain);
+                          ("jobs_run", Jsonx.Int d.jobs_run);
+                          ("wall_busy_s", Jsonx.Float d.wall_busy_s);
+                        ])
+                    s.per_domain)) );
+        ]
+    | Pong { id } ->
+      Jsonx.Obj [ ("kind", Jsonx.Str "pong"); ("id", Jsonx.Str id) ]
+    | Error_resp { id; kind; message } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.Str "error");
+          ("id", Jsonx.Str id);
+          ("error", Jsonx.Str (error_kind_name kind));
+          ("message", Jsonx.Str message);
+        ]
+  in
+  Jsonx.to_string obj
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let get_str obj name =
+  match Jsonx.member name obj with
+  | Some v -> (
+    match Jsonx.to_str v with
+    | Some s -> s
+    | None -> raise (Bad (Printf.sprintf "field %S must be a string" name)))
+  | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+
+let opt_typed obj name of_json what =
+  match Jsonx.member name obj with
+  | None -> None
+  | Some v -> (
+    match of_json v with
+    | Some x -> Some x
+    | None -> raise (Bad (Printf.sprintf "field %S must be %s" name what)))
+
+let opt_int obj name = opt_typed obj name Jsonx.to_int "an integer"
+let opt_float obj name = opt_typed obj name Jsonx.to_float "a number"
+let opt_bool obj name = opt_typed obj name Jsonx.to_bool "a boolean"
+let opt_str obj name = opt_typed obj name Jsonx.to_str "a string"
+
+let known_request_fields =
+  [
+    "kind"; "id"; "qasm"; "path"; "device"; "device_size"; "router"; "trials";
+    "traversals"; "delta"; "weight"; "extended_set"; "seed"; "commutation";
+    "deadline_s";
+  ]
+
+let reject_unknown_fields obj known =
+  match obj with
+  | Jsonx.Obj fields ->
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k known) then
+          raise (Bad (Printf.sprintf "unknown field %S" k)))
+      fields
+  | _ -> raise (Bad "request must be a JSON object")
+
+let decode_request ?(max_bytes = default_max_bytes) line =
+  if String.length line > max_bytes then
+    Error
+      ( Oversized,
+        Printf.sprintf "request is %d bytes; the limit is %d"
+          (String.length line) max_bytes )
+  else
+    match Jsonx.parse line with
+    | Error msg -> Error (Malformed, msg)
+    | Ok json -> (
+      try
+        reject_unknown_fields json known_request_fields;
+        let id = Option.value (opt_str json "id") ~default:"" in
+        match get_str json "kind" with
+        | "stats" -> Ok (Stats { id })
+        | "ping" -> Ok (Ping { id })
+        | "compile" ->
+          let source =
+            match (opt_str json "qasm", opt_str json "path") with
+            | Some q, None -> Inline q
+            | None, Some p -> Path p
+            | Some _, Some _ -> raise (Bad "give either \"qasm\" or \"path\", not both")
+            | None, None -> raise (Bad "compile needs a \"qasm\" or \"path\" field")
+          in
+          Ok
+            (Compile
+               {
+                 id;
+                 source;
+                 device = get_str json "device";
+                 device_size = opt_int json "device_size";
+                 router = Option.value (opt_str json "router") ~default:"sabre";
+                 overrides =
+                   {
+                     trials = opt_int json "trials";
+                     traversals = opt_int json "traversals";
+                     delta = opt_float json "delta";
+                     weight = opt_float json "weight";
+                     extended_set = opt_int json "extended_set";
+                     seed = opt_int json "seed";
+                     commutation = opt_bool json "commutation";
+                   };
+                 deadline_s = opt_float json "deadline_s";
+               })
+        | other -> raise (Bad (Printf.sprintf "unknown request kind %S" other))
+      with Bad msg -> Error (Malformed, msg))
+
+let get_int obj name =
+  match opt_int obj name with
+  | Some i -> i
+  | None -> raise (Bad (Printf.sprintf "missing integer field %S" name))
+
+let get_float obj name =
+  match opt_float obj name with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "missing number field %S" name))
+
+let get_int_array obj name =
+  match Jsonx.member name obj with
+  | Some (Jsonx.List items) ->
+    Array.of_list
+      (List.map
+         (fun v ->
+           match Jsonx.to_int v with
+           | Some i -> i
+           | None -> raise (Bad (Printf.sprintf "field %S must hold integers" name)))
+         items)
+  | _ -> raise (Bad (Printf.sprintf "missing array field %S" name))
+
+let decode_response line =
+  match Jsonx.parse line with
+  | Error msg -> Error msg
+  | Ok json -> (
+    try
+      let id = get_str json "id" in
+      match get_str json "kind" with
+      | "ok" ->
+        Ok
+          (Ok_compiled
+             {
+               id;
+               qasm = get_str json "qasm";
+               initial = get_int_array json "initial";
+               final = get_int_array json "final";
+               n_swaps = get_int json "swaps";
+               original_gates = get_int json "original_gates";
+               total_gates = get_int json "total_gates";
+               routed_depth = get_int json "depth";
+               time_s = get_float json "time_s";
+             })
+      | "stats" ->
+        let per_domain =
+          match Jsonx.member "per_domain" json with
+          | Some (Jsonx.List items) ->
+            Array.of_list
+              (List.map
+                 (fun d ->
+                   {
+                     domain = get_int d "domain";
+                     jobs_run = get_int d "jobs_run";
+                     wall_busy_s = get_float d "wall_busy_s";
+                   })
+                 items)
+          | _ -> raise (Bad "missing array field \"per_domain\"")
+        in
+        Ok
+          (Ok_stats
+             {
+               id;
+               stats =
+                 {
+                   served = get_int json "served";
+                   errored = get_int json "errored";
+                   rejected = get_int json "rejected";
+                   timed_out = get_int json "timed_out";
+                   malformed = get_int json "malformed";
+                   queue_depth = get_int json "queue_depth";
+                   queue_capacity = get_int json "queue_capacity";
+                   domains = get_int json "domains";
+                   uptime_s = get_float json "uptime_s";
+                   dist_cache_hits = get_int json "dist_cache_hits";
+                   dist_cache_misses = get_int json "dist_cache_misses";
+                   per_domain;
+                 };
+             })
+      | "pong" -> Ok (Pong { id })
+      | "error" -> (
+        let name = get_str json "error" in
+        match error_kind_of_name name with
+        | Some kind ->
+          Ok (Error_resp { id; kind; message = get_str json "message" })
+        | None -> Error (Printf.sprintf "unknown error kind %S" name))
+      | other -> Error (Printf.sprintf "unknown response kind %S" other)
+    with Bad msg -> Error msg)
+
+let pp_request ppf req = Format.pp_print_string ppf (encode_request req)

@@ -1,0 +1,150 @@
+(** Wire protocol of the routing service.
+
+    One request or response per line, each line one JSON object — the
+    newline-delimited framing lets any client (the bundled {!Client},
+    a python script, [nc]) speak to the daemon without a schema
+    compiler. The codec is total in both directions: every value
+    {!encode_request} produces decodes back to an equal request (the
+    QCheck round-trip property in [test/suite_serve.ml]), and malformed
+    or oversized input decodes to a {e typed} error instead of an
+    exception, so the server can always answer with a well-formed
+    error response.
+
+    A [compile] request names its circuit (inline QASM source or a
+    server-side file path), a device from {!Hardware.Devices.by_name},
+    a registered router, and optional config overrides mirroring the
+    [sabre_compile] CLI knobs. The response carries the routed circuit
+    as QASM text that is byte-identical to what [sabre_compile -o]
+    writes for the same inputs — the server is a transport around the
+    engine, never a second code path. *)
+
+type endpoint =
+  | Unix_sock of string  (** path of a Unix-domain socket *)
+  | Tcp of { host : string; port : int }
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+(** {2 Requests} *)
+
+type source =
+  | Inline of string  (** OpenQASM 2.0 program text *)
+  | Path of string  (** file path resolved on the server *)
+
+type overrides = {
+  trials : int option;
+  traversals : int option;
+  delta : float option;  (** decay increment *)
+  weight : float option;  (** extended-set weight W *)
+  extended_set : int option;
+  seed : int option;
+  commutation : bool option;
+}
+(** Config fields a request may override; [None] keeps
+    {!Sabre_core.Config.default}'s value (the CLI defaults). *)
+
+val no_overrides : overrides
+
+type compile = {
+  id : string;  (** client-chosen tag, echoed in the response *)
+  source : source;
+  device : string;  (** {!Hardware.Devices.by_name} name *)
+  device_size : int option;  (** size for parametric devices *)
+  router : string;  (** registered router name, e.g. ["sabre"] *)
+  overrides : overrides;
+  deadline_s : float option;
+      (** per-request deadline in seconds from admission, overriding
+          the server default; [Some d] with [d <= 0] is already
+          expired (deterministic timeout, used by tests and CI) *)
+}
+
+type request =
+  | Compile of compile
+  | Stats of { id : string }  (** snapshot of the server counters *)
+  | Ping of { id : string }  (** liveness probe *)
+
+(** {2 Responses} *)
+
+(** Why a request failed. [Malformed] and [Oversized] are produced by
+    the decoder itself; the rest by the server. *)
+type error_kind =
+  | Malformed  (** not JSON, not an object, missing/ill-typed fields *)
+  | Oversized  (** request line longer than the server's limit *)
+  | Queue_full  (** admission control rejected the request *)
+  | Timeout  (** deadline expired before or around routing *)
+  | Qasm_error  (** circuit source failed to parse *)
+  | Route_error  (** router or verifier failed *)
+  | Invalid  (** unknown device/router, invalid config, bad circuit *)
+  | Shutting_down  (** server is draining; no new work admitted *)
+
+val error_kind_name : error_kind -> string
+(** Stable wire names ([malformed], [oversized], [queue_full],
+    [timeout], [qasm_error], [route_error], [invalid],
+    [shutting_down]). *)
+
+val error_kind_of_name : string -> error_kind option
+
+type compiled = {
+  id : string;
+  qasm : string;
+      (** routed circuit, byte-identical to [sabre_compile -o] output *)
+  initial : int array;  (** winning trial's initial mapping, l2p *)
+  final : int array;  (** mapping after the last gate, l2p *)
+  n_swaps : int;
+  original_gates : int;
+  total_gates : int;
+  routed_depth : int;
+  time_s : float;  (** server-side wall time of the routing call *)
+}
+
+type domain_load = { domain : int; jobs_run : int; wall_busy_s : float }
+
+type server_stats = {
+  served : int;  (** compile requests answered [ok] *)
+  errored : int;  (** compile requests answered [qasm_error]/[route_error]/[invalid] *)
+  rejected : int;  (** admission-control rejections ([queue_full]) *)
+  timed_out : int;
+  malformed : int;  (** undecodable requests, including oversized *)
+  queue_depth : int;  (** jobs waiting right now *)
+  queue_capacity : int;
+  domains : int;  (** worker pool size *)
+  uptime_s : float;
+  dist_cache_hits : int;
+  dist_cache_misses : int;
+  per_domain : domain_load array;  (** by worker index *)
+}
+
+type response =
+  | Ok_compiled of compiled
+  | Ok_stats of { id : string; stats : server_stats }
+  | Pong of { id : string }
+  | Error_resp of { id : string; kind : error_kind; message : string }
+      (** [id] is [""] when the request was too broken to carry one *)
+
+(** {2 Codec} *)
+
+val encode_request : request -> string
+(** One line of JSON, no trailing newline. *)
+
+val decode_request :
+  ?max_bytes:int -> string -> (request, error_kind * string) result
+(** Decode one request line. [max_bytes] (default {!default_max_bytes})
+    bounds the accepted line length — longer input is rejected as
+    [Oversized] without being parsed. Any other failure is [Malformed]
+    with a human-readable reason. *)
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result
+(** Used by the client library and the protocol tests. *)
+
+val default_max_bytes : int
+(** 8 MiB — larger than any benchmark circuit, small enough to bound a
+    hostile request. *)
+
+val request_equal : request -> request -> bool
+val response_equal : response -> response -> bool
+(** Structural equality (arrays compared by contents); the codec
+    round-trip properties are stated with these. *)
+
+val pp_request : Format.formatter -> request -> unit
+(** Debug printing for test failures (the encoded JSON line). *)

@@ -1,0 +1,53 @@
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity = max 0 capacity;
+    closed = false;
+  }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.capacity then `Full
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.take t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -1,0 +1,41 @@
+(** Bounded multi-producer multi-consumer queue with admission control.
+
+    The server's connection threads push jobs, the worker domains pop
+    them; both sides may live on different domains, so the queue is a
+    plain mutex + condition monitor (OCaml 5 [Mutex]/[Condition] work
+    across domains and systhreads alike).
+
+    Admission is non-blocking by design: a full queue {e rejects} the
+    push instead of blocking the connection thread, which is what lets
+    the server answer [queue_full] immediately — backpressure surfaces
+    as a typed protocol error, never as an unbounded internal buffer.
+
+    {!close} switches the queue to drain mode: further pushes are
+    refused with [`Closed], but consumers keep popping until the
+    backlog is empty and only then observe [None] — exactly the
+    graceful-shutdown contract ("finish everything admitted, admit
+    nothing new"). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity < 0] is clamped to 0. A zero-capacity queue refuses every
+    push — the degenerate configuration tests use to exercise admission
+    control deterministically. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Jobs currently waiting (popped jobs no longer count). *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Never blocks. [`Closed] wins over [`Full] once {!close} ran. *)
+
+val pop : 'a t -> 'a option
+(** Block until a job is available ([Some]) or the queue is closed
+    {e and} drained ([None]). FIFO across all producers. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked consumer. *)
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,89 @@
+(** The routing-as-a-service daemon core.
+
+    A server is a transport wrapped around the engine — the compile
+    path is exactly {!Engine.Batch}'s per-job pipeline (sequential
+    trials, [Verify_pass] on, distance matrix from
+    {!Hardware.Dist_cache}), so a response's routed QASM is
+    byte-identical to what [sabre_compile] writes for the same
+    (circuit, device, config, router). What the server adds is
+    lifecycle: persistent workers, admission control, deadlines,
+    counters and a graceful drain.
+
+    {b Threading model.} Connection I/O runs on systhreads of the
+    calling domain (one acceptor plus one thread per connection), so a
+    slow client never blocks routing; compilation runs on a pool of
+    [domains] worker {e domains} that pop jobs from a bounded
+    {!Rqueue}. Workers are persistent, which is the point: each keeps
+    its {!Sabre_core.Routing_pass.Scratch} arena warm in domain-local
+    storage across requests, and the device-keyed
+    {!Hardware.Dist_cache} stays hot process-wide — after the first
+    request against a device, setup cost is a digest lookup.
+
+    {b Admission and deadlines.} A full queue rejects immediately with
+    a [queue_full] error (backpressure is a protocol answer, not an
+    internal buffer). Each compile request carries an absolute deadline
+    from its admission time; it is checked when a worker picks the job
+    up (time spent queued counts) and again when routing returns (a
+    slow route produces a [timeout] answer and its result is
+    discarded). A long-running route cannot be interrupted mid-flight —
+    the worker finishes it, answers [timeout], and moves on unpoisoned.
+
+    {b Shutdown.} {!stop} (or SIGTERM/SIGINT once
+    {!install_signal_handlers} ran) closes the listener, lets the
+    workers drain every admitted job, answers [shutting_down] to
+    anything that arrives during the drain, flushes the per-connection
+    responses, and only then returns. *)
+
+type t
+
+val start :
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?default_deadline_s:float ->
+  ?max_request_bytes:int ->
+  ?instrument:Engine.Instrument.t ->
+  Protocol.endpoint ->
+  t
+(** Bind, listen and return once the server accepts connections.
+    [domains] (default 1) sizes the worker pool; [queue_capacity]
+    (default 64) bounds the admission queue ([0] rejects every compile
+    — used by admission tests); [default_deadline_s] applies to
+    requests that carry none (default: no deadline);
+    [max_request_bytes] (default {!Protocol.default_max_bytes}) bounds
+    one request line. [instrument] receives server counter events
+    (pass ["serve"]) and every compile's pass events — it must be
+    domain-safe ({!Instrument.null}, {!Instrument.stderr_trace} or
+    {!Instrument.sync_collector}; a plain collector is not).
+
+    Registers the baseline routers and ignores [SIGPIPE]. Raises
+    [Unix.Unix_error] when binding fails (path in use, privileged
+    port, ...). A Unix-domain socket path is unlinked first if it is a
+    stale socket, and unlinked again on {!stop}. *)
+
+val endpoint : t -> Protocol.endpoint
+(** The actual endpoint — for [Tcp] with port 0, the bound port. *)
+
+val stats : t -> Protocol.server_stats
+(** Snapshot of the counters the [stats] request returns. *)
+
+val request_stop : t -> unit
+(** Flag the server to stop and wake the acceptor. Async-signal-safe
+    (an atomic store plus a self-pipe write); does not block. The
+    actual drain happens in {!stop}/{!wait}. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, refuse new work, finish every
+    admitted job, deliver and flush all responses, join every worker
+    domain and connection thread, close the listener. Idempotent and
+    safe to call from several threads — late callers block until the
+    drain completes. *)
+
+val wait : t -> unit
+(** Block until a stop has been requested (by {!request_stop}, a
+    handled signal, or a concurrent {!stop}), then run {!stop} to
+    completion. The daemon binary's main thread lives here. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGTERM and SIGINT to {!request_stop} — together with
+    {!wait} this gives the drain-then-exit-0 behaviour the CI smoke
+    test exercises. *)

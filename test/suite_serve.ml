@@ -1,0 +1,980 @@
+(* The routing service: codec, queue, framing, and a live in-process
+   daemon exercised over a real Unix socket.
+
+   The heart of the suite is the byte-identity contract: a response's
+   QASM must equal what [Engine.Batch] (and therefore [sabre_compile])
+   produces for the same circuit, device, config and router. Around it
+   sit the lifecycle guarantees — admission control, deadlines, graceful
+   drain — each pinned by a deterministic test. *)
+
+module P = Serve.Protocol
+module Jsonx = Serve.Jsonx
+module Rqueue = Serve.Rqueue
+module Netline = Serve.Netline
+module Server = Serve.Server
+module Client = Serve.Client
+module Qasm = Quantum.Qasm
+module Devices = Hardware.Devices
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Batch = Engine.Batch
+module Instrument = Engine.Instrument
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+let () = Baseline.Routers.register ()
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_sock =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sabre_serve_%d_%d.sock" (Unix.getpid ()) !ctr)
+
+let with_server ?(domains = 2) ?queue_capacity ?default_deadline_s
+    ?max_request_bytes f =
+  let path = fresh_sock () in
+  let server =
+    Server.start ~domains ?queue_capacity ?default_deadline_s
+      ?max_request_bytes (P.Unix_sock path)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f path server)
+
+let rpc path req =
+  Client.with_connection ~retry_for_s:5.0 (P.Unix_sock path) (fun c ->
+      match Client.request c req with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "transport failure: %s" e)
+
+let compile_req ?(id = "x") ?(overrides = P.no_overrides) ?deadline_s
+    ?(device = "tokyo") ?(router = "sabre") qasm =
+  P.Compile
+    {
+      id;
+      source = P.Inline qasm;
+      device;
+      device_size = None;
+      router;
+      overrides;
+      deadline_s;
+    }
+
+let small_qasm =
+  "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncx q[0],q[3];\n\
+   cx q[1],q[2];\ncx q[0],q[2];\nh q[1];\ncx q[3],q[1];\n"
+
+(* ~0.7 s of routing at the default 5 trials: long enough that a job is
+   reliably still in flight when a test needs the worker occupied. *)
+let big_qasm =
+  lazy
+    (Qasm.to_string
+       (Helpers.random_circuit ~seed:99 ~n:16 ~gates:10_000))
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_jsonx_roundtrip () =
+  let values =
+    [
+      Jsonx.Null;
+      Jsonx.Bool true;
+      Jsonx.Bool false;
+      Jsonx.Int 0;
+      Jsonx.Int (-42);
+      Jsonx.Int max_int;
+      Jsonx.Float 0.1;
+      Jsonx.Float 1e300;
+      Jsonx.Float (-2.5e-8);
+      Jsonx.Float 3.0;
+      Jsonx.Str "";
+      Jsonx.Str "a\"b\\c\nd\te\x01f";
+      Jsonx.Str "\xcf\x80 \xe2\x89\x88 3.14159";
+      Jsonx.List [ Jsonx.Int 1; Jsonx.Str "two"; Jsonx.Null ];
+      Jsonx.Obj
+        [
+          ("k", Jsonx.List [ Jsonx.Obj [ ("nested", Jsonx.Bool false) ] ]);
+          ("empty", Jsonx.Obj []);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Jsonx.to_string v in
+      match Jsonx.parse s with
+      | Ok v' ->
+        if v <> v' then
+          Alcotest.failf "round-trip changed %s into %s" s (Jsonx.to_string v')
+      | Error e -> Alcotest.failf "round-trip of %s failed: %s" s e)
+    values;
+  (* int/float identity is preserved, not collapsed *)
+  check Alcotest.string "int prints bare" "1" (Jsonx.to_string (Jsonx.Int 1));
+  check Alcotest.string "integral float keeps its point" "1.0"
+    (Jsonx.to_string (Jsonx.Float 1.0));
+  check Alcotest.bool "1 parses as Int" true
+    (Jsonx.parse "1" = Ok (Jsonx.Int 1));
+  check Alcotest.bool "1.0 parses as Float" true
+    (Jsonx.parse "1.0" = Ok (Jsonx.Float 1.0));
+  check Alcotest.bool "nan is unprintable" true
+    (match Jsonx.to_string (Jsonx.Float Float.nan) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_jsonx_rejects () =
+  let bad =
+    [
+      "";
+      "tru";
+      "{";
+      "[1,]";
+      "{\"a\":1,}";
+      "{\"a\" 1}";
+      "1 2";
+      "\x01";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "01";
+      String.concat "" (List.init 100 (fun _ -> "["));
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Ok v ->
+        Alcotest.failf "accepted malformed %S as %s" s (Jsonx.to_string v)
+      | Error e ->
+        check Alcotest.bool "error message non-empty" true
+          (String.length e > 0))
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_str =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          string_size ~gen:(map Char.chr (int_range 32 126)) (int_bound 20) );
+        ( 1,
+          oneofl
+            [
+              "";
+              "\"quoted\"";
+              "back\\slash";
+              "new\nline";
+              "tab\tcr\r";
+              "\xcf\x80 unicode";
+            ] );
+      ])
+
+let gen_opt g = QCheck.Gen.(frequency [ (1, return None); (2, map Option.some g) ])
+
+let gen_overrides =
+  QCheck.Gen.(
+    map
+      (fun ((trials, traversals, delta), (weight, extended_set, seed), commutation)
+           ->
+        { P.trials; traversals; delta; weight; extended_set; seed; commutation })
+      (triple
+         (triple (gen_opt small_nat) (gen_opt small_nat)
+            (gen_opt (oneofl [ 0.0; 0.001; 0.5; 12.25 ])))
+         (triple
+            (gen_opt (oneofl [ 0.0; 0.5; 0.75 ]))
+            (gen_opt small_nat) (gen_opt small_int))
+         (gen_opt bool)))
+
+let gen_compile =
+  QCheck.Gen.(
+    map
+      (fun ((id, src_is_path, text), (device, device_size, router),
+            (overrides, deadline_s)) ->
+        P.Compile
+          {
+            id;
+            source = (if src_is_path then P.Path text else P.Inline text);
+            device;
+            device_size;
+            router;
+            overrides;
+            deadline_s;
+          })
+      (triple
+         (triple gen_str bool gen_str)
+         (triple gen_str (gen_opt small_nat) gen_str)
+         (pair gen_overrides (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, map (fun id -> P.Ping { id }) gen_str);
+        (1, map (fun id -> P.Stats { id }) gen_str);
+        (4, gen_compile);
+      ])
+
+let shrink_request r yield =
+  match r with
+  | P.Ping { id } -> QCheck.Shrink.string id (fun id -> yield (P.Ping { id }))
+  | P.Stats { id } -> QCheck.Shrink.string id (fun id -> yield (P.Stats { id }))
+  | P.Compile c ->
+    QCheck.Shrink.string c.id (fun id -> yield (P.Compile { c with id }));
+    (match c.source with
+    | P.Inline s ->
+      QCheck.Shrink.string s (fun s ->
+          yield (P.Compile { c with source = P.Inline s }))
+    | P.Path s ->
+      QCheck.Shrink.string s (fun s ->
+          yield (P.Compile { c with source = P.Path s })));
+    QCheck.Shrink.string c.device (fun device ->
+        yield (P.Compile { c with device }));
+    QCheck.Shrink.string c.router (fun router ->
+        yield (P.Compile { c with router }));
+    (match c.deadline_s with
+    | Some _ -> yield (P.Compile { c with deadline_s = None })
+    | None -> ());
+    (match c.device_size with
+    | Some _ -> yield (P.Compile { c with device_size = None })
+    | None -> ());
+    if c.overrides <> P.no_overrides then
+      yield (P.Compile { c with overrides = P.no_overrides })
+
+let request_arb =
+  QCheck.make gen_request
+    ~print:(Format.asprintf "%a" P.pp_request)
+    ~shrink:shrink_request
+
+let request_roundtrip_prop =
+  QCheck.Test.make ~count:300 ~name:"request codec round-trips (with shrinking)"
+    request_arb (fun r ->
+      let line = P.encode_request r in
+      if String.contains line '\n' then
+        QCheck.Test.fail_reportf "encoding spans lines: %S" line;
+      match P.decode_request line with
+      | Ok r' ->
+        P.request_equal r r'
+        || QCheck.Test.fail_reportf "decoded to a different request: %S" line
+      | Error (_, msg) ->
+        QCheck.Test.fail_reportf "own encoding rejected (%s): %S" msg line)
+
+let test_response_roundtrip () =
+  let stats =
+    {
+      P.served = 12;
+      errored = 3;
+      rejected = 4;
+      timed_out = 1;
+      malformed = 2;
+      queue_depth = 0;
+      queue_capacity = 64;
+      domains = 2;
+      uptime_s = 1.25;
+      dist_cache_hits = 7;
+      dist_cache_misses = 1;
+      per_domain =
+        [|
+          { P.domain = 0; jobs_run = 6; wall_busy_s = 0.5 };
+          { P.domain = 1; jobs_run = 6; wall_busy_s = 0.625 };
+        |];
+    }
+  in
+  let responses =
+    [
+      P.Ok_compiled
+        {
+          id = "a";
+          qasm = small_qasm;
+          initial = [| 3; 1; 0; 2 |];
+          final = [| 0; 1; 2; 3 |];
+          n_swaps = 2;
+          original_gates = 5;
+          total_gates = 11;
+          routed_depth = 7;
+          time_s = 0.001953125;
+        };
+      P.Ok_stats { id = "s"; stats };
+      P.Pong { id = "" };
+    ]
+    @ List.map
+        (fun kind -> P.Error_resp { id = "e"; kind; message = "why \"not\"" })
+        [
+          P.Malformed;
+          P.Oversized;
+          P.Queue_full;
+          P.Timeout;
+          P.Qasm_error;
+          P.Route_error;
+          P.Invalid;
+          P.Shutting_down;
+        ]
+  in
+  List.iter
+    (fun r ->
+      let line = P.encode_response r in
+      check Alcotest.bool "single line" false (String.contains line '\n');
+      match P.decode_response line with
+      | Ok r' ->
+        check Alcotest.bool "response round-trips" true (P.response_equal r r')
+      | Error e -> Alcotest.failf "own encoding rejected (%s): %S" e line)
+    responses
+
+let test_decode_malformed () =
+  let expect_kind kind line =
+    match P.decode_request line with
+    | Error (k, msg) ->
+      check Alcotest.string "typed error"
+        (P.error_kind_name kind)
+        (P.error_kind_name k);
+      check Alcotest.bool "reason attached" true (String.length msg > 0)
+    | Ok r ->
+      Alcotest.failf "accepted %S as %a" line P.pp_request r
+  in
+  expect_kind P.Malformed "not json at all";
+  expect_kind P.Malformed "[1,2,3]";
+  expect_kind P.Malformed "{}";
+  expect_kind P.Malformed {|{"kind":"teleport"}|};
+  expect_kind P.Malformed {|{"kind":"compile","id":"x"}|};
+  expect_kind P.Malformed
+    {|{"kind":"compile","qasm":"a","path":"b","device":"tokyo"}|};
+  expect_kind P.Malformed {|{"kind":"compile","qasm":"a","device":7}|};
+  expect_kind P.Malformed {|{"kind":"compile","qasm":"a","device":"tokyo","surprise":1}|};
+  expect_kind P.Malformed {|{"kind":"ping","id":7}|}
+
+let test_decode_oversized () =
+  (* the oversized check fires on raw length, before any parsing *)
+  (match
+     P.decode_request ~max_bytes:(64 * 1024)
+       (P.encode_request (compile_req (String.make 4096 'h')))
+   with
+  | Ok _ -> ()
+  | Error (_, msg) -> Alcotest.failf "within-limit request rejected: %s" msg);
+  match
+    P.decode_request ~max_bytes:128 (P.encode_request (compile_req small_qasm))
+  with
+  | Error (P.Oversized, _) -> ()
+  | Error (k, _) ->
+    Alcotest.failf "wrong kind %s" (P.error_kind_name k)
+  | Ok _ -> Alcotest.fail "159-byte line accepted under a 128-byte limit"
+
+(* ------------------------------------------------------------------ *)
+(* Rqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_rqueue () =
+  let q = Rqueue.create ~capacity:2 in
+  check Alcotest.int "capacity" 2 (Rqueue.capacity q);
+  check Alcotest.bool "push 1" true (Rqueue.try_push q 1 = `Ok);
+  check Alcotest.bool "push 2" true (Rqueue.try_push q 2 = `Ok);
+  check Alcotest.bool "push 3 full" true (Rqueue.try_push q 3 = `Full);
+  check Alcotest.int "length" 2 (Rqueue.length q);
+  check Alcotest.bool "fifo" true (Rqueue.pop q = Some 1);
+  Rqueue.close q;
+  check Alcotest.bool "closed beats full" true (Rqueue.try_push q 4 = `Closed);
+  check Alcotest.bool "drains after close" true (Rqueue.pop q = Some 2);
+  check Alcotest.bool "then empty" true (Rqueue.pop q = None);
+  check Alcotest.bool "still empty" true (Rqueue.pop q = None);
+  let z = Rqueue.create ~capacity:0 in
+  check Alcotest.bool "zero capacity rejects everything" true
+    (Rqueue.try_push z 1 = `Full);
+  let neg = Rqueue.create ~capacity:(-3) in
+  check Alcotest.int "negative capacity clamps to 0" 0 (Rqueue.capacity neg)
+
+let test_rqueue_cross_domain () =
+  let q = Rqueue.create ~capacity:1024 in
+  let total = 600 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go acc =
+          match Rqueue.pop q with None -> acc | Some v -> go (acc + v)
+        in
+        go 0)
+  in
+  for v = 1 to total do
+    let rec push () =
+      match Rqueue.try_push q v with
+      | `Ok -> ()
+      | `Full ->
+        Domain.cpu_relax ();
+        push ()
+      | `Closed -> Alcotest.fail "queue closed early"
+    in
+    push ()
+  done;
+  Rqueue.close q;
+  check Alcotest.int "consumer saw every item exactly once"
+    (total * (total + 1) / 2)
+    (Domain.join consumer)
+
+(* ------------------------------------------------------------------ *)
+(* Netline                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_netline_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  check Alcotest.bool "write hello" true (Netline.write_line a "hello");
+  check Alcotest.bool "write crlf" true (Netline.write_line a "world\r");
+  let r = Netline.reader b in
+  check Alcotest.bool "frame 1" true (Netline.read_line r = Netline.Line "hello");
+  check Alcotest.bool "crlf stripped" true
+    (Netline.read_line r = Netline.Line "world");
+  ignore (Unix.write_substring a "tail" 0 4);
+  Unix.shutdown a Unix.SHUTDOWN_SEND;
+  check Alcotest.bool "unterminated final frame" true
+    (Netline.read_line r = Netline.Line "tail");
+  check Alcotest.bool "then eof" true (Netline.read_line r = Netline.Eof);
+  check Alcotest.bool "eof is sticky" true (Netline.read_line r = Netline.Eof);
+  Unix.close a;
+  Unix.close b
+
+let test_netline_overflow () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write_substring a (String.make 32 'x') 0 32);
+  let r = Netline.reader b in
+  check Alcotest.bool "overflow past max_bytes" true
+    (Netline.read_line ~max_bytes:10 r = Netline.Overflow);
+  check Alcotest.bool "overflow is sticky" true
+    (Netline.read_line ~max_bytes:1000 r = Netline.Overflow);
+  Unix.close a;
+  Unix.close b
+
+let test_netline_peer_gone () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  check Alcotest.bool "write to closed peer returns false" false
+    (Netline.write_line a "doomed");
+  Unix.close a
+
+(* ------------------------------------------------------------------ *)
+(* Live server: liveness and typed server-side errors                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_and_stats () =
+  with_server ~domains:2 (fun path server ->
+      check Alcotest.bool "pong" true
+        (rpc path (P.Ping { id = "p" }) = P.Pong { id = "p" });
+      (match rpc path (P.Stats { id = "s" }) with
+      | P.Ok_stats { id; stats } ->
+        check Alcotest.string "stats id echoed" "s" id;
+        check Alcotest.int "domains" 2 stats.P.domains;
+        check Alcotest.int "default queue capacity" 64 stats.P.queue_capacity;
+        check Alcotest.int "per-domain rows" 2 (Array.length stats.P.per_domain);
+        check Alcotest.bool "uptime advances" true (stats.P.uptime_s >= 0.0)
+      | r ->
+        Alcotest.failf "stats request answered %s" (P.encode_response r));
+      (* the in-process stats snapshot agrees with the wire one *)
+      check Alcotest.int "Server.stats matches protocol stats" 0
+        (Server.stats server).P.served)
+
+let raw_rpc path line =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Netline.write_line fd line);
+      match Netline.read_line (Netline.reader fd) with
+      | Netline.Line l -> (
+        match P.decode_response l with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "undecodable response (%s): %S" e l)
+      | Netline.Overflow -> Alcotest.fail "oversized response"
+      | Netline.Eof -> Alcotest.fail "connection closed without a response")
+
+let expect_error kind resp =
+  match resp with
+  | P.Error_resp { kind = k; message; _ } ->
+    check Alcotest.string "error kind"
+      (P.error_kind_name kind)
+      (P.error_kind_name k);
+    check Alcotest.bool "message non-empty" true (String.length message > 0)
+  | r -> Alcotest.failf "expected %s, got %s" (P.error_kind_name kind)
+           (P.encode_response r)
+
+let test_typed_errors () =
+  with_server ~domains:1 (fun path server ->
+      expect_error P.Malformed (raw_rpc path "this is not json");
+      expect_error P.Malformed (raw_rpc path {|{"kind":"warp"}|});
+      expect_error P.Invalid
+        (rpc path (compile_req ~router:"astar-deluxe" small_qasm));
+      expect_error P.Invalid
+        (rpc path (compile_req ~device:"pentagon" small_qasm));
+      expect_error P.Qasm_error
+        (rpc path (compile_req "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q;\n"));
+      expect_error P.Invalid
+        (rpc path
+           (P.Compile
+              {
+                id = "f";
+                source = P.Path "/nonexistent/circuit.qasm";
+                device = "tokyo";
+                device_size = None;
+                router = "sabre";
+                overrides = P.no_overrides;
+                deadline_s = None;
+              }));
+      expect_error P.Invalid
+        (rpc path
+           (compile_req
+              ~overrides:{ P.no_overrides with trials = Some 0 }
+              small_qasm));
+      let s = Server.stats server in
+      check Alcotest.int "malformed counted" 2 s.P.malformed;
+      check Alcotest.int "server-side failures counted as errored" 5
+        s.P.errored;
+      check Alcotest.int "nothing served" 0 s.P.served)
+
+let test_oversized_request () =
+  with_server ~domains:1 ~max_request_bytes:4096 (fun path _server ->
+      expect_error P.Oversized
+        (raw_rpc path (P.encode_request (compile_req (String.make 8192 'h'))));
+      (* the connection is dropped, but the server lives on *)
+      check Alcotest.bool "server still answers" true
+        (rpc path (P.Ping { id = "after" }) = P.Pong { id = "after" }))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity with Engine.Batch across the workload zoo             *)
+(* ------------------------------------------------------------------ *)
+
+let zoo_names =
+  [ "4mod5-v1_22"; "decod24-v2_43"; "4gt13_92"; "qft_10"; "ising_model_10" ]
+
+let test_byte_identity () =
+  let device = Devices.ibm_q20_tokyo () in
+  let texts =
+    List.map
+      (fun name ->
+        ( name,
+          Qasm.to_string (Lazy.force (Workloads.Suite.find name).circuit) ))
+      zoo_names
+  in
+  let config = { Config.default with trials = 2 } in
+  let overrides = { P.no_overrides with trials = Some 2 } in
+  with_server ~domains:2 (fun path _server ->
+      List.iter
+        (fun router_name ->
+          let router =
+            match Engine.Router.find router_name with
+            | Some r -> r
+            | None -> Alcotest.failf "router %s not registered" router_name
+          in
+          let jobs =
+            Array.of_list
+              (List.map
+                 (fun (name, text) ->
+                   { Batch.name; circuit = Qasm.of_string text })
+                 texts)
+          in
+          let report =
+            Batch.compile_many ~config ~router ~verify:true device jobs
+          in
+          List.iteri
+            (fun i (name, text) ->
+              let label = Printf.sprintf "%s/%s" router_name name in
+              match
+                ( rpc path
+                    (compile_req ~id:label ~overrides ~router:router_name text),
+                  report.Batch.outcomes.(i) )
+              with
+              | P.Ok_compiled r, Ok (s : Batch.success) ->
+                check Alcotest.string (label ^ ": id") label r.P.id;
+                check Alcotest.string
+                  (label ^ ": QASM byte-identical to Engine.Batch")
+                  (Qasm.to_string s.physical) r.P.qasm;
+                check
+                  Alcotest.(array int)
+                  (label ^ ": initial mapping")
+                  (Mapping.l2p_array s.initial) r.P.initial;
+                check
+                  Alcotest.(array int)
+                  (label ^ ": final mapping")
+                  (Mapping.l2p_array s.final) r.P.final;
+                check Alcotest.int (label ^ ": swaps")
+                  s.stats.Sabre_core.Stats.n_swaps r.P.n_swaps;
+                check Alcotest.int (label ^ ": routed depth")
+                  s.stats.Sabre_core.Stats.routed_depth r.P.routed_depth
+              | P.Error_resp { message; _ }, _ ->
+                Alcotest.failf "%s: server error: %s" label message
+              | _, Error (e : Batch.error) ->
+                Alcotest.failf "%s: local batch error: %s" label e.message
+              | r, _ ->
+                Alcotest.failf "%s: unexpected response %s" label
+                  (P.encode_response r))
+            texts)
+        [ "sabre"; "greedy"; "bka" ])
+
+let test_path_source_equals_inline () =
+  let file = Filename.temp_file "serve_zoo" ".qasm" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      output_string oc small_qasm;
+      close_out oc;
+      with_server ~domains:1 (fun path _server ->
+          let by_inline = rpc path (compile_req ~id:"inline" small_qasm) in
+          let by_path =
+            rpc path
+              (P.Compile
+                 {
+                   id = "path";
+                   source = P.Path file;
+                   device = "tokyo";
+                   device_size = None;
+                   router = "sabre";
+                   overrides = P.no_overrides;
+                   deadline_s = None;
+                 })
+          in
+          match (by_inline, by_path) with
+          | P.Ok_compiled a, P.Ok_compiled b ->
+            check Alcotest.string "inline and path QASM agree" a.P.qasm
+              b.P.qasm;
+            check
+              Alcotest.(array int)
+              "mappings agree" a.P.initial b.P.initial
+          | _ -> Alcotest.fail "one of the two source kinds failed"))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_clients () =
+  let device = Devices.ibm_q20_tokyo () in
+  let n_clients = 8 in
+  let texts =
+    Array.init n_clients (fun i ->
+        Qasm.to_string (Helpers.random_circuit ~seed:(300 + i) ~n:10 ~gates:60))
+  in
+  let expected =
+    Array.map
+      (fun text ->
+        let report =
+          Batch.compile_many ~verify:true device
+            [| { Batch.name = "ref"; circuit = Qasm.of_string text } |]
+        in
+        match report.Batch.outcomes.(0) with
+        | Ok s -> Qasm.to_string s.Batch.physical
+        | Error e -> Alcotest.failf "reference compile failed: %s" e.message)
+      texts
+  in
+  with_server ~domains:3 (fun path _server ->
+      let results = Array.make n_clients None in
+      let threads =
+        Array.init n_clients (fun i ->
+            Thread.create
+              (fun i ->
+                Client.with_connection ~retry_for_s:5.0 (P.Unix_sock path)
+                  (fun c ->
+                    results.(i) <-
+                      Some
+                        (Client.request c
+                           (compile_req ~id:(string_of_int i) texts.(i)))))
+              i)
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some (Ok (P.Ok_compiled c)) ->
+            check Alcotest.string "own id comes back" (string_of_int i) c.P.id;
+            check Alcotest.string
+              (Printf.sprintf "client %d gets its own result" i)
+              expected.(i) c.P.qasm
+          | Some (Ok r) ->
+            Alcotest.failf "client %d: %s" i (P.encode_response r)
+          | Some (Error e) -> Alcotest.failf "client %d transport: %s" i e
+          | None -> Alcotest.failf "client %d got no response" i)
+        results)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_capacity_zero () =
+  with_server ~domains:1 ~queue_capacity:0 (fun path server ->
+      expect_error P.Queue_full (rpc path (compile_req small_qasm));
+      (* control plane is not subject to admission *)
+      check Alcotest.bool "ping bypasses the queue" true
+        (rpc path (P.Ping { id = "p" }) = P.Pong { id = "p" });
+      let s = Server.stats server in
+      check Alcotest.int "rejection counted" 1 s.P.rejected;
+      check Alcotest.int "nothing served" 0 s.P.served)
+
+let test_admission_flood () =
+  let big = Lazy.force big_qasm in
+  with_server ~domains:1 ~queue_capacity:1 (fun path server ->
+      let n = 3 in
+      let results = Array.make n None in
+      let threads =
+        Array.init n (fun i ->
+            Thread.create
+              (fun i ->
+                Client.with_connection ~retry_for_s:5.0 (P.Unix_sock path)
+                  (fun c ->
+                    results.(i) <-
+                      Some (Client.request c (compile_req ~id:(string_of_int i) big))))
+              i)
+      in
+      Array.iter Thread.join threads;
+      let served = ref 0 and rejected = ref 0 in
+      Array.iteri
+        (fun i -> function
+          | Some (Ok (P.Ok_compiled _)) -> incr served
+          | Some (Ok (P.Error_resp { kind = P.Queue_full; _ })) ->
+            incr rejected
+          | Some (Ok r) ->
+            Alcotest.failf "client %d: unexpected %s" i (P.encode_response r)
+          | Some (Error e) -> Alcotest.failf "client %d transport: %s" i e
+          | None -> Alcotest.failf "client %d got no response" i)
+        results;
+      check Alcotest.bool "at least one served" true (!served >= 1);
+      check Alcotest.bool "at least one rejected" true (!rejected >= 1);
+      check Alcotest.int "every request accounted for" n (!served + !rejected);
+      let s = Server.stats server in
+      check Alcotest.int "stats.served agrees" !served s.P.served;
+      check Alcotest.int "stats.rejected agrees" !rejected s.P.rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_pre_expired () =
+  with_server ~domains:1 (fun path server ->
+      expect_error P.Timeout
+        (rpc path (compile_req ~deadline_s:0.0 small_qasm));
+      (* the pool is not poisoned: the next request routes normally *)
+      (match rpc path (compile_req ~id:"after" small_qasm) with
+      | P.Ok_compiled r -> check Alcotest.string "healthy after" "after" r.P.id
+      | r -> Alcotest.failf "pool poisoned: %s" (P.encode_response r));
+      let s = Server.stats server in
+      check Alcotest.int "timeout counted" 1 s.P.timed_out;
+      check Alcotest.int "healthy request counted" 1 s.P.served)
+
+let test_deadline_slow_route () =
+  let big = Lazy.force big_qasm in
+  with_server ~domains:1 (fun path server ->
+      (* routing takes ~0.7 s; the deadline expires under it, so the
+         worker finishes, discards the result and answers timeout *)
+      expect_error P.Timeout (rpc path (compile_req ~deadline_s:0.05 big));
+      (match rpc path (compile_req ~id:"after" small_qasm) with
+      | P.Ok_compiled _ -> ()
+      | r -> Alcotest.failf "pool poisoned: %s" (P.encode_response r));
+      let s = Server.stats server in
+      check Alcotest.int "slow route counted as timeout" 1 s.P.timed_out;
+      check Alcotest.int "worker survived to serve again" 1 s.P.served)
+
+let test_default_deadline_applies () =
+  with_server ~domains:1 ~default_deadline_s:(-1.0) (fun path _server ->
+      (* the server default is pre-expired; a request carrying its own
+         generous deadline overrides it *)
+      expect_error P.Timeout (rpc path (compile_req small_qasm));
+      match rpc path (compile_req ~deadline_s:30.0 small_qasm) with
+      | P.Ok_compiled _ -> ()
+      | r ->
+        Alcotest.failf "per-request deadline ignored: %s" (P.encode_response r))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle: drain and signals                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sigterm_drains_in_flight () =
+  let path = fresh_sock () in
+  let server = Server.start ~domains:1 (P.Unix_sock path) in
+  Server.install_signal_handlers server;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default)
+    (fun () ->
+      let c = Client.connect ~retry_for_s:5.0 (P.Unix_sock path) in
+      check Alcotest.bool "alive before signal" true
+        (Client.request c (P.Ping { id = "pre" }) = Ok (P.Pong { id = "pre" }));
+      let resp = ref None in
+      let t =
+        Thread.create
+          (fun () ->
+            resp := Some (Client.request c (compile_req ~id:"inflight" (Lazy.force big_qasm))))
+          ()
+      in
+      (* let the request reach the queue, then signal ourselves *)
+      Thread.delay 0.15;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      Server.wait server;
+      Thread.join t;
+      Client.close c;
+      (match !resp with
+      | Some (Ok (P.Ok_compiled r)) ->
+        check Alcotest.string "in-flight job drained, not dropped" "inflight"
+          r.P.id
+      | Some (Ok r) ->
+        Alcotest.failf "in-flight job answered %s" (P.encode_response r)
+      | Some (Error e) -> Alcotest.failf "in-flight transport: %s" e
+      | None -> Alcotest.fail "in-flight request lost");
+      (* stop is idempotent after wait *)
+      Server.stop server;
+      (* the socket is unlinked: connecting again fails *)
+      check Alcotest.bool "socket gone after drain" true
+        (match Client.connect (P.Unix_sock path) with
+        | exception Unix.Unix_error _ -> true
+        | c2 ->
+          Client.close c2;
+          false))
+
+let test_requests_during_drain_get_shutting_down () =
+  let path = fresh_sock () in
+  let server = Server.start ~domains:1 (P.Unix_sock path) in
+  let c = Client.connect ~retry_for_s:5.0 (P.Unix_sock path) in
+  check Alcotest.bool "alive" true
+    (Client.request c (P.Ping { id = "a" }) = Ok (P.Pong { id = "a" }));
+  (* occupy the worker so the drain has something to wait for *)
+  let busy = ref None in
+  let t =
+    Thread.create
+      (fun () ->
+        busy :=
+          Some (Client.request c (compile_req ~id:"busy" (Lazy.force big_qasm))))
+      ()
+  in
+  Thread.delay 0.15;
+  (* second connection races the drain: every outcome must be a
+     well-formed protocol answer or an orderly close, never a hang *)
+  let c2 = Client.connect ~retry_for_s:5.0 (P.Unix_sock path) in
+  let stopper = Thread.create (fun () -> Server.stop server) () in
+  Thread.delay 0.05;
+  let late = Client.request c2 (compile_req ~id:"late" small_qasm) in
+  Thread.join stopper;
+  Thread.join t;
+  Client.close c;
+  Client.close c2;
+  (match !busy with
+  | Some (Ok (P.Ok_compiled _)) -> ()
+  | r ->
+    Alcotest.failf "busy job not drained: %s"
+      (match r with
+      | Some (Ok resp) -> P.encode_response resp
+      | Some (Error e) -> e
+      | None -> "no response"))
+  ;
+  match late with
+  | Ok (P.Ok_compiled _)
+  | Ok (P.Error_resp { kind = P.Shutting_down; _ })
+  | Error _ -> ()
+  | Ok r ->
+    Alcotest.failf "late request answered %s" (P.encode_response r)
+
+(* ------------------------------------------------------------------ *)
+(* Instrument.sync_collector under concurrent emitters                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sync_collector_concurrent () =
+  let sink, read = Instrument.sync_collector () in
+  let n_domains = 4 and per_domain = 1000 in
+  let emitters =
+    Array.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for v = 0 to per_domain - 1 do
+              sink.Instrument.emit
+                (Instrument.Counter
+                   { pass = Printf.sprintf "d%d" d; name = "tick"; value = v })
+            done))
+  in
+  (* concurrent reads see consistent prefixes, never a torn list *)
+  let snapshots = List.init 5 (fun _ -> List.length (read ())) in
+  check Alcotest.bool "snapshot lengths are sane" true
+    (List.for_all (fun n -> n >= 0 && n <= n_domains * per_domain) snapshots);
+  Array.iter Domain.join emitters;
+  let events = read () in
+  check Alcotest.int "no event lost or duplicated" (n_domains * per_domain)
+    (List.length events);
+  for d = 0 to n_domains - 1 do
+    let pass = Printf.sprintf "d%d" d in
+    let mine =
+      List.filter_map
+        (function
+          | Instrument.Counter { pass = p; value; _ } when p = pass ->
+            Some value
+          | _ -> None)
+        events
+    in
+    check Alcotest.int (pass ^ " complete") per_domain (List.length mine);
+    check
+      Alcotest.(list int)
+      (pass ^ " per-emitter order preserved")
+      (List.init per_domain Fun.id)
+      mine
+  done
+
+let test_sync_collector_with_batch () =
+  let sink, read = Instrument.sync_collector () in
+  let device = Devices.ibm_q20_tokyo () in
+  let jobs =
+    Array.init 4 (fun i ->
+        {
+          Batch.name = Printf.sprintf "j%d" i;
+          circuit = Helpers.random_circuit ~seed:(500 + i) ~n:8 ~gates:30;
+        })
+  in
+  let report =
+    Batch.compile_many ~domains:2 ~verify:true ~instrument:sink device jobs
+  in
+  Array.iter
+    (function
+      | Ok _ -> ()
+      | Error (e : Batch.error) -> Alcotest.failf "%s: %s" e.name e.message)
+    report.Batch.outcomes;
+  let pass_ends =
+    List.length
+      (List.filter
+         (function Instrument.Pass_end _ -> true | _ -> false)
+         (read ()))
+  in
+  check Alcotest.bool "pass events collected from both domains" true
+    (pass_ends >= 4)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    tc "jsonx round-trips" `Quick test_jsonx_roundtrip;
+    tc "jsonx rejects malformed input" `Quick test_jsonx_rejects;
+    QCheck_alcotest.to_alcotest request_roundtrip_prop;
+    tc "response codec round-trips" `Quick test_response_roundtrip;
+    tc "malformed requests decode to typed errors" `Quick test_decode_malformed;
+    tc "oversized requests rejected before parsing" `Quick test_decode_oversized;
+    tc "rqueue admission semantics" `Quick test_rqueue;
+    tc "rqueue cross-domain handoff" `Quick test_rqueue_cross_domain;
+    tc "netline framing" `Quick test_netline_framing;
+    tc "netline overflow is sticky" `Quick test_netline_overflow;
+    tc "netline tolerates a vanished peer" `Quick test_netline_peer_gone;
+    tc "ping and stats" `Quick test_ping_and_stats;
+    tc "server-side failures are typed" `Quick test_typed_errors;
+    tc "oversized request answered and connection dropped" `Quick
+      test_oversized_request;
+    tc "responses byte-identical to Engine.Batch (3 routers x zoo)" `Slow
+      test_byte_identity;
+    tc "path source equals inline source" `Quick test_path_source_equals_inline;
+    tc "concurrent clients each get their own result" `Slow
+      test_concurrent_clients;
+    tc "admission control: zero capacity" `Quick test_admission_capacity_zero;
+    tc "admission control under flood" `Slow test_admission_flood;
+    tc "pre-expired deadline times out without routing" `Quick
+      test_deadline_pre_expired;
+    tc "slow route hits its deadline without poisoning the pool" `Slow
+      test_deadline_slow_route;
+    tc "per-request deadline overrides the server default" `Quick
+      test_default_deadline_applies;
+    tc "SIGTERM drains in-flight work then stops" `Slow
+      test_sigterm_drains_in_flight;
+    tc "requests racing the drain get typed answers" `Slow
+      test_requests_during_drain_get_shutting_down;
+    tc "sync_collector under concurrent emitters" `Quick
+      test_sync_collector_concurrent;
+    tc "sync_collector as a Batch sink" `Quick test_sync_collector_with_batch;
+  ]
