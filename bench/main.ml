@@ -18,6 +18,9 @@
                    percentiles and throughput per client count, warm vs
                    cold distance cache, every response byte-checked
                    against Engine.Batch
+     portfolio   — best-of-K (router x seeder) selection over the
+                   workload zoo: winner vs single-router SABRE, with a
+                   1/2/4-domain determinism gate
      micro       — Bechamel micro-benchmarks (one per table/figure)
 
    Flags: --json FILE records machine-readable rows, --repeat K reports
@@ -1143,6 +1146,105 @@ let serve () =
     s.SP.served s.SP.errored s.SP.rejected s.SP.timed_out
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio: best-of-K (router x seeder) selection                     *)
+(* ------------------------------------------------------------------ *)
+
+let portfolio_zoo =
+  [ "4mod5-v1_22"; "decod24-v2_43"; "4gt13_92"; "qft_10"; "ising_model_10" ]
+
+let portfolio_entries =
+  [
+    { Engine.Portfolio.router = "sabre"; seeder = "reverse-traversal" };
+    { Engine.Portfolio.router = "sabre"; seeder = "iso" };
+    { Engine.Portfolio.router = "hail"; seeder = "reverse-traversal" };
+    { Engine.Portfolio.router = "hail"; seeder = "iso" };
+    { Engine.Portfolio.router = "greedy"; seeder = "reverse-traversal" };
+    { Engine.Portfolio.router = "greedy"; seeder = "iso" };
+  ]
+
+let portfolio () =
+  let module Portfolio = Engine.Portfolio in
+  Baseline.Routers.register ();
+  let config = Sabre.Config.default in
+  Format.printf
+    "@.== Portfolio: best-of-%d (router x seeder), SWAP objective ==@.@."
+    (List.length portfolio_entries);
+  Format.printf "%-16s %7s %7s %8s | %-22s | %9s@." "circuit" "sabre" "winner"
+    "saved" "winning entry" "wall_s";
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      (* the single-router baseline the portfolio must dominate: sabre is
+         one of the entries, so losing to it is a selection bug *)
+      let plain = Sabre.Compiler.run ~config device circuit in
+      let report, t =
+        time_min (fun () ->
+            Portfolio.run ~objective:Portfolio.Swaps ~config device circuit
+              portfolio_entries)
+      in
+      let w = Portfolio.winner_member report in
+      verified ~logical:circuit ~initial:w.Portfolio.initial
+        ~final:w.Portfolio.final ~physical:w.Portfolio.physical
+        (Printf.sprintf "portfolio:%s" name);
+      if w.Portfolio.n_swaps > plain.Sabre.Compiler.stats.Sabre.Stats.n_swaps
+      then begin
+        Format.eprintf
+          "FATAL: portfolio: winner inserted %d swaps on %s but plain sabre \
+           needs only %d — selection broken@."
+          w.Portfolio.n_swaps name
+          plain.Sabre.Compiler.stats.Sabre.Stats.n_swaps;
+        exit 2
+      end;
+      (* determinism gate: fanning the entries over 2 and 4 domains must
+         reproduce the 1-domain outcomes byte for byte *)
+      List.iter
+        (fun domains ->
+          let r =
+            Portfolio.run ~domains ~objective:Portfolio.Swaps ~config device
+              circuit portfolio_entries
+          in
+          let same_outcomes =
+            Array.for_all2
+              (fun a b ->
+                match (a, b) with
+                | Ok (a : Portfolio.member), Ok (b : Portfolio.member) ->
+                  a.n_swaps = b.n_swaps
+                  && Circuit.equal a.physical b.physical
+                | Error a, Error b -> a = b
+                | _ -> false)
+              r.Portfolio.outcomes report.Portfolio.outcomes
+          in
+          if r.Portfolio.winner <> report.Portfolio.winner || not same_outcomes
+          then begin
+            Format.eprintf
+              "FATAL: portfolio: %s differs between 1 and %d domains — \
+               determinism broken@."
+              name domains;
+            exit 2
+          end)
+        [ 2; 4 ];
+      let entry = Portfolio.entry_name w.Portfolio.entry in
+      Record.row "portfolio"
+        [
+          ("circuit", Str name);
+          ("entries", Int (List.length portfolio_entries));
+          ("sabre_swaps", Int plain.Sabre.Compiler.stats.Sabre.Stats.n_swaps);
+          ("winner_swaps", Int w.Portfolio.n_swaps);
+          ("winner_depth", Int w.Portfolio.depth);
+          ("winner", Str entry);
+          ("wall_s", Float t);
+        ];
+      Format.printf "%-16s %7d %7d %8d | %-22s | %8.3fs@." name
+        plain.Sabre.Compiler.stats.Sabre.Stats.n_swaps w.Portfolio.n_swaps
+        (plain.Sabre.Compiler.stats.Sabre.Stats.n_swaps - w.Portfolio.n_swaps)
+        entry t)
+    portfolio_zoo;
+  Format.printf
+    "@.The winner never loses to single-router SABRE (enforced above: \
+     sabre/reverse-traversal is an entry, and ties break to the earliest \
+     entry), and the outcome array is byte-identical at 1/2/4 domains.@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1150,7 +1252,7 @@ let usage () =
   Format.eprintf
     "usage: bench [--json FILE] [--max-qubits N] [--max-domains N] \
      [--repeat K] \
-     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|micro]...@.";
+     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|portfolio|micro]...@.";
   exit 1
 
 let () =
@@ -1186,7 +1288,7 @@ let () =
     | [] ->
       [
         "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "scoring";
-        "pipeline"; "throughput"; "stream"; "serve"; "micro";
+        "pipeline"; "throughput"; "stream"; "serve"; "portfolio"; "micro";
       ]
     | named -> named
   in
@@ -1205,6 +1307,7 @@ let () =
         | "throughput" -> throughput
         | "stream" -> stream
         | "serve" -> serve
+        | "portfolio" -> portfolio
         | "micro" -> micro
         | other ->
           Format.eprintf "unknown section %S@." other;

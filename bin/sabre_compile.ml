@@ -63,12 +63,9 @@ type routed = {
    to carry. Returns the per-pass wall times for [--stats-json]. *)
 let route router_name config device circuit ~trial_mode ~instrument =
   Baseline.Routers.register ();
-  match Engine.Router.find router_name with
-  | None ->
-    Error
-      (Printf.sprintf "unknown router %S (available: %s)" router_name
-         (String.concat ", " (Engine.Router.names ())))
-  | Some router -> (
+  match Engine.Router.find_suggest router_name with
+  | Error msg -> Error msg
+  | Ok router -> (
     let t0 = Sys.time () in
     match
       Engine.Context.create ~config ~trial_mode device circuit
@@ -89,6 +86,82 @@ let route router_name config device circuit ~trial_mode ~instrument =
           Engine.Context.metrics ctx )
     | exception Engine.Router.Route_failed msg -> Error msg
     | exception Engine.Verify_pass.Verify_failed msg -> Error msg)
+
+(* Best-of-K: route once per portfolio entry, keep the winner. The
+   returned router label is the winner's entry name so the reports say
+   which member actually produced the circuit. *)
+let route_portfolio spec objective_name config device circuit ~domains
+    ~instrument ~quiet =
+  Baseline.Routers.register ();
+  let* entries = Engine.Portfolio.parse_spec spec in
+  let* objective = Engine.Portfolio.objective_of_string objective_name in
+  match
+    Engine.Portfolio.run ~domains ~objective ~config ~verify:true ~instrument
+      device circuit entries
+  with
+  | report ->
+    let m = Engine.Portfolio.winner_member report in
+    let winner_name = Engine.Portfolio.entry_name m.Engine.Portfolio.entry in
+    if not quiet then begin
+      Format.eprintf "portfolio (%s objective):@."
+        (Engine.Portfolio.objective_name objective);
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | Ok (m : Engine.Portfolio.member) ->
+            Format.eprintf "  %c %-22s %d swaps, depth %d%s@."
+              (if i = report.Engine.Portfolio.winner then '*' else ' ')
+              (Engine.Portfolio.entry_name m.entry)
+              m.n_swaps m.depth
+              (match m.success_prob with
+              | Some p -> Printf.sprintf ", success %.4f" p
+              | None -> "")
+          | Error msg ->
+            Format.eprintf "    %-22s failed: %s@."
+              (Engine.Portfolio.entry_name
+                 (List.nth entries i))
+              msg)
+        report.Engine.Portfolio.outcomes
+    end;
+    Ok
+      ( {
+          physical = m.Engine.Portfolio.physical;
+          initial = Mapping.l2p_array m.Engine.Portfolio.initial;
+          final = Mapping.l2p_array m.Engine.Portfolio.final;
+          n_swaps = m.Engine.Portfolio.n_swaps;
+        },
+        winner_name )
+  | exception Engine.Router.Route_failed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* --list-routers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_list_routers () =
+  Baseline.Routers.register ();
+  print_endline "routers:";
+  List.iter
+    (fun name ->
+      match Engine.Router.find name with
+      | Some r ->
+        Printf.printf "  %-18s %s%s\n" name
+          (if Engine.Router.deterministic r then "deterministic"
+           else "randomized")
+          (if Engine.Router.derives_seed r then ", derives own seed" else "")
+      | None -> ())
+    (Engine.Router.names ());
+  print_endline "";
+  print_endline "seeders (for --portfolio ROUTER/SEEDER):";
+  List.iter
+    (fun name ->
+      match Sabre.Initial_mapping.Seeder.find name with
+      | Some s ->
+        Printf.printf "  %-18s %s\n" name
+          s.Sabre.Initial_mapping.Seeder.description
+      | None -> ())
+    (Sabre.Initial_mapping.Seeder.names ());
+  0
 
 (* ------------------------------------------------------------------ *)
 (* Batch mode                                                           *)
@@ -128,10 +201,11 @@ let read_manifest path =
 let batch_json_line = function
   | Ok (s : Engine.Batch.success) ->
     Printf.sprintf
-      "{\"name\": \"%s\", \"status\": \"ok\", \"qubits\": %d, \
-       \"original_gates\": %d, \"routed_gates\": %d, \"swaps\": %d, \
-       \"depth\": %d, \"time_s\": %.6f}"
+      "{\"name\": \"%s\", \"status\": \"ok\", \"router\": \"%s\", \
+       \"qubits\": %d, \"original_gates\": %d, \"routed_gates\": %d, \
+       \"swaps\": %d, \"depth\": %d, \"time_s\": %.6f}"
       (json_escape s.Engine.Batch.name)
+      (json_escape s.Engine.Batch.router)
       (Mapping.n_logical s.Engine.Batch.initial)
       s.stats.Sabre.Stats.original_gates s.stats.Sabre.Stats.total_gates
       s.stats.Sabre.Stats.n_swaps s.stats.Sabre.Stats.routed_depth
@@ -141,15 +215,22 @@ let batch_json_line = function
       (json_escape e.Engine.Batch.name)
       (json_escape e.Engine.Batch.message)
 
-let run_batch manifest router_name config device ~domains ~verify ~quiet =
+let run_batch manifest router_name config device ~portfolio ~domains ~verify
+    ~quiet =
   Baseline.Routers.register ();
-  match Engine.Router.find router_name with
-  | None ->
-    Error
-      (Printf.sprintf "unknown router %S (available: %s)" router_name
-         (String.concat ", " (Engine.Router.names ())))
-  | Some router -> (
-    match read_manifest manifest with
+  let* router, portfolio =
+    match portfolio with
+    | None ->
+      let* r = Engine.Router.find_suggest router_name in
+      Ok (r, None)
+    | Some (spec, objective_name) ->
+      let* entries = Engine.Portfolio.parse_spec spec in
+      let* objective = Engine.Portfolio.objective_of_string objective_name in
+      (* entry names resolve inside Portfolio.run; the router value is
+         unused in portfolio mode but compile_many wants one *)
+      Ok (Engine.Sabre_router.router, Some (entries, objective))
+  in
+  (match read_manifest manifest with
     | Error msg -> Error msg
     | Ok [] -> Error (Printf.sprintf "%s: empty manifest" manifest)
     | Ok paths ->
@@ -174,7 +255,8 @@ let run_batch manifest router_name config device ~domains ~verify ~quiet =
           (List.filter_map Result.to_option parsed)
       in
       let report =
-        Engine.Batch.compile_many ~config ~router ~domains ~verify device jobs
+        Engine.Batch.compile_many ~config ~router ?portfolio ~domains ~verify
+          device jobs
       in
       (* re-merge compile outcomes with parse failures, manifest order *)
       let outcomes = Queue.create () in
@@ -353,9 +435,12 @@ let directed_of_name = function
   | "qx4" -> Hardware.Directed.ibm_qx4 ()
   | other -> invalid_arg (Printf.sprintf "unknown directed device %S" other)
 
-let run_main input workload size device_name device_size directed router trials
-    traversals delta weight extended_size seed commutation output expand quiet
-    json trace stats_json parallel batch stream gen_stream gates =
+let run_main input workload size device_name device_size directed router
+    portfolio objective list_routers trials traversals delta weight
+    extended_size seed commutation output expand quiet json trace stats_json
+    parallel batch stream gen_stream gates =
+  if list_routers then run_list_routers ()
+  else
   let result =
     match (gen_stream, stream) with
     | Some path, _ -> run_gen_stream path size gates seed ~quiet
@@ -363,6 +448,8 @@ let run_main input workload size device_name device_size directed router trials
       let* () =
         if workload <> None then Error "--stream reads a QASM file, not --workload"
         else if batch <> None then Error "--stream and --batch are exclusive"
+        else if portfolio <> None then
+          Error "--stream routes one router in one pass; drop --portfolio"
         else if directed <> None then
           Error "--stream does not support directed devices"
         else if commutation then
@@ -425,7 +512,9 @@ let run_main input workload size device_name device_size directed router trials
           (Sabre.Config.validate config)
       in
       let domains = match parallel with None -> 1 | Some n -> max 1 n in
-      run_batch manifest router config device ~domains ~verify:true ~quiet
+      run_batch manifest router config device
+        ~portfolio:(Option.map (fun s -> (s, objective)) portfolio)
+        ~domains ~verify:true ~quiet
     | None ->
     let* circuit = load_circuit input workload size in
     let* directed_device =
@@ -472,8 +561,22 @@ let run_main input workload size device_name device_size directed router trials
     let instrument =
       if trace then Engine.Instrument.stderr_trace else Engine.Instrument.null
     in
-    let* r, stats, passes =
-      route router config device circuit ~trial_mode ~instrument
+    let* r, stats, passes, router_label =
+      match portfolio with
+      | None ->
+        let* r, stats, passes =
+          route router config device circuit ~trial_mode ~instrument
+        in
+        Ok (r, stats, passes, router)
+      | Some spec ->
+        (* -j fans the portfolio entries across domains (trials stay
+           sequential inside each entry, so results are unchanged) *)
+        let domains = match parallel with None -> 1 | Some n -> max 1 n in
+        let* r, winner =
+          route_portfolio spec objective config device circuit ~domains
+            ~instrument ~quiet
+        in
+        Ok (r, None, [], winner)
     in
     let* r =
       match directed_device with
@@ -490,8 +593,8 @@ let run_main input workload size device_name device_size directed router trials
                  Quantum.Gate.pp g))
         | exception Invalid_argument msg -> Error msg)
     in
-    if stats_json then report_json ~passes device circuit r stats router
-    else if json then report_json device circuit r stats router
+    if stats_json then report_json ~passes device circuit r stats router_label
+    else if json then report_json device circuit r stats router_label
     else if not quiet then report device circuit r stats expand;
     (match output with
     | Some path ->
@@ -545,14 +648,37 @@ let device_size =
            ~doc:"Size parameter for parametric devices (linear, ring, ...).")
 
 let router =
-  let router_conv =
-    Arg.enum [ ("sabre", "sabre"); ("bka", "bka"); ("greedy", "greedy") ]
-  in
-  Arg.(value & opt router_conv "sabre"
+  Arg.(value & opt string "sabre"
        & info [ "r"; "router" ] ~docv:"ROUTER"
            ~doc:"Routing algorithm: sabre (default), bka (Zulehner-style \
-                 A*), greedy (shortest-path). All run behind the same \
-                 engine Router interface.")
+                 A*), greedy (shortest-path), hail (decayed-lookahead), \
+                 or any registered router — see --list-routers. All run \
+                 behind the same engine Router interface.")
+
+let portfolio =
+  Arg.(value & opt (some string) None
+       & info [ "portfolio" ] ~docv:"SPEC"
+           ~doc:"Best-of-K portfolio routing: comma-separated \
+                 ROUTER[/SEEDER] entries, e.g. sabre,hail/iso,greedy. \
+                 The circuit routes once per entry and the winner under \
+                 --objective is kept (earliest entry wins ties, \
+                 deterministically). Overrides --router; -j N fans the \
+                 entries across N domains without changing the result.")
+
+let objective =
+  Arg.(value & opt string "swaps"
+       & info [ "objective" ] ~docv:"OBJ"
+           ~doc:"Portfolio winner objective: swaps (default, fewest \
+                 inserted SWAPs), depth (lowest routed depth), or \
+                 success (highest expected success probability under a \
+                 uniform noise model).")
+
+let list_routers =
+  Arg.(value & flag
+       & info [ "list-routers" ]
+           ~doc:"List the registered routers (with their determinism and \
+                 seeding behaviour) and the initial-mapping seeders \
+                 usable in --portfolio entries, then exit.")
 
 let trials =
   Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Random initial mappings tried.")
@@ -664,14 +790,17 @@ let cmd =
       `Pre "  sabre_compile -w qft -n 16 -d tokyo -o routed.qasm";
       `P "Compare with the BKA baseline on a ring:";
       `Pre "  sabre_compile -w qft -n 8 -d ring --device-size 12 -r bka";
+      `P "Race three routers and keep whichever inserts fewest SWAPs:";
+      `Pre "  sabre_compile -w qft -n 16 --portfolio sabre,hail/iso,greedy";
     ]
   in
   Cmd.v
     (Cmd.info "sabre_compile" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run_main $ input $ workload $ size $ device_name $ device_size
-      $ directed $ router $ trials $ traversals $ delta $ weight
-      $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json
-      $ trace $ stats_json $ parallel $ batch $ stream $ gen_stream $ gates)
+      $ directed $ router $ portfolio $ objective $ list_routers $ trials
+      $ traversals $ delta $ weight $ extended_size $ seed $ commutation
+      $ output $ expand $ quiet $ json $ trace $ stats_json $ parallel $ batch
+      $ stream $ gen_stream $ gates)
 
 let () = exit (Cmd.eval' cmd)

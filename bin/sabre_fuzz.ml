@@ -134,13 +134,29 @@ let run_campaign budget_s trials seed routers json corpus_dir max_qubits
     if json then report_json campaign else report_human campaign;
     if campaign.failures = [] then 0 else 1
 
-let main replay_file budget_s trials seed routers json corpus_dir max_qubits
-    max_gates inject_broken quiet =
-  match replay_file with
-  | Some path -> run_replay path json
-  | None ->
-    run_campaign budget_s trials seed routers json corpus_dir max_qubits
-      max_gates inject_broken quiet
+let run_list_routers () =
+  Check.Differential.ensure_registered ();
+  List.iter
+    (fun name ->
+      match Engine.Router.find name with
+      | Some r ->
+        Printf.printf "%-10s %s%s\n" name
+          (if Engine.Router.deterministic r then "deterministic"
+           else "randomized")
+          (if Engine.Router.derives_seed r then ", derives own seed" else "")
+      | None -> ())
+    (Engine.Router.names ());
+  0
+
+let main replay_file list_routers budget_s trials seed routers json corpus_dir
+    max_qubits max_gates inject_broken quiet =
+  if list_routers then run_list_routers ()
+  else
+    match replay_file with
+    | Some path -> run_replay path json
+    | None ->
+      run_campaign budget_s trials seed routers json corpus_dir max_qubits
+        max_gates inject_broken quiet
 
 open Cmdliner
 
@@ -149,6 +165,12 @@ let replay_file =
        & info [ "replay" ] ~docv:"FILE"
            ~doc:"Replay a repro file instead of fuzzing: exit 1 when the \
                  stored failure reproduces, 0 when it passes.")
+
+let list_routers =
+  Arg.(value & flag
+       & info [ "list-routers" ]
+           ~doc:"List the registered routers (with their determinism and \
+                 seeding behaviour), then exit.")
 
 let budget_s =
   Arg.(value & opt (some float) None
@@ -221,7 +243,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sabre_fuzz" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const main $ replay_file $ budget_s $ trials $ seed $ routers $ json
-      $ corpus_dir $ max_qubits $ max_gates $ inject_broken $ quiet)
+      const main $ replay_file $ list_routers $ budget_s $ trials $ seed
+      $ routers $ json $ corpus_dir $ max_qubits $ max_gates $ inject_broken
+      $ quiet)
 
 let () = exit (Cmd.eval' cmd)

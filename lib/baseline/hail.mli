@@ -1,0 +1,23 @@
+(** HAIL-style layer-weight lookahead router (arXiv:2502.07536) as a
+    {!Engine.Router.S}.
+
+    Program-order SWAP insertion; each decision scores candidate SWAPs
+    (only edges incident to the blocked gate's operands — HAIL's
+    search-space reduction) against the two-qubit pairs of the next
+    [lookahead] static ASAP layers, weighted [lookahead - offset] so the
+    front gate dominates. Candidate evaluation follows the PR 5 delta
+    contract: exact integer base−old+new sums over the affected window
+    pairs when {!Engine.Context.t.dist_int} is available, full float
+    recompute per candidate otherwise; both paths feed
+    {!Sabre_core.Stats.scoring}. A stall guard (config [stall_limit],
+    default [2 * n_physical]) falls back to a shortest-path walk so
+    routing always terminates.
+
+    Not deterministic ([deterministic = false]): a trial's random
+    initial mapping flows straight into the search, so the engine's
+    multi-trial machinery and external seeders both apply. Registered as
+    ["hail"] by {!Routers.register}. *)
+
+include Engine.Router.S
+
+val router : Engine.Router.t

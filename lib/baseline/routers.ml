@@ -5,6 +5,7 @@ let greedy : Router.t =
   (module struct
     let name = "greedy"
     let deterministic = true
+    let derives_seed = true
 
     let route (ctx : Context.t) ~initial:_ =
       let r =
@@ -28,6 +29,7 @@ let bka : Router.t =
   (module struct
     let name = "bka"
     let deterministic = true
+    let derives_seed = true
 
     let route (ctx : Context.t) ~initial:_ =
       match Bka.run ctx.Context.coupling ctx.Context.circuit with
@@ -49,4 +51,5 @@ let bka : Router.t =
 
 let register () =
   Router.register greedy;
-  Router.register bka
+  Router.register bka;
+  Router.register Hail.router

@@ -13,4 +13,6 @@ val greedy : Engine.Router.t
 val bka : Engine.Router.t
 
 val register : unit -> unit
-(** Add both to the {!Engine.Router} registry (["greedy"], ["bka"]). *)
+(** Add the baseline routers to the {!Engine.Router} registry:
+    ["greedy"], ["bka"], and the HAIL lookahead router ["hail"]
+    ({!Hail.router}). *)

@@ -220,6 +220,104 @@ let stream_equivalence ~config coupling circuit =
       | Ok () -> check "unbounded" None)
   end
 
+let iso_seed_conformance ~config coupling circuit =
+  ensure_registered ();
+  let module Seeder = Sabre_core.Initial_mapping.Seeder in
+  let sabre =
+    match Router.find Engine.Sabre_router.name with
+    | Some r -> r
+    | None -> invalid_arg "iso_seed_conformance: router sabre missing"
+  in
+  match
+    Seeder.iso.Seeder.derive ~seed:config.Config.seed coupling circuit
+  with
+  | None -> Ok ()
+  | exception Invalid_argument _ -> Ok ()
+  | Some initial -> (
+    match route ~initial ~config coupling circuit sabre with
+    | r -> (
+      match
+        Oracle.check ~states:1 ~commuting:config.Config.commutation_aware
+          ~coupling ~logical:circuit ~initial:r.initial ~final:r.final
+          ~physical:r.physical ()
+      with
+      | Ok () -> Ok ()
+      | Error f ->
+        Error
+          (Printf.sprintf "iso-seeded sabre violates the oracle: %s"
+             (Oracle.failure_to_string f)))
+    | exception Router.Route_failed _ -> Ok ())
+
+let portfolio_entries =
+  [
+    { Engine.Portfolio.router = "sabre"; seeder = "reverse-traversal" };
+    { Engine.Portfolio.router = "hail"; seeder = "iso" };
+    { Engine.Portfolio.router = "greedy"; seeder = "reverse-traversal" };
+  ]
+
+let portfolio_dominance ~config coupling circuit =
+  ensure_registered ();
+  let module Portfolio = Engine.Portfolio in
+  match
+    Portfolio.run ~objective:Portfolio.Swaps ~config coupling circuit
+      portfolio_entries
+  with
+  | exception Router.Route_failed _ -> Ok ()
+  | exception Invalid_argument _ -> Ok ()
+  | report -> (
+    let w = Portfolio.winner_member report in
+    let losing =
+      Array.exists
+        (function
+          | Ok (m : Portfolio.member) -> m.n_swaps < w.Portfolio.n_swaps
+          | Error _ -> false)
+        report.Portfolio.outcomes
+    in
+    if losing then
+      Error
+        (Printf.sprintf
+           "portfolio winner (%d swaps) beaten by one of its own members at \
+            seed %d"
+           w.Portfolio.n_swaps config.Config.seed)
+    else
+      (* sabre is an entry, so the winner can never lose to a plain
+         sabre run at the same config — this also cross-checks the
+         portfolio's seeded pipeline against the direct one *)
+      let sabre =
+        match Router.find Engine.Sabre_router.name with
+        | Some r -> r
+        | None -> invalid_arg "portfolio_dominance: router sabre missing"
+      in
+      match route ~config coupling circuit sabre with
+      | plain ->
+        if w.Portfolio.n_swaps > plain.n_swaps then
+          Error
+            (Printf.sprintf
+               "portfolio winner inserted %d swaps but plain sabre needs only \
+                %d at seed %d"
+               w.Portfolio.n_swaps plain.n_swaps config.Config.seed)
+        else (
+          (* fanning the entries across domains must not change anything *)
+          match
+            Portfolio.run ~domains:2 ~objective:Portfolio.Swaps ~config
+              coupling circuit portfolio_entries
+          with
+          | report2 ->
+            let w2 = Portfolio.winner_member report2 in
+            if
+              report2.Portfolio.winner <> report.Portfolio.winner
+              || not (Circuit.equal w2.Portfolio.physical w.Portfolio.physical)
+            then
+              Error
+                (Printf.sprintf
+                   "portfolio winner differs between 1 and 2 domains at seed \
+                    %d"
+                   config.Config.seed)
+            else Ok ()
+          | exception Router.Route_failed _ ->
+            Error "portfolio failed at 2 domains after succeeding at 1")
+      | exception Router.Route_failed _ -> Ok ())
+
 let delta_equivalence ~config coupling circuit =
   ensure_registered ();
   let sabre =

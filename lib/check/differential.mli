@@ -111,6 +111,28 @@ val stream_equivalence :
     counts must be byte-identical. [Ok ()] when the instance is wider
     than the device or the materialised route itself rejects it. *)
 
+val iso_seed_conformance :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Derive the greedy subgraph-isomorphism-anchored initial mapping
+    ({!Sabre_core.Initial_mapping.Seeder.iso}) for the instance and
+    route SABRE from it as a pinned placement: the result must pass the
+    conformance oracle. [Ok ()] when the seeder declines the instance
+    or the route is skipped. *)
+
+val portfolio_entries : Engine.Portfolio.entry list
+(** The canonical fuzzing portfolio:
+    [sabre, hail/iso, greedy] — one native-seeded stochastic router,
+    one seeder-pinned router, one deterministic baseline. *)
+
+val portfolio_dominance :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Run {!Engine.Portfolio.run} over {!portfolio_entries} on the SWAP
+    objective and assert the selection contract: the winner's SWAP
+    count is no worse than any member's, no worse than an independent
+    plain-sabre route at the same config (sabre being a member), and
+    identical — same winner index, byte-identical circuit — when the
+    entries are fanned across 2 domains. *)
+
 val delta_equivalence :
   config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
 (** Route with the [sabre] router twice at the same seed — once with

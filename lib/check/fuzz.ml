@@ -82,6 +82,7 @@ let broken_router : Router.t =
   (module struct
     let name = "broken"
     let deterministic = false
+    let derives_seed = false
 
     let route ctx ~initial =
       let (module Sabre : Router.S) = Engine.Sabre_router.router in
@@ -135,6 +136,16 @@ let delta_failure ~config coupling circuit =
 
 let stream_failure ~config coupling circuit =
   match Differential.stream_equivalence ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
+let iso_seed_failure ~config coupling circuit =
+  match Differential.iso_seed_conformance ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
+let portfolio_failure ~config coupling circuit =
+  match Differential.portfolio_dominance ~config coupling circuit with
   | Error msg -> Some msg
   | Ok () -> None
 
@@ -258,6 +269,34 @@ let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
           ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
           ~failure_of:(fun c -> stream_failure ~config coupling c)
     end;
+    (* seeder property: the iso-anchored initial mapping must keep the
+       routed result oracle-clean when pinned on sabre *)
+    if
+      List.mem "sabre" routers
+      && not (Hashtbl.mem dead ("sabre", "iso-seed"))
+    then begin
+      match iso_seed_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"iso-seed" ~config ~coupling
+          ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> iso_seed_failure ~config coupling c)
+    end;
+    (* portfolio property: the best-of-K winner dominates its members,
+       plain sabre, and any domain fan-out *)
+    if
+      List.mem "sabre" routers
+      && List.mem "hail" routers
+      && List.mem "greedy" routers
+      && not (Hashtbl.mem dead ("sabre", "portfolio-dominance"))
+    then begin
+      match portfolio_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"portfolio-dominance" ~config
+          ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> portfolio_failure ~config coupling c)
+    end;
     incr trials;
     on_event (Trial_done !trials)
   done;
@@ -298,6 +337,14 @@ let replay (r : Corpus.repro) =
       | Ok () -> `Passes)
     | "stream-equivalence" -> (
       match Differential.stream_equivalence ~config coupling circuit with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "iso-seed" -> (
+      match Differential.iso_seed_conformance ~config coupling circuit with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "portfolio-dominance" -> (
+      match Differential.portfolio_dominance ~config coupling circuit with
       | Error msg -> `Reproduced msg
       | Ok () -> `Passes)
     | p -> `Error (Printf.sprintf "unknown property %S" p))

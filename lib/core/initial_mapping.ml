@@ -105,3 +105,172 @@ let interaction_greedy coupling circuit =
       end)
     l2p;
   Mapping.of_array ~n_physical l2p
+
+(* Greedy subgraph-isomorphism-anchored placement (Li/Zhou/Feng,
+   arXiv:2004.07138): treat the circuit's weighted interaction graph as
+   a pattern to embed into the coupling graph. Logical qubits are
+   anchored in order of connection strength to the already-placed set
+   (the classic greedy isomorphism expansion order); each is placed on
+   the free physical qubit minimising the weighted distance to its
+   placed interaction partners, so wherever an exact embedding exists
+   the greedy walk tends to find distance-1 homes for every edge. *)
+let iso_anchored coupling circuit =
+  let n_logical = Circuit.n_qubits circuit in
+  let n_physical = Coupling.n_qubits coupling in
+  if n_logical > n_physical then
+    invalid_arg "Initial_mapping.iso_anchored: circuit wider than device";
+  let dist = Coupling.distance_matrix coupling in
+  (* weighted interaction graph: w.(q1).(q2) = number of two-qubit
+     gates between q1 and q2 (dense: circuits here are narrow) *)
+  let w = Array.make_matrix n_logical n_logical 0 in
+  List.iter
+    (fun (a, b) ->
+      if a <> b then begin
+        w.(a).(b) <- w.(a).(b) + 1;
+        w.(b).(a) <- w.(b).(a) + 1
+      end)
+    (Circuit.two_qubit_interactions circuit);
+  let strength q = Array.fold_left ( + ) 0 w.(q) in
+  let l2p = Array.make n_logical (-1) in
+  let taken = Array.make n_physical false in
+  let place q p =
+    l2p.(q) <- p;
+    taken.(p) <- true
+  in
+  (* anchor: the most-connected logical qubit onto the highest-degree
+     physical qubit — the densest pattern vertex gets the most room *)
+  let anchor_q = ref 0 in
+  for q = 1 to n_logical - 1 do
+    if strength q > strength !anchor_q then anchor_q := q
+  done;
+  if n_logical > 0 then begin
+    let anchor_p = ref 0 in
+    for p = 1 to n_physical - 1 do
+      if Coupling.degree coupling p > Coupling.degree coupling !anchor_p then
+        anchor_p := p
+    done;
+    place !anchor_q !anchor_p
+  end;
+  (* expansion: repeatedly place the unplaced qubit with the strongest
+     ties to the placed set, on the free physical qubit minimising the
+     weighted distance to its placed partners; ties break by index *)
+  for _ = 2 to n_logical do
+    let best_q = ref (-1) and best_tie = ref (-1, -1) in
+    for q = 0 to n_logical - 1 do
+      if l2p.(q) < 0 then begin
+        let tie = ref 0 in
+        for r = 0 to n_logical - 1 do
+          if l2p.(r) >= 0 then tie := !tie + w.(q).(r)
+        done;
+        (* order: strongest tie to placed set, then total strength *)
+        let key = (!tie, strength q) in
+        if !best_q < 0 || key > !best_tie then begin
+          best_q := q;
+          best_tie := key
+        end
+      end
+    done;
+    let q = !best_q in
+    let best_p = ref (-1) and best_cost = ref max_int in
+    for p = 0 to n_physical - 1 do
+      if not taken.(p) then begin
+        let cost = ref 0 in
+        for r = 0 to n_logical - 1 do
+          if l2p.(r) >= 0 && w.(q).(r) > 0 then
+            cost := !cost + (w.(q).(r) * dist.(p).(l2p.(r)))
+        done;
+        (* isolated qubit (no placed partners): stay near the anchor so
+           the placement remains compact *)
+        if !cost = 0 && l2p.(!anchor_q) >= 0 && l2p.(!anchor_q) <> p then
+          cost := dist.(p).(l2p.(!anchor_q));
+        if !cost < !best_cost then begin
+          best_p := p;
+          best_cost := !cost
+        end
+      end
+    done;
+    place q !best_p
+  done;
+  Mapping.of_array ~n_physical l2p
+
+(* ------------------------------------------------------------------ *)
+(* Seeder registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Seeder = struct
+  type t = {
+    name : string;
+    description : string;
+    derive : seed:int -> Coupling.t -> Circuit.t -> Mapping.t option;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+  let register s = Hashtbl.replace registry s.name s
+  let find n = Hashtbl.find_opt registry n
+
+  let names () =
+    Hashtbl.fold (fun n _ acc -> n :: acc) registry [] |> List.sort compare
+
+  let find_suggest n =
+    match find n with
+    | Some s -> Ok s
+    | None ->
+      Error
+        (Printf.sprintf "unknown seeder %S (available: %s)" n
+           (String.concat ", " (names ())))
+
+  let derive_fixed f = fun ~seed:_ coupling circuit -> Some (f coupling circuit)
+
+  let reverse_traversal =
+    {
+      name = "reverse-traversal";
+      description =
+        "router-native seeding: random trial placements refined by the \
+         router's own reverse traversals (SABRE Section IV-C2)";
+      derive = (fun ~seed:_ _ _ -> None);
+    }
+
+  let random =
+    {
+      name = "random";
+      description = "one uniform injective placement drawn from the config seed";
+      derive =
+        (fun ~seed coupling circuit ->
+          Some
+            (random ~state:(Random.State.make [| seed |]) coupling circuit));
+    }
+
+  let iso =
+    {
+      name = "iso";
+      description =
+        "greedy subgraph-isomorphism-anchored placement over the weighted \
+         interaction graph (arXiv:2004.07138)";
+      derive = derive_fixed iso_anchored;
+    }
+
+  let trivial_s =
+    {
+      name = "trivial";
+      description = "identity placement (logical q on physical q)";
+      derive = derive_fixed trivial;
+    }
+
+  let degree =
+    {
+      name = "degree";
+      description = "interaction-degree rank matched to coupling-degree rank";
+      derive = derive_fixed degree_matching;
+    }
+
+  let interaction =
+    {
+      name = "interaction";
+      description = "greedy beginning-of-circuit adjacent placement";
+      derive = derive_fixed interaction_greedy;
+    }
+
+  let () =
+    List.iter register
+      [ reverse_traversal; random; iso; trivial_s; degree; interaction ]
+end

@@ -34,3 +34,48 @@ val interaction_greedy : Coupling.t -> Circuit.t -> Mapping.t
 (** Greedy beginning-of-circuit placement: walk the two-qubit gates in
     program order, placing unplaced operands adjacently when possible
     and nearest-free otherwise. *)
+
+val iso_anchored : Coupling.t -> Circuit.t -> Mapping.t
+(** Greedy subgraph-isomorphism-anchored placement (Li/Zhou/Feng,
+    arXiv:2004.07138): anchor the most-interacting logical qubit on the
+    highest-degree physical qubit, then expand by connection strength to
+    the placed set, placing each qubit on the free physical location
+    minimising the interaction-weighted distance to its placed partners.
+    Deterministic: all ties break by index. *)
+
+(** First-class initial-mapping seeders.
+
+    A seeder produces the placement a router starts from. [derive]
+    returning [None] means "router-native seeding" — the router keeps
+    its own policy (SABRE's random trials + reverse traversal); [Some m]
+    pins the compilation to mapping [m] (one trial, no refinement).
+    Registration is open: downstream libraries may add seeders the same
+    way routers join {!Engine.Router}. *)
+module Seeder : sig
+  type t = {
+    name : string;
+    description : string;
+    derive : seed:int -> Coupling.t -> Circuit.t -> Mapping.t option;
+  }
+
+  val register : t -> unit
+  (** Add (or replace) a seeder under its [name]. *)
+
+  val find : string -> t option
+
+  val find_suggest : string -> (t, string) result
+  (** Like {!find}, but a miss yields an error message listing the
+      registered names. *)
+
+  val names : unit -> string list
+  (** Registered names, sorted. *)
+
+  val reverse_traversal : t
+  (** Router-native seeding ([derive] = [None]). *)
+
+  val random : t
+  (** One uniform injective placement drawn from the config seed. *)
+
+  val iso : t
+  (** {!iso_anchored}. *)
+end

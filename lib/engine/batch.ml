@@ -8,6 +8,7 @@ type job = { name : string; circuit : Circuit.t }
 
 type success = {
   name : string;
+  router : string;
   physical : Circuit.t;
   initial : Mapping.t;
   final : Mapping.t;
@@ -26,7 +27,7 @@ type report = {
 
 let wall = Unix.gettimeofday
 
-let compile_one ~config ~pipeline ~instrument coupling job =
+let compile_one ~config ~router_name ~pipeline ~instrument coupling job =
   let t0 = wall () in
   match
     Context.create ~config ~trial_mode:Trial_runner.Sequential ~instrument
@@ -38,6 +39,7 @@ let compile_one ~config ~pipeline ~instrument coupling job =
     Ok
       {
         name = job.name;
+        router = router_name;
         physical = r.Context.physical;
         initial = r.Context.trial_initial;
         final = r.Context.final_mapping;
@@ -48,20 +50,56 @@ let compile_one ~config ~pipeline ~instrument coupling job =
     Error { name = job.name; message = msg }
   | exception Invalid_argument msg -> Error { name = job.name; message = msg }
 
+(* a portfolio job: entries race sequentially inside the job (parallelism
+   stays across jobs), the winner becomes the job's success and its
+   entry label the [router] field *)
+let compile_portfolio ~config ~entries ~objective ~verify ~instrument coupling
+    job =
+  let t0 = wall () in
+  match
+    Portfolio.run ~domains:1 ~objective ~config ~verify ~instrument coupling
+      job.circuit entries
+  with
+  | report ->
+    let m = Portfolio.winner_member report in
+    Ok
+      {
+        name = job.name;
+        router = Portfolio.entry_name m.Portfolio.entry;
+        physical = m.Portfolio.physical;
+        initial = m.Portfolio.initial;
+        final = m.Portfolio.final;
+        stats = { m.Portfolio.stats with Stats.time_s = wall () -. t0 };
+      }
+  | exception Router.Route_failed msg -> Error { name = job.name; message = msg }
+  | exception Verify_pass.Verify_failed msg ->
+    Error { name = job.name; message = msg }
+  | exception Invalid_argument msg -> Error { name = job.name; message = msg }
+
 let compile_many ?(config = Config.default) ?(router = Sabre_router.router)
-    ?(domains = 1) ?(verify = false) ?(instrument = Instrument.null) coupling
-    jobs =
+    ?portfolio ?(domains = 1) ?(verify = false) ?(instrument = Instrument.null)
+    coupling jobs =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.Batch: " ^ msg));
   (* Warm the device-keyed distance cache once on the calling domain so
      workers start from a hit instead of racing on the first miss. *)
   ignore (Hardware.Dist_cache.hop_distances coupling);
-  let pipeline = Pipeline.default ~router ~verify () in
   let thunks =
-    Array.map
-      (fun job () -> compile_one ~config ~pipeline ~instrument coupling job)
-      jobs
+    match portfolio with
+    | Some (entries, objective) ->
+      Array.map
+        (fun job () ->
+          compile_portfolio ~config ~entries ~objective ~verify ~instrument
+            coupling job)
+        jobs
+    | None ->
+      let pipeline = Pipeline.default ~router ~verify () in
+      let router_name = Router.name router in
+      Array.map
+        (fun job () ->
+          compile_one ~config ~router_name ~pipeline ~instrument coupling job)
+        jobs
   in
   let t0 = wall () in
   let domains = max 1 (min domains (max 1 (Array.length jobs))) in

@@ -24,6 +24,9 @@ type job = { name : string; circuit : Circuit.t }
 
 type success = {
   name : string;
+  router : string;
+      (** the router that produced this result — the portfolio winner's
+          entry label ([Portfolio.entry_name]) in portfolio mode *)
   physical : Circuit.t;  (** hardware-compliant routed circuit *)
   initial : Mapping.t;  (** winning trial's initial mapping *)
   final : Mapping.t;
@@ -44,6 +47,7 @@ type report = {
 val compile_many :
   ?config:Config.t ->
   ?router:Router.t ->
+  ?portfolio:Portfolio.entry list * Portfolio.objective ->
   ?domains:int ->
   ?verify:bool ->
   ?instrument:Instrument.t ->
@@ -52,10 +56,14 @@ val compile_many :
   report
 (** [compile_many coupling jobs] routes every job's circuit for
     [coupling] through the default pipeline. [router] defaults to
-    SABRE; [domains] defaults to 1 (sequential — pass
-    [Trial_runner.default_domains ()] to use every core); [verify]
-    (default [false]) appends the semantic {!Verify_pass} to each job's
-    pipeline. [instrument] receives every job's pass events and must be
-    domain-safe when [domains > 1] ({!Instrument.null}, the default,
-    {!Instrument.stderr_trace} and {!Instrument.sync_collector} are; a
-    plain {!Instrument.collector} is not). *)
+    SABRE; [portfolio], when given, overrides [router]: each job runs
+    {!Portfolio.run} over the entries (sequentially inside the job —
+    parallelism stays across jobs, keeping results byte-identical to
+    sequential) and keeps the winner. [domains] defaults to 1
+    (sequential — pass [Trial_runner.default_domains ()] to use every
+    core); [verify] (default [false]) appends the semantic
+    {!Verify_pass} to each job's pipeline. [instrument] receives every
+    job's pass events and must be domain-safe when [domains > 1]
+    ({!Instrument.null}, the default, {!Instrument.stderr_trace} and
+    {!Instrument.sync_collector} are; a plain {!Instrument.collector}
+    is not). *)

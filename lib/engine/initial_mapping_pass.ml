@@ -4,9 +4,29 @@ module Config = Sabre_core.Config
 module Mapping = Sabre_core.Mapping
 module Initial_mapping = Sabre_core.Initial_mapping
 
-type strategy = Random_trials | Trivial | Degree | Interaction
+type strategy =
+  | Random_trials
+  | Trivial
+  | Degree
+  | Interaction
+  | Seeded of Initial_mapping.Seeder.t
 
 let name = "initial_mapping"
+
+let random_trials (ctx : Context.t) =
+  (* one shared stream, drawn in trial order before any trial runs:
+     trial i's seed mapping depends only on (config.seed, i), never on
+     how trials are later scheduled — the invariant that makes
+     Domain-parallel trial execution deterministic *)
+  let rng = Random.State.make [| ctx.Context.config.Config.seed |] in
+  let n_logical = Circuit.n_qubits ctx.circuit in
+  let n_physical = Coupling.n_qubits ctx.coupling in
+  let draw () = Mapping.random ~state:rng ~n_logical ~n_physical in
+  let ms = Array.make ctx.config.Config.trials (draw ()) in
+  for i = 1 to Array.length ms - 1 do
+    ms.(i) <- draw ()
+  done;
+  ms
 
 let pass ?(strategy = Random_trials) () =
   Pass.make name (fun ~instrument (ctx : Context.t) ->
@@ -15,26 +35,21 @@ let pass ?(strategy = Random_trials) () =
         | Some m -> [| m |]
         | None -> (
           match strategy with
-          | Random_trials ->
-            (* one shared stream, drawn in trial order before any trial
-               runs: trial i's seed mapping depends only on
-               (config.seed, i), never on how trials are later
-               scheduled — the invariant that makes Domain-parallel
-               trial execution deterministic *)
-            let rng = Random.State.make [| ctx.config.Config.seed |] in
-            let n_logical = Circuit.n_qubits ctx.circuit in
-            let n_physical = Coupling.n_qubits ctx.coupling in
-            let draw () = Mapping.random ~state:rng ~n_logical ~n_physical in
-            let ms = Array.make ctx.config.Config.trials (draw ()) in
-            for i = 1 to Array.length ms - 1 do
-              ms.(i) <- draw ()
-            done;
-            ms
+          | Random_trials -> random_trials ctx
           | Trivial -> [| Initial_mapping.trivial ctx.coupling ctx.circuit |]
           | Degree ->
             [| Initial_mapping.degree_matching ctx.coupling ctx.circuit |]
           | Interaction ->
-            [| Initial_mapping.interaction_greedy ctx.coupling ctx.circuit |])
+            [| Initial_mapping.interaction_greedy ctx.coupling ctx.circuit |]
+          | Seeded s -> (
+            match
+              s.Initial_mapping.Seeder.derive
+                ~seed:ctx.config.Config.seed ctx.coupling ctx.circuit
+            with
+            | Some m -> [| m |]
+            | None ->
+              (* router-native seeding: the paper's random-trials flow *)
+              random_trials ctx))
       in
       let ctx = { ctx with trial_mappings = Some mappings } in
       Pass.count instrument ~pass:name ctx "trials" (Array.length mappings))

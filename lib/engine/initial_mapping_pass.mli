@@ -17,5 +17,9 @@ type strategy =
   | Trivial  (** logical qubit q on physical qubit q *)
   | Degree  (** Siraichi-style degree matching *)
   | Interaction  (** greedy beginning-of-circuit placement *)
+  | Seeded of Sabre_core.Initial_mapping.Seeder.t
+      (** a registered seeder: [derive = Some m] pins one trial to [m];
+          [derive = None] (router-native seeding, e.g.
+          ["reverse-traversal"]) falls through to [Random_trials] *)
 
 val pass : ?strategy:strategy -> unit -> Pass.t

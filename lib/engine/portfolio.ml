@@ -1,0 +1,200 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Noise = Hardware.Noise
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+module Seeder = Sabre_core.Initial_mapping.Seeder
+
+type objective = Swaps | Depth | Success_prob
+
+let objective_name = function
+  | Swaps -> "swaps"
+  | Depth -> "depth"
+  | Success_prob -> "success"
+
+let objective_of_string = function
+  | "swaps" -> Ok Swaps
+  | "depth" -> Ok Depth
+  | "success" | "success-prob" -> Ok Success_prob
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown objective %S (available: swaps, depth, success)" s)
+
+type entry = { router : string; seeder : string }
+
+let entry_name e =
+  if e.seeder = Seeder.reverse_traversal.Seeder.name then e.router
+  else e.router ^ "/" ^ e.seeder
+
+let parse_spec spec =
+  let parts = String.split_on_char ',' spec |> List.map String.trim in
+  if parts = [] || List.exists (fun p -> p = "") parts then
+    Error (Printf.sprintf "bad portfolio spec %S: expected ROUTER[/SEEDER],..." spec)
+  else
+    let parse p =
+      match String.index_opt p '/' with
+      | None -> Ok { router = p; seeder = Seeder.reverse_traversal.Seeder.name }
+      | Some i ->
+        let router = String.sub p 0 i
+        and seeder = String.sub p (i + 1) (String.length p - i - 1) in
+        if router = "" || seeder = "" || String.contains seeder '/' then
+          Error (Printf.sprintf "bad portfolio entry %S: expected ROUTER[/SEEDER]" p)
+        else Ok { router; seeder }
+    in
+    List.fold_right
+      (fun p acc ->
+        match (parse p, acc) with
+        | Ok e, Ok es -> Ok (e :: es)
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      parts (Ok [])
+
+type member = {
+  entry : entry;
+  physical : Circuit.t;
+  initial : Mapping.t;
+  final : Mapping.t;
+  n_swaps : int;
+  depth : int;
+  success_prob : float option;
+  stats : Stats.t;
+}
+
+type outcome = (member, string) result
+
+type report = {
+  objective : objective;
+  outcomes : outcome array;
+  winner : int;
+  wall_s : float;
+  domains : int;
+}
+
+let winner_member r =
+  match r.outcomes.(r.winner) with
+  | Ok m -> m
+  | Error _ -> assert false
+
+(* lower-is-better scalar; success probability negated so one ordering
+   serves all three objectives *)
+let objective_value objective m =
+  match objective with
+  | Swaps -> float_of_int m.n_swaps
+  | Depth -> float_of_int m.depth
+  | Success_prob -> (
+    match m.success_prob with
+    | Some p -> -.p
+    | None -> invalid_arg "Portfolio.objective_value: no success probability")
+
+(* strict improvement only: ties keep the earlier entry, the same
+   first-best-wins rule Trial_runner.best applies to trials *)
+let better objective (_, a) (_, b) =
+  match (a, b) with
+  | Ok a, Ok b -> objective_value objective a < objective_value objective b
+  | Ok _, Error _ -> true
+  | Error _, _ -> false
+
+let wall = Unix.gettimeofday
+
+let run ?(domains = 1) ?(objective = Swaps) ?(config = Config.default) ?noise
+    ?(verify = false) ?(instrument = Instrument.null) coupling circuit entries
+    =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.Portfolio: " ^ msg));
+  if entries = [] then invalid_arg "Engine.Portfolio: empty entry list";
+  let resolved =
+    List.map
+      (fun e ->
+        let router =
+          match Router.find_suggest e.router with
+          | Ok r -> r
+          | Error msg -> invalid_arg ("Engine.Portfolio: " ^ msg)
+        in
+        let seeder =
+          match Seeder.find_suggest e.seeder with
+          | Ok s -> s
+          | Error msg -> invalid_arg ("Engine.Portfolio: " ^ msg)
+        in
+        (e, router, seeder))
+      entries
+    |> Array.of_list
+  in
+  (* success probability needs a noise model; default to the uniform
+     Tokyo-average calibration over this device *)
+  let noise =
+    match (noise, objective) with
+    | (Some _ as n), _ -> n
+    | None, Success_prob -> Some (Noise.uniform coupling)
+    | None, _ -> None
+  in
+  (* warm the device-keyed distance cache once on the calling domain so
+     workers start from a hit instead of racing on the first miss *)
+  ignore (Hardware.Dist_cache.hop_distances coupling);
+  let compile (e, router, seeder) () =
+    match
+      Context.create ~config ~trial_mode:Trial_runner.Sequential ?noise
+        ~instrument coupling circuit
+      |> Pipeline.run ~instrument
+           (Pipeline.default ~router
+              ~initial_strategy:(Initial_mapping_pass.Seeded seeder) ~verify ())
+    with
+    | ctx ->
+      let r = Context.routed_exn ctx in
+      let physical = r.Context.physical in
+      Ok
+        {
+          entry = e;
+          physical;
+          initial = r.Context.trial_initial;
+          final = r.Context.final_mapping;
+          n_swaps = r.Context.n_swaps;
+          depth = Quantum.Depth.depth_swap3 physical;
+          success_prob =
+            Option.map
+              (fun n -> Noise.circuit_success_probability n physical)
+              noise;
+          stats = Context.stats ctx ~time_s:0.0;
+        }
+    | exception Router.Route_failed msg -> Error msg
+    | exception Verify_pass.Verify_failed msg -> Error msg
+    | exception Invalid_argument msg -> Error msg
+  in
+  let t0 = wall () in
+  let domains = max 1 (min domains (Array.length resolved)) in
+  let outcomes = Scheduler.run ~domains (Array.map compile resolved) in
+  let wall_s = wall () -. t0 in
+  Array.iteri
+    (fun i o ->
+      let name = entry_name (let e, _, _ = resolved.(i) in e) in
+      let count n v =
+        instrument.Instrument.emit
+          (Instrument.Counter { pass = "portfolio"; name = name ^ "." ^ n; value = v })
+      in
+      match o with
+      | Ok m ->
+        count "swaps" m.n_swaps;
+        count "depth" m.depth
+      | Error _ -> count "failed" 1)
+    outcomes;
+  let indexed = Array.mapi (fun i o -> (i, o)) outcomes in
+  let winner_i, winner = Trial_runner.best ~better:(better objective) indexed in
+  (match winner with
+  | Ok _ -> ()
+  | Error _ ->
+    let msgs =
+      Array.to_list outcomes
+      |> List.mapi (fun i o ->
+             let e, _, _ = resolved.(i) in
+             match o with
+             | Error m -> entry_name e ^ ": " ^ m
+             | Ok _ -> assert false)
+    in
+    raise
+      (Router.Route_failed
+         ("portfolio: every entry failed — " ^ String.concat "; " msgs)));
+  instrument.Instrument.emit
+    (Instrument.Counter { pass = "portfolio"; name = "winner"; value = winner_i });
+  { objective; outcomes; winner = winner_i; wall_s; domains }

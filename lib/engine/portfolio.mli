@@ -1,0 +1,96 @@
+module Circuit = Quantum.Circuit
+module Coupling = Hardware.Coupling
+module Noise = Hardware.Noise
+module Config = Sabre_core.Config
+module Mapping = Sabre_core.Mapping
+module Stats = Sabre_core.Stats
+
+(** Best-of-K portfolio routing: fan (router × seeder) entries across
+    the {!Scheduler} pool, keep the best result per circuit.
+
+    Every entry compiles the same circuit through the default pipeline
+    — its router from the {!Router} registry, its seeder from
+    {!Sabre_core.Initial_mapping.Seeder} (pinning one trial, or falling
+    through to the router-native random-trials flow for
+    ["reverse-traversal"]) — with trials sequential inside each entry,
+    so the only parallelism is across entries and the outcome array is
+    byte-identical at any domain count. The winner is the entry whose
+    objective value is lowest, chosen with {!Trial_runner.best}'s
+    first-best-wins tie-break: the earliest listed entry wins ties,
+    whatever the schedule was.
+
+    Per-entry failures (route/verify failure, invalid input) are
+    captured as [Error] outcomes; the portfolio only raises
+    {!Router.Route_failed} when {e every} entry failed. *)
+
+type objective =
+  | Swaps  (** fewest inserted SWAPs *)
+  | Depth  (** lowest {!Quantum.Depth.depth_swap3} of the routed circuit *)
+  | Success_prob
+      (** highest {!Hardware.Noise.circuit_success_probability}; without
+          an explicit noise model, [Noise.uniform] over the device *)
+
+val objective_name : objective -> string
+val objective_of_string : string -> (objective, string) result
+
+type entry = { router : string; seeder : string }
+
+val entry_name : entry -> string
+(** ["router"] when the seeder is the default router-native
+    ["reverse-traversal"], ["router/seeder"] otherwise. *)
+
+val parse_spec : string -> (entry list, string) result
+(** Parse a CLI spec: comma-separated [ROUTER[/SEEDER]] items, e.g.
+    ["sabre,hail/iso,greedy"]. Name resolution happens in {!run} (the
+    registries may still be filling up at parse time). *)
+
+type member = {
+  entry : entry;
+  physical : Circuit.t;  (** hardware-compliant routed circuit *)
+  initial : Mapping.t;  (** the winning trial's starting placement *)
+  final : Mapping.t;
+  n_swaps : int;
+  depth : int;  (** [depth_swap3] of [physical] *)
+  success_prob : float option;
+      (** populated when a noise model was given or the objective is
+          [Success_prob] *)
+  stats : Stats.t;  (** [time_s] is 0 — members race, wall time is
+                        meaningless per entry *)
+}
+
+type outcome = (member, string) result
+
+type report = {
+  objective : objective;
+  outcomes : outcome array;  (** in entry order *)
+  winner : int;  (** index into [outcomes]; always an [Ok] member *)
+  wall_s : float;
+  domains : int;  (** domains actually used (after clamping) *)
+}
+
+val winner_member : report -> member
+
+val objective_value : objective -> member -> float
+(** Lower is better for every objective (success probability is
+    negated). Raises [Invalid_argument] for [Success_prob] on a member
+    without a probability. *)
+
+val run :
+  ?domains:int ->
+  ?objective:objective ->
+  ?config:Config.t ->
+  ?noise:Noise.t ->
+  ?verify:bool ->
+  ?instrument:Instrument.t ->
+  Coupling.t ->
+  Circuit.t ->
+  entry list ->
+  report
+(** [run coupling circuit entries] routes [circuit] once per entry and
+    picks the winner. [domains] defaults to 1 (sequential); results are
+    identical at any domain count. [instrument] receives every entry's
+    pass events plus per-entry [portfolio.<entry>.swaps/.depth/.failed]
+    counters and [portfolio.winner]; it must be domain-safe when
+    [domains > 1]. Raises [Invalid_argument] on an unknown router or
+    seeder name (listing the registered names), and
+    {!Router.Route_failed} when every entry failed. *)

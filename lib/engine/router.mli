@@ -35,6 +35,15 @@ module type S = sig
   (** A deterministic router ignores the trial's random initial mapping
       (or derives its own); the routing pass then runs a single trial. *)
 
+  val derives_seed : bool
+  (** Capability metadata for the seeder layer: [true] means the router
+      derives its own starting placement instead of consuming the
+      engine's random trial seeds (greedy reads program order, BKA runs
+      its own beginning-of-circuit placement). Such a router may honour
+      a pinned {!Context.t.fixed_initial} (greedy does) or ignore it
+      outright (BKA does); seeders only change its result in the former
+      case. *)
+
   val route : Context.t -> initial:Mapping.t -> outcome
   (** May raise {!Route_failed}. *)
 end
@@ -42,6 +51,8 @@ end
 type t = (module S)
 
 val name : t -> string
+val deterministic : t -> bool
+val derives_seed : t -> bool
 
 (** {2 Registry}
 
@@ -52,3 +63,7 @@ val name : t -> string
 val register : t -> unit
 val find : string -> t option
 val names : unit -> string list
+
+val find_suggest : string -> (t, string) result
+(** Like {!find}, but a miss yields an error message listing the
+    registered router names. *)

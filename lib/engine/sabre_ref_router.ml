@@ -11,6 +11,7 @@ module Routing = Sabre_core.Routing_pass_ref
 
 let name = "sabre-ref"
 let deterministic = false
+let derives_seed = false
 
 let dag_exn = function
   | Some d -> d
@@ -55,5 +56,6 @@ let router : Router.t =
   (module struct
     let name = name
     let deterministic = deterministic
+    let derives_seed = derives_seed
     let route = route
   end)

@@ -3,6 +3,7 @@ module Routing = Sabre_core.Routing_pass
 
 let name = "sabre"
 let deterministic = false
+let derives_seed = false
 
 let dag_exn = function
   | Some d -> d
@@ -66,6 +67,7 @@ let router : Router.t =
   (module struct
     let name = name
     let deterministic = deterministic
+    let derives_seed = derives_seed
     let route = route
   end)
 

@@ -37,8 +37,20 @@ type compile = {
   deadline_s : float option;
 }
 
+type portfolio = {
+  id : string;
+  source : source;
+  device : string;
+  device_size : int option;
+  spec : string;
+  objective : string;
+  overrides : overrides;
+  deadline_s : float option;
+}
+
 type request =
   | Compile of compile
+  | Portfolio of portfolio
   | Stats of { id : string }
   | Ping of { id : string }
 
@@ -85,7 +97,15 @@ type compiled = {
   time_s : float;
 }
 
+type member_stat = {
+  entry : string;
+  swaps : int option;
+  depth : int option;
+  error : string option;
+}
+
 type domain_load = { domain : int; jobs_run : int; wall_busy_s : float }
+type router_load = { router : string; requests : int; succeeded : int; failed : int }
 
 type server_stats = {
   served : int;
@@ -100,10 +120,16 @@ type server_stats = {
   dist_cache_hits : int;
   dist_cache_misses : int;
   per_domain : domain_load array;
+  per_router : router_load array;
 }
 
 type response =
   | Ok_compiled of compiled
+  | Ok_portfolio of {
+      compiled : compiled;
+      winner : string;
+      members : member_stat array;
+    }
   | Ok_stats of { id : string; stats : server_stats }
   | Pong of { id : string }
   | Error_resp of { id : string; kind : error_kind; message : string }
@@ -133,23 +159,31 @@ let overrides_fields o =
   @ opt_field "seed" (fun v -> Jsonx.Int v) o.seed
   @ opt_field "commutation" (fun v -> Jsonx.Bool v) o.commutation
 
+let source_field = function
+  | Inline qasm -> [ ("qasm", Jsonx.Str qasm) ]
+  | Path p -> [ ("path", Jsonx.Str p) ]
+
 let encode_request req =
   let obj =
     match req with
     | Compile c ->
-      let source_field =
-        match c.source with
-        | Inline qasm -> [ ("qasm", Jsonx.Str qasm) ]
-        | Path p -> [ ("path", Jsonx.Str p) ]
-      in
       Jsonx.Obj
         ([ ("kind", Jsonx.Str "compile"); ("id", Jsonx.Str c.id) ]
-        @ source_field
+        @ source_field c.source
         @ [ ("device", Jsonx.Str c.device) ]
         @ opt_field "device_size" (fun v -> Jsonx.Int v) c.device_size
         @ [ ("router", Jsonx.Str c.router) ]
         @ overrides_fields c.overrides
         @ opt_field "deadline_s" (fun v -> Jsonx.Float v) c.deadline_s)
+    | Portfolio p ->
+      Jsonx.Obj
+        ([ ("kind", Jsonx.Str "portfolio"); ("id", Jsonx.Str p.id) ]
+        @ source_field p.source
+        @ [ ("device", Jsonx.Str p.device) ]
+        @ opt_field "device_size" (fun v -> Jsonx.Int v) p.device_size
+        @ [ ("spec", Jsonx.Str p.spec); ("objective", Jsonx.Str p.objective) ]
+        @ overrides_fields p.overrides
+        @ opt_field "deadline_s" (fun v -> Jsonx.Float v) p.deadline_s)
     | Stats { id } ->
       Jsonx.Obj [ ("kind", Jsonx.Str "stats"); ("id", Jsonx.Str id) ]
     | Ping { id } ->
@@ -160,23 +194,40 @@ let encode_request req =
 let int_array_json a =
   Jsonx.List (Array.to_list (Array.map (fun i -> Jsonx.Int i) a))
 
+let compiled_fields (c : compiled) =
+  [
+    ("id", Jsonx.Str c.id);
+    ("qasm", Jsonx.Str c.qasm);
+    ("initial", int_array_json c.initial);
+    ("final", int_array_json c.final);
+    ("swaps", Jsonx.Int c.n_swaps);
+    ("original_gates", Jsonx.Int c.original_gates);
+    ("total_gates", Jsonx.Int c.total_gates);
+    ("depth", Jsonx.Int c.routed_depth);
+    ("time_s", Jsonx.Float c.time_s);
+  ]
+
 let encode_response resp =
   let obj =
     match resp with
-    | Ok_compiled c ->
+    | Ok_compiled c -> Jsonx.Obj (("kind", Jsonx.Str "ok") :: compiled_fields c)
+    | Ok_portfolio { compiled = c; winner; members } ->
       Jsonx.Obj
-        [
-          ("kind", Jsonx.Str "ok");
-          ("id", Jsonx.Str c.id);
-          ("qasm", Jsonx.Str c.qasm);
-          ("initial", int_array_json c.initial);
-          ("final", int_array_json c.final);
-          ("swaps", Jsonx.Int c.n_swaps);
-          ("original_gates", Jsonx.Int c.original_gates);
-          ("total_gates", Jsonx.Int c.total_gates);
-          ("depth", Jsonx.Int c.routed_depth);
-          ("time_s", Jsonx.Float c.time_s);
-        ]
+        ((("kind", Jsonx.Str "ok_portfolio") :: compiled_fields c)
+        @ [
+            ("winner", Jsonx.Str winner);
+            ( "members",
+              Jsonx.List
+                (Array.to_list
+                   (Array.map
+                      (fun m ->
+                        Jsonx.Obj
+                          ([ ("entry", Jsonx.Str m.entry) ]
+                          @ opt_field "swaps" (fun v -> Jsonx.Int v) m.swaps
+                          @ opt_field "depth" (fun v -> Jsonx.Int v) m.depth
+                          @ opt_field "error" (fun v -> Jsonx.Str v) m.error))
+                      members)) );
+          ])
     | Ok_stats { id; stats = s } ->
       Jsonx.Obj
         [
@@ -205,6 +256,19 @@ let encode_response resp =
                           ("wall_busy_s", Jsonx.Float d.wall_busy_s);
                         ])
                     s.per_domain)) );
+          ( "per_router",
+            Jsonx.List
+              (Array.to_list
+                 (Array.map
+                    (fun r ->
+                      Jsonx.Obj
+                        [
+                          ("router", Jsonx.Str r.router);
+                          ("requests", Jsonx.Int r.requests);
+                          ("succeeded", Jsonx.Int r.succeeded);
+                          ("failed", Jsonx.Int r.failed);
+                        ])
+                    s.per_router)) );
         ]
     | Pong { id } ->
       Jsonx.Obj [ ("kind", Jsonx.Str "pong"); ("id", Jsonx.Str id) ]
@@ -248,9 +312,9 @@ let opt_str obj name = opt_typed obj name Jsonx.to_str "a string"
 
 let known_request_fields =
   [
-    "kind"; "id"; "qasm"; "path"; "device"; "device_size"; "router"; "trials";
-    "traversals"; "delta"; "weight"; "extended_set"; "seed"; "commutation";
-    "deadline_s";
+    "kind"; "id"; "qasm"; "path"; "device"; "device_size"; "router"; "spec";
+    "objective"; "trials"; "traversals"; "delta"; "weight"; "extended_set";
+    "seed"; "commutation"; "deadline_s";
   ]
 
 let reject_unknown_fields obj known =
@@ -279,34 +343,55 @@ let decode_request ?(max_bytes = default_max_bytes) line =
         match get_str json "kind" with
         | "stats" -> Ok (Stats { id })
         | "ping" -> Ok (Ping { id })
-        | "compile" ->
+        | ("compile" | "portfolio") as kind ->
           let source =
             match (opt_str json "qasm", opt_str json "path") with
             | Some q, None -> Inline q
             | None, Some p -> Path p
             | Some _, Some _ -> raise (Bad "give either \"qasm\" or \"path\", not both")
-            | None, None -> raise (Bad "compile needs a \"qasm\" or \"path\" field")
+            | None, None ->
+              raise (Bad (kind ^ " needs a \"qasm\" or \"path\" field"))
           in
-          Ok
-            (Compile
-               {
-                 id;
-                 source;
-                 device = get_str json "device";
-                 device_size = opt_int json "device_size";
-                 router = Option.value (opt_str json "router") ~default:"sabre";
-                 overrides =
-                   {
-                     trials = opt_int json "trials";
-                     traversals = opt_int json "traversals";
-                     delta = opt_float json "delta";
-                     weight = opt_float json "weight";
-                     extended_set = opt_int json "extended_set";
-                     seed = opt_int json "seed";
-                     commutation = opt_bool json "commutation";
-                   };
-                 deadline_s = opt_float json "deadline_s";
-               })
+          let overrides =
+            {
+              trials = opt_int json "trials";
+              traversals = opt_int json "traversals";
+              delta = opt_float json "delta";
+              weight = opt_float json "weight";
+              extended_set = opt_int json "extended_set";
+              seed = opt_int json "seed";
+              commutation = opt_bool json "commutation";
+            }
+          in
+          let device = get_str json "device" in
+          let device_size = opt_int json "device_size" in
+          let deadline_s = opt_float json "deadline_s" in
+          if kind = "compile" then
+            Ok
+              (Compile
+                 {
+                   id;
+                   source;
+                   device;
+                   device_size;
+                   router = Option.value (opt_str json "router") ~default:"sabre";
+                   overrides;
+                   deadline_s;
+                 })
+          else
+            Ok
+              (Portfolio
+                 {
+                   id;
+                   source;
+                   device;
+                   device_size;
+                   spec = get_str json "spec";
+                   objective =
+                     Option.value (opt_str json "objective") ~default:"swaps";
+                   overrides;
+                   deadline_s;
+                 })
         | other -> raise (Bad (Printf.sprintf "unknown request kind %S" other))
       with Bad msg -> Error (Malformed, msg))
 
@@ -332,6 +417,19 @@ let get_int_array obj name =
          items)
   | _ -> raise (Bad (Printf.sprintf "missing array field %S" name))
 
+let decode_compiled json id =
+  {
+    id;
+    qasm = get_str json "qasm";
+    initial = get_int_array json "initial";
+    final = get_int_array json "final";
+    n_swaps = get_int json "swaps";
+    original_gates = get_int json "original_gates";
+    total_gates = get_int json "total_gates";
+    routed_depth = get_int json "depth";
+    time_s = get_float json "time_s";
+  }
+
 let decode_response line =
   match Jsonx.parse line with
   | Error msg -> Error msg
@@ -339,19 +437,29 @@ let decode_response line =
     try
       let id = get_str json "id" in
       match get_str json "kind" with
-      | "ok" ->
+      | "ok" -> Ok (Ok_compiled (decode_compiled json id))
+      | "ok_portfolio" ->
+        let members =
+          match Jsonx.member "members" json with
+          | Some (Jsonx.List items) ->
+            Array.of_list
+              (List.map
+                 (fun m ->
+                   {
+                     entry = get_str m "entry";
+                     swaps = opt_int m "swaps";
+                     depth = opt_int m "depth";
+                     error = opt_str m "error";
+                   })
+                 items)
+          | _ -> raise (Bad "missing array field \"members\"")
+        in
         Ok
-          (Ok_compiled
+          (Ok_portfolio
              {
-               id;
-               qasm = get_str json "qasm";
-               initial = get_int_array json "initial";
-               final = get_int_array json "final";
-               n_swaps = get_int json "swaps";
-               original_gates = get_int json "original_gates";
-               total_gates = get_int json "total_gates";
-               routed_depth = get_int json "depth";
-               time_s = get_float json "time_s";
+               compiled = decode_compiled json id;
+               winner = get_str json "winner";
+               members;
              })
       | "stats" ->
         let per_domain =
@@ -367,6 +475,21 @@ let decode_response line =
                    })
                  items)
           | _ -> raise (Bad "missing array field \"per_domain\"")
+        in
+        let per_router =
+          match Jsonx.member "per_router" json with
+          | Some (Jsonx.List items) ->
+            Array.of_list
+              (List.map
+                 (fun r ->
+                   {
+                     router = get_str r "router";
+                     requests = get_int r "requests";
+                     succeeded = get_int r "succeeded";
+                     failed = get_int r "failed";
+                   })
+                 items)
+          | _ -> raise (Bad "missing array field \"per_router\"")
         in
         Ok
           (Ok_stats
@@ -386,6 +509,7 @@ let decode_response line =
                    dist_cache_hits = get_int json "dist_cache_hits";
                    dist_cache_misses = get_int json "dist_cache_misses";
                    per_domain;
+                   per_router;
                  };
              })
       | "pong" -> Ok (Pong { id })

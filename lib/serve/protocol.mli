@@ -57,8 +57,24 @@ type compile = {
           expired (deterministic timeout, used by tests and CI) *)
 }
 
+type portfolio = {
+  id : string;
+  source : source;
+  device : string;
+  device_size : int option;
+  spec : string;
+      (** comma-separated [ROUTER[/SEEDER]] entries, the
+          {!Engine.Portfolio.parse_spec} syntax *)
+  objective : string;  (** ["swaps"], ["depth"] or ["success"] *)
+  overrides : overrides;
+  deadline_s : float option;
+}
+(** Best-of-K request: route once per portfolio entry, answer with the
+    winner plus per-entry outcomes. *)
+
 type request =
   | Compile of compile
+  | Portfolio of portfolio
   | Stats of { id : string }  (** snapshot of the server counters *)
   | Ping of { id : string }  (** liveness probe *)
 
@@ -96,7 +112,21 @@ type compiled = {
   time_s : float;  (** server-side wall time of the routing call *)
 }
 
+type member_stat = {
+  entry : string;  (** {!Engine.Portfolio.entry_name} label *)
+  swaps : int option;  (** [None] when the entry failed *)
+  depth : int option;
+  error : string option;  (** failure message, [None] on success *)
+}
+
 type domain_load = { domain : int; jobs_run : int; wall_busy_s : float }
+
+type router_load = {
+  router : string;  (** router name, or portfolio entry label *)
+  requests : int;  (** compile/portfolio-entry requests routed to it *)
+  succeeded : int;
+  failed : int;
+}
 
 type server_stats = {
   served : int;  (** compile requests answered [ok] *)
@@ -111,10 +141,16 @@ type server_stats = {
   dist_cache_hits : int;
   dist_cache_misses : int;
   per_domain : domain_load array;  (** by worker index *)
+  per_router : router_load array;  (** sorted by router name *)
 }
 
 type response =
   | Ok_compiled of compiled
+  | Ok_portfolio of {
+      compiled : compiled;  (** the winning entry's routed circuit *)
+      winner : string;  (** winning entry label *)
+      members : member_stat array;  (** in portfolio-entry order *)
+    }
   | Ok_stats of { id : string; stats : server_stats }
   | Pong of { id : string }
   | Error_resp of { id : string; kind : error_kind; message : string }

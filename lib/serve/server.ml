@@ -40,8 +40,16 @@ let await slot =
   in
   go ()
 
+type work =
+  | W_compile of Protocol.compile
+  | W_portfolio of Protocol.portfolio
+
+let work_id = function
+  | W_compile c -> c.Protocol.id
+  | W_portfolio p -> p.Protocol.id
+
 type job = {
-  compile : Protocol.compile;
+  work : work;
   deadline : float;  (** absolute; [infinity] = none *)
   admitted_at : float;
   slot : slot;
@@ -52,6 +60,12 @@ type job = {
 (* ------------------------------------------------------------------ *)
 
 type state = Running | Stopping | Stopped
+
+type router_cell = {
+  mutable rc_requests : int;
+  mutable rc_succeeded : int;
+  mutable rc_failed : int;
+}
 
 type t = {
   bound : Protocol.endpoint;
@@ -71,6 +85,11 @@ type t = {
   malformed : int Atomic.t;
   worker_jobs : int Atomic.t array;
   worker_busy : float Atomic.t array;  (** written only by its worker *)
+  (* per-router accounting: a request counts when routing starts (after
+     the router name resolved), so garbage names never open a bucket;
+     portfolio requests count once per entry *)
+  rm : Mutex.t;
+  routers : (string, router_cell) Hashtbl.t;
   (* lifecycle *)
   stop_flag : bool Atomic.t;
   wake_r : Unix.file_descr;
@@ -94,6 +113,29 @@ let bump t counter name =
   t.instrument.Instrument.emit
     (Instrument.Counter { pass = "serve"; name; value = 1 })
 
+let bump_router t name outcome =
+  Mutex.lock t.rm;
+  let cell =
+    match Hashtbl.find_opt t.routers name with
+    | Some c -> c
+    | None ->
+      let c = { rc_requests = 0; rc_succeeded = 0; rc_failed = 0 } in
+      Hashtbl.replace t.routers name c;
+      c
+  in
+  cell.rc_requests <- cell.rc_requests + 1;
+  (match outcome with
+  | `Ok -> cell.rc_succeeded <- cell.rc_succeeded + 1
+  | `Err -> cell.rc_failed <- cell.rc_failed + 1);
+  Mutex.unlock t.rm;
+  t.instrument.Instrument.emit
+    (Instrument.Counter
+       {
+         pass = "serve";
+         name = "router." ^ name ^ (match outcome with `Ok -> ".ok" | `Err -> ".err");
+         value = 1;
+       })
+
 let stats t : Protocol.server_stats =
   let c = Hardware.Dist_cache.stats () in
   {
@@ -115,6 +157,25 @@ let stats t : Protocol.server_stats =
             jobs_run = Atomic.get t.worker_jobs.(i);
             wall_busy_s = Atomic.get t.worker_busy.(i);
           });
+    per_router =
+      (Mutex.lock t.rm;
+       let rows =
+         Hashtbl.fold
+           (fun name c acc ->
+             {
+               Protocol.router = name;
+               requests = c.rc_requests;
+               succeeded = c.rc_succeeded;
+               failed = c.rc_failed;
+             }
+             :: acc)
+           t.routers []
+       in
+       Mutex.unlock t.rm;
+       Array.of_list
+         (List.sort
+            (fun a b -> compare a.Protocol.router b.Protocol.router)
+            rows));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -137,10 +198,23 @@ let config_of_overrides (o : Protocol.overrides) =
       Option.value o.commutation ~default:d.Config.commutation_aware;
   }
 
-let error (c : Protocol.compile) kind fmt =
+let error_id id kind fmt =
   Printf.ksprintf
-    (fun message -> Protocol.Error_resp { id = c.id; kind; message })
+    (fun message -> Protocol.Error_resp { id; kind; message })
     fmt
+
+let error (c : Protocol.compile) kind fmt = error_id c.Protocol.id kind fmt
+
+let parse_source id source =
+  match
+    match source with
+    | Protocol.Inline text -> Qasm.of_string text
+    | Protocol.Path path -> Qasm.of_file path
+  with
+  | exception Qasm.Parse_error { line; column; message } ->
+    Error (error_id id Protocol.Qasm_error "%d:%d: %s" line column message)
+  | exception Sys_error msg -> Error (error_id id Protocol.Invalid "%s" msg)
+  | circuit -> Ok circuit
 
 (* Route one request. This is deliberately the same pipeline as
    [Engine.Batch.compile_one] / the [sabre_compile] single-circuit
@@ -170,42 +244,130 @@ let compile_request t (c : Protocol.compile) : Protocol.response =
   with
   | Error resp -> resp
   | Ok (config, router, device) -> (
-    match
-      match c.source with
-      | Protocol.Inline text -> Qasm.of_string text
-      | Protocol.Path path -> Qasm.of_file path
-    with
-    | exception Qasm.Parse_error { line; column; message } ->
-      error c Protocol.Qasm_error "%d:%d: %s" line column message
-    | exception Sys_error msg -> error c Protocol.Invalid "%s" msg
-    | circuit -> (
+    match parse_source c.id c.source with
+    | Error resp -> resp
+    | Ok circuit ->
+      let t0 = wall () in
+      let resp =
+        match
+          Engine.Context.create ~config
+            ~trial_mode:Engine.Trial_runner.Sequential ~instrument:t.instrument
+            device circuit
+          |> Engine.Pipeline.run ~instrument:t.instrument
+               (Engine.Pipeline.default ~router ~verify:true ())
+        with
+        | exception Engine.Router.Route_failed msg ->
+          error c Protocol.Route_error "%s" msg
+        | exception Engine.Verify_pass.Verify_failed msg ->
+          error c Protocol.Route_error "verification: %s" msg
+        | exception Invalid_argument msg -> error c Protocol.Invalid "%s" msg
+        | ctx ->
+          let r = Engine.Context.routed_exn ctx in
+          let stats = Engine.Context.stats ctx ~time_s:(wall () -. t0) in
+          Protocol.Ok_compiled
+            {
+              id = c.id;
+              qasm = Qasm.to_string r.Engine.Context.physical;
+              initial = Mapping.l2p_array r.Engine.Context.trial_initial;
+              final = Mapping.l2p_array r.Engine.Context.final_mapping;
+              n_swaps = stats.Sabre_core.Stats.n_swaps;
+              original_gates = stats.Sabre_core.Stats.original_gates;
+              total_gates = stats.Sabre_core.Stats.total_gates;
+              routed_depth = stats.Sabre_core.Stats.routed_depth;
+              time_s = stats.Sabre_core.Stats.time_s;
+            }
+      in
+      bump_router t c.router
+        (match resp with Protocol.Ok_compiled _ -> `Ok | _ -> `Err);
+      resp)
+
+(* A portfolio request: Engine.Portfolio over the entries, the winner
+   answered in the Ok_compiled shape plus per-entry outcomes. *)
+let portfolio_request t (p : Protocol.portfolio) : Protocol.response =
+  let err kind fmt = error_id p.id kind fmt in
+  match
+    let config = config_of_overrides p.overrides in
+    (match Config.validate config with
+    | Ok () -> Ok config
+    | Error msg -> Error (err Protocol.Invalid "config: %s" msg))
+    |> Result.map (fun config ->
+           match Engine.Portfolio.parse_spec p.spec with
+           | Ok entries -> Ok (config, entries)
+           | Error msg -> Error (err Protocol.Invalid "%s" msg))
+    |> Result.join
+    |> Result.map (fun (config, entries) ->
+           match Engine.Portfolio.objective_of_string p.objective with
+           | Ok objective -> Ok (config, entries, objective)
+           | Error msg -> Error (err Protocol.Invalid "%s" msg))
+    |> Result.join
+    |> Result.map (fun (config, entries, objective) ->
+           match Devices.by_name p.device p.device_size with
+           | device -> Ok (config, entries, objective, device)
+           | exception Invalid_argument msg ->
+             Error (err Protocol.Invalid "device: %s" msg))
+    |> Result.join
+  with
+  | Error resp -> resp
+  | Ok (config, entries, objective, device) -> (
+    match parse_source p.id p.source with
+    | Error resp -> resp
+    | Ok circuit -> (
+      let names =
+        Array.of_list (List.map Engine.Portfolio.entry_name entries)
+      in
       let t0 = wall () in
       match
-        Engine.Context.create ~config
-          ~trial_mode:Engine.Trial_runner.Sequential ~instrument:t.instrument
-          device circuit
-        |> Engine.Pipeline.run ~instrument:t.instrument
-             (Engine.Pipeline.default ~router ~verify:true ())
+        Engine.Portfolio.run ~domains:1 ~objective ~config ~verify:true
+          ~instrument:t.instrument device circuit entries
       with
       | exception Engine.Router.Route_failed msg ->
-        error c Protocol.Route_error "%s" msg
-      | exception Engine.Verify_pass.Verify_failed msg ->
-        error c Protocol.Route_error "verification: %s" msg
-      | exception Invalid_argument msg -> error c Protocol.Invalid "%s" msg
-      | ctx ->
-        let r = Engine.Context.routed_exn ctx in
-        let stats = Engine.Context.stats ctx ~time_s:(wall () -. t0) in
-        Protocol.Ok_compiled
+        List.iter (fun n -> bump_router t n `Err) (Array.to_list names);
+        err Protocol.Route_error "%s" msg
+      | exception Invalid_argument msg -> err Protocol.Invalid "%s" msg
+      | report ->
+        Array.iteri
+          (fun i o ->
+            bump_router t names.(i)
+              (match o with Ok _ -> `Ok | Error _ -> `Err))
+          report.Engine.Portfolio.outcomes;
+        let w = Engine.Portfolio.winner_member report in
+        let stats = w.Engine.Portfolio.stats in
+        let members =
+          Array.mapi
+            (fun i o ->
+              match o with
+              | Ok (m : Engine.Portfolio.member) ->
+                {
+                  Protocol.entry = names.(i);
+                  swaps = Some m.Engine.Portfolio.n_swaps;
+                  depth = Some m.Engine.Portfolio.depth;
+                  error = None;
+                }
+              | Error msg ->
+                {
+                  Protocol.entry = names.(i);
+                  swaps = None;
+                  depth = None;
+                  error = Some msg;
+                })
+            report.Engine.Portfolio.outcomes
+        in
+        Protocol.Ok_portfolio
           {
-            id = c.id;
-            qasm = Qasm.to_string r.Engine.Context.physical;
-            initial = Mapping.l2p_array r.Engine.Context.trial_initial;
-            final = Mapping.l2p_array r.Engine.Context.final_mapping;
-            n_swaps = stats.Sabre_core.Stats.n_swaps;
-            original_gates = stats.Sabre_core.Stats.original_gates;
-            total_gates = stats.Sabre_core.Stats.total_gates;
-            routed_depth = stats.Sabre_core.Stats.routed_depth;
-            time_s = stats.Sabre_core.Stats.time_s;
+            compiled =
+              {
+                id = p.id;
+                qasm = Qasm.to_string w.Engine.Portfolio.physical;
+                initial = Mapping.l2p_array w.Engine.Portfolio.initial;
+                final = Mapping.l2p_array w.Engine.Portfolio.final;
+                n_swaps = stats.Sabre_core.Stats.n_swaps;
+                original_gates = stats.Sabre_core.Stats.original_gates;
+                total_gates = stats.Sabre_core.Stats.total_gates;
+                routed_depth = stats.Sabre_core.Stats.routed_depth;
+                time_s = wall () -. t0;
+              };
+            winner = names.(report.Engine.Portfolio.winner);
+            members;
           }))
 
 (* ------------------------------------------------------------------ *)
@@ -217,34 +379,38 @@ let worker_loop t i =
     match Rqueue.pop t.queue with
     | None -> () (* closed and drained *)
     | Some job ->
-      let c = job.compile in
+      let id = work_id job.work in
       let resp =
         let now = wall () in
         if now > job.deadline then
-          error c Protocol.Timeout
+          error_id id Protocol.Timeout
             "deadline expired after %.3fs in queue (routing not started)"
             (now -. job.admitted_at)
         else begin
           let t0 = wall () in
           let resp =
-            try compile_request t c
+            try
+              match job.work with
+              | W_compile c -> compile_request t c
+              | W_portfolio p -> portfolio_request t p
             with exn ->
               (* a worker never dies with its pool: any stray exception
                  becomes a typed error on this one request *)
-              error c Protocol.Route_error "internal error: %s"
+              error_id id Protocol.Route_error "internal error: %s"
                 (Printexc.to_string exn)
           in
           let t1 = wall () in
           Atomic.set t.worker_busy.(i) (Atomic.get t.worker_busy.(i) +. (t1 -. t0));
           if t1 > job.deadline then
-            error c Protocol.Timeout
+            error_id id Protocol.Timeout
               "routing finished %.3fs past the deadline; result discarded"
               (t1 -. job.deadline)
           else resp
         end
       in
       (match resp with
-      | Protocol.Ok_compiled _ -> bump t t.served "served"
+      | Protocol.Ok_compiled _ | Protocol.Ok_portfolio _ ->
+        bump t t.served "served"
       | Protocol.Error_resp { kind = Protocol.Timeout; _ } ->
         bump t t.timed_out "timed_out"
       | Protocol.Error_resp _ -> bump t t.errored "errored"
@@ -259,28 +425,31 @@ let worker_loop t i =
 (* Connection threads                                                  *)
 (* ------------------------------------------------------------------ *)
 
+let admit t work deadline_s =
+  let id = work_id work in
+  let now = wall () in
+  let deadline =
+    match (deadline_s, t.default_deadline_s) with
+    | Some d, _ | None, Some d -> if d <= 0.0 then neg_infinity else now +. d
+    | None, None -> infinity
+  in
+  let slot = new_slot () in
+  match Rqueue.try_push t.queue { work; deadline; admitted_at = now; slot } with
+  | `Ok -> await slot
+  | `Full ->
+    bump t t.rejected "rejected";
+    error_id id Protocol.Queue_full "queue full (%d waiting, capacity %d)"
+      (Rqueue.length t.queue) (Rqueue.capacity t.queue)
+  | `Closed ->
+    error_id id Protocol.Shutting_down
+      "server is draining; request not admitted"
+
 let handle_request t (req : Protocol.request) : Protocol.response =
   match req with
   | Protocol.Ping { id } -> Protocol.Pong { id }
   | Protocol.Stats { id } -> Protocol.Ok_stats { id; stats = stats t }
-  | Protocol.Compile c -> (
-    let now = wall () in
-    let deadline =
-      match (c.deadline_s, t.default_deadline_s) with
-      | Some d, _ | None, Some d -> if d <= 0.0 then neg_infinity else now +. d
-      | None, None -> infinity
-    in
-    let slot = new_slot () in
-    match
-      Rqueue.try_push t.queue { compile = c; deadline; admitted_at = now; slot }
-    with
-    | `Ok -> await slot
-    | `Full ->
-      bump t t.rejected "rejected";
-      error c Protocol.Queue_full "queue full (%d waiting, capacity %d)"
-        (Rqueue.length t.queue) (Rqueue.capacity t.queue)
-    | `Closed ->
-      error c Protocol.Shutting_down "server is draining; request not admitted")
+  | Protocol.Compile c -> admit t (W_compile c) c.deadline_s
+  | Protocol.Portfolio p -> admit t (W_portfolio p) p.deadline_s
 
 let handle_conn t fd =
   let reader = Netline.reader fd in
@@ -499,6 +668,8 @@ let start ?(domains = 1) ?(queue_capacity = 64) ?default_deadline_s
       malformed = Atomic.make 0;
       worker_jobs = Array.init n_domains (fun _ -> Atomic.make 0);
       worker_busy = Array.init n_domains (fun _ -> Atomic.make 0.0);
+      rm = Mutex.create ();
+      routers = Hashtbl.create 8;
       stop_flag = Atomic.make false;
       wake_r;
       wake_w;

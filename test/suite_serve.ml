@@ -211,6 +211,31 @@ let gen_compile =
          (triple gen_str (gen_opt small_nat) gen_str)
          (pair gen_overrides (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
 
+let gen_portfolio =
+  QCheck.Gen.(
+    map
+      (fun ((id, src_is_path, text), (device, device_size, spec),
+            (objective, overrides, deadline_s)) ->
+        P.Portfolio
+          {
+            id;
+            source = (if src_is_path then P.Path text else P.Inline text);
+            device;
+            device_size;
+            spec;
+            objective;
+            overrides;
+            deadline_s;
+          })
+      (triple
+         (triple gen_str bool gen_str)
+         (triple gen_str (gen_opt small_nat)
+            (oneofl [ "sabre"; "sabre,hail"; "sabre,hail/iso,greedy"; "" ]))
+         (triple
+            (oneofl [ "swaps"; "depth"; "success"; "bogus" ])
+            gen_overrides
+            (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
+
 let gen_request =
   QCheck.Gen.(
     frequency
@@ -218,6 +243,7 @@ let gen_request =
         (1, map (fun id -> P.Ping { id }) gen_str);
         (1, map (fun id -> P.Stats { id }) gen_str);
         (4, gen_compile);
+        (2, gen_portfolio);
       ])
 
 let shrink_request r yield =
@@ -245,6 +271,25 @@ let shrink_request r yield =
     | None -> ());
     if c.overrides <> P.no_overrides then
       yield (P.Compile { c with overrides = P.no_overrides })
+  | P.Portfolio p ->
+    QCheck.Shrink.string p.id (fun id -> yield (P.Portfolio { p with id }));
+    (match p.source with
+    | P.Inline s ->
+      QCheck.Shrink.string s (fun s ->
+          yield (P.Portfolio { p with source = P.Inline s }))
+    | P.Path s ->
+      QCheck.Shrink.string s (fun s ->
+          yield (P.Portfolio { p with source = P.Path s })));
+    QCheck.Shrink.string p.spec (fun spec ->
+        yield (P.Portfolio { p with spec }));
+    (match p.deadline_s with
+    | Some _ -> yield (P.Portfolio { p with deadline_s = None })
+    | None -> ());
+    (match p.device_size with
+    | Some _ -> yield (P.Portfolio { p with device_size = None })
+    | None -> ());
+    if p.overrides <> P.no_overrides then
+      yield (P.Portfolio { p with overrides = P.no_overrides })
 
 let request_arb =
   QCheck.make gen_request
@@ -283,6 +328,11 @@ let test_response_roundtrip () =
           { P.domain = 0; jobs_run = 6; wall_busy_s = 0.5 };
           { P.domain = 1; jobs_run = 6; wall_busy_s = 0.625 };
         |];
+      per_router =
+        [|
+          { P.router = "hail"; requests = 3; succeeded = 2; failed = 1 };
+          { P.router = "sabre"; requests = 9; succeeded = 9; failed = 0 };
+        |];
     }
   in
   let responses =
@@ -298,6 +348,37 @@ let test_response_roundtrip () =
           total_gates = 11;
           routed_depth = 7;
           time_s = 0.001953125;
+        };
+      P.Ok_portfolio
+        {
+          compiled =
+            {
+              id = "p";
+              qasm = small_qasm;
+              initial = [| 1; 0 |];
+              final = [| 0; 1 |];
+              n_swaps = 1;
+              original_gates = 3;
+              total_gates = 6;
+              routed_depth = 4;
+              time_s = 0.25;
+            };
+          winner = "hail/iso";
+          members =
+            [|
+              {
+                P.entry = "hail/iso";
+                swaps = Some 1;
+                depth = Some 4;
+                error = None;
+              };
+              {
+                P.entry = "greedy";
+                swaps = None;
+                depth = None;
+                error = Some "route failed: \"stuck\"";
+              };
+            |];
         };
       P.Ok_stats { id = "s"; stats };
       P.Pong { id = "" };
@@ -642,6 +723,119 @@ let test_path_source_equals_inline () =
           | _ -> Alcotest.fail "one of the two source kinds failed"))
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio requests and per-router accounting                        *)
+(* ------------------------------------------------------------------ *)
+
+let portfolio_req ?(id = "pf") ?(spec = "sabre,hail/iso,greedy")
+    ?(objective = "swaps") ?(overrides = P.no_overrides) qasm =
+  P.Portfolio
+    {
+      id;
+      source = P.Inline qasm;
+      device = "tokyo";
+      device_size = None;
+      spec;
+      objective;
+      overrides;
+      deadline_s = None;
+    }
+
+let test_portfolio_request () =
+  let overrides = { P.no_overrides with trials = Some 2 } in
+  with_server ~domains:1 (fun path server ->
+      (* a plain compile against the same circuit is the baseline the
+         portfolio winner must beat or tie (sabre is a member) *)
+      let plain =
+        match rpc path (compile_req ~id:"ref" ~overrides small_qasm) with
+        | P.Ok_compiled r -> r
+        | r -> Alcotest.failf "baseline compile failed: %s"
+                 (P.encode_response r)
+      in
+      (match rpc path (portfolio_req ~overrides small_qasm) with
+      | P.Ok_portfolio { compiled; winner; members } ->
+        check Alcotest.string "portfolio id echoed" "pf" compiled.P.id;
+        check Alcotest.int "three members" 3 (Array.length members);
+        check Alcotest.bool "winner is a member" true
+          (Array.exists (fun m -> m.P.entry = winner) members);
+        Array.iter
+          (fun m ->
+            match (m.P.swaps, m.P.error) with
+            | Some s, None ->
+              check Alcotest.bool
+                (Printf.sprintf "winner <= member %s" m.P.entry)
+                true
+                (compiled.P.n_swaps <= s)
+            | None, Some _ -> ()
+            | _ -> Alcotest.failf "member %s: inconsistent outcome" m.P.entry)
+          members;
+        check Alcotest.bool "winner <= plain sabre" true
+          (compiled.P.n_swaps <= plain.P.n_swaps);
+        check Alcotest.bool "winner QASM non-empty" true
+          (String.length compiled.P.qasm > 0)
+      | r -> Alcotest.failf "portfolio request answered %s"
+               (P.encode_response r));
+      (* bad spec and bad objective answer [invalid], not a crash *)
+      expect_error P.Invalid
+        (rpc path (portfolio_req ~spec:"sabre,,greedy" small_qasm));
+      expect_error P.Invalid
+        (rpc path (portfolio_req ~objective:"prettiness" small_qasm));
+      expect_error P.Invalid
+        (rpc path (portfolio_req ~spec:"sabre/not-a-seeder" small_qasm));
+      (* per-router accounting: the plain compile and each portfolio
+         entry opened a bucket; failed specs never touched one *)
+      let s = Server.stats server in
+      let find name =
+        match
+          Array.find_opt (fun r -> r.P.router = name) s.P.per_router
+        with
+        | Some r -> r
+        | None -> Alcotest.failf "no per-router bucket for %s" name
+      in
+      let sabre = find "sabre" in
+      check Alcotest.bool "sabre counted for compile + portfolio entry" true
+        (sabre.P.requests >= 2 && sabre.P.succeeded >= 2);
+      let hail = find "hail/iso" in
+      check Alcotest.int "hail/iso requests" 1 hail.P.requests;
+      check Alcotest.int "hail/iso failures" 0 hail.P.failed;
+      check Alcotest.int "greedy requests" 1 (find "greedy").P.requests;
+      check Alcotest.bool "buckets sorted by router name" true
+        (let names = Array.map (fun r -> r.P.router) s.P.per_router in
+         let sorted = Array.copy names in
+         Array.sort compare sorted;
+         names = sorted))
+
+let test_portfolio_matches_engine () =
+  (* wire answer is byte-identical to calling Engine.Portfolio locally *)
+  let device = Devices.ibm_q20_tokyo () in
+  let config = { Config.default with trials = 2 } in
+  let overrides = { P.no_overrides with trials = Some 2 } in
+  let entries =
+    match Engine.Portfolio.parse_spec "sabre,hail/iso,greedy" with
+    | Ok e -> e
+    | Error msg -> Alcotest.failf "spec rejected: %s" msg
+  in
+  let local =
+    Engine.Portfolio.run ~objective:Engine.Portfolio.Swaps ~config ~verify:true
+      device
+      (Qasm.of_string small_qasm)
+      entries
+  in
+  let lw = Engine.Portfolio.winner_member local in
+  with_server ~domains:2 (fun path _server ->
+      match rpc path (portfolio_req ~overrides small_qasm) with
+      | P.Ok_portfolio { compiled; winner; _ } ->
+        check Alcotest.string "same winner as Engine.Portfolio"
+          (Engine.Portfolio.entry_name lw.Engine.Portfolio.entry)
+          winner;
+        check Alcotest.string "QASM byte-identical to Engine.Portfolio"
+          (Qasm.to_string lw.Engine.Portfolio.physical)
+          compiled.P.qasm;
+        check Alcotest.int "same swap count"
+          lw.Engine.Portfolio.n_swaps compiled.P.n_swaps
+      | r ->
+        Alcotest.failf "portfolio request answered %s" (P.encode_response r))
+
+(* ------------------------------------------------------------------ *)
 (* Concurrency                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -960,6 +1154,10 @@ let suite =
     tc "responses byte-identical to Engine.Batch (3 routers x zoo)" `Slow
       test_byte_identity;
     tc "path source equals inline source" `Quick test_path_source_equals_inline;
+    tc "portfolio requests: winner, members, per-router stats" `Quick
+      test_portfolio_request;
+    tc "portfolio response byte-identical to Engine.Portfolio" `Quick
+      test_portfolio_matches_engine;
     tc "concurrent clients each get their own result" `Slow
       test_concurrent_clients;
     tc "admission control: zero capacity" `Quick test_admission_capacity_zero;
