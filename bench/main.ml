@@ -1154,12 +1154,12 @@ let portfolio_zoo =
 
 let portfolio_entries =
   [
-    { Engine.Portfolio.router = "sabre"; seeder = "reverse-traversal" };
-    { Engine.Portfolio.router = "sabre"; seeder = "iso" };
-    { Engine.Portfolio.router = "hail"; seeder = "reverse-traversal" };
-    { Engine.Portfolio.router = "hail"; seeder = "iso" };
-    { Engine.Portfolio.router = "greedy"; seeder = "reverse-traversal" };
-    { Engine.Portfolio.router = "greedy"; seeder = "iso" };
+    { Engine.Portfolio.router = "sabre"; seeder = "reverse-traversal"; overrides = [] };
+    { Engine.Portfolio.router = "sabre"; seeder = "iso"; overrides = [] };
+    { Engine.Portfolio.router = "hail"; seeder = "reverse-traversal"; overrides = [] };
+    { Engine.Portfolio.router = "hail"; seeder = "iso"; overrides = [] };
+    { Engine.Portfolio.router = "greedy"; seeder = "reverse-traversal"; overrides = [] };
+    { Engine.Portfolio.router = "greedy"; seeder = "iso"; overrides = [] };
   ]
 
 let portfolio () =
@@ -1245,6 +1245,126 @@ let portfolio () =
      entry), and the outcome array is byte-identical at 1/2/4 domains.@."
 
 (* ------------------------------------------------------------------ *)
+(* Racing: incumbent-bound pruning vs the plain portfolio               *)
+(* ------------------------------------------------------------------ *)
+
+(* The shape that makes pruning observable: a fast strong entry first
+   (one trial, one traversal — its whole run is the certified final
+   forward traversal, so it completes quickly and sets the incumbent),
+   then slower single-pass baselines whose swap counters blow through
+   the incumbent mid-route. *)
+let racing_spec = "sabre/iso:trials=1,traversals=1,hail,hail/degree,hail/interaction"
+
+let racing () =
+  let module Portfolio = Engine.Portfolio in
+  Baseline.Routers.register ();
+  let config = Sabre.Config.default in
+  let entries =
+    match Portfolio.parse_spec racing_spec with
+    | Ok e -> e
+    | Error msg ->
+      Format.eprintf "FATAL: racing: spec rejected: %s@." msg;
+      exit 2
+  in
+  Format.printf
+    "@.== Racing: incumbent-bound pruning over %d entries, SWAP objective \
+     ==@.   spec: %s@.@."
+    (List.length entries) racing_spec;
+  Format.printf "%-16s %7s | %9s %9s %8s %9s | %-16s@." "circuit" "swaps"
+    "plain_s" "raced_s" "speedup" "cancelled" "winner";
+  let speedups = ref [] in
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      let run ~race ~domains =
+        Portfolio.run ~race ~domains ~objective:Portfolio.Swaps ~config
+          device circuit entries
+      in
+      let plain, t_off = time_min (fun () -> run ~race:false ~domains:1) in
+      let raced, t_on = time_min (fun () -> run ~race:true ~domains:1) in
+      let pw = Portfolio.winner_member plain in
+      verified ~logical:circuit ~initial:pw.Portfolio.initial
+        ~final:pw.Portfolio.final ~physical:pw.Portfolio.physical
+        (Printf.sprintf "racing:%s" name);
+      (* equivalence gate: racing must be observationally pure — the
+         winner (name, swaps, depth, circuit) and every completing
+         entry's result are bit-identical at 1, 2 and 4 domains *)
+      List.iter
+        (fun (label, r) ->
+          let rw = Portfolio.winner_member r in
+          if
+            r.Portfolio.winner <> plain.Portfolio.winner
+            || Portfolio.entry_name rw.Portfolio.entry
+               <> Portfolio.entry_name pw.Portfolio.entry
+            || rw.Portfolio.n_swaps <> pw.Portfolio.n_swaps
+            || rw.Portfolio.depth <> pw.Portfolio.depth
+            || not (Circuit.equal rw.Portfolio.physical pw.Portfolio.physical)
+          then begin
+            Format.eprintf
+              "FATAL: racing: %s winner differs from the plain portfolio on \
+               %s — pruning broke selection@."
+              label name;
+            exit 2
+          end;
+          Array.iteri
+            (fun i o ->
+              match (plain.Portfolio.outcomes.(i), o) with
+              | Ok (a : Portfolio.member), Ok (b : Portfolio.member) ->
+                if
+                  a.Portfolio.n_swaps <> b.Portfolio.n_swaps
+                  || not (Circuit.equal a.Portfolio.physical b.Portfolio.physical)
+                then begin
+                  Format.eprintf
+                    "FATAL: racing: %s changed completing entry %d on %s@."
+                    label i name;
+                  exit 2
+                end
+              | Ok _, Error msg when msg = Portfolio.cancelled_msg -> ()
+              | Error a, Error b when a = b -> ()
+              | _ ->
+                Format.eprintf
+                  "FATAL: racing: %s changed entry %d's outcome kind on %s@."
+                  label i name;
+                exit 2)
+            r.Portfolio.outcomes)
+        [
+          ("race@1", raced);
+          ("race@2", run ~race:true ~domains:2);
+          ("race@4", run ~race:true ~domains:4);
+        ];
+      let cancelled =
+        Array.fold_left
+          (fun acc (s : Portfolio.entry_stat) ->
+            if s.Portfolio.e_cancelled then acc + 1 else acc)
+          0 raced.Portfolio.entry_stats
+      in
+      let speedup = t_off /. t_on in
+      speedups := speedup :: !speedups;
+      let entry = Portfolio.entry_name pw.Portfolio.entry in
+      Record.row "racing"
+        [
+          ("circuit", Str name);
+          ("entries", Int (List.length entries));
+          ("winner", Str entry);
+          ("winner_swaps", Int pw.Portfolio.n_swaps);
+          ("winner_depth", Int pw.Portfolio.depth);
+          ("plain_wall_s", Float t_off);
+          ("raced_wall_s", Float t_on);
+          ("speedup", Float speedup);
+          ("cancelled_entries", Int cancelled);
+        ];
+      Format.printf "%-16s %7d | %8.4fs %8.4fs %7.2fx %9d | %-16s@." name
+        pw.Portfolio.n_swaps t_off t_on speedup cancelled entry)
+    portfolio_zoo;
+  let best = List.fold_left max 0.0 !speedups in
+  Record.row "racing" [ ("kind", Str "summary"); ("best_speedup", Float best) ];
+  Format.printf
+    "@.best speedup %.2fx. The raced winner (entry, SWAPs, depth, circuit) \
+     and every completing entry are bit-identical to the plain portfolio at \
+     1/2/4 domains (enforced above); losers only ever stop early.@."
+    best
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1252,7 +1372,7 @@ let usage () =
   Format.eprintf
     "usage: bench [--json FILE] [--max-qubits N] [--max-domains N] \
      [--repeat K] \
-     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|portfolio|micro]...@.";
+     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|portfolio|racing|micro]...@.";
   exit 1
 
 let () =
@@ -1288,7 +1408,8 @@ let () =
     | [] ->
       [
         "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "scoring";
-        "pipeline"; "throughput"; "stream"; "serve"; "portfolio"; "micro";
+        "pipeline"; "throughput"; "stream"; "serve"; "portfolio"; "racing";
+        "micro";
       ]
     | named -> named
   in
@@ -1308,6 +1429,7 @@ let () =
         | "stream" -> stream
         | "serve" -> serve
         | "portfolio" -> portfolio
+        | "racing" -> racing
         | "micro" -> micro
         | other ->
           Format.eprintf "unknown section %S@." other;

@@ -90,36 +90,41 @@ let route router_name config device circuit ~trial_mode ~instrument =
 (* Best-of-K: route once per portfolio entry, keep the winner. The
    returned router label is the winner's entry name so the reports say
    which member actually produced the circuit. *)
-let route_portfolio spec objective_name config device circuit ~domains
+let route_portfolio spec objective_name config device circuit ~domains ~race
     ~instrument ~quiet =
   Baseline.Routers.register ();
   let* entries = Engine.Portfolio.parse_spec spec in
   let* objective = Engine.Portfolio.objective_of_string objective_name in
   match
-    Engine.Portfolio.run ~domains ~objective ~config ~verify:true ~instrument
-      device circuit entries
+    Engine.Portfolio.run ~domains ~objective ~config ~verify:true ~race
+      ~instrument device circuit entries
   with
   | report ->
     let m = Engine.Portfolio.winner_member report in
     let winner_name = Engine.Portfolio.entry_name m.Engine.Portfolio.entry in
+    let names =
+      Array.of_list (List.map Engine.Portfolio.entry_name entries)
+    in
     if not quiet then begin
-      Format.eprintf "portfolio (%s objective):@."
-        (Engine.Portfolio.objective_name objective);
+      Format.eprintf "portfolio (%s objective%s):@."
+        (Engine.Portfolio.objective_name objective)
+        (if report.Engine.Portfolio.race then ", racing" else "");
       Array.iteri
         (fun i outcome ->
+          let es = report.Engine.Portfolio.entry_stats.(i) in
           match outcome with
           | Ok (m : Engine.Portfolio.member) ->
-            Format.eprintf "  %c %-22s %d swaps, depth %d%s@."
+            Format.eprintf "  %c %-22s %d swaps, depth %d%s (%.3fs)@."
               (if i = report.Engine.Portfolio.winner then '*' else ' ')
-              (Engine.Portfolio.entry_name m.entry)
-              m.n_swaps m.depth
+              names.(i) m.n_swaps m.depth
               (match m.success_prob with
               | Some p -> Printf.sprintf ", success %.4f" p
               | None -> "")
+              es.Engine.Portfolio.e_wall_s
           | Error msg ->
-            Format.eprintf "    %-22s failed: %s@."
-              (Engine.Portfolio.entry_name
-                 (List.nth entries i))
+            Format.eprintf "    %-22s %s: %s@." names.(i)
+              (if es.Engine.Portfolio.e_cancelled then "cancelled"
+               else "failed")
               msg)
         report.Engine.Portfolio.outcomes
     end;
@@ -130,7 +135,8 @@ let route_portfolio spec objective_name config device circuit ~domains
           final = Mapping.l2p_array m.Engine.Portfolio.final;
           n_swaps = m.Engine.Portfolio.n_swaps;
         },
-        winner_name )
+        winner_name,
+        (report, names) )
   | exception Engine.Router.Route_failed msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
@@ -153,6 +159,18 @@ let run_list_routers () =
     (Engine.Router.names ());
   print_endline "";
   print_endline "seeders (for --portfolio ROUTER/SEEDER):";
+  List.iter
+    (fun name ->
+      match Sabre.Initial_mapping.Seeder.find name with
+      | Some s ->
+        Printf.printf "  %-18s %s\n" name
+          s.Sabre.Initial_mapping.Seeder.description
+      | None -> ())
+    (Sabre.Initial_mapping.Seeder.names ());
+  0
+
+let run_list_seeders () =
+  print_endline "seeders:";
   List.iter
     (fun name ->
       match Sabre.Initial_mapping.Seeder.find name with
@@ -215,8 +233,8 @@ let batch_json_line = function
       (json_escape e.Engine.Batch.name)
       (json_escape e.Engine.Batch.message)
 
-let run_batch manifest router_name config device ~portfolio ~domains ~verify
-    ~quiet =
+let run_batch manifest router_name config device ~portfolio ~race ~domains
+    ~verify ~quiet =
   Baseline.Routers.register ();
   let* router, portfolio =
     match portfolio with
@@ -255,8 +273,8 @@ let run_batch manifest router_name config device ~portfolio ~domains ~verify
           (List.filter_map Result.to_option parsed)
       in
       let report =
-        Engine.Batch.compile_many ~config ~router ?portfolio ~domains ~verify
-          device jobs
+        Engine.Batch.compile_many ~config ~router ?portfolio ~race ~domains
+          ~verify device jobs
       in
       (* re-merge compile outcomes with parse failures, manifest order *)
       let outcomes = Queue.create () in
@@ -356,7 +374,8 @@ let run_gen_stream path size gates seed ~quiet =
 (* Reporting                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let report_json ?passes device circuit (r : routed) stats router_name =
+let report_json ?passes ?portfolio device circuit (r : routed) stats
+    router_name =
   let mapping_json arr =
     String.concat ","
       (Array.to_list (Array.map string_of_int arr))
@@ -364,6 +383,43 @@ let report_json ?passes device circuit (r : routed) stats router_name =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"router\": \"%s\",\n" (json_escape router_name));
+  (match portfolio with
+  | Some ((report : Sabre.Engine.Portfolio.report), (names : string array)) ->
+    let module P = Sabre.Engine.Portfolio in
+    Buffer.add_string b "  \"portfolio\": {\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"objective\": \"%s\", \"race\": %b, \"domains\": %d, \
+          \"wall_s\": %.6f,\n"
+         (P.objective_name report.P.objective)
+         report.P.race report.P.domains report.P.wall_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"winner\": \"%s\",\n"
+         (json_escape names.(report.P.winner)));
+    Buffer.add_string b "    \"members\": [\n";
+    let n = Array.length report.P.outcomes in
+    Array.iteri
+      (fun i o ->
+        let es = report.P.entry_stats.(i) in
+        let fields =
+          match o with
+          | Ok (m : P.member) ->
+            Printf.sprintf
+              "\"swaps\": %d, \"depth\": %d, \"value\": %g" m.P.n_swaps
+              m.P.depth
+              (P.objective_value report.P.objective m)
+          | Error msg -> Printf.sprintf "\"error\": \"%s\"" (json_escape msg)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "      {\"entry\": \"%s\", %s, \"wall_s\": %.6f, \
+              \"cancelled\": %b}%s\n"
+             (json_escape names.(i))
+             fields es.P.e_wall_s es.P.e_cancelled
+             (if i = n - 1 then "" else ",")))
+      report.P.outcomes;
+    Buffer.add_string b "    ]\n  },\n"
+  | None -> ());
   Buffer.add_string b
     (Printf.sprintf "  \"device\": {\"qubits\": %d, \"couplers\": %d},\n"
        (Coupling.n_qubits device) (Coupling.n_edges device));
@@ -436,10 +492,11 @@ let directed_of_name = function
   | other -> invalid_arg (Printf.sprintf "unknown directed device %S" other)
 
 let run_main input workload size device_name device_size directed router
-    portfolio objective list_routers trials traversals delta weight
-    extended_size seed commutation output expand quiet json trace stats_json
-    parallel batch stream gen_stream gates =
+    portfolio objective portfolio_race list_routers list_seeders trials
+    traversals delta weight extended_size seed commutation output expand quiet
+    json trace stats_json parallel batch stream gen_stream gates =
   if list_routers then run_list_routers ()
+  else if list_seeders then run_list_seeders ()
   else
   let result =
     match (gen_stream, stream) with
@@ -514,7 +571,7 @@ let run_main input workload size device_name device_size directed router
       let domains = match parallel with None -> 1 | Some n -> max 1 n in
       run_batch manifest router config device
         ~portfolio:(Option.map (fun s -> (s, objective)) portfolio)
-        ~domains ~verify:true ~quiet
+        ~race:portfolio_race ~domains ~verify:true ~quiet
     | None ->
     let* circuit = load_circuit input workload size in
     let* directed_device =
@@ -561,22 +618,22 @@ let run_main input workload size device_name device_size directed router
     let instrument =
       if trace then Engine.Instrument.stderr_trace else Engine.Instrument.null
     in
-    let* r, stats, passes, router_label =
+    let* r, stats, passes, router_label, pf_report =
       match portfolio with
       | None ->
         let* r, stats, passes =
           route router config device circuit ~trial_mode ~instrument
         in
-        Ok (r, stats, passes, router)
+        Ok (r, stats, passes, router, None)
       | Some spec ->
         (* -j fans the portfolio entries across domains (trials stay
            sequential inside each entry, so results are unchanged) *)
         let domains = match parallel with None -> 1 | Some n -> max 1 n in
-        let* r, winner =
+        let* r, winner, report =
           route_portfolio spec objective config device circuit ~domains
-            ~instrument ~quiet
+            ~race:portfolio_race ~instrument ~quiet
         in
-        Ok (r, None, [], winner)
+        Ok (r, None, [], winner, Some report)
     in
     let* r =
       match directed_device with
@@ -593,8 +650,11 @@ let run_main input workload size device_name device_size directed router
                  Quantum.Gate.pp g))
         | exception Invalid_argument msg -> Error msg)
     in
-    if stats_json then report_json ~passes device circuit r stats router_label
-    else if json then report_json device circuit r stats router_label
+    if stats_json then
+      report_json ~passes ?portfolio:pf_report device circuit r stats
+        router_label
+    else if json then
+      report_json ?portfolio:pf_report device circuit r stats router_label
     else if not quiet then report device circuit r stats expand;
     (match output with
     | Some path ->
@@ -659,11 +719,18 @@ let portfolio =
   Arg.(value & opt (some string) None
        & info [ "portfolio" ] ~docv:"SPEC"
            ~doc:"Best-of-K portfolio routing: comma-separated \
-                 ROUTER[/SEEDER] entries, e.g. sabre,hail/iso,greedy. \
-                 The circuit routes once per entry and the winner under \
-                 --objective is kept (earliest entry wins ties, \
-                 deterministically). Overrides --router; -j N fans the \
-                 entries across N domains without changing the result.")
+                 ROUTER[/SEEDER][:key=val,...] entries, e.g. \
+                 sabre,hail/iso,greedy or \
+                 sabre:trials=1,traversals=1,sabre:trials=10. Trailing \
+                 key=val pairs override config fields for that entry \
+                 only (keys: heuristic, extended-set-size, \
+                 extended-set-weight, decay-increment, \
+                 decay-reset-interval, trials, traversals, seed, \
+                 stall-limit, commutation-aware). The circuit routes \
+                 once per entry and the winner under --objective is \
+                 kept (earliest entry wins ties, deterministically). \
+                 Overrides --router; -j N fans the entries across N \
+                 domains without changing the result.")
 
 let objective =
   Arg.(value & opt string "swaps"
@@ -673,12 +740,30 @@ let objective =
                  success (highest expected success probability under a \
                  uniform noise model).")
 
+let portfolio_race =
+  Arg.(value & opt (enum [ ("on", true); ("off", false) ]) false
+       & info [ "portfolio-race" ] ~docv:"on|off"
+           ~doc:"Speculative portfolio racing (default off): once an \
+                 entry completes, running entries whose certified lower \
+                 bound (monotone SWAP count or prefix depth) can no \
+                 longer win are cancelled cooperatively. The winner and \
+                 its circuit are bit-identical to the unraced run; \
+                 losing entries just stop early (reported as \
+                 cancelled). No effect for --objective success, which \
+                 has no monotone bound.")
+
 let list_routers =
   Arg.(value & flag
        & info [ "list-routers" ]
            ~doc:"List the registered routers (with their determinism and \
                  seeding behaviour) and the initial-mapping seeders \
                  usable in --portfolio entries, then exit.")
+
+let list_seeders =
+  Arg.(value & flag
+       & info [ "list-seeders" ]
+           ~doc:"List the registered initial-mapping seeders (usable in \
+                 --portfolio ROUTER/SEEDER entries), then exit.")
 
 let trials =
   Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Random initial mappings tried.")
@@ -798,9 +883,9 @@ let cmd =
     (Cmd.info "sabre_compile" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run_main $ input $ workload $ size $ device_name $ device_size
-      $ directed $ router $ portfolio $ objective $ list_routers $ trials
-      $ traversals $ delta $ weight $ extended_size $ seed $ commutation
-      $ output $ expand $ quiet $ json $ trace $ stats_json $ parallel $ batch
-      $ stream $ gen_stream $ gates)
+      $ directed $ router $ portfolio $ objective $ portfolio_race
+      $ list_routers $ list_seeders $ trials $ traversals $ delta $ weight
+      $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json
+      $ trace $ stats_json $ parallel $ batch $ stream $ gen_stream $ gates)
 
 let () = exit (Cmd.eval' cmd)

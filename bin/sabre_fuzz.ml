@@ -148,9 +148,21 @@ let run_list_routers () =
     (Engine.Router.names ());
   0
 
-let main replay_file list_routers budget_s trials seed routers json corpus_dir
-    max_qubits max_gates inject_broken quiet =
+let run_list_seeders () =
+  List.iter
+    (fun name ->
+      match Sabre_core.Initial_mapping.Seeder.find name with
+      | Some s ->
+        Printf.printf "%-18s %s\n" name
+          s.Sabre_core.Initial_mapping.Seeder.description
+      | None -> ())
+    (Sabre_core.Initial_mapping.Seeder.names ());
+  0
+
+let main replay_file list_routers list_seeders budget_s trials seed routers
+    json corpus_dir max_qubits max_gates inject_broken quiet =
   if list_routers then run_list_routers ()
+  else if list_seeders then run_list_seeders ()
   else
     match replay_file with
     | Some path -> run_replay path json
@@ -171,6 +183,13 @@ let list_routers =
        & info [ "list-routers" ]
            ~doc:"List the registered routers (with their determinism and \
                  seeding behaviour), then exit.")
+
+let list_seeders =
+  Arg.(value & flag
+       & info [ "list-seeders" ]
+           ~doc:"List the registered initial-mapping seeders (used by the \
+                 racing-equivalence property's portfolio entries), then \
+                 exit.")
 
 let budget_s =
   Arg.(value & opt (some float) None
@@ -243,8 +262,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sabre_fuzz" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const main $ replay_file $ list_routers $ budget_s $ trials $ seed
-      $ routers $ json $ corpus_dir $ max_qubits $ max_gates $ inject_broken
-      $ quiet)
+      const main $ replay_file $ list_routers $ list_seeders $ budget_s
+      $ trials $ seed $ routers $ json $ corpus_dir $ max_qubits $ max_gates
+      $ inject_broken $ quiet)
 
 let () = exit (Cmd.eval' cmd)

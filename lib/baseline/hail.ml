@@ -3,8 +3,10 @@ module Circuit = Quantum.Circuit
 module Coupling = Hardware.Coupling
 module Mapping = Sabre_core.Mapping
 module Stats = Sabre_core.Stats
+module Routing = Sabre_core.Routing_pass
 module Context = Engine.Context
 module Router = Engine.Router
+module Race = Engine.Race
 
 (* HAIL-style routing (arXiv:2502.07536): program-order SWAP insertion
    scored by a layer-weight-decayed lookahead. Each decision looks at
@@ -59,7 +61,35 @@ let route (ctx : Context.t) ~initial =
   let candidates = ref 0 in
   let delta_terms = ref 0 in
   let full_terms = ref 0 in
-  let emit g = out := g :: !out in
+  (* Race plumbing: hail is a single forward pass, so the whole run is
+     the "final traversal" whose monotone counters (SWAPs inserted,
+     prefix ASAP depth) certify a pruning bound. The depth tracker and
+     the every-N progress check only engage when a token is present;
+     the hookless hot path is untouched. *)
+  (match ctx.Context.race with
+  | Some r -> Race.note_traversal r ~final:true
+  | None -> ());
+  let hook = Option.map (fun r -> Race.hook r) ctx.Context.race in
+  let depth_lb = ref 0 in
+  let note_depth =
+    match hook with
+    | None -> fun _ -> ()
+    | Some _ ->
+      let ready = Array.make n_physical 0 in
+      fun g ->
+        let w =
+          match g with Gate.Swap _ -> 3 | Gate.Barrier _ -> 0 | _ -> 1
+        in
+        let qs = Gate.qubits g in
+        let start = List.fold_left (fun acc q -> max acc ready.(q)) 0 qs in
+        let finish = start + w in
+        List.iter (fun q -> ready.(q) <- finish) qs;
+        if finish > !depth_lb then depth_lb := finish
+  in
+  let emit g =
+    note_depth g;
+    out := g :: !out
+  in
   let swap pa pb =
     emit (Gate.Swap (pa, pb));
     Mapping.swap_physical_inplace mapping pa pb;
@@ -185,6 +215,27 @@ let route (ctx : Context.t) ~initial =
     | Some s -> s
     | None -> 2 * n_physical
   in
+  let check =
+    match hook with
+    | None -> fun () -> ()
+    | Some { Routing.every; notify } ->
+      let every = max 1 every in
+      let next = ref every in
+      fun () ->
+        if !decisions >= !next then begin
+          next := !decisions + every;
+          match
+            notify
+              {
+                Routing.swaps = !n_swaps;
+                decisions = !decisions;
+                depth_lb = !depth_lb;
+              }
+          with
+          | Routing.Continue -> ()
+          | Routing.Stop -> raise Routing.Cancelled
+        end
+  in
   Array.iteri
     (fun i g ->
       (match Gate.two_qubit_pair g with
@@ -212,7 +263,8 @@ let route (ctx : Context.t) ~initial =
               stalls := 0
             end
             else incr stalls
-          end
+          end;
+          check ()
         done
       | _ -> ());
       emit (Gate.remap (Mapping.to_physical mapping) g))

@@ -250,9 +250,9 @@ let iso_seed_conformance ~config coupling circuit =
 
 let portfolio_entries =
   [
-    { Engine.Portfolio.router = "sabre"; seeder = "reverse-traversal" };
-    { Engine.Portfolio.router = "hail"; seeder = "iso" };
-    { Engine.Portfolio.router = "greedy"; seeder = "reverse-traversal" };
+    { Engine.Portfolio.router = "sabre"; seeder = "reverse-traversal"; overrides = [] };
+    { Engine.Portfolio.router = "hail"; seeder = "iso"; overrides = [] };
+    { Engine.Portfolio.router = "greedy"; seeder = "reverse-traversal"; overrides = [] };
   ]
 
 let portfolio_dominance ~config coupling circuit =
@@ -317,6 +317,90 @@ let portfolio_dominance ~config coupling circuit =
           | exception Router.Route_failed _ ->
             Error "portfolio failed at 2 domains after succeeding at 1")
       | exception Router.Route_failed _ -> Ok ())
+
+let racing_equivalence ~config coupling circuit =
+  ensure_registered ();
+  let module Portfolio = Engine.Portfolio in
+  let run ~race ~domains =
+    Portfolio.run ~domains ~race ~objective:Portfolio.Swaps ~config coupling
+      circuit portfolio_entries
+  in
+  match run ~race:false ~domains:1 with
+  | exception Router.Route_failed _ -> Ok ()
+  | exception Invalid_argument _ -> Ok ()
+  | base ->
+    let bw = Portfolio.winner_member base in
+    let check domains =
+      match run ~race:true ~domains with
+      | exception Router.Route_failed _ ->
+        Error
+          (Printf.sprintf
+             "racing portfolio failed (%d domains) where the plain run \
+              succeeded at seed %d"
+             domains config.Config.seed)
+      | raced ->
+        if raced.Portfolio.winner <> base.Portfolio.winner then
+          Error
+            (Printf.sprintf
+               "racing changed the winner at seed %d (%d domains): entry %d \
+                vs %d"
+               config.Config.seed domains raced.Portfolio.winner
+               base.Portfolio.winner)
+        else begin
+          let rw = Portfolio.winner_member raced in
+          if not (Circuit.equal rw.Portfolio.physical bw.Portfolio.physical)
+          then
+            Error
+              (Printf.sprintf
+                 "racing changed the winner's routed circuit at seed %d (%d \
+                  domains)"
+                 config.Config.seed domains)
+          else begin
+            (* every entry that still completed under racing must carry
+               the identical result; losers may only disappear by being
+               pruned, never by failing differently *)
+            let n = Array.length base.Portfolio.outcomes in
+            let rec scan i =
+              if i >= n then Ok ()
+              else
+                match
+                  (base.Portfolio.outcomes.(i), raced.Portfolio.outcomes.(i))
+                with
+                | Ok bm, Ok rm ->
+                  if
+                    rm.Portfolio.n_swaps <> bm.Portfolio.n_swaps
+                    || not
+                         (Circuit.equal rm.Portfolio.physical
+                            bm.Portfolio.physical)
+                  then
+                    Error
+                      (Printf.sprintf
+                         "racing changed completing entry %d's result at seed \
+                          %d (%d domains): %d vs %d swaps"
+                         i config.Config.seed domains rm.Portfolio.n_swaps
+                         bm.Portfolio.n_swaps)
+                  else scan (i + 1)
+                | Ok _, Error msg when msg = Portfolio.cancelled_msg ->
+                  scan (i + 1)
+                | Error _, Error _ -> scan (i + 1)
+                | Ok _, Error msg ->
+                  Error
+                    (Printf.sprintf
+                       "entry %d completed plainly but failed under racing at \
+                        seed %d (%d domains): %s"
+                       i config.Config.seed domains msg)
+                | Error msg, Ok _ ->
+                  Error
+                    (Printf.sprintf
+                       "entry %d failed plainly (%s) but completed under \
+                        racing at seed %d (%d domains)"
+                       i msg config.Config.seed domains)
+            in
+            scan 0
+          end
+        end
+    in
+    (match check 1 with Error _ as e -> e | Ok () -> check 2)
 
 let delta_equivalence ~config coupling circuit =
   ensure_registered ();

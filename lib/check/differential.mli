@@ -133,6 +133,16 @@ val portfolio_dominance :
     identical — same winner index, byte-identical circuit — when the
     entries are fanned across 2 domains. *)
 
+val racing_equivalence :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Run {!Engine.Portfolio.run} over {!portfolio_entries} twice — with
+    incumbent-bound pruning off and on (at 1 and 2 domains) — and
+    assert racing is observationally pure on the result: same winner
+    index, byte-identical winning circuit, and every entry that still
+    completes under racing carries the identical outcome. Losing
+    entries may only differ by being reported
+    {!Engine.Portfolio.cancelled_msg}. *)
+
 val delta_equivalence :
   config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
 (** Route with the [sabre] router twice at the same seed — once with

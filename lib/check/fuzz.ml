@@ -149,6 +149,11 @@ let portfolio_failure ~config coupling circuit =
   | Error msg -> Some msg
   | Ok () -> None
 
+let racing_failure ~config coupling circuit =
+  match Differential.racing_equivalence ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
 let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
     ?(on_event = fun (_ : event) -> ()) ~seed ~routers () =
   Differential.ensure_registered ();
@@ -297,6 +302,22 @@ let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
           ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
           ~failure_of:(fun c -> portfolio_failure ~config coupling c)
     end;
+    (* racing property: incumbent-bound pruning must be observationally
+       pure — same winner, same completing-entry results, losers only
+       ever reported cancelled *)
+    if
+      List.mem "sabre" routers
+      && List.mem "hail" routers
+      && List.mem "greedy" routers
+      && not (Hashtbl.mem dead ("sabre", "racing-equivalence"))
+    then begin
+      match racing_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"racing-equivalence" ~config
+          ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> racing_failure ~config coupling c)
+    end;
     incr trials;
     on_event (Trial_done !trials)
   done;
@@ -345,6 +366,10 @@ let replay (r : Corpus.repro) =
       | Ok () -> `Passes)
     | "portfolio-dominance" -> (
       match Differential.portfolio_dominance ~config coupling circuit with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "racing-equivalence" -> (
+      match Differential.racing_equivalence ~config coupling circuit with
       | Error msg -> `Reproduced msg
       | Ok () -> `Passes)
     | p -> `Error (Printf.sprintf "unknown property %S" p))

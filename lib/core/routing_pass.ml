@@ -4,6 +4,11 @@ module Dag = Quantum.Dag
 module Coupling = Hardware.Coupling
 
 type scoring_mode = Delta | Full
+type verdict = Continue | Stop
+type progress = { swaps : int; decisions : int; depth_lb : int }
+type hook = { every : int; notify : progress -> verdict }
+
+exception Cancelled
 
 type result = {
   physical : Circuit.t;
@@ -237,6 +242,50 @@ type state = {
   mutable sc_delta_terms : int;
   mutable sc_full_terms : int;
 }
+
+(* Prefix ASAP depth under {!Depth.depth_swap3} weights (Swap 3,
+   Barrier 0, else 1), maintained gate by gate over the emitted
+   physical stream. ASAP finish times only ever grow as gates are
+   appended, so the depth of the emitted prefix is a lower bound on the
+   depth of every extension — the monotonicity that makes it usable as
+   a pruning bound. Engaged only when a progress hook is installed; the
+   hookless hot path never pays for it. *)
+let depth_tracker n_physical =
+  let ready = Array.make n_physical 0 in
+  let depth = ref 0 in
+  let note g =
+    let w =
+      match g with Gate.Swap _ -> 3 | Gate.Barrier _ -> 0 | _ -> 1
+    in
+    let qs = Gate.qubits g in
+    let start = List.fold_left (fun acc q -> max acc ready.(q)) 0 qs in
+    let finish = start + w in
+    List.iter (fun q -> ready.(q) <- finish) qs;
+    if finish > depth.contents then depth := finish
+  in
+  (note, fun () -> depth.contents)
+
+(* Every-N-decisions progress check for the traversal loops below.
+   Raising [Cancelled] from inside the [Fun.protect]ed loop is safe for
+   the arena: the [finally] sync writes back grown arrays and the
+   monotone generation counters, so an aborted run leaves the scratch
+   reusable (stale stamps sit below every future generation). *)
+let progress_check ~hook ~decisions ~swaps ~depth_lb =
+  match hook with
+  | None -> fun () -> ()
+  | Some { every; notify } ->
+    let every = max 1 every in
+    let next = ref every in
+    fun () ->
+      if decisions () >= next.contents then begin
+        next := decisions () + every;
+        match
+          notify
+            { swaps = swaps (); decisions = decisions (); depth_lb = depth_lb () }
+        with
+        | Continue -> ()
+        | Stop -> raise Cancelled
+      end
 
 let reset_decay st =
   Array.fill st.decay 0 (Array.length st.decay) 1.0;
@@ -639,7 +688,7 @@ let resolve_metric ~coupling ~scoring ~dist ~dist_int =
   in
   (dist, dist_int)
 
-let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
+let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) ?hook config
     coupling dag initial =
   (match Config.validate config with
   | Ok () -> ()
@@ -673,6 +722,17 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
   Incidence.invalidate scratch.Scratch.einc;
   let n_logical = Mapping.n_logical initial in
   let out_rev = ref [] in
+  let base_sink g = out_rev := g :: !out_rev in
+  let sink, depth_lb =
+    match hook with
+    | None -> (base_sink, fun () -> 0)
+    | Some _ ->
+      let note, current = depth_tracker n_physical in
+      ( (fun g ->
+          note g;
+          base_sink g),
+        current )
+  in
   let st =
     {
       config;
@@ -703,7 +763,7 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
       l2p_scratch = scratch.Scratch.l2p;
       finc = scratch.Scratch.finc;
       einc = scratch.Scratch.einc;
-      sink = (fun g -> out_rev := g :: !out_rev);
+      sink;
       decay = scratch.Scratch.decay;
       steps_since_reset = 0;
       stall = 0;
@@ -737,12 +797,19 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
     scratch.Scratch.visit_gen <- st.visit_gen;
     scratch.Scratch.cand_gen <- st.cand_gen
   in
+  let check =
+    progress_check ~hook
+      ~decisions:(fun () -> st.sc_decisions)
+      ~swaps:(fun () -> st.n_swaps)
+      ~depth_lb
+  in
   Fun.protect ~finally:sync (fun () ->
       List.iter (fun i -> Intq.push st.ready i) (Dag.initial_front dag);
       advance st;
       while st.front_len > 0 do
         if st.stall > st.stall_limit then fallback_route st
         else choose_and_apply_swap ~rebuild:rebuild_front_caches st;
+        check ();
         advance st
       done;
       {
@@ -764,10 +831,10 @@ let run_with_scratch ~scratch ?dist ?dist_int ?(scoring = Delta) config
           };
       })
 
-let run_flat ?dist ?dist_int ?scoring config coupling dag initial =
+let run_flat ?dist ?dist_int ?scoring ?hook config coupling dag initial =
   run_with_scratch
     ~scratch:(Scratch.create coupling)
-    ?dist ?dist_int ?scoring config coupling dag initial
+    ?dist ?dist_int ?scoring ?hook config coupling dag initial
 
 let run ?dist ?scoring config coupling dag initial =
   let dist = Option.map Heuristic.flatten_dist dist in
@@ -791,7 +858,7 @@ let empty_dag = lazy (Dag.of_circuit (Circuit.create ~n_qubits:0 []))
    bounded by the window, which [retire] (per-qubit last-use stream
    positions, e.g. from [Qasm_stream.survey]) keeps proportional to the
    circuit's qubit-inactivity span rather than its length. *)
-let run_streaming ?dist ?dist_int ?(scoring = Delta) ?retire ~sink config
+let run_streaming ?dist ?dist_int ?(scoring = Delta) ?retire ?hook ~sink config
     coupling source initial =
   (match Config.validate config with
   | Ok () -> ()
@@ -803,6 +870,11 @@ let run_streaming ?dist ?dist_int ?(scoring = Delta) ?retire ~sink config
   let dist, dist_int = resolve_metric ~coupling ~scoring ~dist ~dist_int in
   let w = Dag.Window.create ?retire ~n_qubits:n_logical source in
   let gates_out = ref 0 in
+  let note_depth, depth_lb =
+    match hook with
+    | None -> ((fun _ -> ()), fun () -> 0)
+    | Some _ -> depth_tracker n_physical
+  in
   let st =
     {
       config;
@@ -836,6 +908,7 @@ let run_streaming ?dist ?dist_int ?(scoring = Delta) ?retire ~sink config
       sink =
         (fun g ->
           incr gates_out;
+          note_depth g;
           sink g);
       decay = Array.make n_physical 1.0;
       steps_since_reset = 0;
@@ -962,11 +1035,18 @@ let run_streaming ?dist ?dist_int ?(scoring = Delta) ?retire ~sink config
       fallback_walk st (Dag.Window.pair_q1 w i) (Dag.Window.pair_q2 w i)
     end
   in
+  let check =
+    progress_check ~hook
+      ~decisions:(fun () -> st.sc_decisions)
+      ~swaps:(fun () -> st.n_swaps)
+      ~depth_lb
+  in
   Dag.Window.saturate w on_ready;
   advance_stream ();
   while st.front_len > 0 do
     if st.stall > st.stall_limit then fallback_stream ()
     else choose_and_apply_swap ~rebuild:rebuild_stream_caches st;
+    check ();
     advance_stream ()
   done;
   if not (Dag.Window.exhausted w && Dag.Window.live_count w = 0) then

@@ -23,6 +23,40 @@ type scoring_mode =
           kept as the equivalence baseline and for custom float
           metrics. *)
 
+(** {2 Cooperative budget/cancel hook}
+
+    A driver that races several routing runs (best-of-K portfolios, a
+    serving daemon with deadlines) needs to stop a run that can no
+    longer win without poisoning the per-domain scratch arena. The
+    hook below is the contract: the traversal loop invokes [notify]
+    every [every] routing decisions with monotone counters, and a
+    [Stop] verdict aborts the run by raising {!Cancelled} from inside
+    the arena's [Fun.protect] discipline — grown arrays and generation
+    counters are synced back on the way out, so the scratch stays
+    reusable and a subsequent run on it is bit-identical to a
+    fresh-arena run. *)
+
+type verdict = Continue | Stop
+
+type progress = {
+  swaps : int;  (** SWAPs inserted so far; never decreases *)
+  decisions : int;  (** heuristic SWAP decisions so far; never decreases *)
+  depth_lb : int;
+      (** ASAP depth (Swap weight 3, Barrier 0, else 1 — the
+          {!Depth.depth_swap3} metric) of the physical prefix emitted so
+          far. Finish times only grow as gates are appended, so this is
+          a monotone lower bound on the finished traversal's depth. *)
+}
+
+type hook = {
+  every : int;  (** invoke [notify] every [max 1 every] decisions *)
+  notify : progress -> verdict;
+}
+
+exception Cancelled
+(** Raised out of a run whose hook returned [Stop]. The run's partial
+    output is discarded; the scratch arena remains valid. *)
+
 type result = {
   physical : Circuit.t;  (** hardware-compliant output circuit *)
   final_mapping : Mapping.t;  (** π after the last gate *)
@@ -56,6 +90,7 @@ val run_flat :
   ?dist:float array ->
   ?dist_int:int array ->
   ?scoring:scoring_mode ->
+  ?hook:hook ->
   Config.t -> Coupling.t -> Dag.t -> Mapping.t -> result
 (** Same as {!run}, but the metric is the row-major flattened matrix
     ([dist.((p1 * n_physical) + p2)], stride = device qubit count) the
@@ -127,6 +162,7 @@ val run_with_scratch :
   ?dist:float array ->
   ?dist_int:int array ->
   ?scoring:scoring_mode ->
+  ?hook:hook ->
   Config.t ->
   Coupling.t ->
   Dag.t ->
@@ -138,7 +174,12 @@ val run_with_scratch :
     generation counters only ever increase (a π-independent stale stamp
     can never collide with a fresh generation). Raises
     [Invalid_argument] when [scratch] was created for a device of a
-    different shape (qubit or edge count). *)
+    different shape (qubit or edge count).
+
+    [hook] installs the cooperative progress callback; a [Stop] verdict
+    raises {!Cancelled} and leaves [scratch] reusable (the sync in the
+    run's [Fun.protect] runs on the abort path too). Installing a hook
+    never changes the routed output of a run that completes. *)
 
 (** {2 Streaming entry point} *)
 
@@ -161,6 +202,7 @@ val run_streaming :
   ?dist_int:int array ->
   ?scoring:scoring_mode ->
   ?retire:int array ->
+  ?hook:hook ->
   sink:(Quantum.Gate.t -> unit) ->
   Config.t ->
   Coupling.t ->

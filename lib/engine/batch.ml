@@ -53,12 +53,12 @@ let compile_one ~config ~router_name ~pipeline ~instrument coupling job =
 (* a portfolio job: entries race sequentially inside the job (parallelism
    stays across jobs), the winner becomes the job's success and its
    entry label the [router] field *)
-let compile_portfolio ~config ~entries ~objective ~verify ~instrument coupling
-    job =
+let compile_portfolio ~config ~entries ~objective ~verify ~race ~instrument
+    coupling job =
   let t0 = wall () in
   match
-    Portfolio.run ~domains:1 ~objective ~config ~verify ~instrument coupling
-      job.circuit entries
+    Portfolio.run ~domains:1 ~objective ~config ~verify ~race ~instrument
+      coupling job.circuit entries
   with
   | report ->
     let m = Portfolio.winner_member report in
@@ -77,8 +77,8 @@ let compile_portfolio ~config ~entries ~objective ~verify ~instrument coupling
   | exception Invalid_argument msg -> Error { name = job.name; message = msg }
 
 let compile_many ?(config = Config.default) ?(router = Sabre_router.router)
-    ?portfolio ?(domains = 1) ?(verify = false) ?(instrument = Instrument.null)
-    coupling jobs =
+    ?portfolio ?(domains = 1) ?(verify = false) ?(race = false)
+    ?(instrument = Instrument.null) coupling jobs =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.Batch: " ^ msg));
@@ -90,8 +90,8 @@ let compile_many ?(config = Config.default) ?(router = Sabre_router.router)
     | Some (entries, objective) ->
       Array.map
         (fun job () ->
-          compile_portfolio ~config ~entries ~objective ~verify ~instrument
-            coupling job)
+          compile_portfolio ~config ~entries ~objective ~verify ~race
+            ~instrument coupling job)
         jobs
     | None ->
       let pipeline = Pipeline.default ~router ~verify () in

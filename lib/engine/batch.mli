@@ -50,6 +50,7 @@ val compile_many :
   ?portfolio:Portfolio.entry list * Portfolio.objective ->
   ?domains:int ->
   ?verify:bool ->
+  ?race:bool ->
   ?instrument:Instrument.t ->
   Coupling.t ->
   job array ->
@@ -62,7 +63,10 @@ val compile_many :
     sequential) and keeps the winner. [domains] defaults to 1
     (sequential — pass [Trial_runner.default_domains ()] to use every
     core); [verify] (default [false]) appends the semantic
-    {!Verify_pass} to each job's pipeline. [instrument] receives every
+    {!Verify_pass} to each job's pipeline. [race] (default [false])
+    arms {!Portfolio.run}'s incumbent-bound pruning inside each
+    portfolio job — the per-job winner is unchanged, losing entries
+    just stop early (no effect without [portfolio]). [instrument] receives every
     job's pass events and must be domain-safe when [domains > 1]
     ({!Instrument.null}, the default, {!Instrument.stderr_trace} and
     {!Instrument.sync_collector} are; a plain {!Instrument.collector}

@@ -27,6 +27,7 @@ type t = {
   dist_int : int array option;  (* integer view of [dist], if exact *)
   scoring_mode : Sabre_core.Routing_pass.scoring_mode;
   trial_mode : Trial_runner.mode;
+  race : Race.t option;
   fixed_initial : Mapping.t option;
   dag_forward : Dag.t option;
   dag_backward : Dag.t option;
@@ -44,7 +45,7 @@ let check_device coupling circuit =
   then invalid_arg "Engine.Context: disconnected coupling graph"
 
 let create ?(config = Config.default) ?dist ?noise
-    ?(trial_mode = Trial_runner.Sequential) ?initial
+    ?(trial_mode = Trial_runner.Sequential) ?race ?initial
     ?(instrument = Instrument.null)
     ?(scoring = Sabre_core.Routing_pass.Delta) coupling circuit =
   (match Config.validate config with
@@ -84,6 +85,7 @@ let create ?(config = Config.default) ?dist ?noise
     dist_int;
     scoring_mode = scoring;
     trial_mode;
+    race;
     fixed_initial = Option.map Mapping.copy initial;
     dag_forward = None;
     dag_backward = None;

@@ -51,6 +51,9 @@ type t = {
       (** candidate-scoring strategy handed to the router (default
           [Delta]; output is bit-identical either way) *)
   trial_mode : Trial_runner.mode;
+  race : Race.t option;
+      (** cooperative cancel/prune token; routers that support it
+          install {!Race.hook} into their decision loops *)
   fixed_initial : Mapping.t option;
       (** caller-supplied initial mapping; suppresses random trials *)
   dag_forward : Dag.t option;  (** set by {!Dag_pass} *)
@@ -70,6 +73,7 @@ val create :
   ?dist:float array array ->
   ?noise:Noise.t ->
   ?trial_mode:Trial_runner.mode ->
+  ?race:Race.t ->
   ?initial:Mapping.t ->
   ?instrument:Instrument.t ->
   ?scoring:Sabre_core.Routing_pass.scoring_mode ->

@@ -33,16 +33,37 @@ type objective =
 val objective_name : objective -> string
 val objective_of_string : string -> (objective, string) result
 
-type entry = { router : string; seeder : string }
+type entry = {
+  router : string;
+  seeder : string;
+  overrides : (string * string) list;
+      (** per-entry {!Config.t} deltas, applied on top of the base
+          config {!run} receives; [[]] keeps the base untouched *)
+}
 
 val entry_name : entry -> string
 (** ["router"] when the seeder is the default router-native
-    ["reverse-traversal"], ["router/seeder"] otherwise. *)
+    ["reverse-traversal"], ["router/seeder"] otherwise; override
+    deltas are appended as [":key=val,..."]. *)
+
+val override_keys : string list
+(** The override keys {!apply_overrides} understands — the kebab-case
+    names of every {!Config.t} field. *)
+
+val apply_overrides :
+  Config.t -> (string * string) list -> (Config.t, string) result
+(** Fold entry overrides into a base config and re-validate. Unknown
+    keys and malformed values are rejected with a message listing
+    {!override_keys} (mirroring the registries' suggest-style errors). *)
 
 val parse_spec : string -> (entry list, string) result
-(** Parse a CLI spec: comma-separated [ROUTER[/SEEDER]] items, e.g.
-    ["sabre,hail/iso,greedy"]. Name resolution happens in {!run} (the
-    registries may still be filling up at parse time). *)
+(** Parse a CLI spec: comma-separated [ROUTER[/SEEDER][:key=val,...]]
+    items, e.g. ["sabre,hail/iso:trials=1,traversals=1,greedy"] —
+    a fragment that is a pure [key=val] (no [:]) continues the previous
+    entry's override list. Override keys and value syntax are checked
+    at parse time against {!Config.default}; router/seeder name
+    resolution happens in {!run} (the registries may still be filling
+    up at parse time). *)
 
 type member = {
   entry : entry;
@@ -60,12 +81,28 @@ type member = {
 
 type outcome = (member, string) result
 
+val cancelled_msg : string
+(** The [Error] payload a pruned or hard-cancelled entry carries in
+    [outcomes] — lets callers distinguish "stopped early" from a real
+    per-entry failure. *)
+
+type entry_stat = {
+  e_wall_s : float;
+      (** wall seconds this entry's compile thunk ran (0 when it was
+          skipped at claim time) *)
+  e_cancelled : bool;
+      (** the entry was stopped — hard cancel, claim-time skip, or
+          incumbent-bound pruning — instead of finishing *)
+}
+
 type report = {
   objective : objective;
   outcomes : outcome array;  (** in entry order *)
+  entry_stats : entry_stat array;  (** in entry order *)
   winner : int;  (** index into [outcomes]; always an [Ok] member *)
   wall_s : float;
   domains : int;  (** domains actually used (after clamping) *)
+  race : bool;  (** incumbent-bound pruning was armed for this run *)
 }
 
 val winner_member : report -> member
@@ -81,16 +118,36 @@ val run :
   ?config:Config.t ->
   ?noise:Noise.t ->
   ?verify:bool ->
+  ?race:bool ->
+  ?cancel:(unit -> bool) ->
   ?instrument:Instrument.t ->
   Coupling.t ->
   Circuit.t ->
   entry list ->
   report
 (** [run coupling circuit entries] routes [circuit] once per entry and
-    picks the winner. [domains] defaults to 1 (sequential); results are
-    identical at any domain count. [instrument] receives every entry's
-    pass events plus per-entry [portfolio.<entry>.swaps/.depth/.failed]
-    counters and [portfolio.winner]; it must be domain-safe when
-    [domains > 1]. Raises [Invalid_argument] on an unknown router or
-    seeder name (listing the registered names), and
+    picks the winner. [domains] defaults to 1 (sequential); the winner
+    and every completing entry's outcome are identical at any domain
+    count.
+
+    [race] (default [false]) arms incumbent-bound pruning via {!Race}:
+    entries whose certified lower bound cannot beat a completed
+    entry's objective value under the first-best tie-break are stopped
+    early (their outcome becomes [Error] and their
+    {!entry_stat.e_cancelled} is set), which never changes the winner
+    — see {!Race} for the argument. [Success_prob] has no monotone
+    bound and silently runs unpruned.
+
+    [cancel] is an external hard-stop probe (deadline expiry, client
+    disconnect), polled at claim time and at every in-flight progress
+    check; once it returns [true] the whole portfolio winds down
+    cooperatively. When it fires before any entry completes, {!run}
+    raises {!Router.Route_failed} (every outcome is the cancellation
+    error).
+
+    [instrument] receives every entry's pass events plus per-entry
+    [portfolio.<entry>.swaps/.depth/.failed/.cancelled] counters and
+    [portfolio.winner]; it must be domain-safe when [domains > 1].
+    Raises [Invalid_argument] on an unknown router or seeder name
+    (listing the registered names) or an invalid override, and
     {!Router.Route_failed} when every entry failed. *)

@@ -32,8 +32,32 @@ let pass ?(router = Sabre_router.router) () =
       let mappings =
         if R.deterministic then [| mappings.(0) |] else mappings
       in
+      (* Race notation only makes sense when trials run sequentially on
+         one domain (the token's trial bookkeeping is entry-local); the
+         portfolio always races with sequential trials. *)
+      let race =
+        match ctx.race with
+        | Some r when ctx.trial_mode = Trial_runner.Sequential -> Some r
+        | _ -> None
+      in
+      let n_trials = Array.length mappings in
       let jobs =
-        Array.map (fun m () -> R.route ctx ~initial:m) mappings
+        Array.mapi
+          (fun k m () ->
+            (match race with
+            | Some r -> Race.note_trial r ~last:(k = n_trials - 1)
+            | None -> ());
+            let o = R.route ctx ~initial:m in
+            (match race with
+            | Some r ->
+              let depth =
+                if Race.needs_depth r then Depth.depth_swap3 o.Router.physical
+                else 0
+              in
+              Race.note_trial_done r ~swaps:o.Router.n_swaps ~depth
+            | None -> ());
+            o)
+          mappings
       in
       let outcomes = Trial_runner.map ~mode:ctx.trial_mode jobs in
       let best = Trial_runner.best ~better:(better ~noise:ctx.noise) outcomes in

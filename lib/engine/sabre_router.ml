@@ -37,11 +37,20 @@ let route (ctx : Context.t) ~initial =
   let total = ctx.config.Config.traversals in
   let backward = if total > 1 then dag_exn ctx.dag_backward else forward in
   let scratch = scratch_for ctx.coupling in
+  let hook =
+    Option.map (fun r -> Race.hook r) ctx.Context.race
+  in
   let rec go i mapping first steps fallbacks scoring =
     let oriented = if i mod 2 = 1 then forward else backward in
+    (* only the last (forward) traversal's counters certify a pruning
+       bound — its result is the one the trial reports *)
+    (match ctx.Context.race with
+    | Some r -> Race.note_traversal r ~final:(i = total)
+    | None -> ());
     let r =
       Routing.run_with_scratch ~scratch ~dist:ctx.dist ?dist_int:ctx.dist_int
-        ~scoring:ctx.scoring_mode ctx.config ctx.coupling oriented mapping
+        ~scoring:ctx.scoring_mode ?hook ctx.config ctx.coupling oriented
+        mapping
     in
     let first = match first with None -> Some r.Routing.n_swaps | s -> s in
     let steps = steps + r.Routing.search_steps in

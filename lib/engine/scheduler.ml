@@ -94,3 +94,56 @@ let run_report ?chunk ~domains jobs =
   end
 
 let run ?chunk ~domains jobs = (run_report ?chunk ~domains jobs).results
+
+(* Cancellable variant: [cancelled i] is consulted when a worker claims
+   job [i] — a [true] answer skips the thunk entirely and leaves [None]
+   in its slot. Cancellation of a job already running is the job's own
+   business (the routing-pass progress hook); this layer only stops
+   work from starting. Defaults to chunk 1: racing jobs have wildly
+   unequal lengths, so per-job claiming is what lets a short entry free
+   its domain for a long one. *)
+let run_cancellable ?(chunk = 1) ~cancelled ~domains jobs =
+  let n = Array.length jobs in
+  if n = 0 then [||]
+  else begin
+    let domains = max 1 (min domains n) in
+    let chunk = max 1 chunk in
+    if domains = 1 then
+      Array.mapi
+        (fun i job -> if cancelled i then None else Some (job ()))
+        jobs
+    else begin
+      let next = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let failure = Atomic.make None in
+      let results = Array.make n None in
+      let worker () =
+        let continue = ref true in
+        while !continue && not (Atomic.get stop) do
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= n then continue := false
+          else begin
+            let hi = min n (lo + chunk) in
+            let i = ref lo in
+            while !i < hi && not (Atomic.get stop) do
+              (if not (cancelled !i) then
+                 match jobs.(!i) () with
+                 | r -> results.(!i) <- Some r
+                 | exception e -> record_failure failure stop !i e);
+              incr i
+            done
+          end
+        done
+      in
+      let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception e -> record_failure failure stop max_int e)
+        spawned;
+      (match Atomic.get failure with Some (_, e) -> raise e | None -> ());
+      results
+    end
+  end

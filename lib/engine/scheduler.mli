@@ -53,3 +53,19 @@ val run_report :
   ?chunk:int -> domains:int -> (unit -> 'a) array -> 'a report
 (** Like {!run}, also returning per-domain counters. When the pool ran
     on the calling domain only, [stats] has a single entry. *)
+
+val run_cancellable :
+  ?chunk:int ->
+  cancelled:(int -> bool) ->
+  domains:int ->
+  (unit -> 'a) array ->
+  'a option array
+(** {!run} with per-job cancellation: [cancelled i] is consulted when a
+    worker claims job [i]; [true] skips the thunk and leaves [None] in
+    slot [i]. A job already running is not interrupted here — in-flight
+    cancellation belongs to the job itself (see {!Race.hook}); this
+    check only keeps doomed work from starting. [chunk] defaults to 1
+    (racing jobs have unequal lengths, so per-job claiming lets a short
+    entry's domain steal the next job instead of sitting on a stale
+    chunk). [cancelled] must be domain-safe. Results keep input order;
+    exceptions propagate as in {!run} (lowest failed index). *)

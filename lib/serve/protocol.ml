@@ -44,6 +44,7 @@ type portfolio = {
   device_size : int option;
   spec : string;
   objective : string;
+  race : bool;
   overrides : overrides;
   deadline_s : float option;
 }
@@ -101,6 +102,9 @@ type member_stat = {
   entry : string;
   swaps : int option;
   depth : int option;
+  value : float option;  (** the entry's objective value (lower wins) *)
+  wall_s : float option;  (** wall seconds the entry's compile ran *)
+  cancelled : bool;  (** stopped early: pruned, deadline, or disconnect *)
   error : string option;
 }
 
@@ -181,7 +185,11 @@ let encode_request req =
         @ source_field p.source
         @ [ ("device", Jsonx.Str p.device) ]
         @ opt_field "device_size" (fun v -> Jsonx.Int v) p.device_size
-        @ [ ("spec", Jsonx.Str p.spec); ("objective", Jsonx.Str p.objective) ]
+        @ [
+            ("spec", Jsonx.Str p.spec);
+            ("objective", Jsonx.Str p.objective);
+            ("race", Jsonx.Bool p.race);
+          ]
         @ overrides_fields p.overrides
         @ opt_field "deadline_s" (fun v -> Jsonx.Float v) p.deadline_s)
     | Stats { id } ->
@@ -225,6 +233,9 @@ let encode_response resp =
                           ([ ("entry", Jsonx.Str m.entry) ]
                           @ opt_field "swaps" (fun v -> Jsonx.Int v) m.swaps
                           @ opt_field "depth" (fun v -> Jsonx.Int v) m.depth
+                          @ opt_field "value" (fun v -> Jsonx.Float v) m.value
+                          @ opt_field "wall_s" (fun v -> Jsonx.Float v) m.wall_s
+                          @ [ ("cancelled", Jsonx.Bool m.cancelled) ]
                           @ opt_field "error" (fun v -> Jsonx.Str v) m.error))
                       members)) );
           ])
@@ -313,8 +324,8 @@ let opt_str obj name = opt_typed obj name Jsonx.to_str "a string"
 let known_request_fields =
   [
     "kind"; "id"; "qasm"; "path"; "device"; "device_size"; "router"; "spec";
-    "objective"; "trials"; "traversals"; "delta"; "weight"; "extended_set";
-    "seed"; "commutation"; "deadline_s";
+    "objective"; "race"; "trials"; "traversals"; "delta"; "weight";
+    "extended_set"; "seed"; "commutation"; "deadline_s";
   ]
 
 let reject_unknown_fields obj known =
@@ -389,6 +400,7 @@ let decode_request ?(max_bytes = default_max_bytes) line =
                    spec = get_str json "spec";
                    objective =
                      Option.value (opt_str json "objective") ~default:"swaps";
+                   race = Option.value (opt_bool json "race") ~default:false;
                    overrides;
                    deadline_s;
                  })
@@ -449,6 +461,10 @@ let decode_response line =
                      entry = get_str m "entry";
                      swaps = opt_int m "swaps";
                      depth = opt_int m "depth";
+                     value = opt_float m "value";
+                     wall_s = opt_float m "wall_s";
+                     cancelled =
+                       Option.value (opt_bool m "cancelled") ~default:false;
                      error = opt_str m "error";
                    })
                  items)

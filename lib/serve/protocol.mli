@@ -63,9 +63,12 @@ type portfolio = {
   device : string;
   device_size : int option;
   spec : string;
-      (** comma-separated [ROUTER[/SEEDER]] entries, the
+      (** comma-separated [ROUTER[/SEEDER][:key=val,...]] entries, the
           {!Engine.Portfolio.parse_spec} syntax *)
   objective : string;  (** ["swaps"], ["depth"] or ["success"] *)
+  race : bool;
+      (** arm incumbent-bound pruning ({!Engine.Portfolio.run}'s
+          [~race]); defaults to [false] on the wire *)
   overrides : overrides;
   deadline_s : float option;
 }
@@ -116,6 +119,13 @@ type member_stat = {
   entry : string;  (** {!Engine.Portfolio.entry_name} label *)
   swaps : int option;  (** [None] when the entry failed *)
   depth : int option;
+  value : float option;
+      (** the entry's objective value, lower wins (success probability
+          is negated); [None] when the entry failed *)
+  wall_s : float option;  (** wall seconds the entry's compile ran *)
+  cancelled : bool;
+      (** the entry was stopped early — incumbent-bound pruning,
+          deadline expiry, or client disconnect — instead of finishing *)
   error : string option;  (** failure message, [None] on success *)
 }
 

@@ -53,7 +53,35 @@ type job = {
   deadline : float;  (** absolute; [infinity] = none *)
   admitted_at : float;
   slot : slot;
+  conn_fd : Unix.file_descr;
+      (** the requesting connection, for the disconnect probe; its
+          thread is parked in [await] until we deliver, so the fd stays
+          open for the whole run *)
 }
+
+(* Cooperative cancellation probe for an in-flight job: the routing
+   hook polls this every few dozen decisions. Deadline expiry is a
+   clock read; client disconnect is a zero-timeout select + MSG_PEEK
+   (the connection thread never reads while parked in [await], so a
+   readable-but-empty socket can only mean EOF; pipelined requests
+   peek as data and keep the job alive). Any socket error counts as a
+   disconnect — nobody is left to read the answer. *)
+let should_stop_probe job =
+  let disconnected () =
+    match Unix.select [ job.conn_fd ] [] [] 0.0 with
+    | [], _, _ -> false
+    | _ :: _, _, _ -> (
+      match Unix.recv job.conn_fd (Bytes.create 1) 0 1 [ Unix.MSG_PEEK ] with
+      | 0 -> true
+      | _ -> false
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        false
+      | exception Unix.Unix_error _ -> true)
+    | exception Unix.Unix_error _ -> true
+  in
+  fun () -> wall () > job.deadline || disconnected ()
 
 (* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
@@ -220,7 +248,9 @@ let parse_source id source =
    [Engine.Batch.compile_one] / the [sabre_compile] single-circuit
    path — sequential trials, [Verify_pass] on — so the QASM we answer
    with is byte-identical to the CLI's output for the same inputs. *)
-let compile_request t (c : Protocol.compile) : Protocol.response =
+let cancelled_message = "cancelled mid-route: deadline expired or client gone"
+
+let compile_request t ?should_stop (c : Protocol.compile) : Protocol.response =
   match
     let config = config_of_overrides c.overrides in
     (match Config.validate config with
@@ -248,14 +278,19 @@ let compile_request t (c : Protocol.compile) : Protocol.response =
     | Error resp -> resp
     | Ok circuit ->
       let t0 = wall () in
+      let race =
+        Option.map (fun f -> Engine.Race.token ~should_stop:f ()) should_stop
+      in
       let resp =
         match
           Engine.Context.create ~config
-            ~trial_mode:Engine.Trial_runner.Sequential ~instrument:t.instrument
-            device circuit
+            ~trial_mode:Engine.Trial_runner.Sequential ?race
+            ~instrument:t.instrument device circuit
           |> Engine.Pipeline.run ~instrument:t.instrument
                (Engine.Pipeline.default ~router ~verify:true ())
         with
+        | exception Sabre_core.Routing_pass.Cancelled ->
+          error c Protocol.Route_error "%s" cancelled_message
         | exception Engine.Router.Route_failed msg ->
           error c Protocol.Route_error "%s" msg
         | exception Engine.Verify_pass.Verify_failed msg ->
@@ -283,7 +318,8 @@ let compile_request t (c : Protocol.compile) : Protocol.response =
 
 (* A portfolio request: Engine.Portfolio over the entries, the winner
    answered in the Ok_compiled shape plus per-entry outcomes. *)
-let portfolio_request t (p : Protocol.portfolio) : Protocol.response =
+let portfolio_request t ?should_stop (p : Protocol.portfolio) :
+    Protocol.response =
   let err kind fmt = error_id p.id kind fmt in
   match
     let config = config_of_overrides p.overrides in
@@ -318,7 +354,8 @@ let portfolio_request t (p : Protocol.portfolio) : Protocol.response =
       let t0 = wall () in
       match
         Engine.Portfolio.run ~domains:1 ~objective ~config ~verify:true
-          ~instrument:t.instrument device circuit entries
+          ~race:p.race ?cancel:should_stop ~instrument:t.instrument device
+          circuit entries
       with
       | exception Engine.Router.Route_failed msg ->
         List.iter (fun n -> bump_router t n `Err) (Array.to_list names);
@@ -335,12 +372,17 @@ let portfolio_request t (p : Protocol.portfolio) : Protocol.response =
         let members =
           Array.mapi
             (fun i o ->
+              let es = report.Engine.Portfolio.entry_stats.(i) in
               match o with
               | Ok (m : Engine.Portfolio.member) ->
                 {
                   Protocol.entry = names.(i);
                   swaps = Some m.Engine.Portfolio.n_swaps;
                   depth = Some m.Engine.Portfolio.depth;
+                  value =
+                    Some (Engine.Portfolio.objective_value objective m);
+                  wall_s = Some es.Engine.Portfolio.e_wall_s;
+                  cancelled = es.Engine.Portfolio.e_cancelled;
                   error = None;
                 }
               | Error msg ->
@@ -348,6 +390,9 @@ let portfolio_request t (p : Protocol.portfolio) : Protocol.response =
                   Protocol.entry = names.(i);
                   swaps = None;
                   depth = None;
+                  value = None;
+                  wall_s = Some es.Engine.Portfolio.e_wall_s;
+                  cancelled = es.Engine.Portfolio.e_cancelled;
                   error = Some msg;
                 })
             report.Engine.Portfolio.outcomes
@@ -388,11 +433,12 @@ let worker_loop t i =
             (now -. job.admitted_at)
         else begin
           let t0 = wall () in
+          let should_stop = should_stop_probe job in
           let resp =
             try
               match job.work with
-              | W_compile c -> compile_request t c
-              | W_portfolio p -> portfolio_request t p
+              | W_compile c -> compile_request t ~should_stop c
+              | W_portfolio p -> portfolio_request t ~should_stop p
             with exn ->
               (* a worker never dies with its pool: any stray exception
                  becomes a typed error on this one request *)
@@ -425,7 +471,7 @@ let worker_loop t i =
 (* Connection threads                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let admit t work deadline_s =
+let admit t ~conn_fd work deadline_s =
   let id = work_id work in
   let now = wall () in
   let deadline =
@@ -434,7 +480,9 @@ let admit t work deadline_s =
     | None, None -> infinity
   in
   let slot = new_slot () in
-  match Rqueue.try_push t.queue { work; deadline; admitted_at = now; slot } with
+  match
+    Rqueue.try_push t.queue { work; deadline; admitted_at = now; slot; conn_fd }
+  with
   | `Ok -> await slot
   | `Full ->
     bump t t.rejected "rejected";
@@ -444,12 +492,12 @@ let admit t work deadline_s =
     error_id id Protocol.Shutting_down
       "server is draining; request not admitted"
 
-let handle_request t (req : Protocol.request) : Protocol.response =
+let handle_request t ~conn_fd (req : Protocol.request) : Protocol.response =
   match req with
   | Protocol.Ping { id } -> Protocol.Pong { id }
   | Protocol.Stats { id } -> Protocol.Ok_stats { id; stats = stats t }
-  | Protocol.Compile c -> admit t (W_compile c) c.deadline_s
-  | Protocol.Portfolio p -> admit t (W_portfolio p) p.deadline_s
+  | Protocol.Compile c -> admit t ~conn_fd (W_compile c) c.deadline_s
+  | Protocol.Portfolio p -> admit t ~conn_fd (W_portfolio p) p.deadline_s
 
 let handle_conn t fd =
   let reader = Netline.reader fd in
@@ -476,7 +524,7 @@ let handle_conn t fd =
         | Error (kind, message) ->
           bump t t.malformed "malformed";
           respond (Protocol.Error_resp { id = ""; kind; message })
-        | Ok req -> respond (handle_request t req)
+        | Ok req -> respond (handle_request t ~conn_fd:fd req)
       in
       if ok then loop ()
   in

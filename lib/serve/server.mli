@@ -23,10 +23,20 @@
     a [queue_full] error (backpressure is a protocol answer, not an
     internal buffer). Each compile request carries an absolute deadline
     from its admission time; it is checked when a worker picks the job
-    up (time spent queued counts) and again when routing returns (a
-    slow route produces a [timeout] answer and its result is
-    discarded). A long-running route cannot be interrupted mid-flight —
-    the worker finishes it, answers [timeout], and moves on unpoisoned.
+    up (time spent queued counts), {e during} routing, and again when
+    routing returns (a late result produces a [timeout] answer and is
+    discarded). In-flight interruption is cooperative: the worker hands
+    the engine an {!Engine.Race} token whose probe watches the deadline
+    clock and the requesting connection (zero-timeout [select] +
+    [MSG_PEEK]; EOF means the client hung up and nobody will read the
+    answer), and the routing pass aborts at its next progress check via
+    {!Sabre_core.Routing_pass.Cancelled}. The abort path unwinds
+    through the same scratch-arena write-back as a completed route, so
+    the worker stays unpoisoned and its arena reusable. Portfolio
+    requests additionally accept a [race] flag that arms
+    incumbent-bound pruning across their entries
+    ({!Engine.Portfolio.run}'s [~race]); the winner is unchanged,
+    losing entries just stop early and are reported [cancelled].
 
     {b Shutdown.} {!stop} (or SIGTERM/SIGINT once
     {!install_signal_handlers} ran) closes the listener, lets the

@@ -27,9 +27,9 @@ let zoo_circuit name = Lazy.force (Workloads.Suite.find name).circuit
 
 let entries =
   [
-    { Portfolio.router = "sabre"; seeder = "reverse-traversal" };
-    { Portfolio.router = "hail"; seeder = "iso" };
-    { Portfolio.router = "greedy"; seeder = "reverse-traversal" };
+    { Portfolio.router = "sabre"; seeder = "reverse-traversal"; overrides = [] };
+    { Portfolio.router = "hail"; seeder = "iso"; overrides = [] };
+    { Portfolio.router = "greedy"; seeder = "reverse-traversal"; overrides = [] };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -176,9 +176,9 @@ let test_parse_spec () =
 let test_entry_name () =
   check Alcotest.string "native seeder collapses" "sabre"
     (Portfolio.entry_name
-       { Portfolio.router = "sabre"; seeder = "reverse-traversal" });
+       { Portfolio.router = "sabre"; seeder = "reverse-traversal"; overrides = [] });
   check Alcotest.string "explicit seeder shown" "hail/iso"
-    (Portfolio.entry_name { Portfolio.router = "hail"; seeder = "iso" })
+    (Portfolio.entry_name { Portfolio.router = "hail"; seeder = "iso"; overrides = [] })
 
 let test_objectives () =
   List.iter
@@ -271,7 +271,7 @@ let test_unknown_names_raise () =
   let circuit = zoo_circuit "4mod5-v1_22" in
   (match
      Portfolio.run ~config:Config.default device circuit
-       [ { Portfolio.router = "warp"; seeder = "reverse-traversal" } ]
+       [ { Portfolio.router = "warp"; seeder = "reverse-traversal"; overrides = [] } ]
    with
   | _ -> Alcotest.fail "unknown router accepted"
   | exception Invalid_argument msg ->
@@ -279,7 +279,7 @@ let test_unknown_names_raise () =
       (String.length msg > 0));
   match
     Portfolio.run ~config:Config.default device circuit
-      [ { Portfolio.router = "sabre"; seeder = "warp" } ]
+      [ { Portfolio.router = "sabre"; seeder = "warp"; overrides = [] } ]
   with
   | _ -> Alcotest.fail "unknown seeder accepted"
   | exception Invalid_argument msg ->

@@ -215,7 +215,7 @@ let gen_portfolio =
   QCheck.Gen.(
     map
       (fun ((id, src_is_path, text), (device, device_size, spec),
-            (objective, overrides, deadline_s)) ->
+            ((objective, race), overrides, deadline_s)) ->
         P.Portfolio
           {
             id;
@@ -224,15 +224,23 @@ let gen_portfolio =
             device_size;
             spec;
             objective;
+            race;
             overrides;
             deadline_s;
           })
       (triple
          (triple gen_str bool gen_str)
          (triple gen_str (gen_opt small_nat)
-            (oneofl [ "sabre"; "sabre,hail"; "sabre,hail/iso,greedy"; "" ]))
+            (oneofl
+               [
+                 "sabre";
+                 "sabre,hail";
+                 "sabre,hail/iso,greedy";
+                 "sabre:trials=1,traversals=1,greedy";
+                 "";
+               ]))
          (triple
-            (oneofl [ "swaps"; "depth"; "success"; "bogus" ])
+            (pair (oneofl [ "swaps"; "depth"; "success"; "bogus" ]) bool)
             gen_overrides
             (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
 
@@ -370,12 +378,18 @@ let test_response_roundtrip () =
                 P.entry = "hail/iso";
                 swaps = Some 1;
                 depth = Some 4;
+                value = Some 1.0;
+                wall_s = Some 0.125;
+                cancelled = false;
                 error = None;
               };
               {
                 P.entry = "greedy";
                 swaps = None;
                 depth = None;
+                value = None;
+                wall_s = None;
+                cancelled = true;
                 error = Some "route failed: \"stuck\"";
               };
             |];
@@ -727,7 +741,8 @@ let test_path_source_equals_inline () =
 (* ------------------------------------------------------------------ *)
 
 let portfolio_req ?(id = "pf") ?(spec = "sabre,hail/iso,greedy")
-    ?(objective = "swaps") ?(overrides = P.no_overrides) qasm =
+    ?(objective = "swaps") ?(race = false) ?(overrides = P.no_overrides)
+    ?deadline_s qasm =
   P.Portfolio
     {
       id;
@@ -736,8 +751,9 @@ let portfolio_req ?(id = "pf") ?(spec = "sabre,hail/iso,greedy")
       device_size = None;
       spec;
       objective;
+      race;
       overrides;
-      deadline_s = None;
+      deadline_s;
     }
 
 let test_portfolio_request () =
@@ -834,6 +850,52 @@ let test_portfolio_matches_engine () =
           lw.Engine.Portfolio.n_swaps compiled.P.n_swaps
       | r ->
         Alcotest.failf "portfolio request answered %s" (P.encode_response r))
+
+let test_portfolio_race_over_wire () =
+  (* the race flag and per-entry override syntax travel the wire; the
+     raced answer is byte-identical to the unraced one, losers may
+     only differ by being reported cancelled *)
+  let spec = "sabre/iso:trials=1,traversals=1,hail,greedy" in
+  with_server ~domains:2 (fun path _server ->
+      let plain_compiled, plain_winner, plain_members =
+        match rpc path (portfolio_req ~spec small_qasm) with
+        | P.Ok_portfolio { compiled; winner; members } ->
+          (compiled, winner, members)
+        | r -> Alcotest.failf "plain portfolio failed: %s"
+                 (P.encode_response r)
+      in
+      match rpc path (portfolio_req ~spec ~race:true small_qasm) with
+      | P.Ok_portfolio { compiled; winner; members } ->
+        check Alcotest.string "same winner" plain_winner winner;
+        check Alcotest.string "winner QASM byte-identical"
+          plain_compiled.P.qasm compiled.P.qasm;
+        check Alcotest.int "same member count"
+          (Array.length plain_members)
+          (Array.length members);
+        Array.iteri
+          (fun i (m : P.member_stat) ->
+            let p = plain_members.(i) in
+            check Alcotest.string "member names line up" p.P.entry m.P.entry;
+            (match (m.P.swaps, m.P.error) with
+            | Some s, None ->
+              (* completed under racing: identical to the plain run *)
+              check Alcotest.bool (m.P.entry ^ ": swaps unchanged") true
+                (p.P.swaps = Some s);
+              check Alcotest.bool (m.P.entry ^ ": value reported") true
+                (m.P.value <> None);
+              check Alcotest.bool (m.P.entry ^ ": not cancelled") false
+                m.P.cancelled
+            | None, Some _ ->
+              (* stopped: only ever by cancellation, never a new failure
+                 (every entry of this spec completes when unraced) *)
+              check Alcotest.bool (m.P.entry ^ ": flagged cancelled") true
+                m.P.cancelled
+            | _ -> Alcotest.failf "member %s: inconsistent outcome" m.P.entry);
+            check Alcotest.bool (m.P.entry ^ ": wall time reported") true
+              (m.P.wall_s <> None))
+          members
+      | r ->
+        Alcotest.failf "raced portfolio answered %s" (P.encode_response r))
 
 (* ------------------------------------------------------------------ *)
 (* Concurrency                                                         *)
@@ -955,7 +1017,7 @@ let test_deadline_slow_route () =
   let big = Lazy.force big_qasm in
   with_server ~domains:1 (fun path server ->
       (* routing takes ~0.7 s; the deadline expires under it, so the
-         worker finishes, discards the result and answers timeout *)
+         cooperative probe aborts the route and answers timeout *)
       expect_error P.Timeout (rpc path (compile_req ~deadline_s:0.05 big));
       (match rpc path (compile_req ~id:"after" small_qasm) with
       | P.Ok_compiled _ -> ()
@@ -963,6 +1025,39 @@ let test_deadline_slow_route () =
       let s = Server.stats server in
       check Alcotest.int "slow route counted as timeout" 1 s.P.timed_out;
       check Alcotest.int "worker survived to serve again" 1 s.P.served)
+
+let test_deadline_cancels_mid_route () =
+  let big = Lazy.force big_qasm in
+  with_server ~domains:1 (fun path server ->
+      (* baseline: a full route of the big circuit (also warms the
+         distance cache so the timed run below measures routing only) *)
+      let t0 = Unix.gettimeofday () in
+      (match rpc path (compile_req ~id:"full" big) with
+      | P.Ok_compiled _ -> ()
+      | r -> Alcotest.failf "baseline route failed: %s" (P.encode_response r));
+      let full_s = Unix.gettimeofday () -. t0 in
+      (* mid-route expiry: with cooperative cancellation the worker
+         aborts at the next progress check instead of routing to the
+         end and discarding — the answer must arrive well before a
+         full route's wall time *)
+      let deadline_s = full_s /. 8.0 in
+      let t1 = Unix.gettimeofday () in
+      expect_error P.Timeout (rpc path (compile_req ~deadline_s big));
+      let cancelled_s = Unix.gettimeofday () -. t1 in
+      check Alcotest.bool
+        (Printf.sprintf
+           "cancelled route returned early (%.3fs vs %.3fs full)"
+           cancelled_s full_s)
+        true
+        (cancelled_s < 0.6 *. full_s);
+      (* the abort unwound through the scratch write-back: the same
+         worker routes the same circuit again, to the same answer *)
+      (match rpc path (compile_req ~id:"after" big) with
+      | P.Ok_compiled r -> check Alcotest.string "healthy after" "after" r.P.id
+      | r -> Alcotest.failf "pool poisoned: %s" (P.encode_response r));
+      let s = Server.stats server in
+      check Alcotest.int "mid-route expiry counted as timeout" 1 s.P.timed_out;
+      check Alcotest.int "full routes served" 2 s.P.served)
 
 let test_default_deadline_applies () =
   with_server ~domains:1 ~default_deadline_s:(-1.0) (fun path _server ->
@@ -1166,6 +1261,10 @@ let suite =
       test_deadline_pre_expired;
     tc "slow route hits its deadline without poisoning the pool" `Slow
       test_deadline_slow_route;
+    tc "mid-route deadline cancels cooperatively" `Slow
+      test_deadline_cancels_mid_route;
+    tc "portfolio race flag over the wire" `Quick
+      test_portfolio_race_over_wire;
     tc "per-request deadline overrides the server default" `Quick
       test_default_deadline_applies;
     tc "SIGTERM drains in-flight work then stops" `Slow
