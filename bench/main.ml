@@ -21,6 +21,10 @@
      portfolio   — best-of-K (router x seeder) selection over the
                    workload zoo: winner vs single-router SABRE, with a
                    1/2/4-domain determinism gate
+     cache       — content-addressed compile cache: cold route vs
+                   memoized hit (10x FATAL gate, byte-equality gate)
+                   and repeat-heavy serving through a cache-enabled
+                   daemon
      micro       — Bechamel micro-benchmarks (one per table/figure)
 
    Flags: --json FILE records machine-readable rows, --repeat K reports
@@ -1006,6 +1010,7 @@ let serve () =
         device_size = None;
         router = "sabre";
         overrides = SP.no_overrides;
+        cache = true;
         deadline_s = None;
       }
   in
@@ -1095,6 +1100,7 @@ let serve () =
                  device_size = Some 400;
                  router = "sabre";
                  overrides = SP.no_overrides;
+                 cache = true;
                  deadline_s = None;
                })
         with
@@ -1365,6 +1371,211 @@ let racing () =
     best
 
 (* ------------------------------------------------------------------ *)
+(* Compile cache: memoized routing across engine and serve              *)
+(* ------------------------------------------------------------------ *)
+
+let cache_zoo = [ "qft_10"; "qft_16"; "rd84_142" ]
+
+let cache () =
+  let module Cache = Engine.Compile_cache in
+  Format.printf "@.== Compile cache: cold route vs memoized hit ==@.@.";
+  Engine.Router.register Engine.Sabre_router.router;
+  let router =
+    match Engine.Router.find Engine.Sabre_router.name with
+    | Some r -> r
+    | None -> assert false
+  in
+  let saved = Cache.capacity_bytes () in
+  Fun.protect ~finally:(fun () -> Cache.set_capacity_bytes saved) @@ fun () ->
+  Cache.set_capacity_mb 256;
+  let route circuit =
+    let ctx = Engine.Context.create ~cache_spec:"sabre" device circuit in
+    let ctx =
+      Engine.Pipeline.run (Engine.Pipeline.default ~router ~verify:true ()) ctx
+    in
+    Engine.Context.routed_exn ctx
+  in
+  Format.printf "%-16s %10s %10s %9s@." "circuit" "cold_ms" "warm_ms" "speedup";
+  let worst = ref infinity in
+  List.iter
+    (fun name ->
+      let circuit = Lazy.force (Suite.find name).circuit in
+      (* min-of-K on both sides (the cold side re-clears each round) so
+         a noisy scheduler cannot fake or hide the speedup *)
+      let reps = max 3 !repeat in
+      let cold = ref None and t_cold = ref infinity and t_warm = ref infinity in
+      for _ = 1 to reps do
+        Cache.clear ();
+        let r, t = time (fun () -> route circuit) in
+        cold := Some r;
+        if t < !t_cold then t_cold := t
+      done;
+      let warm = ref (route circuit) in
+      for _ = 1 to reps do
+        let r, t = time (fun () -> route circuit) in
+        warm := r;
+        if t < !t_warm then t_warm := t
+      done;
+      let cold = Option.get !cold
+      and warm = !warm
+      and t_cold = !t_cold
+      and t_warm = !t_warm in
+      (* byte-equality gate: a memoized hit must reproduce the fresh
+         route exactly — circuit, both mappings and the accounting *)
+      if
+        not
+          (Circuit.equal cold.Engine.Context.physical
+             warm.Engine.Context.physical)
+        || Mapping.l2p_array cold.Engine.Context.trial_initial
+           <> Mapping.l2p_array warm.Engine.Context.trial_initial
+        || Mapping.l2p_array cold.Engine.Context.final_mapping
+           <> Mapping.l2p_array warm.Engine.Context.final_mapping
+        || cold.Engine.Context.n_swaps <> warm.Engine.Context.n_swaps
+      then begin
+        Format.eprintf
+          "FATAL: cache: memoized result differs from the fresh route on %s@."
+          name;
+        exit 2
+      end;
+      verified ~logical:circuit ~initial:warm.Engine.Context.trial_initial
+        ~final:warm.Engine.Context.final_mapping
+        ~physical:warm.Engine.Context.physical
+        (Printf.sprintf "cache:%s" name);
+      let speedup = t_cold /. t_warm in
+      if speedup < !worst then worst := speedup;
+      Record.row "cache"
+        [
+          ("kind", Str "hit");
+          ("circuit", Str name);
+          ("cold_ms", Float (1e3 *. t_cold));
+          ("warm_ms", Float (1e3 *. t_warm));
+          ("speedup", Float speedup);
+        ];
+      Format.printf "%-16s %10.2f %10.3f %8.1fx@." name (1e3 *. t_cold)
+        (1e3 *. t_warm) speedup)
+    cache_zoo;
+  if !worst < 10.0 then begin
+    Format.eprintf
+      "FATAL: cache: worst hit speedup %.1fx is below the 10x gate@." !worst;
+    exit 2
+  end;
+  (* repeat-heavy serving: a cache-enabled daemon answers duplicate
+     requests at admission, without occupying a worker *)
+  let n_circuits = 4 and requests = 64 and clients = 4 in
+  let texts =
+    Array.init n_circuits (fun i ->
+        Quantum.Qasm.to_string
+          (Workloads.Random_reversible.circuit ~seed:(700 + i) ~hot_bias:0.0
+             ~n:10 ~gates:80 ()))
+  in
+  let jobs =
+    Array.mapi
+      (fun i text ->
+        {
+          Engine.Batch.name = string_of_int i;
+          circuit = Quantum.Qasm.of_string text;
+        })
+      texts
+  in
+  let reference = Engine.Batch.compile_many ~verify:true device jobs in
+  let expected =
+    Array.map
+      (function
+        | Ok (s : Engine.Batch.success) -> Quantum.Qasm.to_string s.physical
+        | Error (e : Engine.Batch.error) ->
+          Format.eprintf "FATAL: cache: reference compile %s failed: %s@."
+            e.name e.message;
+          exit 2)
+      reference.outcomes
+  in
+  let domains = min 4 !max_domains in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sabre_bench_cache_%d.sock" (Unix.getpid ()))
+  in
+  Cache.clear ();
+  let server = Serve.Server.start ~domains ~cache:true (SP.Unix_sock sock) in
+  Fun.protect ~finally:(fun () -> Serve.Server.stop server) @@ fun () ->
+  let sweep ~use_cache =
+    let per_client = requests / clients in
+    let t0 = wall () in
+    let threads =
+      List.init clients (fun c ->
+          Thread.create
+            (fun c ->
+              Serve.Client.with_connection ~retry_for_s:5.0 (SP.Unix_sock sock)
+                (fun conn ->
+                  for k = 0 to per_client - 1 do
+                    let i = ((c * per_client) + k) mod n_circuits in
+                    match
+                      Serve.Client.request conn
+                        (SP.Compile
+                           {
+                             id = string_of_int i;
+                             source = SP.Inline texts.(i);
+                             device = "tokyo";
+                             device_size = None;
+                             router = "sabre";
+                             overrides = SP.no_overrides;
+                             cache = use_cache;
+                             deadline_s = None;
+                           })
+                    with
+                    | Ok (SP.Ok_compiled r) ->
+                      if r.SP.qasm <> expected.(int_of_string r.SP.id) then begin
+                        Format.eprintf
+                          "FATAL: cache: serve response for circuit %s \
+                           differs from Engine.Batch@."
+                          r.SP.id;
+                        exit 2
+                      end
+                    | Ok resp ->
+                      Format.eprintf "FATAL: cache: serve answered %s@."
+                        (SP.encode_response resp);
+                      exit 2
+                    | Error e ->
+                      Format.eprintf "FATAL: cache: transport: %s@." e;
+                      exit 2
+                  done))
+            c)
+    in
+    List.iter Thread.join threads;
+    wall () -. t0
+  in
+  let t_nocache = sweep ~use_cache:false in
+  let t_cached = sweep ~use_cache:true in
+  let s = Serve.Server.stats server in
+  if s.SP.cache_hits = 0 then begin
+    Format.eprintf
+      "FATAL: cache: repeat-heavy serve sweep produced no cache hits@.";
+    exit 2
+  end;
+  Record.row "cache"
+    [
+      ("kind", Str "serve");
+      ("requests", Int requests);
+      ("distinct_circuits", Int n_circuits);
+      ("clients", Int clients);
+      ("domains", Int domains);
+      ("nocache_req_per_s", Float (float_of_int requests /. t_nocache));
+      ("cached_req_per_s", Float (float_of_int requests /. t_cached));
+      ("cached_over_nocache", Float (t_nocache /. t_cached));
+      ("cache_hits", Int s.SP.cache_hits);
+      ("cache_misses", Int s.SP.cache_misses);
+      ("cache_entries", Int s.SP.cache_entries);
+      ("cache_bytes", Int s.SP.cache_bytes);
+    ];
+  Format.printf
+    "@.repeat-heavy serving (%d requests over %d circuits, %d clients): \
+     %.1f req/s bypassing the cache, %.1f req/s cached (%.1fx), %d \
+     admission hits@."
+    requests n_circuits clients
+    (float_of_int requests /. t_nocache)
+    (float_of_int requests /. t_cached)
+    (t_nocache /. t_cached) s.SP.cache_hits
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1372,7 +1583,7 @@ let usage () =
   Format.eprintf
     "usage: bench [--json FILE] [--max-qubits N] [--max-domains N] \
      [--repeat K] \
-     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|portfolio|racing|micro]...@.";
+     [table2|figure8|scalability|ablation|scaling|scoring|pipeline|throughput|stream|serve|portfolio|racing|cache|micro]...@.";
   exit 1
 
 let () =
@@ -1409,7 +1620,7 @@ let () =
       [
         "table2"; "figure8"; "scalability"; "ablation"; "scaling"; "scoring";
         "pipeline"; "throughput"; "stream"; "serve"; "portfolio"; "racing";
-        "micro";
+        "cache"; "micro";
       ]
     | named -> named
   in
@@ -1430,6 +1641,7 @@ let () =
         | "serve" -> serve
         | "portfolio" -> portfolio
         | "racing" -> racing
+        | "cache" -> cache
         | "micro" -> micro
         | other ->
           Format.eprintf "unknown section %S@." other;

@@ -61,14 +61,19 @@ type routed = {
    baseline — runs behind the same [Engine.Router] interface, and the
    [Verify_pass] replaces the hand-rolled verification this binary used
    to carry. Returns the per-pass wall times for [--stats-json]. *)
-let route router_name config device circuit ~trial_mode ~instrument =
+let route router_name config device circuit ~trial_mode ~cache ~instrument =
   Baseline.Routers.register ();
   match Engine.Router.find_suggest router_name with
   | Error msg -> Error msg
   | Ok router -> (
     let t0 = Sys.time () in
+    let cache_spec =
+      (* key with the canonical registry name, so a hit is shared with
+         batch mode and the serve daemon *)
+      if cache then Some (Engine.Router.name router) else None
+    in
     match
-      Engine.Context.create ~config ~trial_mode device circuit
+      Engine.Context.create ~config ~trial_mode ?cache_spec device circuit
       |> Engine.Pipeline.run ~instrument
            (Engine.Pipeline.default ~router ~verify:true ())
     with
@@ -91,12 +96,12 @@ let route router_name config device circuit ~trial_mode ~instrument =
    returned router label is the winner's entry name so the reports say
    which member actually produced the circuit. *)
 let route_portfolio spec objective_name config device circuit ~domains ~race
-    ~instrument ~quiet =
+    ~cache ~instrument ~quiet =
   Baseline.Routers.register ();
   let* entries = Engine.Portfolio.parse_spec spec in
   let* objective = Engine.Portfolio.objective_of_string objective_name in
   match
-    Engine.Portfolio.run ~domains ~objective ~config ~verify:true ~race
+    Engine.Portfolio.run ~domains ~objective ~config ~verify:true ~race ~cache
       ~instrument device circuit entries
   with
   | report ->
@@ -233,8 +238,8 @@ let batch_json_line = function
       (json_escape e.Engine.Batch.name)
       (json_escape e.Engine.Batch.message)
 
-let run_batch manifest router_name config device ~portfolio ~race ~domains
-    ~verify ~quiet =
+let run_batch manifest router_name config device ~portfolio ~race ~cache
+    ~domains ~verify ~quiet =
   Baseline.Routers.register ();
   let* router, portfolio =
     match portfolio with
@@ -273,8 +278,8 @@ let run_batch manifest router_name config device ~portfolio ~race ~domains
           (List.filter_map Result.to_option parsed)
       in
       let report =
-        Engine.Batch.compile_many ~config ~router ?portfolio ~race ~domains
-          ~verify device jobs
+        Engine.Batch.compile_many ~config ~router ?portfolio ~race ~cache
+          ~domains ~verify device jobs
       in
       (* re-merge compile outcomes with parse failures, manifest order *)
       let outcomes = Queue.create () in
@@ -294,18 +299,24 @@ let run_batch manifest router_name config device ~portfolio ~race ~domains
           print_endline (batch_json_line o))
         outcomes;
       if not quiet then begin
-        let cache = Hardware.Dist_cache.stats () in
+        let dist = Hardware.Dist_cache.stats () in
+        let cc = Engine.Compile_cache.stats () in
         Format.eprintf
           "batch: %d circuits (%d failed), %d domain%s, %.3fs wall, %.1f \
-           circuits/s; dist-cache %d hit%s / %d miss%s@."
+           circuits/s; dist-cache %d hit%s / %d miss%s; compile-cache %d \
+           hit%s / %d miss%s@."
           (List.length parsed) !failures report.Engine.Batch.domains
           (if report.Engine.Batch.domains = 1 then "" else "s")
           report.Engine.Batch.wall_s
           (float_of_int (Array.length jobs) /. report.Engine.Batch.wall_s)
-          cache.Hardware.Dist_cache.hits
-          (if cache.Hardware.Dist_cache.hits = 1 then "" else "s")
-          cache.Hardware.Dist_cache.misses
-          (if cache.Hardware.Dist_cache.misses = 1 then "" else "es")
+          dist.Hardware.Dist_cache.hits
+          (if dist.Hardware.Dist_cache.hits = 1 then "" else "s")
+          dist.Hardware.Dist_cache.misses
+          (if dist.Hardware.Dist_cache.misses = 1 then "" else "es")
+          cc.Engine.Compile_cache.hits
+          (if cc.Engine.Compile_cache.hits = 1 then "" else "s")
+          cc.Engine.Compile_cache.misses
+          (if cc.Engine.Compile_cache.misses = 1 then "" else "es")
       end;
       if !failures > 0 then Error (Printf.sprintf "%d circuits failed" !failures)
       else Ok ())
@@ -494,11 +505,26 @@ let directed_of_name = function
 let run_main input workload size device_name device_size directed router
     portfolio objective portfolio_race list_routers list_seeders trials
     traversals delta weight extended_size seed commutation output expand quiet
-    json trace stats_json parallel batch stream gen_stream gates =
+    json trace stats_json parallel batch stream gen_stream gates cache_mb
+    no_cache dist_cache_entries =
   if list_routers then run_list_routers ()
   else if list_seeders then run_list_seeders ()
-  else
+  else begin
+  let cache = (not no_cache) && cache_mb > 0 in
   let result =
+    (* cache capacities are process-wide knobs; set them before any
+       routing (0 MB disables the compile cache entirely) *)
+    let* () =
+      if cache_mb < 0 then
+        Error (Printf.sprintf "--cache-mb must be >= 0, got %d" cache_mb)
+      else if dist_cache_entries < 1 then
+        Error
+          (Printf.sprintf "--dist-cache-entries must be >= 1, got %d"
+             dist_cache_entries)
+      else Ok ()
+    in
+    Engine.Compile_cache.set_capacity_mb (if no_cache then 0 else cache_mb);
+    Hardware.Dist_cache.set_capacity dist_cache_entries;
     match (gen_stream, stream) with
     | Some path, _ -> run_gen_stream path size gates seed ~quiet
     | None, true ->
@@ -571,7 +597,7 @@ let run_main input workload size device_name device_size directed router
       let domains = match parallel with None -> 1 | Some n -> max 1 n in
       run_batch manifest router config device
         ~portfolio:(Option.map (fun s -> (s, objective)) portfolio)
-        ~race:portfolio_race ~domains ~verify:true ~quiet
+        ~race:portfolio_race ~cache ~domains ~verify:true ~quiet
     | None ->
     let* circuit = load_circuit input workload size in
     let* directed_device =
@@ -622,7 +648,7 @@ let run_main input workload size device_name device_size directed router
       match portfolio with
       | None ->
         let* r, stats, passes =
-          route router config device circuit ~trial_mode ~instrument
+          route router config device circuit ~trial_mode ~cache ~instrument
         in
         Ok (r, stats, passes, router, None)
       | Some spec ->
@@ -631,7 +657,7 @@ let run_main input workload size device_name device_size directed router
         let domains = match parallel with None -> 1 | Some n -> max 1 n in
         let* r, winner, report =
           route_portfolio spec objective config device circuit ~domains
-            ~race:portfolio_race ~instrument ~quiet
+            ~race:portfolio_race ~cache ~instrument ~quiet
         in
         Ok (r, None, [], winner, Some report)
     in
@@ -671,6 +697,7 @@ let run_main input workload size device_name device_size directed router
   | Error msg ->
     Format.eprintf "sabre_compile: %s@." msg;
     1
+  end
 
 open Cmdliner
 
@@ -860,6 +887,30 @@ let gates =
        & info [ "gates" ] ~docv:"G"
            ~doc:"Gate count for --gen-stream (default 1000000).")
 
+let cache_mb =
+  Arg.(value & opt int 256
+       & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Compile-cache byte budget in megabytes (default 256). The \
+                 cache memoizes complete routing results keyed by the \
+                 circuit, device, config and router, so re-routing an \
+                 identical job later in the same process returns the \
+                 byte-identical result without re-searching. (Duplicate \
+                 --batch rows are already folded by manifest-level dedup \
+                 before they reach the cache.) 0 disables it.")
+
+let no_cache =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the compile cache: every job routes from scratch \
+                 even when an identical result is already memoized.")
+
+let dist_cache_entries =
+  Arg.(value & opt int 16
+       & info [ "dist-cache-entries" ] ~docv:"N"
+           ~doc:"Distance-matrix cache capacity in devices (default 16): \
+                 how many per-device all-pairs distance matrices stay \
+                 resident before the least-recently-used one is evicted.")
+
 let cmd =
   let doc = "map a quantum circuit onto a NISQ device with SABRE" in
   let man =
@@ -886,6 +937,7 @@ let cmd =
       $ directed $ router $ portfolio $ objective $ portfolio_race
       $ list_routers $ list_seeders $ trials $ traversals $ delta $ weight
       $ extended_size $ seed $ commutation $ output $ expand $ quiet $ json
-      $ trace $ stats_json $ parallel $ batch $ stream $ gen_stream $ gates)
+      $ trace $ stats_json $ parallel $ batch $ stream $ gen_stream $ gates
+      $ cache_mb $ no_cache $ dist_cache_entries)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,8 @@
    then serves until SIGTERM/SIGINT, drains every admitted request,
    and exits 0. *)
 
-let run socket port host domains queue deadline max_request_bytes trace =
+let run socket port host domains queue deadline max_request_bytes trace
+    cache_mb no_cache dist_cache_entries =
   let endpoint =
     match (socket, port) with
     | Some _, Some _ ->
@@ -23,9 +24,22 @@ let run socket port host domains queue deadline max_request_bytes trace =
   let instrument =
     if trace then Engine.Instrument.stderr_trace else Engine.Instrument.null
   in
+  (* process-wide cache knobs, set before the workers exist *)
+  if cache_mb < 0 then begin
+    Printf.eprintf "sabre_serve: --cache-mb must be >= 0, got %d\n%!" cache_mb;
+    exit 2
+  end;
+  if dist_cache_entries < 1 then begin
+    Printf.eprintf "sabre_serve: --dist-cache-entries must be >= 1, got %d\n%!"
+      dist_cache_entries;
+    exit 2
+  end;
+  Engine.Compile_cache.set_capacity_mb (if no_cache then 0 else cache_mb);
+  Hardware.Dist_cache.set_capacity dist_cache_entries;
+  let cache = (not no_cache) && cache_mb > 0 in
   let server =
     try
-      Serve.Server.start ~domains ~queue_capacity:queue
+      Serve.Server.start ~domains ~queue_capacity:queue ~cache
         ?default_deadline_s:deadline ~max_request_bytes ~instrument endpoint
     with Unix.Unix_error (err, fn, arg) ->
       Printf.eprintf "sabre_serve: cannot bind %s: %s (%s %s)\n%!"
@@ -97,6 +111,29 @@ let trace =
     value & flag
     & info [ "trace" ] ~doc:"Trace engine pass events to stderr.")
 
+let cache_mb =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:"Compile-cache byte budget in megabytes (default 256). A \
+              compile request whose (circuit, device, config, router) was \
+              already routed is answered at admission, byte-identically, \
+              without occupying a worker. 0 disables caching.")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the compile cache: every request routes from \
+              scratch on a worker domain.")
+
+let dist_cache_entries =
+  Arg.(
+    value & opt int 16
+    & info [ "dist-cache-entries" ] ~docv:"N"
+        ~doc:"Distance-matrix cache capacity in devices (default 16); the \
+              stats request reports its hit/miss counters.")
+
 let cmd =
   let doc = "serve qubit-mapping compilations over a socket" in
   let man =
@@ -117,6 +154,7 @@ let cmd =
     (Cmd.info "sabre_serve" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ socket $ port $ host $ domains $ queue $ deadline
-      $ max_request_bytes $ trace)
+      $ max_request_bytes $ trace $ cache_mb $ no_cache
+      $ dist_cache_entries)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,8 +18,11 @@ type routed = {
   n_swaps : int;
 }
 
-let route ?initial ?scoring ~config coupling circuit router =
-  let ctx = Engine.Context.create ~config ?initial ?scoring coupling circuit in
+let route ?initial ?scoring ?cache_spec ~config coupling circuit router =
+  let ctx =
+    Engine.Context.create ~config ?initial ?scoring ?cache_spec coupling
+      circuit
+  in
   let ctx = Engine.Pipeline.run (Engine.Pipeline.default ~router ()) ctx in
   let r = Engine.Context.routed_exn ctx in
   {
@@ -401,6 +404,67 @@ let racing_equivalence ~config coupling circuit =
         end
     in
     (match check 1 with Error _ as e -> e | Ok () -> check 2)
+
+let cache_equivalence ~config coupling circuit =
+  ensure_registered ();
+  let ( let* ) = Result.bind in
+  let module Cache = Engine.Compile_cache in
+  let sabre =
+    match Router.find Engine.Sabre_router.name with
+    | Some r -> r
+    | None -> invalid_arg "cache_equivalence: router sabre missing"
+  in
+  match route ~config coupling circuit sabre with
+  | exception Router.Route_failed _ -> Ok ()
+  | plain ->
+    (* run the memoized path against a private budget, restoring the
+       process-wide capacity whatever happens *)
+    let saved = Cache.capacity_bytes () in
+    Fun.protect
+      ~finally:(fun () -> Cache.set_capacity_bytes saved)
+      (fun () ->
+        Cache.set_capacity_bytes (64 * 1024 * 1024);
+        Cache.clear ();
+        let cached () =
+          route ~cache_spec:Engine.Sabre_router.name ~config coupling circuit
+            sabre
+        in
+        match (cached (), cached ()) with
+        | exception Router.Route_failed msg ->
+          Error
+            (Printf.sprintf
+               "cached route failed (%s) where the uncached route succeeded \
+                at seed %d"
+               msg config.Config.seed)
+        | cold, warm ->
+          let stats = Cache.stats () in
+          let same label b =
+            if not (Circuit.equal plain.physical b.physical) then
+              Error
+                (Printf.sprintf
+                   "%s cached route emitted a different circuit at seed %d \
+                    (%d vs %d swaps)"
+                   label config.Config.seed b.n_swaps plain.n_swaps)
+            else if plain.initial <> b.initial || plain.final <> b.final then
+              Error
+                (Printf.sprintf
+                   "%s cached route disagrees on mappings at seed %d" label
+                   config.Config.seed)
+            else Ok ()
+          in
+          let* () = same "cold (insert)" cold in
+          let* () = same "warm (hit)" warm in
+          if stats.Cache.insertions < 1 then
+            Error
+              (Printf.sprintf
+                 "cold route did not insert into the cache at seed %d"
+                 config.Config.seed)
+          else if stats.Cache.hits < 1 then
+            Error
+              (Printf.sprintf
+                 "warm route missed the cache at seed %d (hits=%d misses=%d)"
+                 config.Config.seed stats.Cache.hits stats.Cache.misses)
+          else Ok ())
 
 let delta_equivalence ~config coupling circuit =
   ensure_registered ();

@@ -27,6 +27,7 @@ type routed = {
 val route :
   ?initial:Sabre_core.Mapping.t ->
   ?scoring:Sabre_core.Routing_pass.scoring_mode ->
+  ?cache_spec:string ->
   config:Config.t ->
   Coupling.t ->
   Circuit.t ->
@@ -34,7 +35,9 @@ val route :
   routed
 (** Run one router through the engine pipeline (decompose → DAG → initial
     mapping → routing). [scoring] selects the SABRE candidate-scoring
-    strategy (delta vs full recompute; ignored by other routers). Raises
+    strategy (delta vs full recompute; ignored by other routers).
+    [cache_spec] opts the run into the process-wide
+    {!Engine.Compile_cache} under that route-recipe name. Raises
     whatever the pipeline raises ([Router.Route_failed],
     [Invalid_argument]). *)
 
@@ -142,6 +145,15 @@ val racing_equivalence :
     completes under racing carries the identical outcome. Losing
     entries may only differ by being reported
     {!Engine.Portfolio.cancelled_msg}. *)
+
+val cache_equivalence :
+  config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result
+(** Route with the [sabre] router three times at the same seed — once
+    uncached, then twice through a cleared {!Engine.Compile_cache}
+    (first populating the cache, then hitting it): all three results
+    must be byte-identical (circuit and both mappings), the cold route
+    must insert and the warm route must hit. The process-wide cache
+    capacity is saved and restored around the check. *)
 
 val delta_equivalence :
   config:Config.t -> Coupling.t -> Circuit.t -> (unit, string) result

@@ -154,6 +154,11 @@ let racing_failure ~config coupling circuit =
   | Error msg -> Some msg
   | Ok () -> None
 
+let cache_failure ~config coupling circuit =
+  match Differential.cache_equivalence ~config coupling circuit with
+  | Error msg -> Some msg
+  | Ok () -> None
+
 let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
     ?(on_event = fun (_ : event) -> ()) ~seed ~routers () =
   Differential.ensure_registered ();
@@ -318,6 +323,19 @@ let run ?budget_s ?max_trials ?corpus_dir ?(max_qubits = 6) ?(max_gates = 40)
           ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
           ~failure_of:(fun c -> racing_failure ~config coupling c)
     end;
+    (* cache property: a memoized routing result (cold insert and warm
+       hit) must be byte-identical to the uncached route *)
+    if
+      List.mem "sabre" routers
+      && not (Hashtbl.mem dead ("sabre", "cache-equivalence"))
+    then begin
+      match cache_failure ~config coupling inst.Generators.circuit with
+      | None -> ()
+      | Some first_failure ->
+        record ~router:"sabre" ~property:"cache-equivalence" ~config
+          ~coupling ~circuit:inst.Generators.circuit ~iseed ~first_failure
+          ~failure_of:(fun c -> cache_failure ~config coupling c)
+    end;
     incr trials;
     on_event (Trial_done !trials)
   done;
@@ -370,6 +388,10 @@ let replay (r : Corpus.repro) =
       | Ok () -> `Passes)
     | "racing-equivalence" -> (
       match Differential.racing_equivalence ~config coupling circuit with
+      | Error msg -> `Reproduced msg
+      | Ok () -> `Passes)
+    | "cache-equivalence" -> (
+      match Differential.cache_equivalence ~config coupling circuit with
       | Error msg -> `Reproduced msg
       | Ok () -> `Passes)
     | p -> `Error (Printf.sprintf "unknown property %S" p))

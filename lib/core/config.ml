@@ -50,6 +50,26 @@ let heuristic_name = function
   | Lookahead -> "lookahead"
   | Decay -> "decay"
 
+(* Canonical content digest. Floats go through %h (hex-float) so the
+   serialisation round-trips bit-exactly — the same convention Corpus
+   uses for repro files. %h prints NaN, signed zero and subnormals
+   stably, so equal bit patterns always hash equally and distinct ones
+   (including -0.0 vs 0.0) never collide. *)
+let digest c =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "heuristic:%s extended_set_size:%d extended_set_weight:%h \
+           decay_increment:%h decay_reset_interval:%d trials:%d \
+           traversals:%d seed:%d stall_limit:%s commutation_aware:%b"
+          (heuristic_name c.heuristic)
+          c.extended_set_size c.extended_set_weight c.decay_increment
+          c.decay_reset_interval c.trials c.traversals c.seed
+          (match c.stall_limit with
+          | None -> "none"
+          | Some s -> string_of_int s)
+          c.commutation_aware))
+
 let pp ppf c =
   Format.fprintf ppf
     "{heuristic=%s; |E|=%d; W=%g; delta=%g; reset=%d; trials=%d; \

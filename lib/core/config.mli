@@ -43,4 +43,11 @@ val validate : t -> (unit, string) result
 (** Check parameter ranges (sizes non-negative, weight in [0,1), odd
     positive traversal count, positive trials). *)
 
+val digest : t -> string
+(** Canonical hex digest of every field. Floats are serialised as
+    hex-floats ([%h]) so bit-equal configurations — including NaN,
+    signed zero and subnormal weights — always produce the same digest,
+    and any bit difference changes it. Used as a component of the
+    compile-cache key. *)
+
 val pp : Format.formatter -> t -> unit

@@ -51,6 +51,8 @@ val compile_many :
   ?domains:int ->
   ?verify:bool ->
   ?race:bool ->
+  ?cache:bool ->
+  ?dedup:bool ->
   ?instrument:Instrument.t ->
   Coupling.t ->
   job array ->
@@ -66,7 +68,21 @@ val compile_many :
     {!Verify_pass} to each job's pipeline. [race] (default [false])
     arms {!Portfolio.run}'s incumbent-bound pruning inside each
     portfolio job — the per-job winner is unchanged, losing entries
-    just stop early (no effect without [portfolio]). [instrument] receives every
+    just stop early (no effect without [portfolio]).
+
+    [cache] (default [false]) opts every job into the content-addressed
+    {!Compile_cache}: results previously routed for the same
+    [(circuit, device, config, router/entry, scoring)] key — in this
+    batch, an earlier batch, or any other entry point — come back as
+    O(1) hits, byte-identical to a fresh route. [dedup] (default
+    [true]) collapses manifest rows with byte-identical circuits before
+    scheduling: the representative routes once and every duplicate
+    receives the same outcome (success or error) under its own name, in
+    the original order — [domain_stats] then counts scheduled unique
+    jobs, not manifest rows. Both are pure perf knobs: reported
+    outcomes are byte-identical either way.
+
+    [instrument] receives every
     job's pass events and must be domain-safe when [domains > 1]
     ({!Instrument.null}, the default, {!Instrument.stderr_trace} and
     {!Instrument.sync_collector} are; a plain {!Instrument.collector}

@@ -1,0 +1,107 @@
+(** Content-addressed compile cache: memoized complete routing results.
+
+    A service workload is heavily redundant — benchmark suites, sweeps
+    and iterative users re-submit structurally identical circuits
+    against the same device and configuration. This module memoises the
+    {e whole} routing result (physical circuit, mappings, per-trial
+    accounting) under a canonical composite digest so an identical
+    [(circuit, device, config, scoring mode, router/seeder spec)] tuple
+    is answered in O(1) instead of re-running the SABRE search.
+
+    The store is a sharded, mutex-striped LRU with byte-count
+    accounting ({!set_capacity_bytes}; entry cost is measured with
+    [Obj.reachable_words]). Concurrent identical requests are collapsed
+    by single-flight deduplication: the first caller to {!acquire} a
+    missing key owns the in-flight slot and routes; every other caller
+    blocks on the slot until the owner {!fill}s it (they all receive
+    the same result) or {!abort}s it (one waiter inherits the flight).
+    Failures are never cached.
+
+    Correctness contract: a cached result is byte-identical to the
+    fresh route (enforced by the [cache-equivalence] fuzz property and
+    the bench FATAL gate), and semantic verification runs on {e insert}
+    (in {!Routing_pass}), not on hit. Mappings are copied on both sides
+    of the cache boundary; circuits are immutable and shared. *)
+
+type routed = {
+  physical : Quantum.Circuit.t;
+  trial_initial : Sabre_core.Mapping.t;
+  final_mapping : Sabre_core.Mapping.t;
+  n_swaps : int;
+  first_swaps : int;
+  search_steps : int;
+  fallback_swaps : int;
+  traversals_run : int;
+  scoring : Sabre_core.Stats.scoring;
+}
+(** The complete routing result, structurally identical to
+    [Context.routed] (which re-exports this type). *)
+
+val key :
+  circuit:Quantum.Circuit.t ->
+  coupling:Hardware.Coupling.t ->
+  config:Sabre_core.Config.t ->
+  scoring:Sabre_core.Routing_pass.scoring_mode ->
+  spec:string ->
+  string
+(** Canonical cache key: digest of [Circuit.digest] (strict program
+    order) × [Coupling.digest] × [Config.digest] (hex-float exact,
+    seed included) × scoring mode × [spec]. [spec] names the route
+    recipe — a router name ("sabre") or a portfolio entry name
+    ("hail/iso:trials=1"), which already encodes seeder and per-entry
+    overrides. *)
+
+val find : string -> routed option
+(** Read-only probe. Counts a hit or a miss; never blocks and never
+    claims the flight. Returns [None] when disabled. *)
+
+type acquired =
+  | Hit of routed * bool
+      (** present (or delivered by an in-flight owner we waited for —
+          the bool is [true] iff we blocked) *)
+  | Compute  (** absent: the caller now owns the in-flight slot and
+                 MUST call {!fill} or {!abort} exactly once *)
+
+val acquire : string -> acquired
+(** Single-flight acquire, called after a {!find} miss. Re-checks the
+    slot (second-chance hit), blocks while another caller's flight is
+    pending, or claims the flight. Does not re-count the probe's miss. *)
+
+val fill : string -> routed -> unit
+(** Resolve an owned flight with a successful result: store it (subject
+    to the byte budget; LRU-evicts colder entries) and wake every
+    waiter. *)
+
+val abort : string -> unit
+(** Resolve an owned flight without a result (routing raised or was
+    cancelled): remove the pending slot and wake the waiters — one of
+    them inherits the flight and recomputes. The failure is not
+    cached. *)
+
+val enabled : unit -> bool
+val capacity_bytes : unit -> int
+
+val set_capacity_bytes : int -> unit
+(** Set the process-wide byte budget; [0] disables the cache entirely
+    (and drops every resident entry). Shrinking evicts down
+    immediately. Raises [Invalid_argument] on a negative budget. *)
+
+val set_capacity_mb : int -> unit
+(** [set_capacity_bytes (mb * 1024 * 1024)] — the [--cache-mb] flag. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  inflight_waits : int;
+  insertions : int;
+  evictions : int;
+  entries : int;  (** resident results right now *)
+  bytes : int;  (** bytes held by resident results right now *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val clear : unit -> unit
+(** Drop every resident entry and zero the counters; pending in-flight
+    slots survive so their owners can still resolve them. *)

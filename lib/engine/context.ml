@@ -6,7 +6,7 @@ module Config = Sabre_core.Config
 module Mapping = Sabre_core.Mapping
 module Stats = Sabre_core.Stats
 
-type routed = {
+type routed = Compile_cache.routed = {
   physical : Circuit.t;
   trial_initial : Mapping.t;
   final_mapping : Mapping.t;
@@ -17,6 +17,11 @@ type routed = {
   traversals_run : int;
   scoring : Stats.scoring;
 }
+
+type cache_status =
+  | Cache_off  (** no [cache_spec], cache disabled, or inputs not keyed *)
+  | Cache_hit  (** [routed]/[verified] filled from the cache at create *)
+  | Cache_probe of string  (** probe missed; the key to fill after routing *)
 
 type t = {
   config : Config.t;
@@ -34,6 +39,7 @@ type t = {
   trial_mappings : Mapping.t array option;
   routed : routed option;
   verified : bool option;
+  cache_status : cache_status;
   metrics : (string * float) list;
   counters : (string * int) list;
 }
@@ -47,11 +53,12 @@ let check_device coupling circuit =
 let create ?(config = Config.default) ?dist ?noise
     ?(trial_mode = Trial_runner.Sequential) ?race ?initial
     ?(instrument = Instrument.null)
-    ?(scoring = Sabre_core.Routing_pass.Delta) coupling circuit =
+    ?(scoring = Sabre_core.Routing_pass.Delta) ?cache_spec coupling circuit =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.Context: " ^ msg));
   check_device coupling circuit;
+  let custom_metric = Option.is_some dist in
   let dist, dist_int, cache_counters =
     match dist with
     | Some d ->
@@ -76,6 +83,35 @@ let create ?(config = Config.default) ?dist ?noise
         [ ("context.dist_cache_hit", hit); ("context.dist_cache_miss", miss) ]
       )
   in
+  (* Read-only compile-cache probe. Only fully keyed compilations
+     participate: a noise model changes trial ranking without entering
+     the key, a custom metric replaces the digested hop distances, and
+     a caller-supplied initial mapping replaces the seeded trials — all
+     three force [Cache_off] (route normally, cache nothing). *)
+  let cache_status, routed, verified, cache_counters =
+    match cache_spec with
+    | Some spec
+      when Compile_cache.enabled () && noise = None && (not custom_metric)
+           && initial = None ->
+      let key = Compile_cache.key ~circuit ~coupling ~config ~scoring ~spec in
+      let emit name v =
+        instrument.Instrument.emit
+          (Instrument.Counter { pass = "context"; name; value = v })
+      in
+      let counters_with hit miss =
+        emit "compile_cache_hit" hit;
+        emit "compile_cache_miss" miss;
+        cache_counters
+        @ [
+            ("context.compile_cache_hit", hit);
+            ("context.compile_cache_miss", miss);
+          ]
+      in
+      (match Compile_cache.find key with
+      | Some r -> (Cache_hit, Some r, Some true, counters_with 1 0)
+      | None -> (Cache_probe key, None, None, counters_with 0 1))
+    | _ -> (Cache_off, None, None, cache_counters)
+  in
   {
     config;
     coupling;
@@ -90,8 +126,9 @@ let create ?(config = Config.default) ?dist ?noise
     dag_forward = None;
     dag_backward = None;
     trial_mappings = None;
-    routed = None;
-    verified = None;
+    routed;
+    verified;
+    cache_status;
     metrics = [];
     counters = List.rev cache_counters;  (* stored newest-first *)
   }

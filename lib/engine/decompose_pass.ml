@@ -13,7 +13,20 @@ let pass ?(level = Keep) () =
         | Swaps -> Decompose.expand_swaps ctx.circuit
         | All -> Decompose.expand_all ctx.circuit
       in
-      let ctx = { ctx with circuit } in
+      let ctx =
+        (* rewriting the circuit invalidates the create-time cache
+           probe (it digested the pre-decompose gates): fall back to an
+           uncached route rather than serve or store a mismatched key *)
+        if level <> Keep && ctx.cache_status <> Context.Cache_off then
+          {
+            ctx with
+            circuit;
+            cache_status = Context.Cache_off;
+            routed = None;
+            verified = None;
+          }
+        else { ctx with circuit }
+      in
       let ctx = Pass.count instrument ~pass:name ctx "gates_in" before in
       Pass.count instrument ~pass:name ctx "gates_out"
         (Decompose.elementary_gate_count circuit))

@@ -30,6 +30,9 @@ let random_trials (ctx : Context.t) =
 
 let pass ?(strategy = Random_trials) () =
   Pass.make name (fun ~instrument (ctx : Context.t) ->
+      if ctx.cache_status = Context.Cache_hit then
+        Pass.count instrument ~pass:name ctx "cached" 1
+      else
       let mappings =
         match ctx.fixed_initial with
         | Some m -> [| m |]

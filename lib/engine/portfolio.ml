@@ -283,8 +283,8 @@ let wall = Unix.gettimeofday
 let cancelled_msg = "cancelled: a completed entry is unbeatable"
 
 let run ?(domains = 1) ?(objective = Swaps) ?(config = Config.default) ?noise
-    ?(verify = false) ?(race = false) ?cancel ?(instrument = Instrument.null)
-    coupling circuit entries =
+    ?(verify = false) ?(race = false) ?(cache = false) ?cancel
+    ?(instrument = Instrument.null) coupling circuit entries =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.Portfolio: " ^ msg));
@@ -345,10 +345,15 @@ let run ?(domains = 1) ?(objective = Swaps) ?(config = Config.default) ?noise
   let entry_walls = Array.make (Array.length resolved) 0.0 in
   let compile i (e, router, seeder, config) () =
     let t0 = wall () in
+    (* the entry name encodes router, seeder and overrides, so it is
+       exactly the spec component of the compile-cache key; a cached
+       entry returns instantly and its Race.complete below becomes an
+       unbeatable incumbent that prunes the rest of the race *)
+    let cache_spec = if cache then Some (entry_name e) else None in
     let outcome =
       match
         Context.create ~config ~trial_mode:Trial_runner.Sequential ?noise
-          ?race:tokens.(i) ~instrument coupling circuit
+          ?race:tokens.(i) ~instrument ?cache_spec coupling circuit
         |> Pipeline.run ~instrument
              (Pipeline.default ~router
                 ~initial_strategy:(Initial_mapping_pass.Seeded seeder) ~verify

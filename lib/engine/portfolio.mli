@@ -119,6 +119,7 @@ val run :
   ?noise:Noise.t ->
   ?verify:bool ->
   ?race:bool ->
+  ?cache:bool ->
   ?cancel:(unit -> bool) ->
   ?instrument:Instrument.t ->
   Coupling.t ->
@@ -137,6 +138,15 @@ val run :
     {!entry_stat.e_cancelled} is set), which never changes the winner
     — see {!Race} for the argument. [Success_prob] has no monotone
     bound and silently runs unpruned.
+
+    [cache] (default [false]) opts each entry into the
+    content-addressed {!Compile_cache}, keyed per entry by
+    {!entry_name} (router, seeder and overrides all enter the key). A
+    cached entry completes in O(1) and — under [race] — its
+    [Race.complete] lands immediately, so the hit becomes an instant
+    incumbent that prunes every entry it renders unbeatable. Entries
+    running with a noise model ([Success_prob], or explicit [noise])
+    are excluded from the cache and route normally.
 
     [cancel] is an external hard-stop probe (deadline expiry, client
     disconnect), polled at claim time and at every in-flight progress

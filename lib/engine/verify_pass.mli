@@ -11,4 +11,14 @@
 
 exception Verify_failed of string
 
+val check : Context.t -> Context.routed -> unit
+(** Run the appropriate check (strict tracker, or compliance +
+    commuting linearisation) and raise {!Verify_failed} on any
+    violation. Used by the pass below and by {!Routing_pass} to verify
+    results {e before} inserting them into the compile cache
+    (verify-on-insert: a hit never pays verification again). *)
+
 val pass : Pass.t
+(** Skips (counter [verify.cached]) when the context is already
+    verified — i.e. the result came from, or was just verified into,
+    the compile cache. *)

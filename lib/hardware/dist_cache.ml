@@ -1,10 +1,11 @@
-let capacity = 16
+let default_capacity = 16
+let capacity_ref = ref default_capacity
 
 type entry = { flat : float array; flat_int : int array; mutable tick : int }
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 let lock = Mutex.create ()
-let table : (string, entry) Hashtbl.t = Hashtbl.create capacity
+let table : (string, entry) Hashtbl.t = Hashtbl.create default_capacity
 let clock = ref 0
 let hits = ref 0
 let misses = ref 0
@@ -43,6 +44,16 @@ let evict_lru () =
     incr evictions
   | None -> ()
 
+let capacity () = Mutex.protect lock (fun () -> !capacity_ref)
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Dist_cache.set_capacity: capacity must be >= 1";
+  Mutex.protect lock (fun () ->
+      capacity_ref := n;
+      while Hashtbl.length table > n do
+        evict_lru ()
+      done)
+
 let lookup_all coupling =
   (* digest first: it memoises inside the coupling value and keeps the
      O(edges) serialisation outside the critical section on reuse *)
@@ -57,7 +68,7 @@ let lookup_all coupling =
       | None ->
         incr misses;
         let flat, flat_int = flatten coupling in
-        if Hashtbl.length table >= capacity then evict_lru ();
+        if Hashtbl.length table >= !capacity_ref then evict_lru ();
         Hashtbl.add table key { flat; flat_int; tick = !clock };
         (flat, flat_int, `Miss))
 

@@ -15,9 +15,14 @@
     concurrent lookups from any number of domains are safe. Returned
     arrays are shared: treat them as read-only. *)
 
-val capacity : int
-(** Maximum resident devices (16). Inserting beyond it evicts the least
-    recently used entry. *)
+val capacity : unit -> int
+(** Current maximum resident devices (default 16). Inserting beyond it
+    evicts the least recently used entry. *)
+
+val set_capacity : int -> unit
+(** Change the entry budget (process-wide). Shrinking below the current
+    resident count evicts least-recently-used entries immediately.
+    Raises [Invalid_argument] on a capacity below 1. *)
 
 val lookup : Coupling.t -> float array * [ `Hit | `Miss ]
 (** The device's all-pairs hop distances, flattened row-major with

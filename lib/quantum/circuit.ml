@@ -107,6 +107,22 @@ let canonical_key c =
     buffers;
   Digest.to_hex (Digest.string (Buffer.contents whole))
 
+(* Strict program-order digest. Routing output is NOT invariant under
+   commuting-gate interleaving (front-layer FIFO order follows gate
+   indices), so memoization keys must hash the exact array order —
+   canonical_key would conflate circuits that route differently. *)
+let digest c =
+  let whole = Buffer.create 256 in
+  Buffer.add_string whole (string_of_int c.n_qubits);
+  Buffer.add_char whole '/';
+  Buffer.add_string whole (string_of_int c.n_clbits);
+  Array.iter
+    (fun g ->
+      Buffer.add_char whole '\n';
+      Buffer.add_string whole (Gate.to_string g))
+    c.gates;
+  Digest.to_hex (Digest.string (Buffer.contents whole))
+
 let equal_up_to_reordering a b =
   a.n_qubits = b.n_qubits && String.equal (canonical_key a) (canonical_key b)
 

@@ -78,6 +78,14 @@ val canonical_key : t -> string
 val equal_up_to_reordering : t -> t -> bool
 (** [equal_up_to_reordering a b] compares {!canonical_key}s. *)
 
+val digest : t -> string
+(** Strict content digest over the gates in program order (plus register
+    sizes). Unlike {!canonical_key} this distinguishes circuits that
+    differ only by commuting-gate interleavings — necessary for
+    memoizing routing results, whose output depends on the exact gate
+    order. Equal digests imply {!equal} circuits (modulo hash
+    collisions); the converse holds exactly. *)
+
 val equal : t -> t -> bool
 (** Strict structural equality (same gates, same order). *)
 

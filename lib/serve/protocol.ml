@@ -34,6 +34,7 @@ type compile = {
   device_size : int option;
   router : string;
   overrides : overrides;
+  cache : bool;
   deadline_s : float option;
 }
 
@@ -46,6 +47,7 @@ type portfolio = {
   objective : string;
   race : bool;
   overrides : overrides;
+  cache : bool;
   deadline_s : float option;
 }
 
@@ -123,6 +125,10 @@ type server_stats = {
   uptime_s : float;
   dist_cache_hits : int;
   dist_cache_misses : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  cache_bytes : int;
   per_domain : domain_load array;
   per_router : router_load array;
 }
@@ -178,6 +184,7 @@ let encode_request req =
         @ opt_field "device_size" (fun v -> Jsonx.Int v) c.device_size
         @ [ ("router", Jsonx.Str c.router) ]
         @ overrides_fields c.overrides
+        @ [ ("cache", Jsonx.Bool c.cache) ]
         @ opt_field "deadline_s" (fun v -> Jsonx.Float v) c.deadline_s)
     | Portfolio p ->
       Jsonx.Obj
@@ -191,6 +198,7 @@ let encode_request req =
             ("race", Jsonx.Bool p.race);
           ]
         @ overrides_fields p.overrides
+        @ [ ("cache", Jsonx.Bool p.cache) ]
         @ opt_field "deadline_s" (fun v -> Jsonx.Float v) p.deadline_s)
     | Stats { id } ->
       Jsonx.Obj [ ("kind", Jsonx.Str "stats"); ("id", Jsonx.Str id) ]
@@ -255,6 +263,10 @@ let encode_response resp =
           ("uptime_s", Jsonx.Float s.uptime_s);
           ("dist_cache_hits", Jsonx.Int s.dist_cache_hits);
           ("dist_cache_misses", Jsonx.Int s.dist_cache_misses);
+          ("cache_hits", Jsonx.Int s.cache_hits);
+          ("cache_misses", Jsonx.Int s.cache_misses);
+          ("cache_entries", Jsonx.Int s.cache_entries);
+          ("cache_bytes", Jsonx.Int s.cache_bytes);
           ( "per_domain",
             Jsonx.List
               (Array.to_list
@@ -325,7 +337,7 @@ let known_request_fields =
   [
     "kind"; "id"; "qasm"; "path"; "device"; "device_size"; "router"; "spec";
     "objective"; "race"; "trials"; "traversals"; "delta"; "weight";
-    "extended_set"; "seed"; "commutation"; "deadline_s";
+    "extended_set"; "seed"; "commutation"; "cache"; "deadline_s";
   ]
 
 let reject_unknown_fields obj known =
@@ -376,6 +388,7 @@ let decode_request ?(max_bytes = default_max_bytes) line =
           in
           let device = get_str json "device" in
           let device_size = opt_int json "device_size" in
+          let cache = Option.value (opt_bool json "cache") ~default:true in
           let deadline_s = opt_float json "deadline_s" in
           if kind = "compile" then
             Ok
@@ -387,6 +400,7 @@ let decode_request ?(max_bytes = default_max_bytes) line =
                    device_size;
                    router = Option.value (opt_str json "router") ~default:"sabre";
                    overrides;
+                   cache;
                    deadline_s;
                  })
           else
@@ -402,6 +416,7 @@ let decode_request ?(max_bytes = default_max_bytes) line =
                      Option.value (opt_str json "objective") ~default:"swaps";
                    race = Option.value (opt_bool json "race") ~default:false;
                    overrides;
+                   cache;
                    deadline_s;
                  })
         | other -> raise (Bad (Printf.sprintf "unknown request kind %S" other))
@@ -524,6 +539,10 @@ let decode_response line =
                    uptime_s = get_float json "uptime_s";
                    dist_cache_hits = get_int json "dist_cache_hits";
                    dist_cache_misses = get_int json "dist_cache_misses";
+                   cache_hits = get_int json "cache_hits";
+                   cache_misses = get_int json "cache_misses";
+                   cache_entries = get_int json "cache_entries";
+                   cache_bytes = get_int json "cache_bytes";
                    per_domain;
                    per_router;
                  };

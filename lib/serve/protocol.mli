@@ -51,6 +51,11 @@ type compile = {
   device_size : int option;  (** size for parametric devices *)
   router : string;  (** registered router name, e.g. ["sabre"] *)
   overrides : overrides;
+  cache : bool;
+      (** allow the compile cache (default [true] on the wire; only
+          effective when the server enabled caching at startup) —
+          [false] forces a fresh route, bypassing both the
+          admission-time probe and the worker-side cache *)
   deadline_s : float option;
       (** per-request deadline in seconds from admission, overriding
           the server default; [Some d] with [d <= 0] is already
@@ -70,6 +75,9 @@ type portfolio = {
       (** arm incumbent-bound pruning ({!Engine.Portfolio.run}'s
           [~race]); defaults to [false] on the wire *)
   overrides : overrides;
+  cache : bool;
+      (** allow the compile cache per entry (default [true] on the
+          wire; effective only when the server enabled caching) *)
   deadline_s : float option;
 }
 (** Best-of-K request: route once per portfolio entry, answer with the
@@ -150,6 +158,10 @@ type server_stats = {
   uptime_s : float;
   dist_cache_hits : int;
   dist_cache_misses : int;
+  cache_hits : int;  (** compile-cache hits ({!Engine.Compile_cache}) *)
+  cache_misses : int;
+  cache_entries : int;  (** resident memoized routing results *)
+  cache_bytes : int;  (** bytes held by resident results *)
   per_domain : domain_load array;  (** by worker index *)
   per_router : router_load array;  (** sorted by router name *)
 }

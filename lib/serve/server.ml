@@ -101,6 +101,10 @@ type t = {
   unlink_on_stop : string option;
   queue : job Rqueue.t;
   n_domains : int;
+  cache : bool;
+      (** compile-cache participation: requests probe at admission and
+          route through {!Engine.Compile_cache} (unless they carry
+          [cache=false]); off by default so tests and embedders opt in *)
   default_deadline_s : float option;
   max_request_bytes : int;
   instrument : Instrument.t;
@@ -166,6 +170,7 @@ let bump_router t name outcome =
 
 let stats t : Protocol.server_stats =
   let c = Hardware.Dist_cache.stats () in
+  let cc = Engine.Compile_cache.stats () in
   {
     served = Atomic.get t.served;
     errored = Atomic.get t.errored;
@@ -178,6 +183,10 @@ let stats t : Protocol.server_stats =
     uptime_s = wall () -. t.started_at;
     dist_cache_hits = c.Hardware.Dist_cache.hits;
     dist_cache_misses = c.Hardware.Dist_cache.misses;
+    cache_hits = cc.Engine.Compile_cache.hits;
+    cache_misses = cc.Engine.Compile_cache.misses;
+    cache_entries = cc.Engine.Compile_cache.entries;
+    cache_bytes = cc.Engine.Compile_cache.bytes;
     per_domain =
       Array.init t.n_domains (fun i ->
           {
@@ -281,10 +290,16 @@ let compile_request t ?should_stop (c : Protocol.compile) : Protocol.response =
       let race =
         Option.map (fun f -> Engine.Race.token ~should_stop:f ()) should_stop
       in
+      let cache_spec =
+        (* [Router.find] is an exact-name lookup, so [c.router] is the
+           canonical name [Engine.Batch] keys with — hits are shared
+           with the CLI and batch entry points *)
+        if t.cache && c.cache then Some c.router else None
+      in
       let resp =
         match
           Engine.Context.create ~config
-            ~trial_mode:Engine.Trial_runner.Sequential ?race
+            ~trial_mode:Engine.Trial_runner.Sequential ?race ?cache_spec
             ~instrument:t.instrument device circuit
           |> Engine.Pipeline.run ~instrument:t.instrument
                (Engine.Pipeline.default ~router ~verify:true ())
@@ -354,8 +369,8 @@ let portfolio_request t ?should_stop (p : Protocol.portfolio) :
       let t0 = wall () in
       match
         Engine.Portfolio.run ~domains:1 ~objective ~config ~verify:true
-          ~race:p.race ?cancel:should_stop ~instrument:t.instrument device
-          circuit entries
+          ~race:p.race ~cache:(t.cache && p.cache) ?cancel:should_stop
+          ~instrument:t.instrument device circuit entries
       with
       | exception Engine.Router.Route_failed msg ->
         List.iter (fun n -> bump_router t n `Err) (Array.to_list names);
@@ -492,11 +507,87 @@ let admit t ~conn_fd work deadline_s =
     error_id id Protocol.Shutting_down
       "server is draining; request not admitted"
 
+(* Admission-time cache fast path: a compile request whose complete
+   result is already memoized is answered on the connection thread,
+   bypassing the worker queue entirely — a hit costs one QASM parse and
+   one digest, never a queue slot. Strictly best-effort: any parse or
+   validation failure falls through to the normal admission path, which
+   produces the proper typed error. A request whose deadline is already
+   expired is NOT probed — it must time out exactly as before, whatever
+   the cache holds. *)
+let admission_cache_hit t (c : Protocol.compile) : Protocol.response option =
+  let pre_expired =
+    match (c.Protocol.deadline_s, t.default_deadline_s) with
+    | Some d, _ | None, Some d -> d <= 0.0
+    | None, None -> false
+  in
+  if
+    (not t.cache) || (not c.Protocol.cache) || pre_expired
+    || not (Engine.Compile_cache.enabled ())
+  then None
+  else
+    let t0 = wall () in
+    let probe =
+      let config = config_of_overrides c.overrides in
+      match Config.validate config with
+      | Error _ -> None
+      | Ok () -> (
+        match Devices.by_name c.device c.device_size with
+        | exception Invalid_argument _ -> None
+        | coupling -> (
+          match parse_source c.id c.source with
+          | Error _ -> None
+          | Ok circuit ->
+            let key =
+              Engine.Compile_cache.key ~circuit ~coupling ~config
+                ~scoring:Sabre_core.Routing_pass.Delta ~spec:c.router
+            in
+            Option.map
+              (fun r -> (circuit, r))
+              (Engine.Compile_cache.find key)))
+    in
+    match probe with
+    | None -> None
+    | Some (circuit, r) ->
+      (* same [Stats.summary] call as [Context.stats], so the response
+         is field-identical to the worker path answering the same hit *)
+      let stats =
+        Sabre_core.Stats.summary ~original:circuit
+          ~routed:r.Engine.Context.physical ~n_swaps:r.Engine.Context.n_swaps
+          ~search_steps:r.Engine.Context.search_steps
+          ~fallback_swaps:r.Engine.Context.fallback_swaps
+          ~traversals_run:r.Engine.Context.traversals_run
+          ~time_s:(wall () -. t0)
+          ~first_traversal_swaps:r.Engine.Context.first_swaps
+          ~scoring:r.Engine.Context.scoring
+      in
+      bump t t.served "served";
+      t.instrument.Instrument.emit
+        (Instrument.Counter
+           { pass = "serve"; name = "cache_admission_hit"; value = 1 });
+      bump_router t c.router `Ok;
+      Some
+        (Protocol.Ok_compiled
+           {
+             id = c.id;
+             qasm = Qasm.to_string r.Engine.Context.physical;
+             initial = Mapping.l2p_array r.Engine.Context.trial_initial;
+             final = Mapping.l2p_array r.Engine.Context.final_mapping;
+             n_swaps = stats.Sabre_core.Stats.n_swaps;
+             original_gates = stats.Sabre_core.Stats.original_gates;
+             total_gates = stats.Sabre_core.Stats.total_gates;
+             routed_depth = stats.Sabre_core.Stats.routed_depth;
+             time_s = stats.Sabre_core.Stats.time_s;
+           })
+
 let handle_request t ~conn_fd (req : Protocol.request) : Protocol.response =
   match req with
   | Protocol.Ping { id } -> Protocol.Pong { id }
   | Protocol.Stats { id } -> Protocol.Ok_stats { id; stats = stats t }
-  | Protocol.Compile c -> admit t ~conn_fd (W_compile c) c.deadline_s
+  | Protocol.Compile c -> (
+    match admission_cache_hit t c with
+    | Some resp -> resp
+    | None -> admit t ~conn_fd (W_compile c) c.deadline_s)
   | Protocol.Portfolio p -> admit t ~conn_fd (W_portfolio p) p.deadline_s
 
 let handle_conn t fd =
@@ -689,8 +780,8 @@ let bind_listener = function
     in
     (fd, Protocol.Tcp { host; port = bound_port }, None)
 
-let start ?(domains = 1) ?(queue_capacity = 64) ?default_deadline_s
-    ?(max_request_bytes = Protocol.default_max_bytes)
+let start ?(domains = 1) ?(queue_capacity = 64) ?(cache = false)
+    ?default_deadline_s ?(max_request_bytes = Protocol.default_max_bytes)
     ?(instrument = Instrument.null) endpoint =
   Baseline.Routers.register ();
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -705,6 +796,7 @@ let start ?(domains = 1) ?(queue_capacity = 64) ?default_deadline_s
       unlink_on_stop;
       queue = Rqueue.create ~capacity:queue_capacity;
       n_domains;
+      cache;
       default_deadline_s;
       max_request_bytes;
       instrument;

@@ -49,6 +49,7 @@ type t
 val start :
   ?domains:int ->
   ?queue_capacity:int ->
+  ?cache:bool ->
   ?default_deadline_s:float ->
   ?max_request_bytes:int ->
   ?instrument:Engine.Instrument.t ->
@@ -64,6 +65,17 @@ val start :
     (pass ["serve"]) and every compile's pass events — it must be
     domain-safe ({!Instrument.null}, {!Instrument.stderr_trace} or
     {!Instrument.sync_collector}; a plain collector is not).
+
+    [cache] (default [false]) opts the server into the process-wide
+    {!Engine.Compile_cache}: a compile request whose result is already
+    memoized is answered {e at admission}, on the connection thread,
+    without ever occupying a queue slot or a worker (counted in
+    [served] and the per-router bucket, but not in any worker's
+    [jobs_run]); misses route normally and insert. A request carrying
+    [cache=false] bypasses the cache in both directions, and a request
+    whose deadline is already expired is never answered from the cache
+    — it times out exactly as without caching. The [sabre_serve]
+    binary enables this by default ([--no-cache] turns it off).
 
     Registers the baseline routers and ignores [SIGPIPE]. Raises
     [Unix.Unix_error] when binding fails (path in use, privileged

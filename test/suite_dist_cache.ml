@@ -57,7 +57,7 @@ let test_lru_eviction_at_capacity () =
   Cache.clear ();
   (* fill to capacity with distinct devices (paths of growing length) *)
   let dev i = path (i + 2) in
-  for i = 0 to Cache.capacity - 1 do
+  for i = 0 to Cache.capacity () - 1 do
     ignore (Cache.lookup (dev i))
   done;
   check Alcotest.int "at capacity, nothing evicted" 0
@@ -65,15 +65,48 @@ let test_lru_eviction_at_capacity () =
   (* refresh entry 0 so entry 1 becomes the least recently used *)
   check Alcotest.bool "entry 0 still resident" true
     (snd (Cache.lookup (dev 0)) = `Hit);
-  ignore (Cache.lookup (path (Cache.capacity + 2)));
+  ignore (Cache.lookup (path (Cache.capacity () + 2)));
   let s = Cache.stats () in
   check Alcotest.int "one eviction past capacity" 1 s.evictions;
-  check Alcotest.int "resident count stays at capacity" Cache.capacity
+  check Alcotest.int "resident count stays at capacity" (Cache.capacity ())
     s.entries;
   check Alcotest.bool "refreshed entry survived" true
     (snd (Cache.lookup (dev 0)) = `Hit);
   check Alcotest.bool "least recently used entry was evicted" true
     (snd (Cache.lookup (dev 1)) = `Miss)
+
+let test_set_capacity_evicts_down () =
+  Cache.clear ();
+  let original = Cache.capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_capacity original;
+      Cache.clear ())
+    (fun () ->
+      for i = 0 to 7 do
+        ignore (Cache.lookup (path (i + 2)))
+      done;
+      check Alcotest.int "eight resident" 8 (Cache.stats ()).entries;
+      (* keep 2 and 7 warm, then shrink: only the warmest three survive *)
+      ignore (Cache.lookup (path 4));
+      ignore (Cache.lookup (path 9));
+      Cache.set_capacity 3;
+      check Alcotest.int "capacity reported" 3 (Cache.capacity ());
+      let s = Cache.stats () in
+      check Alcotest.int "evicted down to the new capacity" 3 s.entries;
+      check Alcotest.int "evictions counted" 5 s.evictions;
+      check Alcotest.bool "most recently used survived" true
+        (snd (Cache.lookup (path 9)) = `Hit);
+      check Alcotest.bool "refreshed entry survived" true
+        (snd (Cache.lookup (path 4)) = `Hit);
+      check Alcotest.bool "cold entry evicted" true
+        (snd (Cache.lookup (path 2)) = `Miss);
+      (* growing back does not resurrect anything *)
+      Cache.set_capacity 16;
+      check Alcotest.bool "rejects capacity below 1" true
+        (match Cache.set_capacity 0 with
+        | () -> false
+        | exception Invalid_argument _ -> true))
 
 let test_reset_stats_keeps_entries () =
   Cache.clear ();
@@ -160,6 +193,8 @@ let suite =
     tc "equal qubit counts do not collide" `Quick
       test_equal_qubit_count_devices_do_not_collide;
     tc "LRU eviction at capacity" `Quick test_lru_eviction_at_capacity;
+    tc "set_capacity evicts down and validates" `Quick
+      test_set_capacity_evicts_down;
     tc "reset_stats keeps entries" `Quick test_reset_stats_keeps_entries;
     tc "Context.create reports cache outcome" `Quick
       test_context_create_reports_cache_outcome;

@@ -37,11 +37,11 @@ let fresh_sock =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "sabre_serve_%d_%d.sock" (Unix.getpid ()) !ctr)
 
-let with_server ?(domains = 2) ?queue_capacity ?default_deadline_s
+let with_server ?(domains = 2) ?queue_capacity ?cache ?default_deadline_s
     ?max_request_bytes f =
   let path = fresh_sock () in
   let server =
-    Server.start ~domains ?queue_capacity ?default_deadline_s
+    Server.start ~domains ?queue_capacity ?cache ?default_deadline_s
       ?max_request_bytes (P.Unix_sock path)
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f path server)
@@ -52,8 +52,8 @@ let rpc path req =
       | Ok r -> r
       | Error e -> Alcotest.failf "transport failure: %s" e)
 
-let compile_req ?(id = "x") ?(overrides = P.no_overrides) ?deadline_s
-    ?(device = "tokyo") ?(router = "sabre") qasm =
+let compile_req ?(id = "x") ?(overrides = P.no_overrides) ?(cache = true)
+    ?deadline_s ?(device = "tokyo") ?(router = "sabre") qasm =
   P.Compile
     {
       id;
@@ -62,6 +62,7 @@ let compile_req ?(id = "x") ?(overrides = P.no_overrides) ?deadline_s
       device_size = None;
       router;
       overrides;
+      cache;
       deadline_s;
     }
 
@@ -195,7 +196,7 @@ let gen_compile =
   QCheck.Gen.(
     map
       (fun ((id, src_is_path, text), (device, device_size, router),
-            (overrides, deadline_s)) ->
+            (overrides, cache, deadline_s)) ->
         P.Compile
           {
             id;
@@ -204,18 +205,20 @@ let gen_compile =
             device_size;
             router;
             overrides;
+            cache;
             deadline_s;
           })
       (triple
          (triple gen_str bool gen_str)
          (triple gen_str (gen_opt small_nat) gen_str)
-         (pair gen_overrides (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
+         (triple gen_overrides bool
+            (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
 
 let gen_portfolio =
   QCheck.Gen.(
     map
       (fun ((id, src_is_path, text), (device, device_size, spec),
-            ((objective, race), overrides, deadline_s)) ->
+            ((objective, race, cache), overrides, deadline_s)) ->
         P.Portfolio
           {
             id;
@@ -226,6 +229,7 @@ let gen_portfolio =
             objective;
             race;
             overrides;
+            cache;
             deadline_s;
           })
       (triple
@@ -240,7 +244,7 @@ let gen_portfolio =
                  "";
                ]))
          (triple
-            (pair (oneofl [ "swaps"; "depth"; "success"; "bogus" ]) bool)
+            (triple (oneofl [ "swaps"; "depth"; "success"; "bogus" ]) bool bool)
             gen_overrides
             (gen_opt (oneofl [ 0.0; -1.0; 0.5; 2.25 ])))))
 
@@ -277,6 +281,7 @@ let shrink_request r yield =
     (match c.device_size with
     | Some _ -> yield (P.Compile { c with device_size = None })
     | None -> ());
+    if not c.cache then yield (P.Compile { c with cache = true });
     if c.overrides <> P.no_overrides then
       yield (P.Compile { c with overrides = P.no_overrides })
   | P.Portfolio p ->
@@ -296,6 +301,7 @@ let shrink_request r yield =
     (match p.device_size with
     | Some _ -> yield (P.Portfolio { p with device_size = None })
     | None -> ());
+    if not p.cache then yield (P.Portfolio { p with cache = true });
     if p.overrides <> P.no_overrides then
       yield (P.Portfolio { p with overrides = P.no_overrides })
 
@@ -331,6 +337,10 @@ let test_response_roundtrip () =
       uptime_s = 1.25;
       dist_cache_hits = 7;
       dist_cache_misses = 1;
+      cache_hits = 5;
+      cache_misses = 9;
+      cache_entries = 4;
+      cache_bytes = 131072;
       per_domain =
         [|
           { P.domain = 0; jobs_run = 6; wall_busy_s = 0.5 };
@@ -612,6 +622,7 @@ let test_typed_errors () =
                 device_size = None;
                 router = "sabre";
                 overrides = P.no_overrides;
+                cache = true;
                 deadline_s = None;
               }));
       expect_error P.Invalid
@@ -724,6 +735,7 @@ let test_path_source_equals_inline () =
                    device_size = None;
                    router = "sabre";
                    overrides = P.no_overrides;
+                   cache = true;
                    deadline_s = None;
                  })
           in
@@ -742,7 +754,7 @@ let test_path_source_equals_inline () =
 
 let portfolio_req ?(id = "pf") ?(spec = "sabre,hail/iso,greedy")
     ?(objective = "swaps") ?(race = false) ?(overrides = P.no_overrides)
-    ?deadline_s qasm =
+    ?(cache = true) ?deadline_s qasm =
   P.Portfolio
     {
       id;
@@ -753,6 +765,7 @@ let portfolio_req ?(id = "pf") ?(spec = "sabre,hail/iso,greedy")
       objective;
       race;
       overrides;
+      cache;
       deadline_s;
     }
 
@@ -1070,6 +1083,62 @@ let test_default_deadline_applies () =
         Alcotest.failf "per-request deadline ignored: %s" (P.encode_response r))
 
 (* ------------------------------------------------------------------ *)
+(* Compile cache over the wire                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_compile_cache () =
+  Engine.Compile_cache.clear ();
+  with_server ~domains:1 ~cache:true (fun path server ->
+      let cold =
+        match rpc path (compile_req ~id:"cold" small_qasm) with
+        | P.Ok_compiled r -> r
+        | r -> Alcotest.failf "cold compile failed: %s" (P.encode_response r)
+      in
+      (* identical request: answered from the cache at admission *)
+      let warm =
+        match rpc path (compile_req ~id:"warm" small_qasm) with
+        | P.Ok_compiled r -> r
+        | r -> Alcotest.failf "warm compile failed: %s" (P.encode_response r)
+      in
+      check Alcotest.string "hit QASM byte-identical" cold.P.qasm warm.P.qasm;
+      check
+        Alcotest.(array int)
+        "hit initial mapping identical" cold.P.initial warm.P.initial;
+      check
+        Alcotest.(array int)
+        "hit final mapping identical" cold.P.final warm.P.final;
+      check Alcotest.int "hit swap count identical" cold.P.n_swaps
+        warm.P.n_swaps;
+      check Alcotest.int "hit depth identical" cold.P.routed_depth
+        warm.P.routed_depth;
+      check Alcotest.string "hit echoes its own id" "warm" warm.P.id;
+      (* cache=false forces a fresh route — same deterministic answer *)
+      let fresh =
+        match rpc path (compile_req ~id:"fresh" ~cache:false small_qasm) with
+        | P.Ok_compiled r -> r
+        | r ->
+          Alcotest.failf "cache=false compile failed: %s"
+            (P.encode_response r)
+      in
+      check Alcotest.string "uncached route agrees" cold.P.qasm fresh.P.qasm;
+      (* a pre-expired deadline is never answered from the cache, even
+         with the result resident *)
+      expect_error P.Timeout (rpc path (compile_req ~deadline_s:0.0 small_qasm));
+      let s = Server.stats server in
+      check Alcotest.int "three served" 3 s.P.served;
+      check Alcotest.int "timeout preserved despite resident entry" 1
+        s.P.timed_out;
+      check Alcotest.int "exactly one admission hit" 1 s.P.cache_hits;
+      check Alcotest.bool "entry resident with bytes accounted" true
+        (s.P.cache_entries >= 1 && s.P.cache_bytes > 0);
+      (* the hit never occupied a worker: cold + cache=false + the
+         timed-out pop are the only jobs the pool ran *)
+      let jobs =
+        Array.fold_left (fun acc d -> acc + d.P.jobs_run) 0 s.P.per_domain
+      in
+      check Alcotest.int "admission hit bypassed the worker queue" 3 jobs)
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle: drain and signals                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1267,6 +1336,8 @@ let suite =
       test_portfolio_race_over_wire;
     tc "per-request deadline overrides the server default" `Quick
       test_default_deadline_applies;
+    tc "compile cache: admission hits, overrides, deadlines" `Quick
+      test_serve_compile_cache;
     tc "SIGTERM drains in-flight work then stops" `Slow
       test_sigterm_drains_in_flight;
     tc "requests racing the drain get typed answers" `Slow
