@@ -78,25 +78,34 @@ let compile_portfolio ~config ~entries ~objective ~verify ~race ~cache
     Error { name = job.name; message = msg }
   | exception Invalid_argument msg -> Error { name = job.name; message = msg }
 
-(* Manifest-level deduplication: identical rows (same circuit bytes —
-   strict program-order digest, same device/config/router for the whole
-   batch) route once; every duplicate receives the representative's
-   outcome under its own name. Failure isolation is preserved exactly
-   because routing is deterministic: a duplicate of a failing row would
-   have failed identically, so fanning the error out changes nothing
-   but the wall clock. *)
+(* Manifest-level deduplication: identical rows (same circuit, same
+   device/config/router for the whole batch) route once; every duplicate
+   receives the representative's outcome under its own name. Rows are
+   bucketed by the strict program-order digest and confirmed with
+   [Circuit.equal] before folding, so a hash collision degrades to a
+   redundant route, never to serving the wrong circuit. Failure
+   isolation is preserved exactly because routing is deterministic: a
+   duplicate of a failing row would have failed identically, so fanning
+   the error out changes nothing but the wall clock. *)
 let dedup_plan jobs =
-  let index : (string, int) Hashtbl.t = Hashtbl.create (Array.length jobs) in
+  let index : (string, (Circuit.t * int) list) Hashtbl.t =
+    Hashtbl.create (Array.length jobs)
+  in
   let uniques = ref [] and n_unique = ref 0 in
   let owner =
     Array.map
       (fun job ->
         let d = Circuit.digest job.circuit in
-        match Hashtbl.find_opt index d with
-        | Some u -> u
+        let bucket =
+          Option.value (Hashtbl.find_opt index d) ~default:[]
+        in
+        match
+          List.find_opt (fun (c, _) -> Circuit.equal c job.circuit) bucket
+        with
+        | Some (_, u) -> u
         | None ->
           let u = !n_unique in
-          Hashtbl.add index d u;
+          Hashtbl.replace index d ((job.circuit, u) :: bucket);
           incr n_unique;
           uniques := job :: !uniques;
           u)

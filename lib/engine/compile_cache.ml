@@ -132,7 +132,7 @@ let evict_to_budget s ~keep =
     ()
   done
 
-let find key =
+let probe ~count_miss key =
   if not (enabled ()) then None
   else
     let s = shard_of key in
@@ -143,9 +143,17 @@ let find key =
           e.tick <- s.clock;
           Atomic.incr hits;
           Some (snapshot e.routed)
-        | Some Pending | None ->
-          Atomic.incr misses;
+        | Some Pending ->
+          (* a route is in flight: not a miss — the follow-up [acquire]
+             classifies this probe (wait-resolved hit, or a miss if the
+             owner aborts and we inherit the flight) *)
+          None
+        | None ->
+          if count_miss then Atomic.incr misses;
           None)
+
+let find key = probe ~count_miss:true key
+let peek key = probe ~count_miss:false key
 
 type acquired = Hit of routed * bool | Compute
 
@@ -173,7 +181,10 @@ let acquire key =
           Condition.wait s.cond s.lock;
           go ()
         | None ->
-          (* the miss was already counted by the probe; claim the flight *)
+          (* claim the flight. A probe that saw [None] already counted
+             the miss; a probe that landed on the (now aborted) flight
+             counted nothing, so the inheriting waiter counts it here. *)
+          if !waited then Atomic.incr misses;
           Hashtbl.replace s.table key Pending;
           Compute
       in

@@ -52,8 +52,16 @@ val key :
     overrides. *)
 
 val find : string -> routed option
-(** Read-only probe. Counts a hit or a miss; never blocks and never
-    claims the flight. Returns [None] when disabled. *)
+(** Read-only probe. Never blocks and never claims the flight. Returns
+    [None] when disabled. Counts a hit on a ready entry and a miss on a
+    truly absent key; a probe that lands on an in-flight route counts
+    {e nothing} — the follow-up {!acquire} classifies it (see
+    {!stats}). *)
+
+val peek : string -> routed option
+(** {!find} that counts hits only. For early fast paths (serve
+    admission) whose miss is re-probed by the worker pipeline: counting
+    there instead keeps one request at one hit {e or} one miss. *)
 
 type acquired =
   | Hit of routed * bool
@@ -65,7 +73,10 @@ type acquired =
 val acquire : string -> acquired
 (** Single-flight acquire, called after a {!find} miss. Re-checks the
     slot (second-chance hit), blocks while another caller's flight is
-    pending, or claims the flight. Does not re-count the probe's miss. *)
+    pending, or claims the flight. Completes the probe's accounting:
+    a ready result counts a hit (wait-resolved or second-chance), and a
+    waiter that inherits an aborted flight counts the miss its probe
+    deferred; a probe-counted miss is not re-counted on [Compute]. *)
 
 val fill : string -> routed -> unit
 (** Resolve an owned flight with a successful result: store it (subject
@@ -89,6 +100,14 @@ val set_capacity_bytes : int -> unit
 val set_capacity_mb : int -> unit
 (** [set_capacity_bytes (mb * 1024 * 1024)] — the [--cache-mb] flag. *)
 
+(* Counting semantics: each request that consults the cache counts one
+   hit (served from cache, including waits resolved by an in-flight
+   owner) or one miss (routed fresh) — never both; [inflight_waits]
+   additionally counts requests that blocked on an in-flight route.
+   In the narrow race where a result is filled (or an in-flight slot
+   aborted) between a request's probe and its acquire, that request may
+   count one extra (or one fewer) probe; the totals are exact in their
+   absence. *)
 type stats = {
   hits : int;
   misses : int;

@@ -91,7 +91,7 @@ let canonical_key c =
   let buffers = Array.init c.n_qubits (fun _ -> Buffer.create 64) in
   Array.iter
     (fun g ->
-      let s = Gate.to_string g in
+      let s = Gate.digest_string g in
       List.iter
         (fun q ->
           Buffer.add_string buffers.(q) s;
@@ -110,7 +110,10 @@ let canonical_key c =
 (* Strict program-order digest. Routing output is NOT invariant under
    commuting-gate interleaving (front-layer FIFO order follows gate
    indices), so memoization keys must hash the exact array order —
-   canonical_key would conflate circuits that route differently. *)
+   canonical_key would conflate circuits that route differently. Gates
+   serialise via [Gate.digest_string] (hex-float parameters): %g's 6
+   significant digits would collide rotation angles differing only in
+   lower bits, and a cache hit is trusted without re-verification. *)
 let digest c =
   let whole = Buffer.create 256 in
   Buffer.add_string whole (string_of_int c.n_qubits);
@@ -119,7 +122,7 @@ let digest c =
   Array.iter
     (fun g ->
       Buffer.add_char whole '\n';
-      Buffer.add_string whole (Gate.to_string g))
+      Buffer.add_string whole (Gate.digest_string g))
     c.gates;
   Digest.to_hex (Digest.string (Buffer.contents whole))
 

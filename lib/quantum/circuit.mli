@@ -83,8 +83,10 @@ val digest : t -> string
     sizes). Unlike {!canonical_key} this distinguishes circuits that
     differ only by commuting-gate interleavings — necessary for
     memoizing routing results, whose output depends on the exact gate
-    order. Equal digests imply {!equal} circuits (modulo hash
-    collisions); the converse holds exactly. *)
+    order. Gate parameters are serialised bit-exactly
+    ({!Gate.digest_string}), so equal digests imply {!equal} circuits
+    (modulo MD5 collisions, and with all NaN parameter payloads
+    conflated); the converse holds exactly. *)
 
 val equal : t -> t -> bool
 (** Strict structural equality (same gates, same order). *)

@@ -128,6 +128,22 @@ let pp ppf g =
   | Measure (q, c) -> Format.fprintf ppf "measure q[%d] -> c[%d]" q c
 
 let to_string g = Format.asprintf "%a" pp g
+
+(* Float parameters go through %h (hex-float) so bit-distinct angles —
+   including ones that agree to %g's 6 significant digits, NaN, signed
+   zero and subnormals — never serialise alike. Gates without float
+   parameters render exactly under [to_string] already. *)
+let digest_string g =
+  match g with
+  | Single (k, q) -> (
+    match single_kind_params k with
+    | [] -> to_string g
+    | ps ->
+      Printf.sprintf "%s(%s) q[%d]" (single_kind_name k)
+        (String.concat "," (List.map (Printf.sprintf "%h") ps))
+        q)
+  | Cnot _ | Cz _ | Swap _ | Barrier _ | Measure _ -> to_string g
+
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 

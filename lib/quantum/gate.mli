@@ -67,7 +67,17 @@ val pp : Format.formatter -> t -> unit
 (** Pretty-printer in OpenQASM-like syntax, e.g. [cx q[0], q[3]]. *)
 
 val to_string : t -> string
-(** [to_string g] is {!pp} rendered to a string. *)
+(** [to_string g] is {!pp} rendered to a string. Float parameters are
+    printed with [%g] (6 significant digits) — human-readable, but NOT
+    injective; use {!digest_string} wherever distinct gates must never
+    serialise alike. *)
+
+val digest_string : t -> string
+(** Like {!to_string} but bit-exact: float parameters are rendered as
+    hex-floats ([%h]), so two gates share a digest string iff they are
+    {!equal} (with all NaN payloads conflated, matching the hex-float
+    convention of [Config.digest]). This is the serialisation behind
+    {!Circuit.digest} and {!Circuit.canonical_key}. *)
 
 val single_kind_name : single_kind -> string
 (** OpenQASM mnemonic of a single-qubit kind (without parameters). *)

@@ -539,10 +539,18 @@ let decode_response line =
                    uptime_s = get_float json "uptime_s";
                    dist_cache_hits = get_int json "dist_cache_hits";
                    dist_cache_misses = get_int json "dist_cache_misses";
-                   cache_hits = get_int json "cache_hits";
-                   cache_misses = get_int json "cache_misses";
-                   cache_entries = get_int json "cache_entries";
-                   cache_bytes = get_int json "cache_bytes";
+                   (* compile-cache fields are newer than the stats
+                      frame itself: decode them leniently (default 0)
+                      so this client still reads stats from an older
+                      server that doesn't send them *)
+                   cache_hits =
+                     Option.value (opt_int json "cache_hits") ~default:0;
+                   cache_misses =
+                     Option.value (opt_int json "cache_misses") ~default:0;
+                   cache_entries =
+                     Option.value (opt_int json "cache_entries") ~default:0;
+                   cache_bytes =
+                     Option.value (opt_int json "cache_bytes") ~default:0;
                    per_domain;
                    per_router;
                  };

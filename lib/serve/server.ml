@@ -514,7 +514,9 @@ let admit t ~conn_fd work deadline_s =
    validation failure falls through to the normal admission path, which
    produces the proper typed error. A request whose deadline is already
    expired is NOT probed — it must time out exactly as before, whatever
-   the cache holds. *)
+   the cache holds. A draining server is NOT probed either: the request
+   falls through to [admit], whose closed-queue push rejects it with
+   [Shutting_down] like every other request path. *)
 let admission_cache_hit t (c : Protocol.compile) : Protocol.response option =
   let pre_expired =
     match (c.Protocol.deadline_s, t.default_deadline_s) with
@@ -522,7 +524,8 @@ let admission_cache_hit t (c : Protocol.compile) : Protocol.response option =
     | None, None -> false
   in
   if
-    (not t.cache) || (not c.Protocol.cache) || pre_expired
+    Rqueue.is_closed t.queue || (not t.cache) || (not c.Protocol.cache)
+    || pre_expired
     || not (Engine.Compile_cache.enabled ())
   then None
   else
@@ -542,9 +545,11 @@ let admission_cache_hit t (c : Protocol.compile) : Protocol.response option =
               Engine.Compile_cache.key ~circuit ~coupling ~config
                 ~scoring:Sabre_core.Routing_pass.Delta ~spec:c.router
             in
+            (* hit-only probe: a miss here is re-probed (and counted)
+               by the worker pipeline *)
             Option.map
               (fun r -> (circuit, r))
-              (Engine.Compile_cache.find key)))
+              (Engine.Compile_cache.peek key)))
     in
     match probe with
     | None -> None

@@ -97,6 +97,38 @@ let test_empty_batch () =
   check Alcotest.int "empty batch, empty outcomes" 0
     (Array.length report.outcomes)
 
+let test_dedup_respects_param_precision () =
+  (* manifest dedup must fold byte-identical rows only: rotation angles
+     that agree to %g's 6 significant digits but differ in lower bits
+     are distinct circuits and must each keep their own parameters *)
+  let circ theta =
+    Circuit.create ~n_qubits:2
+      [
+        Quantum.Gate.Single (Quantum.Gate.Rz theta, 0);
+        Quantum.Gate.Cnot (0, 1);
+      ]
+  in
+  let a = circ 0.1234567890123 and b = circ 0.1234567890124 in
+  let report = Batch.compile_many device (jobs_of [ a; b; a ]) in
+  let physical i =
+    match report.outcomes.(i) with
+    | Ok (s : Batch.success) -> s.physical
+    | Error (e : Batch.error) -> Alcotest.failf "%s: %s" e.name e.message
+  in
+  check Alcotest.bool "identical rows fold to one result" true
+    (Circuit.equal (physical 0) (physical 2));
+  check Alcotest.bool "near-identical params stay distinct" false
+    (Circuit.equal (physical 0) (physical 1));
+  let rz_params c =
+    List.concat_map
+      (function
+        | Quantum.Gate.Single (Quantum.Gate.Rz t, _) -> [ t ]
+        | _ -> [])
+      (Circuit.gates c)
+  in
+  check (Alcotest.list (Alcotest.float 0.0)) "row 1 keeps its own angle"
+    (rz_params b) (rz_params (physical 1))
+
 let suite =
   [
     tc "routes and verifies a batch" `Quick test_routes_and_verifies;
@@ -104,4 +136,6 @@ let suite =
     tc "domains clamped to job count" `Quick test_domains_clamped_to_jobs;
     tc "invalid config rejected" `Quick test_invalid_config_rejected;
     tc "empty batch" `Quick test_empty_batch;
+    tc "dedup respects float param precision" `Quick
+      test_dedup_respects_param_precision;
   ]

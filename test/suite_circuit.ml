@@ -139,6 +139,27 @@ let test_canonical_key_distinguishes_gates () =
   check Alcotest.bool "orientation matters" false
     (Circuit.equal_up_to_reordering a b)
 
+let test_digest_bit_exact_params () =
+  (* angles agreeing to %g's 6 significant digits must still hash
+     apart: a digest collision would serve the wrong cached route *)
+  let circ theta = Circuit.create ~n_qubits:1 [ Gate.Single (Rz theta, 0) ] in
+  let a = circ 0.1234567890123 and b = circ 0.1234567890124 in
+  check Alcotest.bool "param tail distinguishes digest" false
+    (String.equal (Circuit.digest a) (Circuit.digest b));
+  check Alcotest.bool "param tail distinguishes canonical key" false
+    (String.equal (Circuit.canonical_key a) (Circuit.canonical_key b));
+  (* stable spellings for the float edge cases (%h convention) *)
+  check Alcotest.bool "digest deterministic" true
+    (String.equal (Circuit.digest a) (Circuit.digest (circ 0.1234567890123)));
+  check Alcotest.bool "signed zero distinguishes" false
+    (String.equal (Circuit.digest (circ 0.0)) (Circuit.digest (circ (-0.0))));
+  check Alcotest.bool "nan digest stable" true
+    (String.equal (Circuit.digest (circ Float.nan))
+       (Circuit.digest (circ Float.nan)));
+  let subnormal = Float.min_float /. 2.0 in
+  check Alcotest.bool "subnormal distinguishes from zero" false
+    (String.equal (Circuit.digest (circ subnormal)) (Circuit.digest (circ 0.0)))
+
 let suite =
   [
     tc "create and counts" `Quick test_create_and_counts;
@@ -156,4 +177,5 @@ let suite =
     tc "canonical key: reordering" `Quick test_canonical_key_reordering;
     tc "canonical key: order sensitive" `Quick test_canonical_key_order_sensitive;
     tc "canonical key: gate identity" `Quick test_canonical_key_distinguishes_gates;
+    tc "digest: bit-exact float params" `Quick test_digest_bit_exact_params;
   ]

@@ -244,6 +244,53 @@ let test_abort_wakes_waiter_who_inherits () =
       check Alcotest.bool "aborted key not resident" true
         (Cache.find key = None))
 
+let test_inflight_probe_counts_once () =
+  let router = sabre () in
+  with_cache
+    (64 * 1024 * 1024)
+    (fun () ->
+      let device = Devices.ibm_q20_tokyo () in
+      let circuit = Workloads.Qft.circuit 4 in
+      (* route once for real so we hold a routed value to resolve the
+         synthetic flight with *)
+      ignore (route ~cache_spec:"sabre" ~router device circuit);
+      let donor_key =
+        Cache.key ~circuit ~coupling:device ~config:Config.default
+          ~scoring:RP.Delta ~spec:"sabre"
+      in
+      let routed =
+        match Cache.find donor_key with
+        | Some r -> r
+        | None -> Alcotest.fail "donor entry missing"
+      in
+      Cache.reset_stats ();
+      let key = "suite-compile-cache-inflight-stats" in
+      (* owner: cold probe counts the miss, then claims the flight *)
+      check Alcotest.bool "fresh probe misses" true (Cache.find key = None);
+      (match Cache.acquire key with
+      | Cache.Compute -> ()
+      | Cache.Hit _ -> Alcotest.fail "fresh key cannot hit");
+      let waiter =
+        Domain.spawn (fun () ->
+            (* this probe lands on the in-flight slot: it must NOT
+               count a miss — acquire classifies it as a hit below *)
+            (match Cache.find key with
+            | None -> ()
+            | Some _ -> Alcotest.fail "in-flight probe returned a result");
+            match Cache.acquire key with
+            | Cache.Hit (_, waited) -> waited
+            | Cache.Compute -> Alcotest.fail "waiter should receive the fill")
+      in
+      (* give the waiter time to block on the in-flight slot *)
+      Thread.delay 0.05;
+      Cache.fill key routed;
+      check Alcotest.bool "waiter blocked on the flight" true
+        (Domain.join waiter);
+      let s = Cache.stats () in
+      check Alcotest.int "one miss: the owner's cold probe" 1 s.Cache.misses;
+      check Alcotest.int "one hit: the wait-resolved probe" 1 s.Cache.hits;
+      check Alcotest.int "one recorded wait" 1 s.Cache.inflight_waits)
+
 let test_coupling_digest_ignores_edge_presentation () =
   let edges = [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 3) ] in
   let a = Coupling.create ~n_qubits:4 edges in
@@ -330,6 +377,8 @@ let suite =
     tc "poisoned route is not cached" `Quick test_poisoned_route_not_cached;
     tc "abort wakes a waiter who inherits" `Quick
       test_abort_wakes_waiter_who_inherits;
+    tc "in-flight probe counts one hit, not a miss" `Quick
+      test_inflight_probe_counts_once;
     tc "coupling digest ignores edge presentation" `Quick
       test_coupling_digest_ignores_edge_presentation;
     tc "config digest canonicalises floats" `Quick

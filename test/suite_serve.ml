@@ -430,6 +430,59 @@ let test_response_roundtrip () =
       | Error e -> Alcotest.failf "own encoding rejected (%s): %S" e line)
     responses
 
+(* an older server doesn't send the compile-cache stats fields; the
+   client must degrade to zeros instead of rejecting the frame *)
+let test_stats_decode_tolerates_old_server () =
+  let stats =
+    {
+      P.served = 2;
+      errored = 0;
+      rejected = 0;
+      timed_out = 0;
+      malformed = 0;
+      queue_depth = 0;
+      queue_capacity = 64;
+      domains = 1;
+      uptime_s = 0.5;
+      dist_cache_hits = 1;
+      dist_cache_misses = 1;
+      cache_hits = 5;
+      cache_misses = 9;
+      cache_entries = 4;
+      cache_bytes = 131072;
+      per_domain = [| { P.domain = 0; jobs_run = 2; wall_busy_s = 0.25 } |];
+      per_router = [||];
+    }
+  in
+  let line = P.encode_response (P.Ok_stats { id = "s"; stats }) in
+  let old_line =
+    match Jsonx.parse line with
+    | Ok (Jsonx.Obj fields) ->
+      Jsonx.to_string
+        (Jsonx.Obj
+           (List.filter
+              (fun (name, _) ->
+                not
+                  (List.mem name
+                     [
+                       "cache_hits";
+                       "cache_misses";
+                       "cache_entries";
+                       "cache_bytes";
+                     ]))
+              fields))
+    | Ok _ | Error _ -> Alcotest.fail "stats frame did not parse as an object"
+  in
+  match P.decode_response old_line with
+  | Ok (P.Ok_stats { stats = s; _ }) ->
+    check Alcotest.int "served still decodes" 2 s.P.served;
+    check Alcotest.int "absent cache_hits defaults to 0" 0 s.P.cache_hits;
+    check Alcotest.int "absent cache_misses defaults to 0" 0 s.P.cache_misses;
+    check Alcotest.int "absent cache_entries defaults to 0" 0 s.P.cache_entries;
+    check Alcotest.int "absent cache_bytes defaults to 0" 0 s.P.cache_bytes
+  | Ok _ -> Alcotest.fail "decoded to a different response"
+  | Error e -> Alcotest.failf "old-server stats frame rejected: %s" e
+
 let test_decode_malformed () =
   let expect_kind kind line =
     match P.decode_request line with
@@ -1304,6 +1357,8 @@ let suite =
     tc "jsonx rejects malformed input" `Quick test_jsonx_rejects;
     QCheck_alcotest.to_alcotest request_roundtrip_prop;
     tc "response codec round-trips" `Quick test_response_roundtrip;
+    tc "stats decode tolerates an older server" `Quick
+      test_stats_decode_tolerates_old_server;
     tc "malformed requests decode to typed errors" `Quick test_decode_malformed;
     tc "oversized requests rejected before parsing" `Quick test_decode_oversized;
     tc "rqueue admission semantics" `Quick test_rqueue;
